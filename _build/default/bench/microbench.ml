@@ -1,0 +1,103 @@
+(* Bechamel microbenchmarks of the computational kernels, doubling as a
+   performance-regression suite.  One Test.make per kernel; kept short so
+   the full harness stays interactive. *)
+
+open Bechamel
+open Toolkit
+
+let bdd_build =
+  Test.make ~name:"bdd_adder8_output"
+    (Staged.stage (fun () ->
+         let net = (Circuits.ripple_adder 8).Circuits.net in
+         let man = Bdd.manager () in
+         ignore (Network.output_bdd net man "out7")))
+
+let cover_minimize =
+  let tt =
+    Truth_table.of_fun 6 (fun code ->
+        let a = code land 7 and b = code lsr 3 in
+        a > b)
+  in
+  Test.make ~name:"cover_minimize_cmp3"
+    (Staged.stage (fun () -> ignore (Cover.minimize (Cover.of_truth_table tt))))
+
+let event_sim =
+  let net = (Circuits.array_multiplier 4).Circuits.net in
+  let stim =
+    Stimulus.random (Lowpower.Rng.create 1) ~width:8 ~length:50 ()
+  in
+  Test.make ~name:"event_sim_mult4_50vec"
+    (Staged.stage (fun () -> ignore (Event_sim.run net Event_sim.Unit_delay stim)))
+
+let list_scheduling =
+  let dfg = Gen_dfg.ewf_like (Lowpower.Rng.create 2) ~ops:40 in
+  let d = Schedule.uniform_delays dfg in
+  Test.make ~name:"list_schedule_ewf40"
+    (Staged.stage (fun () ->
+         ignore (Schedule.list_schedule dfg d ~resources:(fun _ -> 2))))
+
+let iss_run =
+  let dfg = Gen_dfg.fir ~taps:8 () in
+  let comp = Compile.compile (Compile.optimized ()) dfg in
+  let inputs = List.mapi (fun k (nm, _) -> (nm, k + 1)) (Dfg.inputs dfg) in
+  Test.make ~name:"iss_fir8"
+    (Staged.stage (fun () -> ignore (Compile.run comp inputs)))
+
+let encoding_search =
+  let stg = Gen_fsm.modulo_counter ~modulus:12 in
+  let q = Markov.uniform_inputs stg in
+  Test.make ~name:"encode_low_power_mod12"
+    (Staged.stage (fun () -> ignore (Encode.low_power ~restarts:1 stg q)))
+
+let odc_guard =
+  let net, _ = Circuits.mux_compare 5 in
+  let z = List.assoc "z" (Network.outputs net) in
+  let root =
+    match Network.fanins net z with [ _; _; e ] -> e | _ -> assert false
+  in
+  Test.make ~name:"guard_odc_mux5"
+    (Staged.stage (fun () -> ignore (Guard.observability_condition net root)))
+
+let seq_chain =
+  let stg = Gen_fsm.counter ~bits:4 in
+  let synth = Fsm_synth.synthesize stg (Encode.binary ~num_states:16) in
+  Test.make ~name:"seq_estimate_counter16"
+    (Staged.stage (fun () ->
+         ignore
+           (Seq_estimate.steady_state synth.Fsm_synth.circuit
+              ~input_bit_probs:[| 0.5 |])))
+
+let streaming_kernel =
+  let program, layout = Kernels.streaming_fir ~taps:4 ~samples:32 ~pair:true () in
+  let coeffs = [ 1; 3; 5; 7 ] in
+  let xs = List.init 35 (fun k -> k * 11) in
+  Test.make ~name:"iss_streaming_fir32"
+    (Staged.stage (fun () ->
+         let m = Machine.create ~width:16 () in
+         Kernels.load_fir_inputs m layout ~coeffs ~xs;
+         ignore (Machine.run m program)))
+
+let tests =
+  [ bdd_build; cover_minimize; event_sim; list_scheduling; iss_run;
+    encoding_search; odc_guard; seq_chain; streaming_kernel ]
+
+let run () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 200) ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  print_endline "Microbenchmarks (Bechamel, monotonic clock):";
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some [ t ] -> Printf.printf "  %-32s %14.1f ns/run\n" name t
+          | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
+        results)
+    tests

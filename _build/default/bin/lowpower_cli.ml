@@ -1,0 +1,276 @@
+(* Command-line front end: quick access to the analysis and optimization
+   passes on built-in workloads.
+
+   dune exec bin/lowpower_cli.exe -- analyze --circuit multiplier --width 5
+   dune exec bin/lowpower_cli.exe -- map --circuit adder --objective power
+   dune exec bin/lowpower_cli.exe -- encode --states 12 --seed 3
+   dune exec bin/lowpower_cli.exe -- precompute --width 12
+   dune exec bin/lowpower_cli.exe -- businvert --width 16 --words 4000
+   dune exec bin/lowpower_cli.exe -- compile --taps 8 *)
+
+open Cmdliner
+
+let build_circuit name width seed =
+  match name with
+  | "adder" -> (Circuits.ripple_adder width).Circuits.net
+  | "csel" -> (Circuits.carry_select_adder width).Circuits.net
+  | "multiplier" -> (Circuits.array_multiplier width).Circuits.net
+  | "comparator" -> (Circuits.comparator width).Circuits.net
+  | "random" ->
+    Gen_comb.random (Lowpower.Rng.create seed)
+      { Gen_comb.default_shape with Gen_comb.num_inputs = width }
+  | other -> failwith ("unknown circuit " ^ other)
+
+let circuit_arg =
+  Arg.(value & opt string "adder"
+       & info [ "circuit" ] ~docv:"NAME"
+           ~doc:"Workload: adder, csel, multiplier, comparator, random.")
+
+let width_arg default =
+  Arg.(value & opt int default
+       & info [ "width" ] ~docv:"N" ~doc:"Operand width in bits.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+
+(* --- analyze --- *)
+
+let analyze circuit width seed =
+  let net = build_circuit circuit width seed in
+  let input_probs = Probability.uniform_inputs net in
+  let act = Activity.zero_delay net ~input_probs in
+  Printf.printf "circuit: %s (width %d)\n" circuit width;
+  Printf.printf "gates: %d, literals: %d, critical delay: %.1f\n"
+    (Network.node_count net) (Network.literal_count net)
+    (Network.critical_delay net);
+  Printf.printf "switched capacitance (zero delay, exact): %.2f units/cycle\n"
+    (Activity.switched_capacitance net act);
+  let stim =
+    Stimulus.random (Lowpower.Rng.create seed)
+      ~width:(List.length (Network.inputs net))
+      ~length:1000 ()
+  in
+  let r = Event_sim.run net Event_sim.Unit_delay stim in
+  Printf.printf
+    "unit-delay simulation: %.2f units/cycle, %.1f%% spurious transitions\n"
+    (Event_sim.switched_capacitance net r)
+    (100.0 *. Event_sim.spurious_fraction r);
+  List.iter
+    (fun i -> Network.set_cap net i (Network.cap net i *. 20.0e-15))
+    (Network.node_ids net);
+  Format.printf "Eqn. 1 at 3.3 V / 50 MHz (20 fF nodes): %a@."
+    Lowpower.Power_model.pp_breakdown
+    (Activity.network_power Lowpower.Power_model.default_params net act)
+
+let analyze_cmd =
+  Cmd.v (Cmd.info "analyze" ~doc:"Activity, glitch and Eqn.-1 power analysis")
+    Term.(const analyze $ circuit_arg $ width_arg 6 $ seed_arg)
+
+(* --- map --- *)
+
+let map_run circuit width seed objective =
+  let net = build_circuit circuit width seed in
+  let subj = Subject.decompose net in
+  let input_probs = Probability.uniform_inputs subj in
+  let obj =
+    match objective with
+    | "area" -> Mapper.Area
+    | "delay" -> Mapper.Delay
+    | "power" -> Mapper.Power (Activity.zero_delay subj ~input_probs)
+    | other -> failwith ("unknown objective " ^ other)
+  in
+  let m = Mapper.map subj obj in
+  Printf.printf "objective: %s\narea: %.1f\ncritical delay: %.1f\n"
+    objective (Mapper.total_area m) (Mapper.critical_delay m);
+  Printf.printf "switched capacitance: %.1f units/cycle\ncells:\n"
+    (Mapper.switched_capacitance m ~input_probs);
+  List.iter (fun (n, c) -> Printf.printf "  %-8s x%d\n" n c) (Mapper.instances m)
+
+let map_cmd =
+  let objective =
+    Arg.(value & opt string "power"
+         & info [ "objective" ] ~doc:"area, delay or power.")
+  in
+  Cmd.v (Cmd.info "map" ~doc:"Technology mapping (DAGON tree covering)")
+    Term.(const map_run $ circuit_arg $ width_arg 4 $ seed_arg $ objective)
+
+(* --- encode --- *)
+
+let encode_run states seed =
+  let stg =
+    Gen_fsm.random (Lowpower.Rng.create seed) ~num_states:states ~num_inputs:2
+      ~num_outputs:2 ()
+  in
+  let q = Markov.uniform_inputs stg in
+  Printf.printf "random %d-state FSM (seed %d); self-loop fraction %.1f%%\n"
+    states seed
+    (100.0 *. Markov.self_loop_probability stg q);
+  List.iter
+    (fun (name, enc) ->
+      Printf.printf "  %-10s %2d bits  %.3f FF toggles/cycle\n" name
+        enc.Encode.bits
+        (Encode.weighted_activity stg q enc))
+    [ ("binary", Encode.binary ~num_states:states);
+      ("gray", Encode.gray ~num_states:states);
+      ("one-hot", Encode.one_hot ~num_states:states);
+      ("low-power", Encode.low_power stg q) ]
+
+let encode_cmd =
+  let states =
+    Arg.(value & opt int 12 & info [ "states" ] ~doc:"Number of FSM states.")
+  in
+  Cmd.v (Cmd.info "encode" ~doc:"State-encoding comparison for low power")
+    Term.(const encode_run $ states $ seed_arg)
+
+(* --- precompute --- *)
+
+let precompute_run width seed =
+  let dp = Circuits.comparator width in
+  let keep =
+    [ List.nth dp.Circuits.a_bits (width - 1);
+      List.nth dp.Circuits.b_bits (width - 1) ]
+  in
+  let arch = Precompute.build dp.Circuits.net ~output:"out0" ~keep () in
+  let stim =
+    Stimulus.random (Lowpower.Rng.create seed) ~width:(2 * width) ~length:800 ()
+  in
+  let ok = Precompute.equivalent arch ~stimulus:stim in
+  let plain, pre = Precompute.energy_comparison arch ~stimulus:stim in
+  Printf.printf "comparator width %d; equivalent: %b\n" width ok;
+  Printf.printf "P(shutdown) = %.3f\n"
+    (Precompute.shutdown_probability dp.Circuits.net ~output:"out0" ~keep
+       ~input_probs:(Array.make (2 * width) 0.5));
+  Printf.printf "plain: %.0f, precomputed: %.0f, saving %.1f%%\n"
+    (Seq_circuit.total_energy plain)
+    (Seq_circuit.total_energy pre)
+    (100.0
+    *. (1.0 -. Seq_circuit.total_energy pre /. Seq_circuit.total_energy plain))
+
+let precompute_cmd =
+  Cmd.v (Cmd.info "precompute" ~doc:"Fig.-1 precomputed comparator")
+    Term.(const precompute_run $ width_arg 12 $ seed_arg)
+
+(* --- businvert --- *)
+
+let businvert_run width words seed =
+  let r = Lowpower.Rng.create seed in
+  List.iter
+    (fun (name, trace) ->
+      Printf.printf "  %-12s saving %.1f%%\n" name
+        (100.0 *. Bus_invert.saving ~width trace))
+    [ ("white noise", Traces.random_words r ~width ~n:words);
+      ("random walk", Traces.random_walk r ~width ~n:words ~step:8);
+      ("sequential", Traces.sequential ~width ~n:words) ]
+
+let businvert_cmd =
+  let words =
+    Arg.(value & opt int 4000 & info [ "words" ] ~doc:"Trace length.")
+  in
+  Cmd.v (Cmd.info "businvert" ~doc:"Bus-invert coding savings")
+    Term.(const businvert_run $ width_arg 16 $ words $ seed_arg)
+
+(* --- compile --- *)
+
+let compile_run taps =
+  let dfg = Gen_dfg.fir ~taps () in
+  List.iter
+    (fun (name, opts, profile) ->
+      let comp = Compile.compile opts dfg in
+      let inputs =
+        List.mapi (fun k (nm, _) -> (nm, (k * 7) + 1)) (Dfg.inputs dfg)
+      in
+      let e, cycles = Compile.measure comp profile inputs in
+      Printf.printf "  %-24s %3d instrs %4d cycles %8.1f nJ (%s)\n" name
+        (List.length comp.Compile.program)
+        cycles e profile.Energy_model.profile_name)
+    [ ("naive", Compile.naive, Energy_model.gp_cpu);
+      ("optimized", Compile.optimized (), Energy_model.gp_cpu);
+      ("dsp sched+pair",
+       Compile.optimized ~profile:Energy_model.dsp_cpu (),
+       Energy_model.dsp_cpu) ]
+
+let compile_cmd =
+  let taps =
+    Arg.(value & opt int 8 & info [ "taps" ] ~doc:"FIR tap count.")
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile an FIR kernel under power models")
+    Term.(const compile_run $ taps)
+
+(* --- guard --- *)
+
+let guard_run width duty seed =
+  let net, _sel = Circuits.mux_compare width in
+  let z = List.assoc "z" (Network.outputs net) in
+  let eq_root =
+    match Network.fanins net z with
+    | [ _; _; e ] -> e
+    | _ -> failwith "unexpected mux shape"
+  in
+  match Guard.auto net ~root:eq_root with
+  | None -> print_endline "no observability don't-cares; nothing to guard"
+  | Some g ->
+    let r = Lowpower.Rng.create seed in
+    let stim =
+      List.init 600 (fun _ ->
+          Array.init ((2 * width) + 1) (fun k ->
+              if k = 0 then Lowpower.Rng.bernoulli r duty
+              else Lowpower.Rng.bool r))
+    in
+    Printf.printf "guard condition (ODC): %d literals; %d boundary latches
+"
+      g.Guard.guard_literals g.Guard.latch_count;
+    Printf.printf "equivalent: %b
+" (Guard.equivalent g net ~stimulus:stim);
+    let plain, guarded = Guard.energy_comparison g net ~stimulus:stim in
+    Printf.printf "energy: plain %.0f, guarded %.0f (%.1f%% saved)
+" plain
+      guarded
+      (100.0 *. (1.0 -. (guarded /. plain)))
+
+let guard_cmd =
+  let duty =
+    Arg.(value & opt float 0.7
+         & info [ "duty" ] ~doc:"Probability the guarded block is ignored.")
+  in
+  Cmd.v (Cmd.info "guard" ~doc:"Guarded evaluation on a mux-selected block")
+    Term.(const guard_run $ width_arg 6 $ duty $ seed_arg)
+
+(* --- seqestimate --- *)
+
+let seqestimate_run bits duty =
+  let stg = Gen_fsm.counter ~bits in
+  let synth = Fsm_synth.synthesize stg (Encode.binary ~num_states:(1 lsl bits)) in
+  let est =
+    Seq_estimate.steady_state synth.Fsm_synth.circuit
+      ~input_bit_probs:[| duty |]
+  in
+  Printf.printf "counter%d at %.0f%% enable duty
+" (1 lsl bits) (100.0 *. duty);
+  Printf.printf "FF toggles/cycle: %.4f
+" est.Seq_estimate.ff_toggle_rate;
+  Printf.printf "switched capacitance/cycle: %.3f
+"
+    est.Seq_estimate.switched_capacitance;
+  Printf.printf "white-noise state assumption error: %.1f%%
+"
+    (100.0 *. Seq_estimate.white_noise_error est synth.Fsm_synth.circuit)
+
+let seqestimate_cmd =
+  let bits =
+    Arg.(value & opt int 4 & info [ "bits" ] ~doc:"Counter width in bits.")
+  in
+  let duty =
+    Arg.(value & opt float 0.3 & info [ "duty" ] ~doc:"Enable probability.")
+  in
+  Cmd.v
+    (Cmd.info "seqestimate"
+       ~doc:"Exact sequential power estimation vs the white-noise assumption")
+    Term.(const seqestimate_run $ bits $ duty)
+
+let () =
+  let doc = "low-power VLSI optimization toolkit (DAC'95 survey reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "lowpower_cli" ~doc)
+          [ analyze_cmd; map_cmd; encode_cmd; precompute_cmd; businvert_cmd;
+            compile_cmd; guard_cmd; seqestimate_cmd ]))

@@ -1,0 +1,1 @@
+examples/dsp_software_power.ml: Compile Dfg Energy_model Format Isa Kernels List Lowpower Machine Printf

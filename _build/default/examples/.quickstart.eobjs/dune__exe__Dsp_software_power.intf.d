@@ -1,0 +1,1 @@
+examples/dsp_software_power.mli:

@@ -1,0 +1,1 @@
+examples/fsm_low_power.ml: Clock_gate Encode Fsm_synth Gen_fsm List Lowpower Markov Printf Seq_circuit Stg

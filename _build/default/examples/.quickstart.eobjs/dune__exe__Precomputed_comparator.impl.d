@@ -1,0 +1,1 @@
+examples/precomputed_comparator.ml: Array Circuits Expr Format List Lowpower Precompute Printf Seq_circuit Stimulus

@@ -1,0 +1,1 @@
+examples/precomputed_comparator.mli:

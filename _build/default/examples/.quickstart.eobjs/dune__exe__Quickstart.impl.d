@@ -1,0 +1,1 @@
+examples/quickstart.ml: Activity Balance Circuits Event_sim Format List Lowpower Mapper Network Printf Probability Stimulus Subject

@@ -1,0 +1,1 @@
+examples/voltage_scaling.ml: Allocate Dfg Gen_dfg List Lowpower Modlib Printf Schedule Transform Voltage

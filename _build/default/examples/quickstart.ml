@@ -1,0 +1,78 @@
+(* Quickstart: build a small circuit, estimate its power exactly, measure
+   it by simulation, and apply one logic-level optimization.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  print_endline "== lowpower quickstart ==";
+  print_newline ();
+
+  (* 1. Build a Boolean network: a 4-bit ripple-carry adder. *)
+  let adder = Circuits.ripple_adder 4 in
+  let net = adder.Circuits.net in
+  Printf.printf "Built a 4-bit ripple adder: %d gates, %d literals, depth %.0f\n"
+    (Network.node_count net) (Network.literal_count net)
+    (Network.critical_delay net);
+
+  (* 2. Exact switching-activity estimation (BDD-based signal
+        probabilities, activity = 2p(1-p) per node). *)
+  let input_probs = Probability.uniform_inputs net in
+  let activity = Activity.zero_delay net ~input_probs in
+  let swcap = Activity.switched_capacitance net activity in
+  Printf.printf "Predicted switched capacitance: %.2f units/cycle\n" swcap;
+
+  (* 3. Plug it into Eqn. 1 of the paper (treat units as 20 fF). *)
+  List.iter
+    (fun i -> Network.set_cap net i (Network.cap net i *. 20.0e-15))
+    (Network.node_ids net);
+  let breakdown =
+    Activity.network_power Lowpower.Power_model.default_params net
+      (Activity.zero_delay net ~input_probs)
+  in
+  Format.printf "Eqn. 1 at 3.3 V / 50 MHz: %a@."
+    Lowpower.Power_model.pp_breakdown breakdown;
+  (* Restore unit capacitances for the comparisons below. *)
+  List.iter (fun i -> Network.set_cap net i 1.0) (Network.node_ids net);
+  List.iter
+    (fun i -> if not (Network.is_input net i) then ())
+    (Network.node_ids net);
+
+  (* 4. Measure the same thing by event-driven simulation, including the
+        spurious transitions (glitches) the zero-delay model cannot see. *)
+  let rng = Lowpower.Rng.create 2024 in
+  let stim = Stimulus.random rng ~width:8 ~length:2000 () in
+  let result = Event_sim.run net Event_sim.Unit_delay stim in
+  Printf.printf
+    "Unit-delay simulation over %d vectors: %.2f units/cycle switched, \
+     %.1f%% of transitions are glitches\n"
+    2000
+    (Event_sim.switched_capacitance net result)
+    (100.0 *. Event_sim.spurious_fraction result);
+
+  (* 5. One optimization: path balancing to suppress those glitches. *)
+  let balanced, buffers = Balance.balance ~buffer_cap:0.2 net in
+  let after = Event_sim.run balanced Event_sim.Unit_delay stim in
+  Printf.printf
+    "After inserting %d unit-delay buffers: %.2f units/cycle, %.1f%% glitches\n"
+    buffers
+    (Event_sim.switched_capacitance balanced after)
+    (100.0 *. Event_sim.spurious_fraction after);
+
+  (* 6. Technology mapping for power vs area. *)
+  let subj = Subject.decompose net in
+  let subj_act = Activity.zero_delay subj ~input_probs in
+  let by_area = Mapper.map subj Mapper.Area in
+  let by_power = Mapper.map subj (Mapper.Power subj_act) in
+  Printf.printf
+    "Technology mapping: area objective -> %.1f area, %.1f switched cap; \
+     power objective -> %.1f area, %.1f switched cap\n"
+    (Mapper.total_area by_area)
+    (Mapper.switched_capacitance by_area ~input_probs)
+    (Mapper.total_area by_power)
+    (Mapper.switched_capacitance by_power ~input_probs);
+  print_newline ();
+  print_endline
+    "Next: examples/precomputed_comparator.exe (the paper's Fig. 1),";
+  print_endline
+    "      examples/fsm_low_power.exe, examples/voltage_scaling.exe,";
+  print_endline "      examples/dsp_software_power.exe"

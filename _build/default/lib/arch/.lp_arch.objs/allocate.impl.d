@@ -1,0 +1,1 @@
+lib/arch/allocate.ml: Array Dfg Hashtbl List Modlib Option Schedule

@@ -1,0 +1,1 @@
+lib/arch/allocate.mli: Dfg Hashtbl Modlib Schedule

@@ -1,0 +1,1 @@
+lib/arch/arch_power.ml: Circuits Dfg Event_sim Hashtbl List Lowpower

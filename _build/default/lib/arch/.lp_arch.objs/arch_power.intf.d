@@ -1,0 +1,1 @@
+lib/arch/arch_power.mli: Dfg Hashtbl

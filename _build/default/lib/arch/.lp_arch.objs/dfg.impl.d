@@ -1,0 +1,1 @@
+lib/arch/dfg.ml: Array Format Hashtbl List Printf String

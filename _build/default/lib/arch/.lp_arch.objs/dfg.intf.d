@@ -1,0 +1,1 @@
+lib/arch/dfg.mli: Format Hashtbl

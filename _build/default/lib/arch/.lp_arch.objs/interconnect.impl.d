@@ -1,0 +1,1 @@
+lib/arch/interconnect.ml: Array Dfg Hashtbl List Modlib Option Reg_bind Schedule

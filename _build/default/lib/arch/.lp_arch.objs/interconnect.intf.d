@@ -1,0 +1,1 @@
+lib/arch/interconnect.mli: Allocate Dfg Reg_bind Schedule

@@ -1,0 +1,1 @@
+lib/arch/memory_opt.ml: Float Hashtbl List

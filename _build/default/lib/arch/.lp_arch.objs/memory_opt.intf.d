@@ -1,0 +1,1 @@
+lib/arch/memory_opt.mli:

@@ -1,0 +1,1 @@
+lib/arch/modlib.ml: Dfg List

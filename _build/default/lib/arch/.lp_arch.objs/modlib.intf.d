@@ -1,0 +1,1 @@
+lib/arch/modlib.mli: Dfg

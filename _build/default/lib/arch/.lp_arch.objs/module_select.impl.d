@@ -1,0 +1,1 @@
+lib/arch/module_select.ml: Dfg Hashtbl List Modlib Schedule

@@ -1,0 +1,1 @@
+lib/arch/module_select.mli: Dfg Hashtbl Modlib

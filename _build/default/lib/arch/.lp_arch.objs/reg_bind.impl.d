@@ -1,0 +1,1 @@
+lib/arch/reg_bind.ml: Array Dfg Hashtbl List Modlib Option Schedule

@@ -1,0 +1,1 @@
+lib/arch/reg_bind.mli: Dfg Hashtbl Schedule

@@ -1,0 +1,1 @@
+lib/arch/schedule.ml: Dfg Hashtbl List Modlib Option

@@ -1,0 +1,1 @@
+lib/arch/schedule.mli: Dfg Hashtbl Modlib

@@ -1,0 +1,1 @@
+lib/arch/transform.ml: Dfg Hashtbl List Lowpower Option Schedule

@@ -1,0 +1,1 @@
+lib/arch/transform.mli: Dfg Lowpower

@@ -1,0 +1,203 @@
+type binding = (Dfg.id, int) Hashtbl.t
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+let hamming_pair (a1, b1) (a2, b2) = popcount (a1 lxor a2) + popcount (b1 lxor b2)
+
+let kind_of dfg i =
+  match Modlib.kind_of_op (Dfg.op dfg i) with
+  | Some k -> k
+  | None -> invalid_arg "Allocate: not an operation node"
+
+let by_start dfg sched =
+  List.sort
+    (fun a b ->
+      compare (Hashtbl.find sched.Schedule.start a, a)
+        (Hashtbl.find sched.Schedule.start b, b))
+    (Dfg.operation_nodes dfg)
+
+let left_edge dfg d sched =
+  let binding = Hashtbl.create 32 in
+  let free = Hashtbl.create 8 in (* kind -> (instance, free_time) list *)
+  List.iter
+    (fun i ->
+      let k = kind_of dfg i in
+      let s = Hashtbl.find sched.Schedule.start i in
+      let insts = Option.value (Hashtbl.find_opt free k) ~default:[] in
+      let rec pick seen = function
+        | [] ->
+          let inst = List.length insts in
+          (inst, List.rev seen @ [ (inst, s + d i) ])
+        | (inst, ft) :: rest when ft <= s ->
+          (inst, List.rev seen @ ((inst, s + d i) :: rest))
+        | busy :: rest -> pick (busy :: seen) rest
+      in
+      let inst, insts = pick [] insts in
+      Hashtbl.replace free k insts;
+      Hashtbl.replace binding i inst)
+    (by_start dfg sched);
+  binding
+
+let instances_used dfg binding =
+  let peak = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun i inst ->
+      let k = kind_of dfg i in
+      let p = Option.value (Hashtbl.find_opt peak k) ~default:0 in
+      Hashtbl.replace peak k (max p (inst + 1)))
+    binding;
+  List.sort compare (Hashtbl.fold (fun k c acc -> (k, c) :: acc) peak [])
+
+let unit_sequences dfg sched binding =
+  let seqs = Hashtbl.create 8 in (* (kind, instance) -> op list in time order *)
+  List.iter
+    (fun i ->
+      let key = (kind_of dfg i, Hashtbl.find binding i) in
+      let l = Option.value (Hashtbl.find_opt seqs key) ~default:[] in
+      Hashtbl.replace seqs key (i :: l))
+    (List.rev (by_start dfg sched));
+  seqs
+
+let operand_toggles dfg sched binding ~traces =
+  let seqs = unit_sequences dfg sched binding in
+  let nsamples =
+    Hashtbl.fold (fun _ tr acc -> max acc (List.length tr)) traces 0
+  in
+  if nsamples = 0 then 0.0
+  else begin
+    let total = ref 0 in
+    Hashtbl.iter
+      (fun _key ops ->
+        let op_traces = List.map (fun i -> Array.of_list (Hashtbl.find traces i)) ops in
+        (* The unit's registers persist across evaluations: chain samples. *)
+        let last = ref None in
+        for s = 0 to nsamples - 1 do
+          List.iter
+            (fun tr ->
+              let operands = tr.(s) in
+              (match !last with
+              | Some prev -> total := !total + hamming_pair prev operands
+              | None -> total := !total + hamming_pair (0, 0) operands);
+              last := Some operands)
+            op_traces
+        done)
+      seqs;
+    float_of_int !total /. float_of_int nsamples
+  end
+
+let mean_operands traces i =
+  match Hashtbl.find_opt traces i with
+  | None | Some [] -> (0, 0)
+  | Some tr ->
+    (* Per-bit majority vote gives a representative word. *)
+    let n = List.length tr in
+    let bits = 30 in
+    let count_a = Array.make bits 0 and count_b = Array.make bits 0 in
+    List.iter
+      (fun (a, b) ->
+        for k = 0 to bits - 1 do
+          if a land (1 lsl k) <> 0 then count_a.(k) <- count_a.(k) + 1;
+          if b land (1 lsl k) <> 0 then count_b.(k) <- count_b.(k) + 1
+        done)
+      tr;
+    let word counts =
+      let w = ref 0 in
+      for k = 0 to bits - 1 do
+        if 2 * counts.(k) > n then w := !w lor (1 lsl k)
+      done;
+      !w
+    in
+    (word count_a, word count_b)
+
+let power_aware_greedy dfg d sched ~traces ~max_instances =
+  let binding = Hashtbl.create 32 in
+  let insts = Hashtbl.create 8 in
+  (* kind -> (instance, free_time, last representative operands) list *)
+  List.iter
+    (fun i ->
+      let k = kind_of dfg i in
+      let s = Hashtbl.find sched.Schedule.start i in
+      let rep = mean_operands traces i in
+      let current = Option.value (Hashtbl.find_opt insts k) ~default:[] in
+      let free_now =
+        List.filter (fun (_, ft, _) -> ft <= s) current
+      in
+      let best_free =
+        List.fold_left
+          (fun acc ((_, _, last) as cand) ->
+            match acc with
+            | None -> Some cand
+            | Some (_, _, blast) ->
+              if hamming_pair last rep < hamming_pair blast rep then Some cand
+              else acc)
+          None free_now
+      in
+      let open_new () =
+        if List.length current >= max_instances k then None
+        else Some (List.length current)
+      in
+      let chosen =
+        match best_free, open_new () with
+        | Some (inst, _, last), Some _ ->
+          (* Prefer reusing a warm unit over opening a cold one unless the
+             warm unit is maximally mismatched. *)
+          if hamming_pair last rep <= hamming_pair (0, 0) rep then Some inst
+          else Some (List.length current)
+        | Some (inst, _, _), None -> Some inst
+        | None, Some inst -> Some inst
+        | None, None -> None
+      in
+      match chosen with
+      | None ->
+        invalid_arg
+          "Allocate.power_aware: schedule exceeds the instance budget"
+      | Some inst ->
+        Hashtbl.replace binding i inst;
+        let updated =
+          if inst >= List.length current then
+            current @ [ (inst, s + d i, rep) ]
+          else
+            List.map
+              (fun (j, ft, last) ->
+                if j = inst then (j, s + d i, rep) else (j, ft, last))
+              current
+        in
+        Hashtbl.replace insts k updated)
+    (by_start dfg sched);
+  binding
+
+let power_aware dfg d sched ~traces ~max_instances =
+  (* The greedy warm-unit heuristic can lose to left-edge on some traces;
+     the correlation-blind baseline is always a legal fallback, so the
+     result is never worse than it. *)
+  let greedy = power_aware_greedy dfg d sched ~traces ~max_instances in
+  let le = left_edge dfg d sched in
+  let le_fits =
+    List.for_all
+      (fun (k, n) -> n <= max_instances k)
+      (instances_used dfg le)
+  in
+  if
+    le_fits
+    && operand_toggles dfg sched le ~traces
+       < operand_toggles dfg sched greedy ~traces
+  then le
+  else greedy
+
+let valid dfg d sched binding =
+  let seqs = unit_sequences dfg sched binding in
+  Hashtbl.fold
+    (fun _ ops ok ->
+      ok
+      &&
+      let rec no_overlap = function
+        | a :: (b :: _ as rest) ->
+          Hashtbl.find sched.Schedule.start a + d a
+          <= Hashtbl.find sched.Schedule.start b
+          && no_overlap rest
+        | [ _ ] | [] -> true
+      in
+      no_overlap ops)
+    seqs true

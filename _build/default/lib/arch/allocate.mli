@@ -1,0 +1,40 @@
+(** Functional-unit allocation and binding (§IV.B; [33], [34]).
+
+    Once scheduled, operations sharing a unit kind must be bound to
+    instances.  The binding determines the operand sequences each physical
+    unit sees, and hence its switched capacitance: binding two operations
+    with highly-correlated operands back-to-back switches little; binding
+    uncorrelated ones thrashes the unit's inputs.  This module provides a
+    correlation-blind left-edge binding and a power-aware greedy binding
+    that minimizes measured operand toggles. *)
+
+type binding = (Dfg.id, int) Hashtbl.t
+(** Operation -> instance index (within its unit kind). *)
+
+val left_edge : Dfg.t -> Schedule.delays -> Schedule.t -> binding
+(** Classic resource-minimal binding: sort by start step, reuse the first
+    instance free at that time. *)
+
+val instances_used : Dfg.t -> binding -> (Modlib.kind * int) list
+(** Instances of each kind the binding employs. *)
+
+val operand_toggles :
+  Dfg.t -> Schedule.t -> binding
+  -> traces:(Dfg.id, (int * int) list) Hashtbl.t -> float
+(** Average input-operand bit toggles per DFG evaluation, summed over all
+    units: for each unit, operations execute in schedule order and toggles
+    are Hamming distances between consecutive operand pairs (plus the
+    first load).  The power cost that [33]/[34] minimize. *)
+
+val power_aware :
+  Dfg.t -> Schedule.delays -> Schedule.t
+  -> traces:(Dfg.id, (int * int) list) Hashtbl.t
+  -> max_instances:(Modlib.kind -> int) -> binding
+(** Greedy switched-capacitance binding: operations are taken in schedule
+    order; each is assigned to the compatible free instance whose last
+    operands are closest (Hamming) to its own average operands, or to a new
+    instance while the budget allows.  Raises [Invalid_argument] if the
+    schedule needs more parallel units than [max_instances] permits. *)
+
+val valid : Dfg.t -> Schedule.delays -> Schedule.t -> binding -> bool
+(** No two operations overlap in time on the same instance. *)

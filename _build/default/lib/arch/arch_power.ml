@@ -1,0 +1,138 @@
+type calibration = {
+  add_avg : float;
+  mul_avg : float;
+  add_coeff : float * float;
+  mul_coeff : float * float;
+  word_width : int;
+}
+
+let shift_cost = 2.0
+
+let step_energies net ~width pairs =
+  (* Per-transfer switched capacitance: one event-driven run over the whole
+     operand sequence; per-step values come from pairwise runs. *)
+  let stim = Circuits.operand_stimulus pairs ~width in
+  let rec per_step acc = function
+    | a :: (b :: _ as rest) ->
+      let r = Event_sim.run net Event_sim.Unit_delay [ a; b ] in
+      per_step (Event_sim.switched_capacitance net r :: acc) rest
+    | [ _ ] | [] -> List.rev acc
+  in
+  per_step [] stim
+
+let total_energy net ~width pairs =
+  let stim = Circuits.operand_stimulus pairs ~width in
+  match stim with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let r = Event_sim.run net Event_sim.Unit_delay stim in
+    Event_sim.switched_capacitance net r *. float_of_int r.Event_sim.cycles
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+let toggle_counts pairs =
+  let rec go acc = function
+    | (a1, b1) :: ((a2, b2) :: _ as rest) ->
+      go (float_of_int (popcount (a1 lxor a2) + popcount (b1 lxor b2)) :: acc)
+        rest
+    | [ _ ] | [] -> List.rev acc
+  in
+  go [] pairs
+
+(* Least-squares affine fit y = base + k x. *)
+let affine_fit xs ys =
+  let n = float_of_int (List.length xs) in
+  if n < 2.0 then (Lowpower.Stats.mean ys, 0.0)
+  else begin
+    let mx = Lowpower.Stats.mean xs and my = Lowpower.Stats.mean ys in
+    let sxx =
+      List.fold_left (fun acc x -> acc +. ((x -. mx) ** 2.0)) 0.0 xs
+    in
+    let sxy =
+      List.fold_left2
+        (fun acc x y -> acc +. ((x -. mx) *. (y -. my)))
+        0.0 xs ys
+    in
+    if sxx = 0.0 then (my, 0.0)
+    else
+      let k = sxy /. sxx in
+      (my -. (k *. mx), k)
+  end
+
+let calibrate ?(width = 8) ?(samples = 200) ~seed () =
+  let rng = Lowpower.Rng.create seed in
+  let m = 1 lsl width in
+  let pairs =
+    List.init samples (fun _ ->
+        (Lowpower.Rng.int rng m, Lowpower.Rng.int rng m))
+  in
+  let adder = (Circuits.ripple_adder width).Circuits.net in
+  let mult = (Circuits.array_multiplier width).Circuits.net in
+  let fit net =
+    let es = step_energies net ~width pairs in
+    let ts = toggle_counts pairs in
+    (Lowpower.Stats.mean es, affine_fit ts es)
+  in
+  let add_avg, add_coeff = fit adder in
+  let mul_avg, mul_coeff = fit mult in
+  { add_avg; mul_avg; add_coeff; mul_coeff; word_width = width }
+
+let unit_nets cal =
+  ( (Circuits.ripple_adder cal.word_width).Circuits.net,
+    (Circuits.array_multiplier cal.word_width).Circuits.net )
+
+let clip cal (a, b) =
+  let m = (1 lsl cal.word_width) - 1 in
+  (a land m, b land m)
+
+let per_evaluation total traces =
+  let n = Hashtbl.fold (fun _ tr acc -> max acc (List.length tr)) traces 0 in
+  if n <= 1 then total else total /. float_of_int (n - 1)
+
+let gate_level cal dfg ~traces =
+  let adder, mult = unit_nets cal in
+  let total =
+    List.fold_left
+      (fun acc i ->
+        let tr = List.map (clip cal) (Hashtbl.find traces i) in
+        match Dfg.op dfg i with
+        | Dfg.Add | Dfg.Sub ->
+          acc +. total_energy adder ~width:cal.word_width tr
+        | Dfg.Mul -> acc +. total_energy mult ~width:cal.word_width tr
+        | Dfg.Shift_left _ ->
+          acc +. (shift_cost *. float_of_int (max 0 (List.length tr - 1)))
+        | Dfg.Input _ | Dfg.Const _ | Dfg.Output _ -> acc)
+      0.0 (Dfg.operation_nodes dfg)
+  in
+  per_evaluation total traces
+
+let module_cost_sum cal dfg =
+  List.fold_left
+    (fun acc i ->
+      match Dfg.op dfg i with
+      | Dfg.Add | Dfg.Sub -> acc +. cal.add_avg
+      | Dfg.Mul -> acc +. cal.mul_avg
+      | Dfg.Shift_left _ -> acc +. shift_cost
+      | Dfg.Input _ | Dfg.Const _ | Dfg.Output _ -> acc)
+    0.0 (Dfg.operation_nodes dfg)
+
+let activity_macromodel cal dfg ~traces =
+  let total =
+    List.fold_left
+      (fun acc i ->
+        let tr = List.map (clip cal) (Hashtbl.find traces i) in
+        let ts = toggle_counts tr in
+        let predict (base, k) =
+          List.fold_left (fun acc t -> acc +. base +. (k *. t)) 0.0 ts
+        in
+        match Dfg.op dfg i with
+        | Dfg.Add | Dfg.Sub -> acc +. predict cal.add_coeff
+        | Dfg.Mul -> acc +. predict cal.mul_coeff
+        | Dfg.Shift_left _ ->
+          acc +. (shift_cost *. float_of_int (List.length ts))
+        | Dfg.Input _ | Dfg.Const _ | Dfg.Output _ -> acc)
+      0.0 (Dfg.operation_nodes dfg)
+  in
+  per_evaluation total traces

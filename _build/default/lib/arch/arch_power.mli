@@ -1,0 +1,45 @@
+(** Architecture-level power analysis (§IV.A; [15], [21], [22], [36]).
+
+    Three estimators of a scheduled datapath's switched capacitance per DFG
+    evaluation, in increasing fidelity:
+
+    - {!module_cost_sum} — the [36]-style simulation model: each activation
+      of a module adds that module's {e average} power cost, characterized
+      once on white-noise operands.  Ignores all data correlation.
+    - {!activity_macromodel} — the [21]/[22]-style black-box capacitance
+      model: per activation, energy is an affine function of the {e actual}
+      operand toggle density the module sees, with coefficients fitted on
+      random data.
+    - {!gate_level} — the reference: execute the operand trace on real
+      gate-level module implementations (ripple adder, array multiplier
+      from {!Circuits}) with event-driven simulation, counting switched
+      capacitance including glitches.
+
+    Experiment E14 reports both estimators' errors against the reference on
+    workloads of varying operand correlation. *)
+
+type calibration = {
+  add_avg : float;          (** gate-level energy of an average add *)
+  mul_avg : float;
+  add_coeff : float * float;(** (base, per-toggle) affine fit for the adder *)
+  mul_coeff : float * float;
+  word_width : int;
+}
+
+val calibrate : ?width:int -> ?samples:int -> seed:int -> unit -> calibration
+(** Characterize the gate-level adder and multiplier on white-noise
+    operands (default width 8, 200 samples). *)
+
+val gate_level :
+  calibration -> Dfg.t -> traces:(Dfg.id, (int * int) list) Hashtbl.t -> float
+(** Reference switched capacitance per evaluation: every Add/Sub runs on
+    the gate-level adder, every Mul on the gate-level multiplier, fed the
+    exact operand sequence of the trace. *)
+
+val module_cost_sum :
+  calibration -> Dfg.t -> float
+(** Activations times average module cost; needs no trace at all. *)
+
+val activity_macromodel :
+  calibration -> Dfg.t -> traces:(Dfg.id, (int * int) list) Hashtbl.t -> float
+(** Affine-in-toggle-density prediction from the actual operand stream. *)

@@ -1,0 +1,162 @@
+type op =
+  | Input of string
+  | Const of int
+  | Add
+  | Sub
+  | Mul
+  | Shift_left of int
+  | Output of string
+
+type id = int
+
+type node = { nop : op; nargs : id list }
+
+type t = {
+  word_width : int;
+  mutable node_tbl : node array;
+  mutable count : int;
+}
+
+let create ?(width = 16) () =
+  if width < 1 || width > 30 then invalid_arg "Dfg.create: width in [1, 30]";
+  { word_width = width; node_tbl = Array.make 16 { nop = Const 0; nargs = [] }; count = 0 }
+
+let width t = t.word_width
+
+let arity = function
+  | Input _ | Const _ -> 0
+  | Shift_left _ | Output _ -> 1
+  | Add | Sub | Mul -> 2
+
+let add t op args =
+  if List.length args <> arity op then invalid_arg "Dfg.add: arity mismatch";
+  List.iter
+    (fun a -> if a < 0 || a >= t.count then invalid_arg "Dfg.add: unknown arg")
+    args;
+  if t.count = Array.length t.node_tbl then begin
+    let bigger = Array.make (2 * t.count) { nop = Const 0; nargs = [] } in
+    Array.blit t.node_tbl 0 bigger 0 t.count;
+    t.node_tbl <- bigger
+  end;
+  t.node_tbl.(t.count) <- { nop = op; nargs = args };
+  t.count <- t.count + 1;
+  t.count - 1
+
+let get t i =
+  if i < 0 || i >= t.count then invalid_arg "Dfg: unknown node";
+  t.node_tbl.(i)
+
+let op t i = (get t i).nop
+let args t i = (get t i).nargs
+
+let nodes t = List.init t.count (fun i -> i)
+
+let succs t i =
+  ignore (get t i);
+  List.filter (fun j -> List.mem i (args t j)) (nodes t)
+
+let inputs t =
+  List.filter_map
+    (fun i -> match op t i with Input nm -> Some (nm, i) | _ -> None)
+    (nodes t)
+
+let outputs t =
+  List.filter_map
+    (fun i -> match op t i with Output nm -> Some (nm, i) | _ -> None)
+    (nodes t)
+
+let operation_nodes t =
+  List.filter
+    (fun i ->
+      match op t i with
+      | Add | Sub | Mul | Shift_left _ -> true
+      | Input _ | Const _ | Output _ -> false)
+    (nodes t)
+
+let num_ops t = List.length (operation_nodes t)
+
+let mask t = (1 lsl t.word_width) - 1
+
+let eval_values t env =
+  let values = Array.make t.count 0 in
+  let m = mask t in
+  for i = 0 to t.count - 1 do
+    let n = t.node_tbl.(i) in
+    let v =
+      match n.nop, n.nargs with
+      | Input nm, [] ->
+        (match List.assoc_opt nm env with
+        | Some v -> v land m
+        | None -> invalid_arg ("Dfg.eval: missing input " ^ nm))
+      | Const c, [] -> c land m
+      | Add, [ a; b ] -> (values.(a) + values.(b)) land m
+      | Sub, [ a; b ] -> (values.(a) - values.(b)) land m
+      | Mul, [ a; b ] -> values.(a) * values.(b) land m
+      | Shift_left k, [ a ] -> (values.(a) lsl k) land m
+      | Output _, [ a ] -> values.(a)
+      | (Input _ | Const _ | Add | Sub | Mul | Shift_left _ | Output _), _ ->
+        invalid_arg "Dfg.eval: corrupt arity"
+    in
+    values.(i) <- v
+  done;
+  values
+
+let eval t env =
+  let values = eval_values t env in
+  List.map (fun (nm, i) -> (nm, values.(i))) (outputs t)
+
+let operand_trace t samples =
+  let traces = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace traces i []) (operation_nodes t);
+  List.iter
+    (fun env ->
+      let values = eval_values t env in
+      List.iter
+        (fun i ->
+          let operands =
+            match args t i with
+            | [ a; b ] -> (values.(a), values.(b))
+            | [ a ] -> (values.(a), 0)
+            | _ -> (0, 0)
+          in
+          Hashtbl.replace traces i (operands :: Hashtbl.find traces i))
+        (operation_nodes t))
+    samples;
+  Hashtbl.iter (fun i tr -> Hashtbl.replace traces i (List.rev tr)) traces;
+  traces
+
+let value_trace t samples =
+  let traces = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace traces i []) (nodes t);
+  List.iter
+    (fun env ->
+      let values = eval_values t env in
+      List.iter
+        (fun i -> Hashtbl.replace traces i (values.(i) :: Hashtbl.find traces i))
+        (nodes t))
+    samples;
+  Hashtbl.iter (fun i tr -> Hashtbl.replace traces i (List.rev tr)) traces;
+  traces
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  List.iter
+    (fun i ->
+      let n = get t i in
+      let opname =
+        match n.nop with
+        | Input nm -> "input " ^ nm
+        | Const c -> Printf.sprintf "const %d" c
+        | Add -> "add"
+        | Sub -> "sub"
+        | Mul -> "mul"
+        | Shift_left k -> Printf.sprintf "shl %d" k
+        | Output nm -> "output " ^ nm
+      in
+      Format.fprintf ppf "%d: %s%s@," i opname
+        (match n.nargs with
+        | [] -> ""
+        | args ->
+          " (" ^ String.concat ", " (List.map string_of_int args) ^ ")"))
+    (nodes t);
+  Format.pp_close_box ppf ()

@@ -1,0 +1,59 @@
+(** Data-flow graphs — the high-level specification behavioral synthesis
+    maps to register-transfer structures (§IV.B).
+
+    Nodes are word-level operations; integer semantics (fixed word width,
+    wrap-around) let every transformation and schedule be verified by
+    execution. *)
+
+type op =
+  | Input of string
+  | Const of int
+  | Add
+  | Sub
+  | Mul
+  | Shift_left of int   (** multiply by 2^k — strength-reduced constant mul *)
+  | Output of string
+
+type t
+type id = int
+
+val create : ?width:int -> unit -> t
+(** Word width (default 16) controls wrap-around in {!eval} and operand
+    statistics. *)
+
+val width : t -> int
+
+val add : t -> op -> id list -> id
+(** Raises [Invalid_argument] on arity mismatch (Input/Const take 0 args,
+    Add/Sub/Mul take 2, Shift_left/Output take 1) or unknown args. *)
+
+val op : t -> id -> op
+val args : t -> id -> id list
+val succs : t -> id -> id list
+val nodes : t -> id list
+(** All node ids in topological order (insertion order is topological by
+    construction). *)
+
+val inputs : t -> (string * id) list
+val outputs : t -> (string * id) list
+val operation_nodes : t -> id list
+(** Nodes that occupy a functional unit (Add/Sub/Mul/Shift). *)
+
+val eval : t -> (string * int) list -> (string * int) list
+(** Execute on named input words; outputs in declaration order.  Raises
+    [Invalid_argument] on a missing input. *)
+
+val operand_trace :
+  t -> (string * int) list list -> (id, (int * int) list) Hashtbl.t
+(** For each operation node, the (left, right) operand words it consumed on
+    each sample (unary ops use 0 for the right operand) — the data that
+    power-aware binding and macromodels need. *)
+
+val value_trace :
+  t -> (string * int) list list -> (id, int list) Hashtbl.t
+(** The result word of every node on each sample — what a register bound to
+    that value would store. *)
+
+val num_ops : t -> int
+
+val pp : Format.formatter -> t -> unit

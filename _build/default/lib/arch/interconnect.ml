@@ -1,0 +1,158 @@
+type structure = {
+  fu_ports : int;
+  reg_ports : int;
+  mux_inputs : int;
+}
+
+type cost = {
+  bus_toggles : float;
+  control_toggles : float;
+}
+
+let total_toggles c = c.bus_toggles +. c.control_toggles
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+let is_op dfg i =
+  match Modlib.kind_of_op (Dfg.op dfg i) with Some _ -> true | None -> false
+
+(* Stable source id of a value: its register, a dedicated input register, or
+   a constant driver. *)
+let source_of dfg reg_binding a =
+  match Dfg.op dfg a with
+  | Dfg.Input _ ->
+    let pos =
+      let rec find k = function
+        | [] -> raise Not_found
+        | (_, i) :: _ when i = a -> k
+        | _ :: rest -> find (k + 1) rest
+      in
+      find 0 (Dfg.inputs dfg)
+    in
+    -1 - pos
+  | Dfg.Const _ -> -1000 - a
+  | Dfg.Add | Dfg.Sub | Dfg.Mul | Dfg.Shift_left _ | Dfg.Output _ ->
+    (match Hashtbl.find_opt reg_binding a with
+    | Some r -> r
+    | None -> -2000 - a (* unbound (dead) value: dedicated wire *))
+
+let by_start dfg sched =
+  List.sort
+    (fun a b ->
+      compare
+        (Hashtbl.find sched.Schedule.start a, a)
+        (Hashtbl.find sched.Schedule.start b, b))
+    (List.filter (is_op dfg) (Dfg.nodes dfg))
+
+(* Port descriptors: (key, per-op (source id, value-per-sample array)). *)
+let fu_port_streams dfg sched ~fu_binding ~reg_binding ~operands =
+  let ports = Hashtbl.create 16 in
+  List.iter
+    (fun i ->
+      let fu = Hashtbl.find fu_binding i in
+      let kind = Modlib.kind_of_op (Dfg.op dfg i) in
+      let args = Dfg.args dfg i in
+      List.iteri
+        (fun port a ->
+          let key = (kind, fu, port) in
+          let src = source_of dfg reg_binding a in
+          let words =
+            Array.of_list
+              (List.map
+                 (fun (x, y) -> if port = 0 then x else y)
+                 (Hashtbl.find operands i))
+          in
+          Hashtbl.replace ports key
+            (Option.value (Hashtbl.find_opt ports key) ~default:[]
+            @ [ (src, words) ]))
+        (match args with [ a ] -> [ a ] | [ a; b ] -> [ a; b ] | _ -> []))
+    (by_start dfg sched);
+  ports
+
+let reg_port_streams dfg d sched ~fu_binding ~reg_binding ~values =
+  let ports = Hashtbl.create 16 in
+  List.iter
+    (fun lt ->
+      let v = lt.Reg_bind.var in
+      match Hashtbl.find_opt reg_binding v with
+      | None -> ()
+      | Some r ->
+        let fu = Hashtbl.find fu_binding v in
+        let kind = Modlib.kind_of_op (Dfg.op dfg v) in
+        let src =
+          (match kind with
+          | Some Modlib.Adder_unit -> 1_000_000
+          | Some Modlib.Multiplier_unit -> 2_000_000
+          | Some Modlib.Shifter_unit -> 3_000_000
+          | None -> 4_000_000)
+          + fu
+        in
+        let words = Array.of_list (Hashtbl.find values v) in
+        Hashtbl.replace ports r
+          (Option.value (Hashtbl.find_opt ports r) ~default:[]
+          @ [ (src, words) ]))
+    (Reg_bind.by_birth_public (Reg_bind.lifetimes dfg d sched));
+  ports
+
+let port_stats streams =
+  Hashtbl.fold
+    (fun _ entries (muxes, fanin) ->
+      let sources = List.sort_uniq compare (List.map fst entries) in
+      let k = List.length sources in
+      ((if k >= 2 then muxes + 1 else muxes), fanin + k))
+    streams (0, 0)
+
+let derive dfg d sched ~fu_binding ~reg_binding =
+  (* Structure needs no data; reuse the stream builders with empty traces. *)
+  let dummy_operands = Hashtbl.create 16 in
+  List.iter
+    (fun i -> if is_op dfg i then Hashtbl.replace dummy_operands i [])
+    (Dfg.nodes dfg);
+  let dummy_values = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace dummy_values i []) (Dfg.nodes dfg);
+  let fu = fu_port_streams dfg sched ~fu_binding ~reg_binding ~operands:dummy_operands in
+  let rp =
+    reg_port_streams dfg d sched ~fu_binding ~reg_binding ~values:dummy_values
+  in
+  let fmux, ffan = port_stats fu in
+  let rmux, rfan = port_stats rp in
+  { fu_ports = fmux; reg_ports = rmux; mux_inputs = ffan + rfan }
+
+let stream_cost nsamples streams =
+  let bus = ref 0 and ctl = ref 0 in
+  Hashtbl.iter
+    (fun _ entries ->
+      let last_word = ref None and last_src = ref None in
+      for s = 0 to nsamples - 1 do
+        List.iter
+          (fun (src, words) ->
+            let w = words.(s) in
+            (match !last_word with
+            | Some prev -> bus := !bus + popcount (prev lxor w)
+            | None -> bus := !bus + popcount w);
+            (match !last_src with
+            | Some prev when prev <> src -> ctl := !ctl + 2
+            | Some _ -> ()
+            | None -> ctl := !ctl + 1);
+            last_word := Some w;
+            last_src := Some src)
+          entries
+      done)
+    streams;
+  (float_of_int !bus, float_of_int !ctl)
+
+let evaluate dfg d sched ~fu_binding ~reg_binding ~samples =
+  let n = List.length samples in
+  if n = 0 then { bus_toggles = 0.0; control_toggles = 0.0 }
+  else begin
+    let operands = Dfg.operand_trace dfg samples in
+    let values = Dfg.value_trace dfg samples in
+    let fu = fu_port_streams dfg sched ~fu_binding ~reg_binding ~operands in
+    let rp = reg_port_streams dfg d sched ~fu_binding ~reg_binding ~values in
+    let b1, c1 = stream_cost n fu in
+    let b2, c2 = stream_cost n rp in
+    let per = float_of_int n in
+    { bus_toggles = (b1 +. b2) /. per; control_toggles = (c1 +. c2) /. per }
+  end

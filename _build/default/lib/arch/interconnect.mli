@@ -1,0 +1,40 @@
+(** Datapath interconnect power (§IV.B: "the allocation and assignment
+    processes ... define the interconnect between them in terms of
+    multiplexers and buses", whose switched capacitance [33]/[34] fold
+    into the binding objective).
+
+    Given a schedule, a functional-unit binding and a register binding,
+    the physical structure is determined: every FU input port is fed by a
+    multiplexer over the registers that ever supply it, and every register
+    input by a multiplexer over the units that ever write it.  This module
+    derives that structure and charges, per DFG evaluation,
+
+    - {e bus} toggles: Hamming distance between consecutive words each mux
+      output carries (weighted by the bus capacitance), and
+    - {e control} toggles: select-line changes on every mux
+      (one-hot selects; two line toggles per source change). *)
+
+type structure = {
+  fu_ports : int;          (** multiplexed functional-unit input ports *)
+  reg_ports : int;         (** multiplexed register input ports *)
+  mux_inputs : int;        (** total multiplexer fan-in (area proxy) *)
+}
+
+type cost = {
+  bus_toggles : float;     (** word-bit toggles per evaluation, all buses *)
+  control_toggles : float; (** select-line toggles per evaluation *)
+}
+
+val derive :
+  Dfg.t -> Schedule.delays -> Schedule.t
+  -> fu_binding:Allocate.binding -> reg_binding:Reg_bind.binding -> structure
+(** The multiplexer structure a binding pair implies. *)
+
+val evaluate :
+  Dfg.t -> Schedule.delays -> Schedule.t
+  -> fu_binding:Allocate.binding -> reg_binding:Reg_bind.binding
+  -> samples:(string * int) list list -> cost
+(** Simulate the interconnect over the sample set.  DFG inputs are treated
+    as dedicated input registers (index [-1 - input_position]). *)
+
+val total_toggles : cost -> float

@@ -1,0 +1,127 @@
+type loop_nest = {
+  loops : (string * int) list;
+  accesses : (string * ((string * int) list -> int)) list;
+}
+
+let reorder nest ~order =
+  let names = List.map fst nest.loops in
+  if List.sort compare order <> List.sort compare names then
+    invalid_arg "Memory_opt.reorder: order is not a permutation";
+  {
+    nest with
+    loops = List.map (fun nm -> (nm, List.assoc nm nest.loops)) order;
+  }
+
+let trace nest =
+  let acc = ref [] in
+  let rec run env = function
+    | [] ->
+      List.iter
+        (fun (array_name, addr) -> acc := (array_name, addr env) :: !acc)
+        nest.accesses
+    | (var, count) :: rest ->
+      for v = 0 to count - 1 do
+        run ((var, v) :: env) rest
+      done
+  in
+  run [] nest.loops;
+  List.rev !acc
+
+type memory_model = {
+  buffer_words : int;
+  line_words : int;
+  onchip_energy : float;
+  offchip_energy : float;
+}
+
+let default_memory =
+  { buffer_words = 64; line_words = 4; onchip_energy = 1.0;
+    offchip_energy = 20.0 }
+
+type report = {
+  references : int;
+  misses : int;
+  energy : float;
+}
+
+let miss_rate r =
+  if r.references = 0 then 0.0
+  else float_of_int r.misses /. float_of_int r.references
+
+(* Fully-associative LRU over lines; array names are mapped into disjoint
+   address spaces. *)
+let simulate model stream =
+  if model.buffer_words < model.line_words then
+    invalid_arg "Memory_opt.simulate: buffer smaller than a line";
+  let lines = model.buffer_words / model.line_words in
+  let space = Hashtbl.create 8 in
+  let next_base = ref 0 in
+  let base_of name =
+    match Hashtbl.find_opt space name with
+    | Some b -> b
+    | None ->
+      let b = !next_base in
+      next_base := b + 1_000_000;
+      Hashtbl.add space name b;
+      b
+  in
+  (* LRU as an association list, most recent first; streams are short. *)
+  let lru = ref [] in
+  let misses = ref 0 and refs = ref 0 in
+  List.iter
+    (fun (name, addr) ->
+      incr refs;
+      let line = (base_of name + addr) / model.line_words in
+      if List.mem line !lru then
+        lru := line :: List.filter (fun l -> l <> line) !lru
+      else begin
+        incr misses;
+        let kept =
+          if List.length !lru >= lines then
+            List.filteri (fun k _ -> k < lines - 1) !lru
+          else !lru
+        in
+        lru := line :: kept
+      end)
+    stream;
+  {
+    references = !refs;
+    misses = !misses;
+    energy =
+      (float_of_int !refs *. model.onchip_energy)
+      +. (float_of_int !misses *. model.offchip_energy);
+  }
+
+let matrix_sum_nest ~rows ~cols =
+  {
+    loops = [ ("i", rows); ("j", cols) ];
+    accesses =
+      [
+        ("A", fun env -> (List.assoc "i" env * cols) + List.assoc "j" env);
+        ("B", fun env -> (List.assoc "j" env * rows) + List.assoc "i" env);
+      ];
+  }
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) xs in
+        List.map (fun p -> x :: p) (permutations rest))
+      xs
+
+let best_order model nest =
+  let names = List.map fst nest.loops in
+  let scored =
+    List.map
+      (fun order ->
+        let r = simulate model (trace (reorder nest ~order)) in
+        (order, r.energy))
+      (permutations names)
+  in
+  match
+    List.sort (fun (_, a) (_, b) -> Float.compare a b) scored
+  with
+  | best :: _ -> best
+  | [] -> invalid_arg "Memory_opt.best_order: empty nest"

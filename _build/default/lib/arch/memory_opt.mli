@@ -1,0 +1,55 @@
+(** Memory-oriented control-flow transformations (§IV.B, [14] Catthoor).
+
+    For multi-dimensional signal processing, memory dominates power through
+    (a) the energy of each access, much larger off-chip, and (b) the size of
+    the memory that must switch per access.  Loop reordering changes the
+    access order, hence locality, hence how many references a small on-chip
+    buffer can absorb. *)
+
+type loop_nest = {
+  loops : (string * int) list;
+      (** loop variables with trip counts, outermost first *)
+  accesses : (string * ((string * int) list -> int)) list;
+      (** per iteration: (array name, address as a function of the index
+          environment) *)
+}
+
+val reorder : loop_nest -> order:string list -> loop_nest
+(** Permute the loop order.  Raises [Invalid_argument] unless [order] is a
+    permutation of the loop variables. *)
+
+val trace : loop_nest -> (string * int) list
+(** The (array, address) reference stream the nest generates. *)
+
+type memory_model = {
+  buffer_words : int;     (** on-chip buffer capacity (fully associative LRU) *)
+  line_words : int;       (** words fetched per miss *)
+  onchip_energy : float;  (** per reference served on-chip *)
+  offchip_energy : float; (** per off-chip line fetch *)
+}
+
+val default_memory : memory_model
+(** 64-word LRU buffer, 4-word lines, off-chip access 20x an on-chip one —
+    the order-of-magnitude gap the paper describes. *)
+
+type report = {
+  references : int;
+  misses : int;
+  energy : float;
+}
+
+val miss_rate : report -> float
+
+val simulate : memory_model -> (string * int) list -> report
+(** Run the reference stream through the buffer (addresses of different
+    arrays are disjoint by construction of {!matrix_nest}). *)
+
+val matrix_sum_nest : rows:int -> cols:int -> loop_nest
+(** The canonical example: [for i (rows) for j (cols): acc += A[i][j] +
+    B[j][i]] — A is traversed row-major (friendly) and B column-major
+    (hostile); interchanging the loops swaps their roles, and the best
+    order depends on the buffer, which is what E16 shows. *)
+
+val best_order : memory_model -> loop_nest -> string list * float
+(** Exhaustively try all loop permutations (nests here are small) and
+    return the minimum-energy order with its energy. *)

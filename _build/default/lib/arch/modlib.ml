@@ -1,0 +1,49 @@
+type kind = Adder_unit | Multiplier_unit | Shifter_unit
+
+type impl = {
+  impl_name : string;
+  kind : kind;
+  delay_steps : int;
+  energy_per_op : float;
+  area : float;
+}
+
+let kind_of_op = function
+  | Dfg.Add | Dfg.Sub -> Some Adder_unit
+  | Dfg.Mul -> Some Multiplier_unit
+  | Dfg.Shift_left _ -> Some Shifter_unit
+  | Dfg.Input _ | Dfg.Const _ | Dfg.Output _ -> None
+
+let default =
+  [
+    { impl_name = "add_ripple"; kind = Adder_unit; delay_steps = 1;
+      energy_per_op = 8.0; area = 10.0 };
+    { impl_name = "add_cla"; kind = Adder_unit; delay_steps = 1;
+      energy_per_op = 12.0; area = 16.0 };
+    { impl_name = "mul_lowpower"; kind = Multiplier_unit; delay_steps = 3;
+      energy_per_op = 28.0; area = 60.0 };
+    { impl_name = "mul_array"; kind = Multiplier_unit; delay_steps = 2;
+      energy_per_op = 40.0; area = 80.0 };
+    { impl_name = "mul_fast"; kind = Multiplier_unit; delay_steps = 1;
+      energy_per_op = 60.0; area = 120.0 };
+    { impl_name = "shift"; kind = Shifter_unit; delay_steps = 1;
+      energy_per_op = 2.0; area = 4.0 };
+  ]
+
+let implementations lib kind =
+  List.sort
+    (fun a b -> compare a.delay_steps b.delay_steps)
+    (List.filter (fun i -> i.kind = kind) lib)
+
+let fastest lib kind =
+  match implementations lib kind with
+  | [] -> raise Not_found
+  | i :: _ -> i
+
+let cheapest lib kind =
+  match List.filter (fun i -> i.kind = kind) lib with
+  | [] -> raise Not_found
+  | first :: rest ->
+    List.fold_left
+      (fun best i -> if i.energy_per_op < best.energy_per_op then i else best)
+      first rest

@@ -1,0 +1,31 @@
+(** Module library: functional-unit implementations with power/delay
+    variants (§IV.B, [17] Goodby et al.).
+
+    Behavioral synthesis can meet the same schedule with different module
+    selections: a slow, low-capacitance multiplier where slack allows, a
+    fast power-hungry one on the critical path. *)
+
+type kind = Adder_unit | Multiplier_unit | Shifter_unit
+
+type impl = {
+  impl_name : string;
+  kind : kind;
+  delay_steps : int;     (** control steps per operation *)
+  energy_per_op : float; (** average switched capacitance per activation *)
+  area : float;
+}
+
+val kind_of_op : Dfg.op -> kind option
+(** Which unit kind executes a DFG operation ([None] for
+    Input/Const/Output). *)
+
+val default : impl list
+(** Two adders (ripple: slow/cheap, cla: fast/costly), three multipliers
+    (lowpower: 3 steps, array: 2 steps, fast: 1 step) and a shifter. *)
+
+val implementations : impl list -> kind -> impl list
+(** Sorted fastest first. *)
+
+val fastest : impl list -> kind -> impl
+val cheapest : impl list -> kind -> impl
+(** Lowest energy.  Both raise [Not_found] if the kind is absent. *)

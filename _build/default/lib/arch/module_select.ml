@@ -1,0 +1,74 @@
+type choice = (Dfg.id, Modlib.impl) Hashtbl.t
+
+let ops_with_kind dfg =
+  List.filter_map
+    (fun i ->
+      match Modlib.kind_of_op (Dfg.op dfg i) with
+      | Some k -> Some (i, k)
+      | None -> None)
+    (Dfg.nodes dfg)
+
+let choose pick lib dfg =
+  let c = Hashtbl.create 32 in
+  List.iter (fun (i, k) -> Hashtbl.replace c i (pick lib k)) (ops_with_kind dfg);
+  c
+
+let all_fastest lib dfg = choose Modlib.fastest lib dfg
+let all_cheapest lib dfg = choose Modlib.cheapest lib dfg
+
+let energy choice =
+  Hashtbl.fold (fun _ impl acc -> acc +. impl.Modlib.energy_per_op) choice 0.0
+
+let makespan dfg choice =
+  let d i =
+    match Hashtbl.find_opt choice i with
+    | Some impl -> impl.Modlib.delay_steps
+    | None -> 0
+  in
+  (Schedule.asap dfg d).Schedule.makespan
+
+let select lib dfg ~deadline =
+  let choice = all_fastest lib dfg in
+  if makespan dfg choice > deadline then
+    invalid_arg "Module_select.select: deadline below the all-fastest makespan";
+  let candidates_for i =
+    match Modlib.kind_of_op (Dfg.op dfg i) with
+    | Some k -> Modlib.implementations lib k
+    | None -> []
+  in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    (* Best single downgrade: largest energy saving per added step that
+       still meets the deadline. *)
+    let best = ref None in
+    List.iter
+      (fun (i, _) ->
+        let current = Hashtbl.find choice i in
+        List.iter
+          (fun impl ->
+            if impl.Modlib.energy_per_op < current.Modlib.energy_per_op then begin
+              Hashtbl.replace choice i impl;
+              if makespan dfg choice <= deadline then begin
+                let saving =
+                  current.Modlib.energy_per_op -. impl.Modlib.energy_per_op
+                in
+                let steps =
+                  max 1 (impl.Modlib.delay_steps - current.Modlib.delay_steps)
+                in
+                let score = saving /. float_of_int steps in
+                match !best with
+                | Some (_, _, s) when s >= score -> ()
+                | Some _ | None -> best := Some (i, impl, score)
+              end;
+              Hashtbl.replace choice i current
+            end)
+          (candidates_for i))
+      (ops_with_kind dfg);
+    match !best with
+    | Some (i, impl, _) ->
+      Hashtbl.replace choice i impl;
+      improved := true
+    | None -> ()
+  done;
+  choice

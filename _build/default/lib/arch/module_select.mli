@@ -1,0 +1,29 @@
+(** Module selection (§IV.B, [17] Goodby, Orailoglu & Chau:
+    "microarchitectural synthesis of performance-constrained, low-power
+    VLSI designs").
+
+    When the library offers several implementations of a unit kind with a
+    power/delay range, the same schedule deadline can be met with critical
+    operations on fast, power-hungry modules and off-critical operations on
+    slow, low-energy ones.  The classic heuristic mirrors transistor
+    sizing: start all-fast, then repeatedly downgrade the operation with
+    the best energy saving whose slack covers the extra steps. *)
+
+type choice = (Dfg.id, Modlib.impl) Hashtbl.t
+
+val all_fastest : Modlib.impl list -> Dfg.t -> choice
+val all_cheapest : Modlib.impl list -> Dfg.t -> choice
+
+val energy : choice -> float
+(** Sum of the chosen implementations' per-operation energies. *)
+
+val makespan : Dfg.t -> choice -> int
+(** ASAP critical path under the chosen per-operation delays. *)
+
+val select :
+  Modlib.impl list -> Dfg.t -> deadline:int -> choice
+(** Greedy slack-driven downgrade: begin from {!all_fastest}; while some
+    single-operation downgrade keeps the ASAP makespan within [deadline],
+    apply the one with the largest energy saving per added step.  Raises
+    [Invalid_argument] if even the all-fastest choice misses the
+    deadline. *)

@@ -1,0 +1,187 @@
+type lifetime = {
+  var : Dfg.id;
+  birth : int;
+  death : int;
+}
+
+type binding = (Dfg.id, int) Hashtbl.t
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+let is_op dfg i =
+  match Modlib.kind_of_op (Dfg.op dfg i) with Some _ -> true | None -> false
+
+let lifetimes dfg d sched =
+  List.filter_map
+    (fun i ->
+      if not (is_op dfg i) then None
+      else begin
+        let birth = Hashtbl.find sched.Schedule.start i + d i in
+        let consumers = Dfg.succs dfg i in
+        let death =
+          List.fold_left
+            (fun acc j ->
+              match Dfg.op dfg j with
+              | Dfg.Output _ -> max acc sched.Schedule.makespan
+              | Dfg.Add | Dfg.Sub | Dfg.Mul | Dfg.Shift_left _ ->
+                max acc (Hashtbl.find sched.Schedule.start j)
+              | Dfg.Input _ | Dfg.Const _ -> acc)
+            (-1) consumers
+        in
+        if death < 0 then None else Some { var = i; birth; death }
+      end)
+    (Dfg.nodes dfg)
+
+let by_birth lts = List.sort (fun a b -> compare (a.birth, a.var) (b.birth, b.var)) lts
+
+let by_birth_public = by_birth
+
+let left_edge dfg d sched =
+  let binding = Hashtbl.create 32 in
+  let regs = ref [] in (* (index, death of current occupant) *)
+  List.iter
+    (fun lt ->
+      let rec pick seen = function
+        | [] ->
+          let idx = List.length !regs in
+          regs := List.rev seen @ [ (idx, lt.death) ];
+          idx
+        | (idx, death) :: rest when death <= lt.birth ->
+          regs := List.rev seen @ ((idx, lt.death) :: rest);
+          idx
+        | busy :: rest -> pick (busy :: seen) rest
+      in
+      Hashtbl.replace binding lt.var (pick [] !regs))
+    (by_birth (lifetimes dfg d sched));
+  binding
+
+let register_count binding =
+  Hashtbl.fold (fun _ r acc -> max acc (r + 1)) binding 0
+
+let sequences dfg d sched binding =
+  let lts = by_birth (lifetimes dfg d sched) in
+  let seqs = Hashtbl.create 8 in
+  List.iter
+    (fun lt ->
+      match Hashtbl.find_opt binding lt.var with
+      | None -> ()
+      | Some r ->
+        Hashtbl.replace seqs r
+          (Option.value (Hashtbl.find_opt seqs r) ~default:[] @ [ lt.var ]))
+    lts;
+  seqs
+
+let register_toggles dfg d sched binding ~samples =
+  let values = Dfg.value_trace dfg samples in
+  let seqs = sequences dfg d sched binding in
+  let nsamples = List.length samples in
+  if nsamples = 0 then 0.0
+  else begin
+    let total = ref 0 in
+    Hashtbl.iter
+      (fun _reg vars ->
+        let traces =
+          List.map (fun v -> Array.of_list (Hashtbl.find values v)) vars
+        in
+        let last = ref None in
+        for s = 0 to nsamples - 1 do
+          List.iter
+            (fun tr ->
+              let v = tr.(s) in
+              (match !last with
+              | Some prev -> total := !total + popcount (prev lxor v)
+              | None -> total := !total + popcount v);
+              last := Some v)
+            traces
+        done)
+      seqs;
+    float_of_int !total /. float_of_int nsamples
+  end
+
+let representative values v =
+  match Hashtbl.find_opt values v with
+  | None | Some [] -> 0
+  | Some tr ->
+    let n = List.length tr in
+    let bits = 30 in
+    let counts = Array.make bits 0 in
+    List.iter
+      (fun w ->
+        for k = 0 to bits - 1 do
+          if w land (1 lsl k) <> 0 then counts.(k) <- counts.(k) + 1
+        done)
+      tr;
+    let w = ref 0 in
+    for k = 0 to bits - 1 do
+      if 2 * counts.(k) > n then w := !w lor (1 lsl k)
+    done;
+    !w
+
+let power_aware_greedy dfg d sched ~values ~max_registers =
+  let binding = Hashtbl.create 32 in
+  let regs = ref [] in (* (index, death, last representative) *)
+  List.iter
+    (fun lt ->
+      let rep = representative values lt.var in
+      let free = List.filter (fun (_, death, _) -> death <= lt.birth) !regs in
+      let best =
+        List.fold_left
+          (fun acc ((_, _, last) as cand) ->
+            match acc with
+            | None -> Some cand
+            | Some (_, _, blast) ->
+              if popcount (last lxor rep) < popcount (blast lxor rep) then
+                Some cand
+              else acc)
+          None free
+      in
+      let chosen =
+        match best with
+        | Some (idx, _, last) ->
+          if
+            List.length !regs < max_registers
+            && popcount (last lxor rep) > popcount rep
+          then List.length !regs (* a cold register is cheaper *)
+          else idx
+        | None ->
+          if List.length !regs < max_registers then List.length !regs
+          else
+            invalid_arg "Reg_bind.power_aware: register budget exceeded"
+      in
+      Hashtbl.replace binding lt.var chosen;
+      regs :=
+        (if chosen >= List.length !regs then !regs @ [ (chosen, lt.death, rep) ]
+         else
+           List.map
+             (fun (i, death, last) ->
+               if i = chosen then (i, lt.death, rep) else (i, death, last))
+             !regs))
+    (by_birth (lifetimes dfg d sched));
+  binding
+
+let power_aware dfg d sched ~samples ~max_registers =
+  let le = left_edge dfg d sched in
+  if register_count le > max_registers then
+    invalid_arg "Reg_bind.power_aware: budget below the left-edge minimum";
+  let values = Dfg.value_trace dfg samples in
+  let greedy = power_aware_greedy dfg d sched ~values ~max_registers in
+  if
+    register_toggles dfg d sched le ~samples
+    < register_toggles dfg d sched greedy ~samples
+  then le
+  else greedy
+
+let valid dfg d sched binding =
+  let lts = lifetimes dfg d sched in
+  List.for_all
+    (fun a ->
+      List.for_all
+        (fun b ->
+          a.var >= b.var
+          || Hashtbl.find_opt binding a.var <> Hashtbl.find_opt binding b.var
+          || Hashtbl.find_opt binding a.var = None
+          || a.death <= b.birth || b.death <= a.birth)
+        lts)
+    lts

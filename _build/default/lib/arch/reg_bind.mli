@@ -1,0 +1,53 @@
+(** Variable-to-register binding (§IV.B; the storage half of [33], [34]).
+
+    After scheduling, every operation result is a {e variable} live from
+    the step its producer finishes to the last step a consumer starts.
+    Variables with disjoint lifetimes can share one physical register; the
+    classic left-edge algorithm minimizes register count.  The binding also
+    fixes which value sequences each register carries, hence its switching:
+    the power-aware variant packs variables whose values are close in
+    Hamming distance into the same register. *)
+
+type lifetime = {
+  var : Dfg.id;      (** the producing operation *)
+  birth : int;       (** step the value becomes available *)
+  death : int;       (** last step it is consumed (>= birth) *)
+}
+
+val lifetimes : Dfg.t -> Schedule.delays -> Schedule.t -> lifetime list
+(** One entry per operation node whose value is consumed by another
+    operation or an output; DFG inputs are assumed to live in their own
+    input registers and are excluded. *)
+
+val by_birth_public : lifetime list -> lifetime list
+(** Lifetimes sorted by (birth, variable) — the order bindings and the
+    interconnect model process them in. *)
+
+type binding = (Dfg.id, int) Hashtbl.t
+(** Variable -> register index. *)
+
+val left_edge : Dfg.t -> Schedule.delays -> Schedule.t -> binding
+(** Minimal register count: sort by birth, reuse the first register whose
+    occupant is dead. *)
+
+val register_count : binding -> int
+
+val register_toggles :
+  Dfg.t -> Schedule.delays -> Schedule.t -> binding
+  -> samples:(string * int) list list -> float
+(** Average register-bit toggles per DFG evaluation: each register sees the
+    value sequence of the variables bound to it, in schedule order, chained
+    across evaluations. *)
+
+val power_aware :
+  Dfg.t -> Schedule.delays -> Schedule.t
+  -> samples:(string * int) list list -> max_registers:int -> binding
+(** Greedy switched-capacitance binding: variables in birth order, each
+    placed on the free register whose last value is nearest its
+    representative value, opening new registers while the budget allows —
+    never worse than {!left_edge} (used as fallback).  Raises
+    [Invalid_argument] if even the left-edge binding needs more than
+    [max_registers]. *)
+
+val valid : Dfg.t -> Schedule.delays -> Schedule.t -> binding -> bool
+(** No two simultaneously-live variables share a register. *)

@@ -1,0 +1,243 @@
+type t = {
+  start : (Dfg.id, int) Hashtbl.t;
+  makespan : int;
+}
+
+type delays = Dfg.id -> int
+
+let uniform_delays ?(mul_steps = 2) dfg i =
+  match Dfg.op dfg i with
+  | Dfg.Mul -> mul_steps
+  | Dfg.Add | Dfg.Sub | Dfg.Shift_left _ -> 1
+  | Dfg.Input _ | Dfg.Const _ | Dfg.Output _ -> 0
+
+let of_impl_choice _dfg choice i = (choice i).Modlib.delay_steps
+
+let is_op dfg i =
+  match Modlib.kind_of_op (Dfg.op dfg i) with Some _ -> true | None -> false
+
+let op_kind dfg i =
+  match Modlib.kind_of_op (Dfg.op dfg i) with
+  | Some k -> k
+  | None -> invalid_arg "Schedule: not an operation node"
+
+let finish d start i = start + d i
+
+let makespan_of dfg d start =
+  Hashtbl.fold
+    (fun i s acc -> if is_op dfg i then max acc (finish d s i) else acc)
+    start 0
+
+let asap dfg d =
+  let start = Hashtbl.create 32 in
+  List.iter
+    (fun i ->
+      let s =
+        List.fold_left
+          (fun acc a ->
+            if is_op dfg a then max acc (Hashtbl.find start a + d a) else acc)
+          0 (Dfg.args dfg i)
+      in
+      Hashtbl.replace start i s)
+    (Dfg.nodes dfg);
+  (* Keep only operation starts. *)
+  let ops = Hashtbl.create 32 in
+  List.iter (fun i -> Hashtbl.replace ops i (Hashtbl.find start i))
+    (Dfg.operation_nodes dfg);
+  { start = ops; makespan = makespan_of dfg d ops }
+
+let critical_path dfg d = (asap dfg d).makespan
+
+let alap dfg ~deadline d =
+  if deadline < critical_path dfg d then
+    invalid_arg "Schedule.alap: deadline below critical path";
+  let lstart = Hashtbl.create 32 in
+  List.iter
+    (fun i ->
+      if is_op dfg i then begin
+        let op_succs = List.filter (is_op dfg) (Dfg.succs dfg i) in
+        let latest_finish =
+          List.fold_left
+            (fun acc s -> min acc (Hashtbl.find lstart s))
+            deadline op_succs
+        in
+        Hashtbl.replace lstart i (latest_finish - d i)
+      end)
+    (List.rev (Dfg.nodes dfg));
+  { start = lstart; makespan = deadline }
+
+let mobility dfg d =
+  let early = asap dfg d in
+  let late = alap dfg ~deadline:early.makespan d in
+  List.map
+    (fun i ->
+      (i, Hashtbl.find late.start i - Hashtbl.find early.start i))
+    (Dfg.operation_nodes dfg)
+
+(* Longest path from each op to any sink — the list-scheduling priority. *)
+let priorities dfg d =
+  let pr = Hashtbl.create 32 in
+  List.iter
+    (fun i ->
+      if is_op dfg i then begin
+        let downstream =
+          List.fold_left
+            (fun acc s ->
+              if is_op dfg s then max acc (Hashtbl.find pr s) else acc)
+            0 (Dfg.succs dfg i)
+        in
+        Hashtbl.replace pr i (downstream + d i)
+      end)
+    (List.rev (Dfg.nodes dfg));
+  pr
+
+let list_schedule dfg d ~resources =
+  let ops = Dfg.operation_nodes dfg in
+  List.iter
+    (fun i ->
+      if resources (op_kind dfg i) <= 0 then
+        invalid_arg "Schedule.list_schedule: zero resources for a needed kind")
+    ops;
+  let pr = priorities dfg d in
+  let start = Hashtbl.create 32 in
+  let unscheduled = ref ops in
+  let busy = Hashtbl.create 8 in (* kind -> finish times of running ops *)
+  let running k step =
+    List.length
+      (List.filter (fun f -> f > step)
+         (Option.value (Hashtbl.find_opt busy k) ~default:[]))
+  in
+  let ready step i =
+    List.for_all
+      (fun a ->
+        (not (is_op dfg a))
+        ||
+        match Hashtbl.find_opt start a with
+        | Some s -> s + d a <= step
+        | None -> false)
+      (Dfg.args dfg i)
+  in
+  let step = ref 0 in
+  while !unscheduled <> [] do
+    let candidates =
+      List.filter (ready !step) !unscheduled
+      |> List.sort (fun a b -> compare (Hashtbl.find pr b) (Hashtbl.find pr a))
+    in
+    List.iter
+      (fun i ->
+        let k = op_kind dfg i in
+        if running k !step < resources k then begin
+          Hashtbl.replace start i !step;
+          Hashtbl.replace busy k
+            ((!step + d i)
+            :: Option.value (Hashtbl.find_opt busy k) ~default:[]);
+          unscheduled := List.filter (fun j -> j <> i) !unscheduled
+        end)
+      candidates;
+    incr step;
+    if !step > 10_000 then invalid_arg "Schedule.list_schedule: no progress"
+  done;
+  { start; makespan = makespan_of dfg d start }
+
+let minimize_resources dfg d ~deadline =
+  let early = asap dfg d in
+  let late = alap dfg ~deadline d in
+  let usage = Hashtbl.create 8 in (* (kind, step) -> count *)
+  let use k s by =
+    let c = Option.value (Hashtbl.find_opt usage (k, s)) ~default:0 in
+    Hashtbl.replace usage (k, s) (c + by)
+  in
+  let start = Hashtbl.create 32 in
+  (* Least-mobile first; each op picks the window position minimizing its
+     peak incremental usage, respecting already-placed predecessors and
+     successors. *)
+  let ops =
+    List.sort
+      (fun (_, ma) (_, mb) -> compare ma mb)
+      (List.map
+         (fun i ->
+           (i, Hashtbl.find late.start i - Hashtbl.find early.start i))
+         (Dfg.operation_nodes dfg))
+  in
+  List.iter
+    (fun (i, _) ->
+      let k = op_kind dfg i in
+      let lo =
+        List.fold_left
+          (fun acc a ->
+            if is_op dfg a then
+              match Hashtbl.find_opt start a with
+              | Some s -> max acc (s + d a)
+              | None -> max acc (Hashtbl.find early.start a + d a)
+            else acc)
+          (Hashtbl.find early.start i)
+          (Dfg.args dfg i)
+      in
+      let hi =
+        List.fold_left
+          (fun acc s ->
+            if is_op dfg s then
+              match Hashtbl.find_opt start s with
+              | Some ss -> min acc (ss - d i)
+              | None -> min acc (Hashtbl.find late.start s - d i)
+            else acc)
+          (Hashtbl.find late.start i)
+          (Dfg.succs dfg i)
+      in
+      let cost s =
+        let rec peak acc step =
+          if step >= s + d i then acc
+          else
+            peak
+              (max acc
+                 (Option.value (Hashtbl.find_opt usage (k, step)) ~default:0))
+              (step + 1)
+        in
+        peak 0 s
+      in
+      let best = ref lo in
+      for s = lo to hi do
+        if cost s < cost !best then best := s
+      done;
+      Hashtbl.replace start i !best;
+      for step = !best to !best + d i - 1 do
+        use k step 1
+      done)
+    ops;
+  { start; makespan = makespan_of dfg d start }
+
+let resource_usage dfg d sched =
+  let usage = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun i s ->
+      let k = op_kind dfg i in
+      for step = s to s + d i - 1 do
+        let c = Option.value (Hashtbl.find_opt usage (k, step)) ~default:0 in
+        Hashtbl.replace usage (k, step) (c + 1)
+      done)
+    sched.start;
+  let peak = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun (k, _) c ->
+      let p = Option.value (Hashtbl.find_opt peak k) ~default:0 in
+      Hashtbl.replace peak k (max p c))
+    usage;
+  List.sort compare (Hashtbl.fold (fun k c acc -> (k, c) :: acc) peak [])
+
+let valid dfg d sched =
+  List.for_all
+    (fun i ->
+      match Hashtbl.find_opt sched.start i with
+      | None -> false
+      | Some s ->
+        s >= 0
+        && s + d i <= sched.makespan
+        && List.for_all
+             (fun a ->
+               (not (is_op dfg a))
+               ||
+               match Hashtbl.find_opt sched.start a with
+               | Some sa -> sa + d a <= s
+               | None -> false)
+             (Dfg.args dfg i))
+    (Dfg.operation_nodes dfg)

@@ -1,0 +1,44 @@
+(** Operation scheduling onto control steps (§IV.B).
+
+    ASAP/ALAP bracket each operation's mobility window; list scheduling
+    packs operations under resource constraints; the time-constrained
+    variant spreads operations inside their windows to minimize peak
+    resource usage (a light version of force-directed scheduling).  All
+    schedules are checked against data dependences. *)
+
+type t = {
+  start : (Dfg.id, int) Hashtbl.t; (** first control step of each operation *)
+  makespan : int;                  (** total control steps used *)
+}
+
+type delays = Dfg.id -> int
+(** Control steps each operation occupies (from its module selection). *)
+
+val uniform_delays : ?mul_steps:int -> Dfg.t -> delays
+(** 1 step for adds/shifts, [mul_steps] (default 2) for multiplies. *)
+
+val of_impl_choice : Dfg.t -> (Dfg.id -> Modlib.impl) -> delays
+
+val asap : Dfg.t -> delays -> t
+val alap : Dfg.t -> deadline:int -> delays -> t
+(** Raises [Invalid_argument] if the deadline is below the critical path. *)
+
+val mobility : Dfg.t -> delays -> (Dfg.id * int) list
+(** ALAP (at the ASAP makespan) minus ASAP start per operation. *)
+
+val list_schedule :
+  Dfg.t -> delays -> resources:(Modlib.kind -> int) -> t
+(** Resource-constrained minimum-latency heuristic; priority = longest path
+    to a sink.  Raises [Invalid_argument] if some needed resource count is
+    zero. *)
+
+val minimize_resources : Dfg.t -> delays -> deadline:int -> t
+(** Time-constrained: place each operation inside its mobility window on
+    the step(s) with the lowest current usage of its unit kind (distribution
+    scheduling). *)
+
+val resource_usage : Dfg.t -> delays -> t -> (Modlib.kind * int) list
+(** Peak simultaneous units of each kind the schedule requires. *)
+
+val valid : Dfg.t -> delays -> t -> bool
+(** Every operation starts after all its operand producers finish. *)

@@ -1,0 +1,44 @@
+let shape vdd vt = vdd /. ((vdd -. vt) ** 2.0)
+
+let delay_ratio ~vdd ~ref_vdd ~v_threshold =
+  if vdd <= v_threshold || ref_vdd <= v_threshold then
+    invalid_arg "Voltage.delay_ratio: supply below threshold";
+  shape vdd v_threshold /. shape ref_vdd v_threshold
+
+let min_vdd ~steps ~deadline_steps ~ref_vdd ~v_threshold =
+  if steps <= 0 || deadline_steps <= 0 then
+    invalid_arg "Voltage.min_vdd: step counts must be positive";
+  if steps > deadline_steps then None
+  else begin
+    (* Feasible iff steps * delay(v) <= deadline_steps * delay(ref), i.e.
+       delay_ratio(v) <= deadline_steps / steps.  delay_ratio is monotone
+       decreasing in v above the threshold, so bisection applies. *)
+    let budget = float_of_int deadline_steps /. float_of_int steps in
+    let fits v = delay_ratio ~vdd:v ~ref_vdd ~v_threshold <= budget +. 1e-12 in
+    let lo = v_threshold +. 0.05 in
+    if fits lo then Some lo
+    else begin
+      let rec bisect lo hi iter =
+        if iter = 0 then hi
+        else
+          let mid = 0.5 *. (lo +. hi) in
+          if fits mid then bisect lo mid (iter - 1) else bisect mid hi (iter - 1)
+      in
+      Some (bisect lo ref_vdd 60)
+    end
+  end
+
+type operating_point = {
+  vdd : float;
+  steps : int;
+  switched_cap : float;
+  power : float;
+}
+
+let evaluate ~switched_cap ~steps ~deadline_steps ~ref_vdd ~v_threshold =
+  match min_vdd ~steps ~deadline_steps ~ref_vdd ~v_threshold with
+  | None -> None
+  | Some vdd ->
+    (* Throughput is fixed (one evaluation per deadline), so power is
+       proportional to energy per evaluation: C * V^2. *)
+    Some { vdd; steps; switched_cap; power = switched_cap *. vdd *. vdd }

@@ -1,0 +1,33 @@
+(** Voltage scaling enabled by transformations (§IV.B, [7]).
+
+    For a fixed-throughput system, a schedule with fewer control steps can
+    run each step slower and still meet the sample deadline — and a slower
+    step tolerates a lower supply, whose power benefit is quadratic.  This
+    module turns "steps saved" into "volts saved" with the standard
+    first-order delay model [delay ∝ V / (V - Vt)^2]. *)
+
+val delay_ratio : vdd:float -> ref_vdd:float -> v_threshold:float -> float
+(** Step delay at [vdd] relative to [ref_vdd].  Raises [Invalid_argument]
+    unless both supplies exceed the threshold. *)
+
+val min_vdd :
+  steps:int -> deadline_steps:int -> ref_vdd:float -> v_threshold:float
+  -> float option
+(** Lowest supply (found by bisection down to [v_threshold + 50mV]) at
+    which a [steps]-long schedule fits the time budget that
+    [deadline_steps] steps would take at [ref_vdd].  [None] if even
+    [ref_vdd] does not fit (steps > deadline_steps). *)
+
+type operating_point = {
+  vdd : float;
+  steps : int;
+  switched_cap : float;  (** per DFG evaluation *)
+  power : float;         (** relative: C V^2 / T with T fixed at the deadline *)
+}
+
+val evaluate :
+  switched_cap:float -> steps:int -> deadline_steps:int -> ref_vdd:float
+  -> v_threshold:float -> operating_point option
+(** Power at the lowest feasible supply, normalized so that the reference
+    design ([steps = deadline_steps], same cap) at [ref_vdd] has
+    [power = switched_cap * ref_vdd^2]. *)

@@ -1,0 +1,1 @@
+lib/circuit/mos.ml: Array Expr List

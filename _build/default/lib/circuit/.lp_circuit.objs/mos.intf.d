@@ -1,0 +1,1 @@
+lib/circuit/mos.mli: Expr

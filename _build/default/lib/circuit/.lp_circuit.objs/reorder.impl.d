@@ -1,0 +1,1 @@
+lib/circuit/reorder.ml: Array Bdd Float List Mos

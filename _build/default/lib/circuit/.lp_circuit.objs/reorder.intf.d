@@ -1,0 +1,1 @@
+lib/circuit/reorder.mli: Mos

@@ -1,0 +1,1 @@
+lib/circuit/sizing.ml: Hashtbl List Network Option

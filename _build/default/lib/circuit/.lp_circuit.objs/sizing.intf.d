@@ -1,0 +1,1 @@
+lib/circuit/sizing.mli: Activity Hashtbl Network

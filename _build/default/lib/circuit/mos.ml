@@ -1,0 +1,192 @@
+type t =
+  | Input of int
+  | Series of t list
+  | Parallel of t list
+
+let rec conducts net env =
+  match net with
+  | Input i -> env i
+  | Series ts -> List.for_all (fun t -> conducts t env) ts
+  | Parallel ts -> List.exists (fun t -> conducts t env) ts
+
+let rec to_expr = function
+  | Input i -> Expr.var i
+  | Series ts -> Expr.and_list (List.map to_expr ts)
+  | Parallel ts -> Expr.or_list (List.map to_expr ts)
+
+let output_expr net = Expr.not_ (to_expr net)
+
+let num_inputs net = Expr.max_var (to_expr net) + 1
+
+let rec transistor_count = function
+  | Input _ -> 1
+  | Series ts | Parallel ts ->
+    List.fold_left (fun n t -> n + transistor_count t) 0 ts
+
+let rec validate = function
+  | Input i -> if i < 0 then invalid_arg "Mos.validate: negative input index"
+  | Series [] | Parallel [] ->
+    invalid_arg "Mos.validate: empty series/parallel group"
+  | Series ts | Parallel ts -> List.iter validate ts
+
+type gate = {
+  edges : (int * int * int) list; (* node u, node v, gating input *)
+  caps : float array;             (* per node; ground carries 0 *)
+  structure : t;
+  out_node : int;
+  gnd_node : int;
+}
+
+let elaborate ?(internal_cap = 0.5) ?(output_cap = 1.0) net =
+  validate net;
+  let next = ref 2 in
+  let edges = ref [] in
+  let fresh () =
+    let n = !next in
+    incr next;
+    n
+  in
+  let rec walk t u v =
+    match t with
+    | Input i -> edges := (u, v, i) :: !edges
+    | Parallel ts -> List.iter (fun t -> walk t u v) ts
+    | Series ts ->
+      let rec chain u = function
+        | [] -> invalid_arg "Mos.elaborate: empty series"
+        | [ last ] -> walk last u v
+        | t :: rest ->
+          let m = fresh () in
+          walk t u m;
+          chain m rest
+      in
+      chain u ts
+  in
+  walk net 0 1;
+  let caps = Array.make !next internal_cap in
+  caps.(0) <- output_cap;
+  caps.(1) <- 0.0;
+  { edges = List.rev !edges; caps; structure = net; out_node = 0; gnd_node = 1 }
+
+let internal_node_count g = Array.length g.caps - 2
+
+type sim_state = bool array (* per-node charge; indexes as in [gate] *)
+
+(* Union-find over gate nodes restricted to conducting edges. *)
+let components g env =
+  let n = Array.length g.caps in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(ra) <- rb
+  in
+  List.iter (fun (u, v, i) -> if env i then union u v) g.edges;
+  Array.init n find
+
+let resolve g prev env =
+  let f = conducts g.structure env in
+  let out = not f in
+  let comp = components g env in
+  let gnd = comp.(g.gnd_node) and outc = comp.(g.out_node) in
+  Array.init (Array.length g.caps) (fun i ->
+      if i = g.gnd_node then false
+      else if i = g.out_node then out
+      else if comp.(i) = gnd then false
+      else if comp.(i) = outc then out
+      else prev.(i))
+
+let initial_state g env =
+  let zero = Array.make (Array.length g.caps) false in
+  resolve g zero env
+
+let step g state env =
+  let next = resolve g state env in
+  let energy = ref 0.0 in
+  Array.iteri
+    (fun i v -> if v <> state.(i) then energy := !energy +. g.caps.(i))
+    next;
+  (next, !energy)
+
+let expected_energy_per_cycle g ~input_probs =
+  let n = Array.length input_probs in
+  if n > 10 then
+    invalid_arg "Mos.expected_energy_per_cycle: too many inputs (max 10)";
+  let prob_of code =
+    let p = ref 1.0 in
+    for k = 0 to n - 1 do
+      let bit = code land (1 lsl k) <> 0 in
+      p := !p *. (if bit then input_probs.(k) else 1.0 -. input_probs.(k))
+    done;
+    !p
+  in
+  let env_of code k = code land (1 lsl k) <> 0 in
+  let total = ref 0.0 in
+  for prev = 0 to (1 lsl n) - 1 do
+    let p_prev = prob_of prev in
+    if p_prev > 0.0 then begin
+      let state = initial_state g (env_of prev) in
+      for cur = 0 to (1 lsl n) - 1 do
+        let p_cur = prob_of cur in
+        if p_cur > 0.0 then begin
+          let _, e = step g state (env_of cur) in
+          total := !total +. (p_prev *. p_cur *. e)
+        end
+      done
+    end
+  done;
+  !total
+
+let trace_energy g = function
+  | [] -> 0.0
+  | first :: rest ->
+    let state = ref (initial_state g first) in
+    List.fold_left
+      (fun acc env ->
+        let next, e = step g !state env in
+        state := next;
+        acc +. e)
+      0.0 rest
+
+let elmore_delay net ?(arrival = fun _ -> 0.0) () =
+  let g = elaborate net in
+  (* Distance (series resistance) from each node up to the output along the
+     stack structure; recompute per input as the worst conducting path is
+     input-dependent, but for a ranking metric we use the all-conducting
+     case: resistance = number of transistors between the input's source
+     node and the output when everything conducts. *)
+  let n = Array.length g.caps in
+  (* BFS from output over edges (unit resistance per edge). *)
+  let dist = Array.make n max_int in
+  dist.(g.out_node) <- 0;
+  let rec relax () =
+    let changed = ref false in
+    List.iter
+      (fun (u, v, _) ->
+        if dist.(u) < max_int && dist.(u) + 1 < dist.(v) then begin
+          dist.(v) <- dist.(u) + 1;
+          changed := true
+        end;
+        if dist.(v) < max_int && dist.(v) + 1 < dist.(u) then begin
+          dist.(u) <- dist.(v) + 1;
+          changed := true
+        end)
+      g.edges;
+    if !changed then relax ()
+  in
+  relax ();
+  (* Per input: Elmore-like cost = sum over nodes at or above the
+     transistor's position of their capacitance times resistance depth,
+     approximated by (depth of the transistor's upper node + 1) * cap above.
+     We use: cost(i) = arrival(i) + sum over nodes u with dist(u) <= d_i of
+     caps(u) * (d_i - dist(u) + 1), where d_i is the transistor's upper-node
+     depth. *)
+  List.fold_left
+    (fun worst (u, _, i) ->
+      let d_i = if dist.(u) = max_int then 0 else dist.(u) in
+      let rc = ref 0.0 in
+      for node = 0 to n - 1 do
+        if dist.(node) <= d_i then
+          rc := !rc +. (g.caps.(node) *. float_of_int (d_i - dist.(node) + 1))
+      done;
+      max worst (arrival i +. !rc))
+    0.0 g.edges

@@ -1,0 +1,78 @@
+(** Series-parallel transistor networks of static CMOS complex gates.
+
+    A complex gate computes [out = NOT f] where the NMOS pulldown network
+    conducts exactly when [f] is 1.  The physical structure matters for
+    power: series stacks have parasitic {e internal nodes} whose charging
+    and discharging dissipates energy that depends on the {e ordering} of
+    transistors within the stack (§II.A).
+
+    The digital charge model used throughout (documented here once):
+    after each input vector, an internal node is
+    - 0 if it has a conducting path to ground,
+    - 1 if it has a conducting path to the output node while the output is
+      high,
+    - otherwise it holds its previous charge.
+    The output node is always driven to [NOT f].  Energy is the sum over
+    nodes of capacitance times transitions.  This is the standard
+    abstraction used by the transistor-reordering literature the survey
+    cites ([32], [42]). *)
+
+type t =
+  | Input of int          (** transistor gated by input [i] *)
+  | Series of t list      (** head of the list is nearest the output *)
+  | Parallel of t list
+
+val conducts : t -> (int -> bool) -> bool
+(** Does the network conduct under the given input assignment? *)
+
+val to_expr : t -> Expr.t
+(** The conduction function [f] (series = AND, parallel = OR). *)
+
+val output_expr : t -> Expr.t
+(** The gate's logic function [NOT f]. *)
+
+val num_inputs : t -> int
+(** 1 + highest input index used. *)
+
+val transistor_count : t -> int
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on empty series/parallel groups or negative
+    input indices. *)
+
+type gate
+(** A pulldown network elaborated into a node/edge graph with capacitances:
+    output node, ground node, and one internal node per series junction. *)
+
+val elaborate : ?internal_cap:float -> ?output_cap:float -> t -> gate
+(** Build the charge-model graph.  Default internal node capacitance 0.5,
+    output capacitance 1.0 (relative units). *)
+
+val internal_node_count : gate -> int
+
+type sim_state
+(** Charge state of all nodes of one gate. *)
+
+val initial_state : gate -> (int -> bool) -> sim_state
+(** Settle the gate on an initial vector (no energy charged). *)
+
+val step : gate -> sim_state -> (int -> bool) -> sim_state * float
+(** Apply the next input vector; returns the new state and the switched
+    capacitance (cap-weighted node transitions) of this step. *)
+
+val expected_energy_per_cycle :
+  gate -> input_probs:float array -> float
+(** Exact expected switched capacitance per cycle for temporally independent
+    input vectors with the given per-input 1-probabilities: enumerates all
+    vector pairs.  Raises [Invalid_argument] above 10 inputs. *)
+
+val trace_energy : gate -> (int -> bool) list -> float
+(** Total switched capacitance over a vector trace (first vector
+    initializes). *)
+
+val elmore_delay : t -> ?arrival:(int -> float) -> unit -> float
+(** Worst-case pulldown delay estimate: for each input, the Elmore-style
+    resistance-capacitance sum from its stack position to the output (unit
+    R per transistor, node capacitances as elaborated), plus the input's
+    arrival time; the maximum over inputs is the gate delay.  Transistor
+    ordering changes this (§II.A: late signals belong near the output). *)

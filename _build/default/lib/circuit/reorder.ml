@@ -1,0 +1,129 @@
+type objective =
+  | Min_power
+  | Min_delay
+  | Weighted of float
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y != x) xs in
+        List.map (fun p -> x :: p) (permutations rest))
+      xs
+
+let factorial n =
+  let rec go acc k = if k <= 1 then acc else go (acc * k) (k - 1) in
+  go 1 n
+
+let rec count_orderings = function
+  | Mos.Input _ -> 1
+  | Mos.Parallel ts ->
+    List.fold_left (fun n t -> n * count_orderings t) 1 ts
+  | Mos.Series ts ->
+    factorial (List.length ts)
+    * List.fold_left (fun n t -> n * count_orderings t) 1 ts
+
+let rec orderings_of = function
+  | Mos.Input i -> [ Mos.Input i ]
+  | Mos.Parallel ts ->
+    (* Parallel order is electrically irrelevant; keep as-is but recurse. *)
+    let rec cross = function
+      | [] -> [ [] ]
+      | t :: rest ->
+        let tails = cross rest in
+        List.concat_map
+          (fun v -> List.map (fun tail -> v :: tail) tails)
+          (orderings_of t)
+    in
+    List.map (fun ts -> Mos.Parallel ts) (cross ts)
+  | Mos.Series ts ->
+    let rec cross = function
+      | [] -> [ [] ]
+      | t :: rest ->
+        let tails = cross rest in
+        List.concat_map
+          (fun v -> List.map (fun tail -> v :: tail) tails)
+          (orderings_of t)
+    in
+    let variants = cross ts in
+    List.concat_map
+      (fun ts -> List.map (fun p -> Mos.Series p) (permutations ts))
+      variants
+
+let orderings net =
+  Mos.validate net;
+  let series_fact = count_orderings net in
+  if series_fact > 10_000 then
+    invalid_arg "Reorder.orderings: ordering space too large";
+  List.sort_uniq compare (orderings_of net)
+
+let evaluate net ~input_probs ?(arrival = fun _ -> 0.0) () =
+  let g = Mos.elaborate net in
+  let power = Mos.expected_energy_per_cycle g ~input_probs in
+  let delay = Mos.elmore_delay net ~arrival () in
+  (power, delay)
+
+let best objective net ~input_probs ?(arrival = fun _ -> 0.0) () =
+  let candidates = orderings net in
+  let scored =
+    List.map
+      (fun c ->
+        let p, d = evaluate c ~input_probs ~arrival () in
+        (c, p, d))
+      candidates
+  in
+  let max_d =
+    List.fold_left (fun acc (_, _, d) -> max acc d) 1.0e-12 scored
+  in
+  let max_p =
+    List.fold_left (fun acc (_, p, _) -> max acc p) 1.0e-12 scored
+  in
+  let score (_, p, d) =
+    match objective with
+    | Min_power -> p
+    | Min_delay -> d
+    | Weighted w -> (w *. p /. max_p) +. ((1.0 -. w) *. d /. max_d)
+  in
+  match scored with
+  | [] -> invalid_arg "Reorder.best: no orderings"
+  | first :: rest ->
+    List.fold_left
+      (fun acc c -> if score c < score acc then c else acc)
+      first rest
+
+let conduction_prob input_probs sub =
+  let man = Bdd.manager () in
+  Bdd.probability man (fun v -> input_probs.(v)) (Bdd.of_expr man (Mos.to_expr sub))
+
+let rec heuristic_power_order net ~input_probs =
+  match net with
+  | Mos.Input _ -> net
+  | Mos.Parallel ts ->
+    Mos.Parallel (List.map (fun t -> heuristic_power_order t ~input_probs) ts)
+  | Mos.Series ts ->
+    let ts = List.map (fun t -> heuristic_power_order t ~input_probs) ts in
+    (* Head is nearest the output: order by descending conduction
+       probability so the rarest conductor sits at the ground end. *)
+    let keyed = List.map (fun t -> (conduction_prob input_probs t, t)) ts in
+    let sorted =
+      List.sort (fun (a, _) (b, _) -> Float.compare b a) keyed
+    in
+    Mos.Series (List.map snd sorted)
+
+let rec latest_arrival arrival = function
+  | Mos.Input i -> arrival i
+  | Mos.Series ts | Mos.Parallel ts ->
+    List.fold_left (fun acc t -> max acc (latest_arrival arrival t)) 0.0 ts
+
+let rec heuristic_delay_order net ~arrival =
+  match net with
+  | Mos.Input _ -> net
+  | Mos.Parallel ts ->
+    Mos.Parallel (List.map (fun t -> heuristic_delay_order t ~arrival) ts)
+  | Mos.Series ts ->
+    let ts = List.map (fun t -> heuristic_delay_order t ~arrival) ts in
+    (* Latest arrival nearest the output (list head). *)
+    let keyed = List.map (fun t -> (latest_arrival arrival t, t)) ts in
+    let sorted = List.sort (fun (a, _) (b, _) -> Float.compare b a) keyed in
+    Mos.Series (List.map snd sorted)

@@ -1,0 +1,39 @@
+(** Transistor reordering within complex gates (§II.A, [32], [42]).
+
+    Reordering the transistors of a series stack does not change the gate's
+    logic function, but it changes which internal nodes charge and
+    discharge, hence the gate's power, and it changes each input's
+    resistance path to the output, hence the gate's delay.  This module
+    searches the ordering space. *)
+
+type objective =
+  | Min_power          (** expected internal + output switched capacitance *)
+  | Min_delay          (** worst arrival-aware Elmore delay *)
+  | Weighted of float  (** [Weighted w]: w * power + (1-w) * delay_norm *)
+
+val orderings : Mos.t -> Mos.t list
+(** All structures reachable by permuting every series group.  The list is
+    deduplicated; its size is the product of factorials of series lengths.
+    Raises [Invalid_argument] if that exceeds 10,000. *)
+
+val evaluate :
+  Mos.t -> input_probs:float array -> ?arrival:(int -> float) -> unit
+  -> float * float
+(** [(power, delay)] of one ordering: exact expected switched capacitance
+    per cycle, and arrival-aware Elmore delay. *)
+
+val best :
+  objective -> Mos.t -> input_probs:float array -> ?arrival:(int -> float)
+  -> unit -> Mos.t * float * float
+(** Exhaustive search over {!orderings}; returns the winner with its power
+    and delay. *)
+
+val heuristic_power_order : Mos.t -> input_probs:float array -> Mos.t
+(** The classic greedy rule: within each series stack place the transistor
+    with the lowest conduction probability nearest the ground end, so the
+    internal nodes above it are disconnected from ground most of the time
+    and see fewer charge/discharge events. *)
+
+val heuristic_delay_order : Mos.t -> arrival:(int -> float) -> Mos.t
+(** Place late-arriving signals nearest the output (the well-known delay
+    rule the paper contrasts with power-driven ordering). *)

@@ -1,0 +1,116 @@
+type sizing = (Network.id, float) Hashtbl.t
+
+type delay_params = {
+  intrinsic : float;
+  pin_cap : float;
+  output_load : float;
+  drive_per_size : float;
+}
+
+let default_delay_params =
+  { intrinsic = 0.5; pin_cap = 1.0; output_load = 2.0; drive_per_size = 1.0 }
+
+let uniform net s =
+  let sz = Hashtbl.create 64 in
+  List.iter
+    (fun i -> if not (Network.is_input net i) then Hashtbl.replace sz i s)
+    (Network.node_ids net);
+  sz
+
+let size_of sz i = Option.value (Hashtbl.find_opt sz i) ~default:1.0
+
+let load dp net sz i =
+  let fanout_pins =
+    List.fold_left
+      (fun acc j -> acc +. (dp.pin_cap *. size_of sz j))
+      0.0 (Network.fanouts net i)
+  in
+  let po_load =
+    if List.exists (fun (_, j) -> j = i) (Network.outputs net) then
+      dp.output_load
+    else 0.0
+  in
+  fanout_pins +. po_load
+
+let node_delay dp net sz i =
+  dp.intrinsic +. (load dp net sz i /. (dp.drive_per_size *. size_of sz i))
+
+let arrival_times dp net sz =
+  let at = Hashtbl.create 64 in
+  List.iter
+    (fun i ->
+      if Network.is_input net i then Hashtbl.replace at i 0.0
+      else begin
+        let latest =
+          List.fold_left
+            (fun d j -> max d (Hashtbl.find at j))
+            0.0 (Network.fanins net i)
+        in
+        Hashtbl.replace at i (latest +. node_delay dp net sz i)
+      end)
+    (Network.topo_order net);
+  at
+
+let critical_delay dp net sz =
+  let at = arrival_times dp net sz in
+  List.fold_left (fun d (_, i) -> max d (Hashtbl.find at i)) 0.0 (Network.outputs net)
+
+let switched_capacitance dp net sz ~activity =
+  Hashtbl.fold
+    (fun i a acc ->
+      let drain = if Network.is_input net i then 0.0 else size_of sz i in
+      let pins =
+        List.fold_left
+          (fun c j -> c +. (dp.pin_cap *. size_of sz j))
+          0.0 (Network.fanouts net i)
+      in
+      acc +. (a *. (drain +. pins)))
+    activity 0.0
+
+let size_for_power ?(step = 0.25) ?(min_size = 1.0) dp net ~required ~activity
+    sz0 =
+  if critical_delay dp net sz0 > required +. 1e-9 then
+    invalid_arg "Sizing.size_for_power: initial sizing violates constraint";
+  let sz = Hashtbl.copy sz0 in
+  let logic_nodes =
+    List.filter (fun i -> not (Network.is_input net i)) (Network.node_ids net)
+  in
+  let try_shrink i =
+    let s = size_of sz i in
+    if s -. step < min_size -. 1e-9 then None
+    else begin
+      Hashtbl.replace sz i (s -. step);
+      if critical_delay dp net sz <= required +. 1e-9 then begin
+        let gain =
+          Option.value (Hashtbl.find_opt activity i) ~default:0.0 *. step
+        in
+        Hashtbl.replace sz i s;
+        Some gain
+      end
+      else begin
+        Hashtbl.replace sz i s;
+        None
+      end
+    end
+  in
+  let rec loop () =
+    (* Pick the feasible shrink with the largest activity-weighted gain. *)
+    let best =
+      List.fold_left
+        (fun acc i ->
+          match try_shrink i with
+          | None -> acc
+          | Some gain ->
+            (match acc with
+            | Some (_, g) when g >= gain -> acc
+            | Some _ | None -> Some (i, gain)))
+        None logic_nodes
+    in
+    match best with
+    | None -> ()
+    | Some (i, _) ->
+      Hashtbl.replace sz i (size_of sz i -. step);
+      loop ()
+  in
+  loop ();
+  sz

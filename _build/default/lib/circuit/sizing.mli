@@ -1,0 +1,46 @@
+(** Transistor sizing under a delay constraint (§II.B, [42], [3]).
+
+    Each logic node of a network carries a continuous size [s >= 1].  The
+    delay of a node falls with its own size but its input pins load its
+    fanins harder; its switched capacitance grows with its size.  Given a
+    required arrival time at the outputs, the classic approach computes
+    slack at every node and shrinks nodes with positive slack until slack
+    is exhausted or minimum size is reached — trading unused speed for
+    power. *)
+
+type sizing = (Network.id, float) Hashtbl.t
+(** Size per logic node (inputs are fixed drivers of size 1). *)
+
+type delay_params = {
+  intrinsic : float;   (** fixed self-delay per gate *)
+  pin_cap : float;     (** input pin capacitance per unit of size *)
+  output_load : float; (** load presented by each primary output *)
+  drive_per_size : float; (** conductance per unit size *)
+}
+
+val default_delay_params : delay_params
+
+val uniform : Network.t -> float -> sizing
+(** All logic nodes at the given size. *)
+
+val node_delay : delay_params -> Network.t -> sizing -> Network.id -> float
+(** [intrinsic + load / (drive_per_size * s)] where load sums fanout pin
+    capacitances (size-dependent) plus output loads. *)
+
+val critical_delay : delay_params -> Network.t -> sizing -> float
+(** Longest input-to-output path under the sized delay model. *)
+
+val switched_capacitance :
+  delay_params -> Network.t -> sizing -> activity:Activity.t -> float
+(** Power cost: sum over nodes of activity times the capacitance they
+    switch (own drain, proportional to size, plus fanout pins). *)
+
+val size_for_power :
+  ?step:float -> ?min_size:float -> delay_params -> Network.t
+  -> required:float -> activity:Activity.t -> sizing -> sizing
+(** Greedy slack-driven downsizing: starting from the given sizing,
+    repeatedly shrink the positive-slack node with the best power gain by
+    [step] (default 0.25) while the critical delay stays within [required];
+    stop at [min_size] (default 1.0) or when no shrink is feasible.
+    Raises [Invalid_argument] if the initial sizing already violates
+    [required]. *)

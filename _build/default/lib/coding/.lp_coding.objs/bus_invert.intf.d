@@ -1,0 +1,1 @@
+lib/coding/bus_invert.mli:

@@ -1,0 +1,1 @@
+lib/coding/limited_weight.ml: Array Bus Hashtbl List

@@ -1,0 +1,1 @@
+lib/coding/residue.ml: Array Bus List

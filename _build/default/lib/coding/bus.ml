@@ -1,0 +1,20 @@
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+let hamming a b = popcount (a lxor b)
+
+let transitions words =
+  let rec go prev acc = function
+    | [] -> acc
+    | w :: rest -> go w (acc + hamming prev w) rest
+  in
+  go 0 0 words
+
+let transitions_per_word = function
+  | [] -> 0.0
+  | words ->
+    float_of_int (transitions words) /. float_of_int (List.length words)
+
+let energy ~cap_per_line ~vdd words =
+  float_of_int (transitions words) *. cap_per_line *. vdd *. vdd *. 0.5

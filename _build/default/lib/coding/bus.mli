@@ -1,0 +1,21 @@
+(** Bus transition accounting (§III.C.1, [39]).
+
+    Off-chip and long on-chip buses carry capacitances orders of magnitude
+    above gate loads, so the number of {e line transitions} between
+    consecutive words dominates I/O power.  All encodings in this library
+    are judged by this count. *)
+
+val hamming : int -> int -> int
+(** Bit differences between two words. *)
+
+val popcount : int -> int
+
+val transitions : int list -> int
+(** Total transitions when the word sequence is driven on a bus starting
+    from an all-zero idle state. *)
+
+val transitions_per_word : int list -> float
+(** {!transitions} divided by the number of words (0 for the empty list). *)
+
+val energy : cap_per_line:float -> vdd:float -> int list -> float
+(** Joules to drive the trace: [transitions * cap * vdd^2 / 2]. *)

@@ -1,0 +1,63 @@
+type encoded = {
+  driven : int;
+  invert : bool;
+}
+
+let check_width width =
+  if width <= 0 || width > 62 then
+    invalid_arg "Bus_invert: width must be in [1, 62]"
+
+let mask width = (1 lsl width) - 1
+
+let encode ~width words =
+  check_width width;
+  let m = mask width in
+  let encode_one (prev_driven, prev_invert, acc) w =
+    if w land lnot m <> 0 then
+      invalid_arg "Bus_invert.encode: word wider than the bus";
+    let dist_plain = Bus.hamming prev_driven w in
+    let dist_inv = Bus.hamming prev_driven (w lxor m) in
+    (* Tie goes to not inverting (cheaper E line on average). *)
+    let cost_plain = dist_plain + (if prev_invert then 1 else 0) in
+    let cost_inv = dist_inv + (if prev_invert then 0 else 1) in
+    let e =
+      if cost_inv < cost_plain then { driven = w lxor m; invert = true }
+      else { driven = w; invert = false }
+    in
+    (e.driven, e.invert, e :: acc)
+  in
+  let _, _, acc = List.fold_left encode_one (0, false, []) words in
+  List.rev acc
+
+let decode ~width encs =
+  check_width width;
+  let m = mask width in
+  List.map (fun e -> if e.invert then e.driven lxor m else e.driven) encs
+
+let transitions ~width encs =
+  check_width width;
+  let rec go prev prev_e acc = function
+    | [] -> acc
+    | e :: rest ->
+      let d = Bus.hamming prev e.driven + if prev_e <> e.invert then 1 else 0 in
+      go e.driven e.invert (acc + d) rest
+  in
+  go 0 false 0 encs
+
+let raw_transitions ~width words =
+  check_width width;
+  List.iter
+    (fun w ->
+      if w land lnot (mask width) <> 0 then
+        invalid_arg "Bus_invert.raw_transitions: word wider than the bus")
+    words;
+  Bus.transitions words
+
+let max_transitions_per_transfer ~width = (width + 1) / 2
+
+let saving ~width words =
+  let raw = raw_transitions ~width words in
+  if raw = 0 then 0.0
+  else
+    let enc = transitions ~width (encode ~width words) in
+    1.0 -. (float_of_int enc /. float_of_int raw)

@@ -1,0 +1,98 @@
+let transition_signal words =
+  let rec go prev acc = function
+    | [] -> List.rev acc
+    | w :: rest -> go w ((prev lxor w) :: acc) rest
+  in
+  go 0 [] words
+
+let transition_designal signals =
+  let rec go state acc = function
+    | [] -> List.rev acc
+    | s :: rest ->
+      let w = state lxor s in
+      go w (w :: acc) rest
+  in
+  go 0 [] signals
+
+let gray_of_int n = n lxor (n lsr 1)
+
+let int_of_gray g =
+  let rec go acc g = if g = 0 then acc else go (acc lxor g) (g lsr 1) in
+  go 0 g
+
+let gray_sequence_transitions n =
+  Bus.transitions (List.init n gray_of_int)
+
+let binary_sequence_transitions n =
+  Bus.transitions (List.init n (fun i -> i))
+
+type lwc = {
+  payload_bits : int;
+  max_weight : int;
+  nbits : int;
+  enc : int array;             (* payload -> codeword *)
+  dec : (int, int) Hashtbl.t;  (* codeword -> payload *)
+}
+
+let choose n k =
+  let rec go acc i =
+    if i > k then acc else go (acc * (n - i + 1) / i) (i + 1)
+  in
+  if k < 0 || k > n then 0 else go 1 1
+
+let count_light n w =
+  let rec go acc k = if k > w then acc else go (acc + choose n k) (k + 1) in
+  go 0 0
+
+let make_lwc ~payload_bits ~max_weight =
+  if payload_bits <= 0 || payload_bits > 16 then
+    invalid_arg "Limited_weight.make_lwc: payload_bits in [1, 16]";
+  let need = 1 lsl payload_bits in
+  let rec find n =
+    if n > payload_bits + 8 then None
+    else if count_light n max_weight >= need then Some n
+    else find (n + 1)
+  in
+  match find payload_bits with
+  | None -> None
+  | Some nbits ->
+    (* Enumerate codewords in increasing weight, then numeric order. *)
+    let words = List.init (1 lsl nbits) (fun w -> w) in
+    let sorted =
+      List.sort
+        (fun a b ->
+          match compare (Bus.popcount a) (Bus.popcount b) with
+          | 0 -> compare a b
+          | c -> c)
+        words
+    in
+    let light =
+      List.filter (fun w -> Bus.popcount w <= max_weight) sorted
+    in
+    let enc = Array.make need 0 in
+    let dec = Hashtbl.create need in
+    List.iteri
+      (fun payload code ->
+        if payload < need then begin
+          enc.(payload) <- code;
+          Hashtbl.replace dec code payload
+        end)
+      light;
+    Some { payload_bits; max_weight; nbits; enc; dec }
+
+let codeword_bits c = c.nbits
+
+let lwc_encode c payload =
+  if payload < 0 || payload >= Array.length c.enc then
+    invalid_arg "Limited_weight.lwc_encode: payload out of range";
+  c.enc.(payload)
+
+let lwc_decode c code =
+  match Hashtbl.find_opt c.dec code with
+  | Some p -> p
+  | None -> raise Not_found
+
+let lwc_bus_transitions c payloads =
+  let encoded = List.map (lwc_encode c) payloads in
+  (* Transition signaling turns word weight into line toggles. *)
+  List.fold_left (fun acc w -> acc + Bus.popcount w) 0 encoded

@@ -1,0 +1,47 @@
+(** Other low-power bus codes of [39]: transition signaling, Gray-coded
+    addressing, and a small limited-weight block code.
+
+    - {e Transition signaling}: drive [prev XOR word]; the receiver XORs
+      back.  Line toggles now equal the {e weight} (number of 1s) of the
+      transmitted word, so codes that bound word weight bound power.
+    - {e Gray addressing}: sequential addresses differ in exactly one bit —
+      ideal for instruction-fetch style buses.
+    - {e Limited-weight code}: map each k-bit word to an n-bit codeword
+      (n > k) of weight at most [w]; combined with transition signaling the
+      per-transfer transitions are bounded by [w]. *)
+
+val transition_signal : int list -> int list
+(** XOR-encode a trace (initial bus state 0). *)
+
+val transition_designal : int list -> int list
+(** Inverse of {!transition_signal}. *)
+
+val gray_of_int : int -> int
+val int_of_gray : int -> int
+
+val gray_sequence_transitions : int -> int
+(** Bus transitions for fetching addresses [0..n-1] Gray-coded — exactly
+    [n - 1]. *)
+
+val binary_sequence_transitions : int -> int
+(** The same fetch trace in plain binary — about [2 (n-1)] for large runs. *)
+
+type lwc
+(** A limited-weight code book for a given payload width. *)
+
+val make_lwc : payload_bits:int -> max_weight:int -> lwc option
+(** Smallest codeword width [n >= payload_bits] such that the number of
+    words of weight <= [max_weight] covers the payload space; [None] if
+    none exists with [n <= payload_bits + 8].  Codewords are assigned in
+    increasing weight order, so frequent small payloads get light codes. *)
+
+val codeword_bits : lwc -> int
+val lwc_encode : lwc -> int -> int
+(** Raises [Invalid_argument] if the payload is out of range. *)
+
+val lwc_decode : lwc -> int -> int
+(** Raises [Not_found] on a non-codeword. *)
+
+val lwc_bus_transitions : lwc -> int list -> int
+(** Transitions when the payload trace is LWC-encoded and transition-
+    signaled: each transfer costs at most [max_weight] toggles. *)

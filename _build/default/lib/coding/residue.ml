@@ -1,0 +1,86 @@
+type system = { moduli : int array }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make moduli =
+  if moduli = [] then invalid_arg "Residue.make: empty moduli";
+  List.iter
+    (fun m -> if m < 2 then invalid_arg "Residue.make: modulus < 2")
+    moduli;
+  let rec pairwise = function
+    | [] -> ()
+    | m :: rest ->
+      List.iter
+        (fun n ->
+          if gcd m n <> 1 then
+            invalid_arg "Residue.make: moduli must be pairwise coprime")
+        rest;
+      pairwise rest
+  in
+  pairwise moduli;
+  { moduli = Array.of_list moduli }
+
+let standard = make [ 3; 5; 7; 11 ]
+
+let range sys = Array.fold_left ( * ) 1 sys.moduli
+
+type value = { digits : int array }
+
+let encode sys x =
+  if x < 0 || x >= range sys then invalid_arg "Residue.encode: out of range";
+  { digits = Array.map (fun m -> x mod m) sys.moduli }
+
+(* CRT by search over one congruence class; moduli products are small. *)
+let decode sys v =
+  let n = range sys in
+  let rec find x =
+    if x >= n then invalid_arg "Residue.decode: inconsistent digits"
+    else if
+      Array.for_all
+        (fun i -> x mod sys.moduli.(i) = v.digits.(i))
+        (Array.init (Array.length sys.moduli) (fun i -> i))
+    then x
+    else find (x + 1)
+  in
+  find 0
+
+let digitwise sys op a b =
+  {
+    digits =
+      Array.init (Array.length sys.moduli) (fun i ->
+          op a.digits.(i) b.digits.(i) mod sys.moduli.(i));
+  }
+
+let add sys a b = digitwise sys ( + ) a b
+let mul sys a b = digitwise sys ( * ) a b
+
+let one_hot_bits sys = Array.fold_left ( + ) 0 sys.moduli
+
+let one_hot_transitions sys a b =
+  let count = ref 0 in
+  Array.iteri
+    (fun i _ -> if a.digits.(i) <> b.digits.(i) then count := !count + 2)
+    sys.moduli;
+  !count
+
+let accumulate_transitions sys data =
+  let rec go acc_v total = function
+    | [] -> total
+    | d :: rest ->
+      let dv = encode sys (((d mod range sys) + range sys) mod range sys) in
+      let next = add sys acc_v dv in
+      go next (total + one_hot_transitions sys acc_v next) rest
+  in
+  go (encode sys 0) 0 data
+
+let binary_accumulate_transitions ~width data =
+  if width <= 0 || width > 62 then
+    invalid_arg "Residue.binary_accumulate_transitions: bad width";
+  let m = (1 lsl width) - 1 in
+  let rec go acc total = function
+    | [] -> total
+    | d :: rest ->
+      let next = (acc + d) land m in
+      go next (total + Bus.popcount (acc lxor next)) rest
+  in
+  go 0 0 data

@@ -1,0 +1,49 @@
+(** One-hot residue number system arithmetic (§III.C.1, [11] Chren).
+
+    A residue number system represents an integer by its remainders modulo
+    a set of pairwise-coprime moduli; addition and multiplication act
+    digit-wise with no carries.  Encoding each residue digit {e one-hot}
+    makes addition a cyclic rotation of a one-hot vector: exactly two lines
+    toggle per digit per operation (one off, one on), independent of the
+    operand values — unlike a binary adder whose toggles grow with word
+    length and carry chains. *)
+
+type system
+(** A moduli set, e.g. (3, 5, 7) covering range 105. *)
+
+val make : int list -> system
+(** Raises [Invalid_argument] unless the moduli are >= 2 and pairwise
+    coprime. *)
+
+val standard : system
+(** Moduli (3, 5, 7, 11): range 1155, enough for 10-bit data. *)
+
+val range : system -> int
+(** Product of the moduli: representable values are [0, range). *)
+
+type value = { digits : int array }
+(** Residue digits, one per modulus. *)
+
+val encode : system -> int -> value
+(** Raises [Invalid_argument] outside [0, range). *)
+
+val decode : system -> value -> int
+(** Chinese-remainder reconstruction. *)
+
+val add : system -> value -> value -> value
+val mul : system -> value -> value -> value
+
+val one_hot_bits : system -> int
+(** Total register bits in the one-hot representation (sum of moduli). *)
+
+val one_hot_transitions : system -> value -> value -> int
+(** Line toggles when the one-hot registers move from one value to the
+    next: 2 per digit that changes, 0 per digit that does not. *)
+
+val accumulate_transitions : system -> int list -> int
+(** One-hot register toggles while accumulating (running sum mod range) a
+    data trace — the RNS side of experiment E10. *)
+
+val binary_accumulate_transitions : width:int -> int list -> int
+(** Register toggles of a plain binary accumulator of the given width on
+    the same trace (the baseline). *)

@@ -1,0 +1,1 @@
+lib/core/power_model.mli: Format

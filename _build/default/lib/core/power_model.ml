@@ -1,0 +1,65 @@
+type params = {
+  vdd : float;
+  freq : float;
+  qsc : float;
+  i_leak : float;
+}
+
+let default_params = {
+  vdd = 3.3;
+  freq = 50.0e6;
+  qsc = 2.0e-15;          (* 2 fC of short-circuit charge per transition,
+                             a few percent of the ~66 fC a 20 fF node swings *)
+  i_leak = 1.5e-6;        (* 1.5 uA chip leakage *)
+}
+
+let scale_voltage p v = { p with vdd = v; i_leak = p.i_leak *. (v /. p.vdd) }
+
+type breakdown = {
+  switching : float;
+  short_circuit : float;
+  leakage : float;
+}
+
+let total b = b.switching +. b.short_circuit +. b.leakage
+
+let switching_fraction b =
+  let t = total b in
+  if t = 0.0 then 0.0 else b.switching /. t
+
+let power p ~capacitance ~activity =
+  {
+    switching = 0.5 *. capacitance *. p.vdd *. p.vdd *. p.freq *. activity;
+    short_circuit = p.qsc *. p.vdd *. p.freq *. activity;
+    leakage = p.i_leak *. p.vdd;
+  }
+
+let switching_energy_per_transition p ~capacitance =
+  0.5 *. capacitance *. p.vdd *. p.vdd
+
+let gate_delay p ~v_threshold ~drive ~load =
+  if p.vdd <= v_threshold then
+    invalid_arg "Power_model.gate_delay: vdd must exceed threshold";
+  let overdrive = p.vdd -. v_threshold in
+  load *. p.vdd /. (drive *. overdrive *. overdrive)
+
+let max_frequency p ~v_threshold ~critical_delay_at_vdd ~ref_vdd =
+  if p.vdd <= v_threshold || ref_vdd <= v_threshold then
+    invalid_arg "Power_model.max_frequency: supply must exceed threshold";
+  (* delay(V) = k * V / (V - Vt)^2; frequency scales inversely with delay. *)
+  let delay_shape v = v /. ((v -. v_threshold) ** 2.0) in
+  let delay = critical_delay_at_vdd *. delay_shape p.vdd /. delay_shape ref_vdd in
+  1.0 /. delay
+
+let pp_breakdown ppf b =
+  let t = total b in
+  let pct x = if t = 0.0 then 0.0 else 100.0 *. x /. t in
+  let unit_of w =
+    if w >= 1.0 then (w, "W")
+    else if w >= 1.0e-3 then (w *. 1.0e3, "mW")
+    else if w >= 1.0e-6 then (w *. 1.0e6, "uW")
+    else (w *. 1.0e9, "nW")
+  in
+  let v, u = unit_of t in
+  Format.fprintf ppf "%.3g %s (sw %.1f%%, sc %.1f%%, lk %.1f%%)" v u
+    (pct b.switching) (pct b.short_circuit) (pct b.leakage)

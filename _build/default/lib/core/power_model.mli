@@ -1,0 +1,66 @@
+(** CMOS power decomposition — Eqn. 1 of the paper.
+
+    {[ P = 1/2 C V^2 f N  +  Qsc V f N  +  Ileak V ]}
+
+    where [C] is switched node capacitance, [V] the supply voltage, [f] the
+    clock frequency, [N] the switching activity (output transitions per clock
+    cycle), [Qsc] the short-circuit charge carried per transition and [Ileak]
+    the leakage current.  The three terms are the {e switching activity
+    power}, {e short-circuit power} and {e leakage current power}.
+
+    Units: volts, farads, hertz, amperes, watts, joules. *)
+
+type params = {
+  vdd : float;            (** supply voltage, V *)
+  freq : float;           (** clock frequency, Hz *)
+  qsc : float;            (** short-circuit charge per transition, C *)
+  i_leak : float;         (** leakage current, A *)
+}
+
+val default_params : params
+(** A representative mid-1990s 3.3 V / 50 MHz operating point with
+    short-circuit and leakage components small relative to switching power,
+    as assumed throughout the paper. *)
+
+val scale_voltage : params -> float -> params
+(** [scale_voltage p v] is [p] with the supply set to [v]; leakage current is
+    scaled proportionally to the supply (a first-order approximation). *)
+
+type breakdown = {
+  switching : float;      (** 1/2 C V^2 f N, W *)
+  short_circuit : float;  (** Qsc V f N, W *)
+  leakage : float;        (** Ileak V, W *)
+}
+
+val total : breakdown -> float
+(** Sum of the three components. *)
+
+val switching_fraction : breakdown -> float
+(** Fraction of total power due to the switching term.  The paper (citing
+    Chandrakasan et al. [8]) states this exceeds 90% in well-designed
+    circuits. *)
+
+val power : params -> capacitance:float -> activity:float -> breakdown
+(** [power p ~capacitance ~activity] evaluates Eqn. 1 for a circuit whose
+    switched nodes sum to [capacitance] farads and make [activity] transitions
+    per clock cycle in aggregate. *)
+
+val switching_energy_per_transition : params -> capacitance:float -> float
+(** Energy in joules to charge or discharge one node of the given
+    capacitance: [1/2 C V^2]. *)
+
+val gate_delay : params -> v_threshold:float -> drive:float -> load:float -> float
+(** First-order CMOS gate delay at a given supply:
+    [delay = load * vdd / (drive * (vdd - v_threshold)^2)], seconds.  This is
+    the model behind the paper's §IV.B observation that reducing control
+    steps allows a slower clock and a quadratically lower-power supply.
+    Raises [Invalid_argument] if [vdd <= v_threshold]. *)
+
+val max_frequency : params -> v_threshold:float -> critical_delay_at_vdd:float
+  -> ref_vdd:float -> float
+(** [max_frequency p ~v_threshold ~critical_delay_at_vdd ~ref_vdd] is the
+    highest clock frequency sustainable at supply [p.vdd] for a circuit whose
+    critical path delay was [critical_delay_at_vdd] seconds at [ref_vdd]. *)
+
+val pp_breakdown : Format.formatter -> breakdown -> unit
+(** Render a breakdown as e.g. ["2.45 mW (sw 93.1%, sc 5.2%, lk 1.7%)"]. *)

@@ -1,0 +1,49 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic parts of the toolkit (workload generators, stimulus
+    streams, randomized search) draw from an explicit generator state so that
+    every experiment is reproducible from a seed.  The implementation is
+    SplitMix64, which is fast, has a 64-bit state, and supports cheap
+    splitting into independent streams. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from an integer seed.  Equal seeds give
+    equal streams. *)
+
+val split : t -> t
+(** [split t] derives a new generator whose stream is independent of the
+    parent's subsequent output.  Used to hand sub-streams to subsystems
+    without coupling their consumption order. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; both copies then produce the same
+    stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in \[0, bound).  Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in \[0, bound). *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array.
+    Raises [Invalid_argument] on an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Normally distributed sample (Box–Muller). *)

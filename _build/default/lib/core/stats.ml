@@ -1,0 +1,46 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let minimum = function
+  | [] -> invalid_arg "Stats.minimum: empty list"
+  | x :: xs -> List.fold_left min x xs
+
+let maximum = function
+  | [] -> invalid_arg "Stats.maximum: empty list"
+  | x :: xs -> List.fold_left max x xs
+
+let check_same_length name xs ys =
+  if List.length xs <> List.length ys then
+    invalid_arg (name ^ ": series length mismatch")
+
+let correlation xs ys =
+  check_same_length "Stats.correlation" xs ys;
+  let mx = mean xs and my = mean ys in
+  let cov =
+    mean (List.map2 (fun x y -> (x -. mx) *. (y -. my)) xs ys)
+  in
+  let sx = stddev xs and sy = stddev ys in
+  if sx = 0.0 || sy = 0.0 then 0.0 else cov /. (sx *. sy)
+
+let rms_error pred ref_ =
+  check_same_length "Stats.rms_error" pred ref_;
+  sqrt (mean (List.map2 (fun p r -> (p -. r) ** 2.0) pred ref_))
+
+let mean_abs_pct_error pred ref_ =
+  check_same_length "Stats.mean_abs_pct_error" pred ref_;
+  let errs =
+    List.filter_map
+      (fun (p, r) ->
+        if r = 0.0 then None else Some (Float.abs ((p -. r) /. r)))
+      (List.combine pred ref_)
+  in
+  mean errs

@@ -1,0 +1,24 @@
+(** Small descriptive-statistics helpers used by estimators and experiments. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for lists shorter than 2. *)
+
+val minimum : float list -> float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val maximum : float list -> float
+(** Raises [Invalid_argument] on the empty list. *)
+
+val correlation : float list -> float list -> float
+(** Pearson correlation coefficient of two equal-length series; 0 when either
+    series is constant.  Raises [Invalid_argument] on length mismatch. *)
+
+val rms_error : float list -> float list -> float
+(** Root-mean-square error between a prediction series and a reference
+    series.  Raises [Invalid_argument] on length mismatch. *)
+
+val mean_abs_pct_error : float list -> float list -> float
+(** Mean of |pred - ref| / |ref| over pairs with nonzero reference. *)

@@ -1,0 +1,72 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  caption : string option;
+  headers : (string * align) list;
+  mutable rows : row list;      (* reverse order *)
+  mutable notes : string list;  (* reverse order *)
+}
+
+let create ?caption headers = { caption; headers; rows = []; notes = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch with header";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let note t s = t.notes <- s :: t.notes
+
+let pp ppf t =
+  let headers = List.map fst t.headers in
+  let aligns = List.map snd t.headers in
+  let rows = List.rev t.rows in
+  let cell_rows =
+    List.filter_map (function Cells c -> Some c | Rule -> None) rows
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc cells -> max acc (String.length (List.nth cells i)))
+          (String.length h) cell_rows)
+      headers
+  in
+  let pad align width s =
+    let fill = String.make (max 0 (width - String.length s)) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let print_cells cells =
+    let padded =
+      List.map2 (fun (w, a) c -> pad a w c) (List.combine widths aligns) cells
+    in
+    Format.fprintf ppf "| %s |@," (String.concat " | " padded)
+  in
+  let rule () =
+    let segs = List.map (fun w -> String.make (w + 2) '-') widths in
+    Format.fprintf ppf "+%s+@," (String.concat "+" segs)
+  in
+  Format.pp_open_vbox ppf 0;
+  (match t.caption with
+  | None -> ()
+  | Some c -> Format.fprintf ppf "%s@," c);
+  rule ();
+  print_cells headers;
+  rule ();
+  List.iter (function Cells c -> print_cells c | Rule -> rule ()) rows;
+  rule ();
+  List.iter (fun n -> Format.fprintf ppf "  note: %s@," n) (List.rev t.notes);
+  Format.pp_close_box ppf ()
+
+let print t =
+  Format.printf "%a@." pp t;
+  print_newline ()
+
+let cell_float ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x
+
+let cell_pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let cell_ratio x = Printf.sprintf "%.2fx" x

@@ -1,0 +1,38 @@
+(** Plain-text result tables for the experiment harness.
+
+    Every experiment in [bench/main.ml] reports its results through this
+    module so that the harness output reads like the tables of a paper:
+    a caption, a header row, aligned columns, and an optional note. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?caption:string -> (string * align) list -> t
+(** [create ~caption headers] starts a table with the given column headers
+    and alignments. *)
+
+val add_row : t -> string list -> unit
+(** Append one row.  Raises [Invalid_argument] if the arity does not match
+    the header. *)
+
+val add_rule : t -> unit
+(** Append a horizontal separator between row groups. *)
+
+val note : t -> string -> unit
+(** Attach a footnote printed below the table. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render with box-drawing rules and padded columns. *)
+
+val print : t -> unit
+(** [pp] to standard output, followed by a blank line. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format a float for a table cell (default 3 decimals). *)
+
+val cell_pct : float -> string
+(** Format a fraction as a percentage cell, e.g. [0.372] -> ["37.2%"]. *)
+
+val cell_ratio : float -> string
+(** Format a speedup/reduction factor, e.g. ["1.83x"]. *)

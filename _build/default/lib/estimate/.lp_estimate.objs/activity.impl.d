@@ -1,0 +1,1 @@
+lib/estimate/activity.ml: Array Bdd Hashtbl List Lowpower Network Probability

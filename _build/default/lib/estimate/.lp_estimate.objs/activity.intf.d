@@ -1,0 +1,1 @@
+lib/estimate/activity.mli: Hashtbl Lowpower Network

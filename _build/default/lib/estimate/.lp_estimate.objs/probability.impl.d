@@ -1,0 +1,1 @@
+lib/estimate/probability.ml: Array Bdd Hashtbl List Lowpower Network Option

@@ -1,0 +1,1 @@
+lib/estimate/probability.mli: Hashtbl Lowpower Network

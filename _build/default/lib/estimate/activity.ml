@@ -1,0 +1,54 @@
+type t = (Network.id, float) Hashtbl.t
+
+let of_probability p = 2.0 *. p *. (1.0 -. p)
+
+let zero_delay ?(exact = true) net ~input_probs =
+  let probs =
+    if exact then Probability.exact net ~input_probs
+    else Probability.approximate net ~input_probs
+  in
+  let act = Hashtbl.create (Hashtbl.length probs) in
+  Hashtbl.iter (fun i p -> Hashtbl.replace act i (of_probability p)) probs;
+  act
+
+let transition_density net ~input_probs ~input_densities =
+  let arity = List.length (Network.inputs net) in
+  if Array.length input_densities <> arity then
+    invalid_arg "Activity.transition_density: density arity mismatch";
+  let man = Bdd.manager () in
+  let bdds = Network.global_bdds net man in
+  let dens = Hashtbl.create (Hashtbl.length bdds) in
+  Hashtbl.iter
+    (fun i bdd ->
+      if Network.is_input net i then
+        Hashtbl.replace dens i input_densities.(Network.input_index net i)
+      else begin
+        let d =
+          List.fold_left
+            (fun acc v ->
+              let diff = Bdd.boolean_difference man bdd v in
+              let sensitivity =
+                Bdd.probability man (fun k -> input_probs.(k)) diff
+              in
+              acc +. (sensitivity *. input_densities.(v)))
+            0.0 (Bdd.support bdd)
+        in
+        Hashtbl.replace dens i d
+      end)
+    bdds;
+  dens
+
+let switched_capacitance net act =
+  Hashtbl.fold
+    (fun i a acc -> acc +. (Network.cap net i *. a))
+    act 0.0
+
+let network_power params net act =
+  let swcap = switched_capacitance net act in
+  let transitions = Hashtbl.fold (fun _ a acc -> acc +. a) act 0.0 in
+  if transitions <= 0.0 then
+    Lowpower.Power_model.power params ~capacitance:0.0 ~activity:0.0
+  else
+    Lowpower.Power_model.power params
+      ~capacitance:(swcap /. transitions)
+      ~activity:transitions

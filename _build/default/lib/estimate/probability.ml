@@ -1,0 +1,70 @@
+type t = (Network.id, float) Hashtbl.t
+
+let check_probs net input_probs =
+  let arity = List.length (Network.inputs net) in
+  if Array.length input_probs <> arity then
+    invalid_arg "Probability: input_probs arity mismatch";
+  Array.iter
+    (fun p ->
+      if p < 0.0 || p > 1.0 then
+        invalid_arg "Probability: probability outside [0,1]")
+    input_probs
+
+let exact net ~input_probs =
+  check_probs net input_probs;
+  let man = Bdd.manager () in
+  let bdds = Network.global_bdds net man in
+  let probs = Hashtbl.create (Hashtbl.length bdds) in
+  Hashtbl.iter
+    (fun i bdd ->
+      Hashtbl.replace probs i
+        (Bdd.probability man (fun v -> input_probs.(v)) bdd))
+    bdds;
+  probs
+
+let approximate net ~input_probs =
+  check_probs net input_probs;
+  let probs = Hashtbl.create 64 in
+  let man = Bdd.manager () in
+  List.iter
+    (fun i ->
+      if Network.is_input net i then
+        Hashtbl.replace probs i input_probs.(Network.input_index net i)
+      else begin
+        let fanins = Network.fanins net i in
+        let fanin_probs =
+          Array.of_list (List.map (Hashtbl.find probs) fanins)
+        in
+        (* Local BDD over fanin positions; exact within the node, but fanin
+           independence is assumed, which is the source of error under
+           reconvergent fanout. *)
+        let local = Bdd.of_expr man (Network.func net i) in
+        Hashtbl.replace probs i
+          (Bdd.probability man (fun v -> fanin_probs.(v)) local)
+      end)
+    (Network.topo_order net);
+  probs
+
+let simulated net ~rng ~input_probs ~vectors =
+  check_probs net input_probs;
+  let counts = Hashtbl.create 64 in
+  let arity = Array.length input_probs in
+  for _ = 1 to vectors do
+    let vec =
+      Array.init arity (fun k -> Lowpower.Rng.bernoulli rng input_probs.(k))
+    in
+    let values = Network.eval net vec in
+    Hashtbl.iter
+      (fun i v ->
+        let c = Option.value (Hashtbl.find_opt counts i) ~default:0 in
+        Hashtbl.replace counts i (if v then c + 1 else c))
+      values
+  done;
+  let probs = Hashtbl.create (Hashtbl.length counts) in
+  Hashtbl.iter
+    (fun i c ->
+      Hashtbl.replace probs i (float_of_int c /. float_of_int vectors))
+    counts;
+  probs
+
+let uniform_inputs net = Array.make (List.length (Network.inputs net)) 0.5

@@ -1,0 +1,31 @@
+(** Signal-probability estimation on Boolean networks.
+
+    The probability that a node evaluates to 1 drives every power cost
+    function in the toolkit: switching activity under the zero-delay model is
+    [2 p (1-p)] per cycle when successive input vectors are independent.
+
+    Two estimators are provided, matching the survey's framing:
+    - {!exact}: global BDDs over the primary inputs; linear in BDD size and
+      exact for spatially independent inputs.
+    - {!approximate}: forward propagation assuming node fanins are
+      independent — fast, but inaccurate under reconvergent fanout. *)
+
+type t = (Network.id, float) Hashtbl.t
+(** Probability of 1, per node. *)
+
+val exact : Network.t -> input_probs:float array -> t
+(** Exact signal probabilities via global BDDs.  [input_probs.(i)] is the
+    probability that primary input [i] is 1.  Raises [Invalid_argument] on
+    arity mismatch or probabilities outside [0,1]. *)
+
+val approximate : Network.t -> input_probs:float array -> t
+(** Independence-propagation estimate: each node's probability is computed
+    from its local function assuming its fanins are independent. *)
+
+val simulated :
+  Network.t -> rng:Lowpower.Rng.t -> input_probs:float array -> vectors:int -> t
+(** Monte-Carlo estimate from random functional simulation — the reference
+    that exact estimation must agree with (used in tests). *)
+
+val uniform_inputs : Network.t -> float array
+(** All-0.5 input probability vector of the right arity. *)

@@ -1,0 +1,1 @@
+lib/logic/bdd.ml: Expr Hashtbl Int List Set

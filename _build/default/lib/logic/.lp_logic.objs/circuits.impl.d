@@ -1,0 +1,1 @@
+lib/logic/circuits.ml: Array Expr List Network Option Printf String

@@ -1,0 +1,1 @@
+lib/logic/circuits.mli: Network

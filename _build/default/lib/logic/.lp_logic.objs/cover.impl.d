@@ -1,0 +1,1 @@
+lib/logic/cover.ml: Array Bdd Cube Expr Format List Truth_table

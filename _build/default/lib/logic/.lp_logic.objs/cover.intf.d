@@ -1,0 +1,1 @@
+lib/logic/cover.mli: Bdd Cube Expr Format Truth_table

@@ -1,0 +1,1 @@
+lib/logic/cube.ml: Array Expr Format List Stdlib

@@ -1,0 +1,1 @@
+lib/logic/expr.ml: Format Int List Set Stdlib

@@ -1,0 +1,1 @@
+lib/logic/network.ml: Array Bdd Expr Format Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/logic/network.mli: Bdd Expr Format Hashtbl

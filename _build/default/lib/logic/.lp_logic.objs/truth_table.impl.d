@@ -1,0 +1,1 @@
+lib/logic/truth_table.ml: Bdd Bytes Char Expr Format List

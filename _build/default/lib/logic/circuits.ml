@@ -1,0 +1,432 @@
+type datapath = {
+  net : Network.t;
+  a_bits : Network.id list;
+  b_bits : Network.id list;
+  out_bits : Network.id list;
+}
+
+let xor2 = Expr.Xor (Expr.Var 0, Expr.Var 1)
+let xnor2 = Expr.not_ xor2
+let and2 = Expr.And [ Expr.Var 0; Expr.Var 1 ]
+let or2 = Expr.Or [ Expr.Var 0; Expr.Var 1 ]
+let andnot2 = Expr.And [ Expr.Var 0; Expr.not_ (Expr.Var 1) ]
+let mux2 (* sel, a1, a0 *) =
+  Expr.(ite (var 0) (var 1) (var 2))
+
+let set_outputs net out_bits =
+  List.iteri (fun k i -> Network.set_output net (Printf.sprintf "out%d" k) i)
+    out_bits
+
+let check_width n =
+  if n < 1 || n > 30 then invalid_arg "Circuits: width must be in [1, 30]"
+
+let operand_inputs net n =
+  let a = List.init n (fun k -> Network.add_input ~name:(Printf.sprintf "a%d" k) net) in
+  let b = List.init n (fun k -> Network.add_input ~name:(Printf.sprintf "b%d" k) net) in
+  (a, b)
+
+(* Full adder on nodes (a, b, cin) -> (sum, cout). *)
+let full_adder net a b cin =
+  let axb = Network.add_node net xor2 [ a; b ] in
+  let s = Network.add_node net xor2 [ axb; cin ] in
+  let g = Network.add_node net and2 [ a; b ] in
+  let p = Network.add_node net and2 [ cin; axb ] in
+  let cout = Network.add_node net or2 [ g; p ] in
+  (s, cout)
+
+let half_adder net a b =
+  let s = Network.add_node net xor2 [ a; b ] in
+  let c = Network.add_node net and2 [ a; b ] in
+  (s, c)
+
+let ripple_adder n =
+  check_width n;
+  let net = Network.create () in
+  let a, b = operand_inputs net n in
+  let rec chain acc carry = function
+    | [], [] -> List.rev (carry :: acc)
+    | ai :: arest, bi :: brest ->
+      let s, c = full_adder net ai bi carry in
+      chain (s :: acc) c (arest, brest)
+    | _ -> assert false
+  in
+  let out_bits =
+    match a, b with
+    | a0 :: arest, b0 :: brest ->
+      let s0, c0 = half_adder net a0 b0 in
+      s0 :: chain [] c0 (arest, brest)
+    | _ -> assert false
+  in
+  set_outputs net out_bits;
+  { net; a_bits = a; b_bits = b; out_bits }
+
+let carry_select_adder ?(block = 4) n =
+  check_width n;
+  if block < 1 then invalid_arg "Circuits.carry_select_adder: block < 1";
+  let net = Network.create () in
+  let a, b = operand_inputs net n in
+  let a = Array.of_list a and b = Array.of_list b in
+  (* Per block: two ripple chains assuming cin = 0 / 1, then muxes. *)
+  let sums = ref [] in
+  let carry = ref None (* None encodes constant 0 carry into block 0 *) in
+  let lo = ref 0 in
+  while !lo < n do
+    let hi = min (n - 1) (!lo + block - 1) in
+    (* chain with symbolic initial carry: for block 0, cin is constant 0 so
+       use half adders; otherwise build both polarities and select. *)
+    (match !carry with
+    | None ->
+      let c = ref None in
+      for k = !lo to hi do
+        match !c with
+        | None ->
+          let s, c0 = half_adder net a.(k) b.(k) in
+          sums := s :: !sums;
+          c := Some c0
+        | Some cin ->
+          let s, cout = full_adder net a.(k) b.(k) cin in
+          sums := s :: !sums;
+          c := Some cout
+      done;
+      carry := !c
+    | Some cin_block ->
+      let build assume =
+        let c = ref None in
+        let outs = ref [] in
+        for k = !lo to hi do
+          match !c with
+          | None ->
+            if assume then begin
+              (* cin = 1: s = a xor b xor 1, c = a + b *)
+              let s = Network.add_node net xnor2 [ a.(k); b.(k) ] in
+              let cc = Network.add_node net or2 [ a.(k); b.(k) ] in
+              outs := s :: !outs;
+              c := Some cc
+            end
+            else begin
+              let s, cc = half_adder net a.(k) b.(k) in
+              outs := s :: !outs;
+              c := Some cc
+            end
+          | Some cin ->
+            let s, cout = full_adder net a.(k) b.(k) cin in
+            outs := s :: !outs;
+            c := Some cout
+        done;
+        (List.rev !outs, Option.get !c)
+      in
+      let outs0, c0 = build false in
+      let outs1, c1 = build true in
+      List.iter2
+        (fun s1 s0 ->
+          let m = Network.add_node net mux2 [ cin_block; s1; s0 ] in
+          sums := m :: !sums)
+        outs1 outs0;
+      let cm = Network.add_node net mux2 [ cin_block; c1; c0 ] in
+      carry := Some cm);
+    lo := hi + 1
+  done;
+  let out_bits = List.rev !sums @ [ Option.get !carry ] in
+  set_outputs net out_bits;
+  { net; a_bits = Array.to_list a; b_bits = Array.to_list b; out_bits }
+
+let carry_lookahead_adder ?(block = 4) n =
+  check_width n;
+  if block < 1 then invalid_arg "Circuits.carry_lookahead_adder: block < 1";
+  let net = Network.create () in
+  let a, b = operand_inputs net n in
+  let a = Array.of_list a and b = Array.of_list b in
+  let g = Array.init n (fun k -> Network.add_node net and2 [ a.(k); b.(k) ]) in
+  let p = Array.init n (fun k -> Network.add_node net xor2 [ a.(k); b.(k) ]) in
+  let and_chain = function
+    | [] -> invalid_arg "empty product"
+    | x :: rest -> List.fold_left (fun acc y -> Network.add_node net and2 [ acc; y ]) x rest
+  in
+  let or_chain = function
+    | [] -> invalid_arg "empty sum"
+    | x :: rest -> List.fold_left (fun acc y -> Network.add_node net or2 [ acc; y ]) x rest
+  in
+  let sums = ref [] in
+  let carry_in = ref None in
+  let lo = ref 0 in
+  while !lo < n do
+    let hi = min (n - 1) (!lo + block - 1) in
+    (* Carry into each block position, expanded over the block's g/p and
+       the incoming carry: c_k = g_{k-1} + p_{k-1} g_{k-2} + ... + (prod p) cin. *)
+    let carry_at = Array.make (hi - !lo + 2) None in
+    carry_at.(0) <- !carry_in;
+    for k = 1 to hi - !lo + 1 do
+      let terms = ref [] in
+      (* term j: g_{lo+k-1-j} ANDed with the j propagates above it *)
+      for j = 0 to k - 1 do
+        let gen = g.(!lo + k - 1 - j) in
+        let props = List.init j (fun m -> p.(!lo + k - 1 - m)) in
+        terms := (match props with [] -> gen | _ -> and_chain (gen :: props)) :: !terms
+      done;
+      (match carry_at.(0) with
+      | Some cin ->
+        let all_p = List.init k (fun m -> p.(!lo + m)) in
+        terms := and_chain (cin :: all_p) :: !terms
+      | None -> ());
+      carry_at.(k) <- Some (or_chain !terms)
+    done;
+    for k = !lo to hi do
+      let s =
+        match carry_at.(k - !lo) with
+        | None -> p.(k) (* first bit, cin = 0 *)
+        | Some c -> Network.add_node net xor2 [ p.(k); c ]
+      in
+      sums := s :: !sums
+    done;
+    carry_in := carry_at.(hi - !lo + 1);
+    lo := hi + 1
+  done;
+  let out_bits = List.rev !sums @ [ Option.get !carry_in ] in
+  set_outputs net out_bits;
+  { net; a_bits = Array.to_list a; b_bits = Array.to_list b; out_bits }
+
+let array_multiplier n =
+  check_width n;
+  if 2 * n > 30 then invalid_arg "Circuits.array_multiplier: too wide";
+  let net = Network.create () in
+  let a, b = operand_inputs net n in
+  let a = Array.of_list a and b = Array.of_list b in
+  (* Row i: partial products a_j * b_i, accumulated by ripple rows. *)
+  let pp i j = Network.add_node net and2 [ a.(j); b.(i) ] in
+  (* acc holds the current partial sum bits from position i upward. *)
+  let width = 2 * n in
+  let acc = Array.make width None in
+  for j = 0 to n - 1 do
+    acc.(j) <- Some (pp 0 j)
+  done;
+  for i = 1 to n - 1 do
+    let carry = ref None in
+    for j = 0 to n - 1 do
+      let p = pp i j in
+      let pos = i + j in
+      let cur = acc.(pos) in
+      match cur, !carry with
+      | None, None -> acc.(pos) <- Some p
+      | Some s, None ->
+        let sum, c = half_adder net s p in
+        acc.(pos) <- Some sum;
+        carry := Some c
+      | None, Some c ->
+        let sum, c' = half_adder net p c in
+        acc.(pos) <- Some sum;
+        carry := Some c'
+      | Some s, Some c ->
+        let sum, c' = full_adder net s p c in
+        acc.(pos) <- Some sum;
+        carry := Some c'
+    done;
+    (* Propagate the final row carry up. *)
+    let rec prop pos c =
+      if pos < width then
+        match acc.(pos) with
+        | None -> acc.(pos) <- Some c
+        | Some s ->
+          let sum, c' = half_adder net s c in
+          acc.(pos) <- Some sum;
+          prop (pos + 1) c'
+    in
+    (match !carry with Some c -> prop (i + n) c | None -> ())
+  done;
+  (* Unfilled high positions can only appear for n = 1. *)
+  let out_bits =
+    List.init width (fun k ->
+        match acc.(k) with
+        | Some s -> s
+        | None -> Network.add_node net (Expr.And [ Expr.Var 0; Expr.not_ (Expr.Var 0) ]) [ a.(0) ])
+  in
+  set_outputs net out_bits;
+  { net; a_bits = Array.to_list a; b_bits = Array.to_list b; out_bits }
+
+let carry_save_multiplier n =
+  check_width n;
+  if 2 * n > 30 then invalid_arg "Circuits.carry_save_multiplier: too wide";
+  let net = Network.create () in
+  let a, b = operand_inputs net n in
+  let arr_a = Array.of_list a and arr_b = Array.of_list b in
+  let width = 2 * n in
+  (* Columns of partial-product bits, then Wallace reduction with 3:2 and
+     2:2 compressors until every column holds at most two bits. *)
+  let columns = Array.make width [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let pp = Network.add_node net and2 [ arr_a.(j); arr_b.(i) ] in
+      columns.(i + j) <- pp :: columns.(i + j)
+    done
+  done;
+  let reduced = ref false in
+  while not !reduced do
+    reduced := true;
+    for k = 0 to width - 1 do
+      match columns.(k) with
+      | x :: y :: z :: rest ->
+        reduced := false;
+        let s, c = full_adder net x y z in
+        columns.(k) <- rest @ [ s ];
+        columns.(k + 1) <- c :: columns.(k + 1)
+      | [ _; _ ] | [ _ ] | [] -> ()
+    done
+  done;
+  (* Final carry-propagate stage: one ripple chain over the two rows. *)
+  let out = Array.make width None in
+  let carry = ref None in
+  for k = 0 to width - 1 do
+    let bits = columns.(k) @ (match !carry with Some c -> [ c ] | None -> []) in
+    match bits with
+    | [] -> ()
+    | [ x ] ->
+      out.(k) <- Some x;
+      carry := None
+    | [ x; y ] ->
+      let s, c = half_adder net x y in
+      out.(k) <- Some s;
+      carry := Some c
+    | [ x; y; z ] ->
+      let s, c = full_adder net x y z in
+      out.(k) <- Some s;
+      carry := Some c
+    | _ -> invalid_arg "Circuits.carry_save_multiplier: reduction failed"
+  done;
+  let out_bits =
+    List.init width (fun k ->
+        match out.(k) with
+        | Some s -> s
+        | None ->
+          Network.add_node net
+            (Expr.And [ Expr.Var 0; Expr.not_ (Expr.Var 0) ])
+            [ arr_a.(0) ])
+  in
+  set_outputs net out_bits;
+  { net; a_bits = a; b_bits = b; out_bits }
+
+let comparator n =
+  check_width n;
+  let net = Network.create () in
+  let a, b = operand_inputs net n in
+  let arr_a = Array.of_list a and arr_b = Array.of_list b in
+  (* MSB-first chain: gt = a.b' + eq_msb . gt_rest *)
+  let msb = n - 1 in
+  let gt = ref (Network.add_node net andnot2 [ arr_a.(msb); arr_b.(msb) ]) in
+  let eq = ref None in
+  for k = msb - 1 downto 0 do
+    let eq_k =
+      Network.add_node net xnor2 [ arr_a.(k + 1); arr_b.(k + 1) ]
+    in
+    let eq_prefix =
+      match !eq with
+      | None -> eq_k
+      | Some e -> Network.add_node net and2 [ e; eq_k ]
+    in
+    eq := Some eq_prefix;
+    let gt_here = Network.add_node net andnot2 [ arr_a.(k); arr_b.(k) ] in
+    let masked = Network.add_node net and2 [ eq_prefix; gt_here ] in
+    gt := Network.add_node net or2 [ !gt; masked ]
+  done;
+  set_outputs net [ !gt ];
+  { net; a_bits = a; b_bits = b; out_bits = [ !gt ] }
+
+let equality n =
+  check_width n;
+  let net = Network.create () in
+  let a, b = operand_inputs net n in
+  let xnors =
+    List.map2 (fun x y -> Network.add_node net xnor2 [ x; y ]) a b
+  in
+  let rec tree = function
+    | [] -> assert false
+    | [ x ] -> x
+    | xs ->
+      let rec pair = function
+        | x :: y :: rest -> Network.add_node net and2 [ x; y ] :: pair rest
+        | [ x ] -> [ x ]
+        | [] -> []
+      in
+      tree (pair xs)
+  in
+  let out = tree xnors in
+  set_outputs net [ out ];
+  { net; a_bits = a; b_bits = b; out_bits = [ out ] }
+
+let mux_compare n =
+  check_width n;
+  let net = Network.create () in
+  let sel = Network.add_input ~name:"sel" net in
+  let a, b = operand_inputs net n in
+  let arr_a = Array.of_list a and arr_b = Array.of_list b in
+  (* Magnitude block (A > B), MSB-first chain. *)
+  let msb = n - 1 in
+  let gt = ref (Network.add_node net andnot2 [ arr_a.(msb); arr_b.(msb) ]) in
+  let eq_prefix = ref None in
+  for k = msb - 1 downto 0 do
+    let eq_k = Network.add_node net xnor2 [ arr_a.(k + 1); arr_b.(k + 1) ] in
+    let prefix =
+      match !eq_prefix with
+      | None -> eq_k
+      | Some e -> Network.add_node net and2 [ e; eq_k ]
+    in
+    eq_prefix := Some prefix;
+    let here = Network.add_node net andnot2 [ arr_a.(k); arr_b.(k) ] in
+    let masked = Network.add_node net and2 [ prefix; here ] in
+    gt := Network.add_node net or2 [ !gt; masked ]
+  done;
+  (* Equality block (A = B), its own xnor tree so the cones are disjoint. *)
+  let xnors = List.map2 (fun x y -> Network.add_node net xnor2 [ x; y ]) a b in
+  let rec tree = function
+    | [] -> assert false
+    | [ x ] -> x
+    | xs ->
+      let rec pair = function
+        | x :: y :: rest -> Network.add_node net and2 [ x; y ] :: pair rest
+        | [ x ] -> [ x ]
+        | [] -> []
+      in
+      tree (pair xs)
+  in
+  let eq_out = tree xnors in
+  let z = Network.add_node ~name:"z" net mux2 [ sel; !gt; eq_out ] in
+  Network.set_output net "z" z;
+  (net, sel)
+
+let parity_tree n =
+  check_width n;
+  let net = Network.create () in
+  let ins = List.init n (fun k -> Network.add_input ~name:(Printf.sprintf "x%d" k) net) in
+  let rec tree = function
+    | [] -> assert false
+    | [ x ] -> x
+    | xs ->
+      let rec pair = function
+        | x :: y :: rest -> Network.add_node net xor2 [ x; y ] :: pair rest
+        | [ x ] -> [ x ]
+        | [] -> []
+      in
+      tree (pair xs)
+  in
+  let out = tree ins in
+  Network.set_output net "parity" out;
+  (net, ins)
+
+let operand_stimulus pairs ~width =
+  List.map
+    (fun (x, y) ->
+      Array.init (2 * width) (fun k ->
+          if k < width then x land (1 lsl k) <> 0
+          else y land (1 lsl (k - width)) <> 0))
+    pairs
+
+let output_word outs ~prefix =
+  List.fold_left
+    (fun acc (nm, v) ->
+      if v && String.length nm > String.length prefix
+         && String.sub nm 0 (String.length prefix) = prefix then
+        match int_of_string_opt (String.sub nm (String.length prefix)
+                                   (String.length nm - String.length prefix))
+        with
+        | Some k -> acc lor (1 lsl k)
+        | None -> acc
+      else acc)
+    0 outs

@@ -1,0 +1,63 @@
+(** Generators for standard datapath circuits as Boolean networks.
+
+    These are the "known" structures used throughout the experiments:
+    adders for the glitch and architecture-power studies, the magnitude
+    comparator of the paper's Fig. 1, an array multiplier for the path
+    balancing experiment ([25] built exactly such a multiplier). *)
+
+type datapath = {
+  net : Network.t;
+  a_bits : Network.id list;   (** first operand inputs, LSB first *)
+  b_bits : Network.id list;   (** second operand inputs, LSB first *)
+  out_bits : Network.id list; (** result nodes, LSB first *)
+}
+
+val ripple_adder : int -> datapath
+(** [n]-bit ripple-carry adder; outputs [n] sum bits plus carry-out as the
+    last element.  The long carry chain makes it glitch-prone. *)
+
+val carry_select_adder : ?block:int -> int -> datapath
+(** Carry-select organization (default block size 4): shorter critical path
+    and more balanced arrival times than ripple, at more gates. *)
+
+val carry_lookahead_adder : ?block:int -> int -> datapath
+(** Block carry-lookahead (default 4-bit blocks): generate/propagate terms
+    computed in parallel inside each block, block carries rippling between
+    blocks — the classic fast adder whose extra logic raises capacitance. *)
+
+val array_multiplier : int -> datapath
+(** [n x n] array multiplier with [2n] product bits — the classic
+    spurious-transition generator (10-40%% of its activity is glitches). *)
+
+val carry_save_multiplier : int -> datapath
+(** [n x n] multiplier with Wallace-style carry-save reduction of the
+    partial products (3:2 compressors per column) and one final ripple
+    stage: shallower and better balanced than the array form, hence less
+    glitchy — the structure [25]'s low-power multiplier builds on. *)
+
+val comparator : int -> datapath
+(** The Fig. 1 circuit: computes [A > B] over [n]-bit operands as a single
+    output (out_bits is a singleton).  Built as the standard iterative
+    chain from MSB to LSB. *)
+
+val equality : int -> datapath
+(** [A = B] single-output comparator. *)
+
+val parity_tree : int -> Network.t * Network.id list
+(** XOR tree over [n] inputs, output named "parity". *)
+
+val mux_compare : int -> Network.t * Network.id
+(** The guarded-evaluation demonstrator of [44]: two comparison blocks over
+    the same [n]-bit operands — a magnitude comparator (A > B) and an
+    equality checker — selected by an extra input [sel] into one output
+    [z].  Whichever block the mux ignores is unobservable, so its whole
+    cone can be guarded.  Returns the network and the [sel] input id;
+    inputs are ordered [sel, a0..a(n-1), b0..b(n-1)]. *)
+
+val operand_stimulus :
+  (int * int) list -> width:int -> bool array list
+(** Encode (a, b) word pairs as input vectors for a [datapath] network
+    (a's bits first, then b's, LSB first). *)
+
+val output_word : (string * bool) list -> prefix:string -> int
+(** Decode named outputs [prefix0, prefix1, ...] into an integer. *)

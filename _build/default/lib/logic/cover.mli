@@ -1,0 +1,85 @@
+(** Two-level covers (sums of cubes) with an espresso-style minimizer.
+
+    This is the substrate for power-aware two-level synthesis: don't-care
+    optimization (§III.A.1) chooses, among the implementations permitted by
+    the don't-care set, one whose cubes have low switching cost; state
+    encoding (§III.C.1) synthesizes next-state logic through this module. *)
+
+type t
+
+val of_cubes : int -> Cube.t list -> t
+(** Cover over [n] variables.  Raises [Invalid_argument] if a cube has the
+    wrong arity. *)
+
+val empty : int -> t
+(** The zero function. *)
+
+val universe : int -> t
+(** The one function (a single universal cube). *)
+
+val of_truth_table : Truth_table.t -> t
+(** Sum-of-minterms cover. *)
+
+val of_bdd : int -> Bdd.man -> Bdd.t -> t
+(** Disjoint cover from the BDD's 1-paths. *)
+
+val num_vars : t -> int
+val cubes : t -> Cube.t list
+val cube_count : t -> int
+val literal_count : t -> int
+
+val eval : t -> (int -> bool) -> bool
+val covers_minterm : t -> int -> bool
+
+val to_expr : t -> Expr.t
+val to_truth_table : t -> Truth_table.t
+(** Raises [Invalid_argument] beyond 20 variables. *)
+
+val cofactor : t -> int -> bool -> t
+(** Shannon cofactor. *)
+
+val cube_cofactor : t -> Cube.t -> t
+(** Cofactor with respect to a cube (generalized Shannon). *)
+
+val tautology : t -> bool
+(** Unate-recursive tautology check: does the cover contain every minterm? *)
+
+val cube_contained : Cube.t -> t -> bool
+(** [cube_contained c f]: every minterm of [c] is covered by [f]
+    (via [tautology (cube_cofactor f c)]). *)
+
+val contained : t -> t -> bool
+(** [contained f g]: f implies g (every cube of [f] is contained in [g]). *)
+
+val equivalent : t -> t -> bool
+(** Mutual containment. *)
+
+val complement : t -> t
+(** Shannon-recursive complement (unate-reduction at the leaves).  The
+    result is a valid cover of the complement function, not guaranteed
+    minimal. *)
+
+val expand : t -> dc:t -> t
+(** Espresso EXPAND: greedily free literals of each cube while the cube stays
+    inside on-set ∪ don't-care set, then drop cubes contained in earlier
+    expanded ones. *)
+
+val irredundant : t -> dc:t -> t
+(** Espresso IRREDUNDANT: remove cubes covered by the rest of the cover plus
+    the don't-care set. *)
+
+val reduce : t -> dc:t -> t
+(** Espresso REDUCE: shrink each cube to the smallest cube still covering
+    the minterms only it covers (relative to the rest of the cover plus the
+    don't-cares), opening room for the next EXPAND to move cubes. *)
+
+val minimize : ?dc:t -> t -> t
+(** EXPAND / IRREDUNDANT / REDUCE iterated until the (cube, literal) cost
+    stops improving — the espresso loop. *)
+
+val weighted_literal_cost : (int -> float) -> t -> float
+(** Sum over cubes and bound literals of a per-variable weight — the
+    switching-activity cost function used in place of literal count when
+    optimizing for power (§III.A.3, [35]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+(** Cubes (product terms) over a fixed variable count.
+
+    A cube assigns each variable one of [Zero] (negative literal), [One]
+    (positive literal) or [Free] (absent).  Cubes are the atoms of two-level
+    covers ({!Cover}) and of the algebraic factoring in [Lp_synth.Factor]. *)
+
+type lit = Zero | One | Free
+
+type t
+
+val full : int -> t
+(** The universal cube (all variables [Free]) over [n] variables. *)
+
+val of_lits : (int * bool) list -> n:int -> t
+(** Cube with the given (variable, polarity) literals.
+    Raises [Invalid_argument] on out-of-range or duplicate conflicting
+    variables. *)
+
+val of_minterm : int -> n:int -> t
+(** Fully specified cube from a minterm code (bit [i] = variable [i]). *)
+
+val num_vars : t -> int
+val lit : t -> int -> lit
+val set_lit : t -> int -> lit -> t
+(** Functional update. *)
+
+val literals : t -> (int * bool) list
+(** Bound literals in variable order. *)
+
+val literal_count : t -> int
+
+val covers_minterm : t -> int -> bool
+(** Does the cube contain the given minterm code? *)
+
+val contains : t -> t -> bool
+(** [contains a b]: every minterm of [b] is in [a]. *)
+
+val intersect : t -> t -> t option
+(** Largest cube in both, or [None] if they conflict in some variable. *)
+
+val supercube : t -> t -> t
+(** Smallest cube containing both. *)
+
+val distance : t -> t -> int
+(** Number of variables where the cubes take opposite bound values.
+    Distance 0 means they intersect. *)
+
+val cofactor : t -> int -> bool -> t option
+(** Cube cofactor: [None] if the cube conflicts with the assignment,
+    otherwise the cube with that variable freed. *)
+
+val eval : t -> (int -> bool) -> bool
+
+val to_expr : t -> Expr.t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Positional notation, e.g. ["1-0"] for x0 . x2'. *)

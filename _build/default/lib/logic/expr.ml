@@ -1,0 +1,138 @@
+type t =
+  | Const of bool
+  | Var of int
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Xor of t * t
+
+let tru = Const true
+let fls = Const false
+let var i = Var i
+
+let not_ = function
+  | Const b -> Const (not b)
+  | Not e -> e
+  | e -> Not e
+
+let flatten_and es =
+  List.concat_map (function And xs -> xs | e -> [ e ]) es
+
+let flatten_or es =
+  List.concat_map (function Or xs -> xs | e -> [ e ]) es
+
+let and_list es =
+  let es = flatten_and es in
+  if List.exists (fun e -> e = Const false) es then Const false
+  else
+    match List.filter (fun e -> e <> Const true) es with
+    | [] -> Const true
+    | [ e ] -> e
+    | es -> And es
+
+let or_list es =
+  let es = flatten_or es in
+  if List.exists (fun e -> e = Const true) es then Const true
+  else
+    match List.filter (fun e -> e <> Const false) es with
+    | [] -> Const false
+    | [ e ] -> e
+    | es -> Or es
+
+let ( &&& ) a b = and_list [ a; b ]
+let ( ||| ) a b = or_list [ a; b ]
+
+let ( ^^^ ) a b =
+  match a, b with
+  | Const false, e | e, Const false -> e
+  | Const true, e | e, Const true -> not_ e
+  | a, b -> Xor (a, b)
+
+let xnor a b = not_ (a ^^^ b)
+let implies a b = not_ a ||| b
+let ite c t e = (c &&& t) ||| (not_ c &&& e)
+
+let rec eval env = function
+  | Const b -> b
+  | Var i -> env i
+  | Not e -> not (eval env e)
+  | And es -> List.for_all (eval env) es
+  | Or es -> List.exists (eval env) es
+  | Xor (a, b) -> eval env a <> eval env b
+
+let support e =
+  let module IS = Set.Make (Int) in
+  let rec go acc = function
+    | Const _ -> acc
+    | Var i -> IS.add i acc
+    | Not e -> go acc e
+    | And es | Or es -> List.fold_left go acc es
+    | Xor (a, b) -> go (go acc a) b
+  in
+  IS.elements (go IS.empty e)
+
+let max_var e = match List.rev (support e) with [] -> -1 | v :: _ -> v
+
+let rec literal_count = function
+  | Const _ -> 0
+  | Var _ -> 1
+  | Not e -> literal_count e
+  | And es | Or es -> List.fold_left (fun n e -> n + literal_count e) 0 es
+  | Xor (a, b) -> literal_count a + literal_count b
+
+let rec depth = function
+  | Const _ | Var _ -> 0
+  | Not e -> 1 + depth e
+  | And es | Or es -> 1 + List.fold_left (fun d e -> max d (depth e)) 0 es
+  | Xor (a, b) -> 1 + max (depth a) (depth b)
+
+let rec map_vars f = function
+  | Const b -> Const b
+  | Var i -> f i
+  | Not e -> not_ (map_vars f e)
+  | And es -> and_list (List.map (map_vars f) es)
+  | Or es -> or_list (List.map (map_vars f) es)
+  | Xor (a, b) -> map_vars f a ^^^ map_vars f b
+
+let rename_vars f e = map_vars (fun i -> Var (f i)) e
+
+let cofactor v b e = map_vars (fun i -> if i = v then Const b else Var i) e
+
+let simplify e = map_vars var e
+
+let equal = ( = )
+let compare = Stdlib.compare
+
+let rec pp_prec pv prec ppf e =
+  let open Format in
+  match e with
+  | Const true -> pp_print_char ppf '1'
+  | Const false -> pp_print_char ppf '0'
+  | Var i -> pv ppf i
+  | Not (Var i) -> fprintf ppf "%a'" pv i
+  | Not e -> fprintf ppf "(%a)'" (pp_prec pv 0) e
+  | And es ->
+    let body ppf () =
+      pp_print_list
+        ~pp_sep:(fun ppf () -> pp_print_char ppf '.')
+        (pp_prec pv 2) ppf es
+    in
+    if prec > 2 then fprintf ppf "(%a)" body () else body ppf ()
+  | Or es ->
+    let body ppf () =
+      pp_print_list
+        ~pp_sep:(fun ppf () -> pp_print_string ppf " + ")
+        (pp_prec pv 1) ppf es
+    in
+    if prec > 1 then fprintf ppf "(%a)" body () else body ppf ()
+  | Xor (a, b) ->
+    let body ppf () =
+      fprintf ppf "%a ^ %a" (pp_prec pv 2) a (pp_prec pv 2) b
+    in
+    if prec > 1 then fprintf ppf "(%a)" body () else body ppf ()
+
+let pp_with pv ppf e = pp_prec pv 0 ppf e
+
+let pp ppf e = pp_with (fun ppf i -> Format.fprintf ppf "x%d" i) ppf e
+
+let to_string e = Format.asprintf "%a" pp e

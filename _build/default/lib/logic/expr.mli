@@ -1,0 +1,83 @@
+(** Structural Boolean expressions.
+
+    Expressions are the lingua franca of the toolkit: Boolean-network node
+    functions, factored forms produced by kernel extraction, and gate
+    patterns in the technology library are all [Expr.t] values over
+    integer-indexed variables.  Variable [i] denotes the [i]-th fanin of
+    whatever object carries the expression. *)
+
+type t =
+  | Const of bool
+  | Var of int
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Xor of t * t
+
+val tru : t
+val fls : t
+val var : int -> t
+
+val ( &&& ) : t -> t -> t
+(** Binary conjunction (flattens nested [And]s). *)
+
+val ( ||| ) : t -> t -> t
+(** Binary disjunction (flattens nested [Or]s). *)
+
+val ( ^^^ ) : t -> t -> t
+(** Exclusive or. *)
+
+val not_ : t -> t
+(** Negation with involution collapsing: [not_ (not_ e)] = [e]. *)
+
+val and_list : t list -> t
+val or_list : t list -> t
+
+val xnor : t -> t -> t
+val implies : t -> t -> t
+val ite : t -> t -> t -> t
+(** [ite c t e] is (c AND t) OR (NOT c AND e). *)
+
+val eval : (int -> bool) -> t -> bool
+(** Evaluate under a variable assignment. *)
+
+val support : t -> int list
+(** Sorted list of variables occurring in the expression. *)
+
+val max_var : t -> int
+(** Largest variable index, or [-1] for a constant expression. *)
+
+val literal_count : t -> int
+(** Number of variable occurrences — the classic area cost of a factored
+    form (§III.A.3). *)
+
+val depth : t -> int
+(** Height of the operator tree; [Var]/[Const] have depth 0. *)
+
+val map_vars : (int -> t) -> t -> t
+(** Simultaneous substitution of variables by expressions. *)
+
+val rename_vars : (int -> int) -> t -> t
+(** Substitution restricted to renaming. *)
+
+val cofactor : int -> bool -> t -> t
+(** [cofactor v b e] is [e] with variable [v] fixed to [b], followed by
+    constant propagation. *)
+
+val simplify : t -> t
+(** Constant propagation, involution and idempotence cleanup.  Purely local;
+    complete minimization lives in [Cover] and [Lp_synth]. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Render with [a'] for negation, ['+'] for or, juxtaposition-like ['.'] for
+    and; variables print as [x0, x1, ...]. *)
+
+val pp_with : (Format.formatter -> int -> unit) -> Format.formatter -> t -> unit
+(** [pp] with a custom variable printer. *)
+
+val to_string : t -> string

@@ -1,0 +1,321 @@
+type id = int
+
+type kind = Input | Logic
+
+type node = {
+  nid : id;
+  node_name : string;
+  kind : kind;
+  mutable nfunc : Expr.t;
+  mutable nfanins : id list;
+  mutable ndelay : float;
+  mutable ncap : float;
+}
+
+type t = {
+  nodes : (id, node) Hashtbl.t;
+  mutable ins : id list;    (* reverse order *)
+  mutable outs : (string * id) list; (* reverse order *)
+  mutable next : int;
+}
+
+exception Cycle of id list
+
+let create () = { nodes = Hashtbl.create 64; ins = []; outs = []; next = 0 }
+
+let get t i =
+  match Hashtbl.find_opt t.nodes i with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Network: unknown node %d" i)
+
+let mem t i = Hashtbl.mem t.nodes i
+
+let fresh t = let i = t.next in t.next <- i + 1; i
+
+let add_input ?name t =
+  let i = fresh t in
+  let node_name =
+    match name with Some s -> s | None -> Printf.sprintf "x%d" (List.length t.ins)
+  in
+  Hashtbl.add t.nodes i
+    { nid = i; node_name; kind = Input; nfunc = Expr.fls; nfanins = [];
+      ndelay = 0.0; ncap = 1.0 };
+  t.ins <- i :: t.ins;
+  i
+
+let check_func_arity f fanins =
+  if Expr.max_var f >= List.length fanins then
+    invalid_arg "Network: expression references variable beyond fanins"
+
+let add_node ?name ?(delay = 1.0) ?(cap = 1.0) t f fanins =
+  List.iter (fun j -> ignore (get t j)) fanins;
+  check_func_arity f fanins;
+  let i = fresh t in
+  let node_name =
+    match name with Some s -> s | None -> Printf.sprintf "n%d" i
+  in
+  Hashtbl.add t.nodes i
+    { nid = i; node_name; kind = Logic; nfunc = f; nfanins = fanins;
+      ndelay = delay; ncap = cap };
+  i
+
+let set_output t name i =
+  ignore (get t i);
+  t.outs <- (name, i) :: List.remove_assoc name t.outs
+
+let inputs t = List.rev t.ins
+let outputs t = List.rev t.outs
+
+let node_ids t =
+  List.sort compare (Hashtbl.fold (fun i _ acc -> i :: acc) t.nodes [])
+
+let node_count t =
+  Hashtbl.fold (fun _ n acc -> if n.kind = Logic then acc + 1 else acc) t.nodes 0
+
+let is_input t i = (get t i).kind = Input
+let name t i = (get t i).node_name
+
+let func t i =
+  let n = get t i in
+  match n.kind with
+  | Input -> invalid_arg "Network.func: input node"
+  | Logic -> n.nfunc
+
+let fanins t i = (get t i).nfanins
+
+let fanouts t i =
+  ignore (get t i);
+  Hashtbl.fold
+    (fun j n acc -> if List.mem i n.nfanins then j :: acc else acc)
+    t.nodes []
+  |> List.sort compare
+
+let delay t i = (get t i).ndelay
+let cap t i = (get t i).ncap
+let set_delay t i d = (get t i).ndelay <- d
+let set_cap t i c = (get t i).ncap <- c
+
+let input_index t i =
+  let rec find k = function
+    | [] -> raise Not_found
+    | j :: _ when j = i -> k
+    | _ :: rest -> find (k + 1) rest
+  in
+  find 0 (inputs t)
+
+(* Depth-first topological sort with on-stack cycle detection. *)
+let topo_order t =
+  let visited = Hashtbl.create (Hashtbl.length t.nodes) in
+  let on_stack = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec visit path i =
+    if Hashtbl.mem on_stack i then raise (Cycle (i :: path));
+    if not (Hashtbl.mem visited i) then begin
+      Hashtbl.add on_stack i ();
+      let n = get t i in
+      List.iter (visit (i :: path)) n.nfanins;
+      Hashtbl.remove on_stack i;
+      Hashtbl.add visited i ();
+      order := i :: !order
+    end
+  in
+  List.iter (visit []) (node_ids t);
+  let all = List.rev !order in
+  let ins, logic = List.partition (fun i -> (get t i).kind = Input) all in
+  (* Keep declared input order. *)
+  let declared = inputs t in
+  assert (List.length ins = List.length declared);
+  declared @ logic
+
+let eval t input_values =
+  let ins = inputs t in
+  if Array.length input_values <> List.length ins then
+    invalid_arg "Network.eval: input arity mismatch";
+  let values = Hashtbl.create (Hashtbl.length t.nodes) in
+  List.iteri (fun k i -> Hashtbl.replace values i input_values.(k)) ins;
+  List.iter
+    (fun i ->
+      let n = get t i in
+      match n.kind with
+      | Input -> ()
+      | Logic ->
+        let fanin_vals =
+          Array.of_list (List.map (Hashtbl.find values) n.nfanins)
+        in
+        Hashtbl.replace values i (Expr.eval (fun v -> fanin_vals.(v)) n.nfunc))
+    (topo_order t);
+  values
+
+let eval_outputs t input_values =
+  let values = eval t input_values in
+  List.map (fun (nm, i) -> (nm, Hashtbl.find values i)) (outputs t)
+
+let global_bdds t man =
+  let bdds = Hashtbl.create (Hashtbl.length t.nodes) in
+  List.iteri (fun k i -> Hashtbl.replace bdds i (Bdd.var man k)) (inputs t);
+  List.iter
+    (fun i ->
+      let n = get t i in
+      match n.kind with
+      | Input -> ()
+      | Logic ->
+        let fanin_bdds =
+          Array.of_list (List.map (Hashtbl.find bdds) n.nfanins)
+        in
+        let rec build = function
+          | Expr.Const b -> if b then Bdd.tru man else Bdd.fls man
+          | Expr.Var v -> fanin_bdds.(v)
+          | Expr.Not e -> Bdd.not_ man (build e)
+          | Expr.And es -> Bdd.and_list man (List.map build es)
+          | Expr.Or es -> Bdd.or_list man (List.map build es)
+          | Expr.Xor (a, b) -> Bdd.xor man (build a) (build b)
+        in
+        Hashtbl.replace bdds i (build n.nfunc))
+    (topo_order t);
+  bdds
+
+let output_bdd t man output_name =
+  let bdds = global_bdds t man in
+  match List.assoc_opt output_name (outputs t) with
+  | Some i -> Hashtbl.find bdds i
+  | None -> invalid_arg ("Network.output_bdd: unknown output " ^ output_name)
+
+let literal_count t =
+  Hashtbl.fold
+    (fun _ n acc ->
+      match n.kind with Input -> acc | Logic -> acc + Expr.literal_count n.nfunc)
+    t.nodes 0
+
+let total_cap t = Hashtbl.fold (fun _ n acc -> acc +. n.ncap) t.nodes 0.0
+
+let levels t =
+  let lv = Hashtbl.create (Hashtbl.length t.nodes) in
+  List.iter
+    (fun i ->
+      let n = get t i in
+      match n.kind with
+      | Input -> Hashtbl.replace lv i 0
+      | Logic ->
+        let deep =
+          List.fold_left (fun d j -> max d (Hashtbl.find lv j)) 0 n.nfanins
+        in
+        Hashtbl.replace lv i (deep + 1))
+    (topo_order t);
+  lv
+
+let level t i = Hashtbl.find (levels t) i
+
+let arrival_times t =
+  let at = Hashtbl.create (Hashtbl.length t.nodes) in
+  List.iter
+    (fun i ->
+      let n = get t i in
+      match n.kind with
+      | Input -> Hashtbl.replace at i 0.0
+      | Logic ->
+        let latest =
+          List.fold_left (fun d j -> max d (Hashtbl.find at j)) 0.0 n.nfanins
+        in
+        Hashtbl.replace at i (latest +. n.ndelay))
+    (topo_order t);
+  at
+
+let critical_delay t =
+  let at = arrival_times t in
+  List.fold_left (fun d (_, i) -> max d (Hashtbl.find at i)) 0.0 (outputs t)
+
+let required_times t required =
+  let rt = Hashtbl.create (Hashtbl.length t.nodes) in
+  let order = List.rev (topo_order t) in
+  let is_out i = List.exists (fun (_, j) -> j = i) (outputs t) in
+  List.iter
+    (fun i ->
+      let from_fanouts =
+        List.fold_left
+          (fun r j ->
+            let nj = get t j in
+            min r (Hashtbl.find rt j -. nj.ndelay))
+          infinity (fanouts t i)
+      in
+      let r = if is_out i then min required from_fanouts else from_fanouts in
+      Hashtbl.replace rt i r)
+    order;
+  rt
+
+let slacks t ?required () =
+  let required =
+    match required with Some r -> r | None -> critical_delay t
+  in
+  let at = arrival_times t and rt = required_times t required in
+  let sl = Hashtbl.create (Hashtbl.length t.nodes) in
+  Hashtbl.iter
+    (fun i a ->
+      let r = Hashtbl.find rt i in
+      if r < infinity then Hashtbl.replace sl i (r -. a))
+    at;
+  sl
+
+let replace_func t i f fanins =
+  let n = get t i in
+  (match n.kind with
+  | Input -> invalid_arg "Network.replace_func: input node"
+  | Logic -> ());
+  List.iter (fun j -> ignore (get t j)) fanins;
+  check_func_arity f fanins;
+  let old_f = n.nfunc and old_fanins = n.nfanins in
+  n.nfunc <- f;
+  n.nfanins <- fanins;
+  try ignore (topo_order t)
+  with Cycle _ ->
+    n.nfunc <- old_f;
+    n.nfanins <- old_fanins;
+    invalid_arg "Network.replace_func: change would create a cycle"
+
+let sweep t =
+  let reachable = Hashtbl.create (Hashtbl.length t.nodes) in
+  let rec mark i =
+    if not (Hashtbl.mem reachable i) then begin
+      Hashtbl.add reachable i ();
+      List.iter mark (get t i).nfanins
+    end
+  in
+  List.iter (fun (_, i) -> mark i) (outputs t);
+  let removed = ref 0 in
+  let victims =
+    Hashtbl.fold
+      (fun i n acc ->
+        if n.kind = Logic && not (Hashtbl.mem reachable i) then i :: acc
+        else acc)
+      t.nodes []
+  in
+  List.iter
+    (fun i ->
+      Hashtbl.remove t.nodes i;
+      incr removed)
+    victims;
+  !removed
+
+let copy t =
+  let nodes = Hashtbl.create (Hashtbl.length t.nodes) in
+  Hashtbl.iter (fun i n -> Hashtbl.add nodes i { n with nid = n.nid }) t.nodes;
+  { nodes; ins = t.ins; outs = t.outs; next = t.next }
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  List.iter
+    (fun i ->
+      let n = get t i in
+      match n.kind with
+      | Input -> Format.fprintf ppf "input  %s (#%d)@," n.node_name i
+      | Logic ->
+        let pv ppf v =
+          let j = List.nth n.nfanins v in
+          Format.pp_print_string ppf (get t j).node_name
+        in
+        Format.fprintf ppf "node   %s (#%d) = %a@," n.node_name i
+          (Expr.pp_with pv) n.nfunc)
+    (topo_order t);
+  List.iter
+    (fun (nm, i) -> Format.fprintf ppf "output %s <- %s (#%d)@," nm (get t i).node_name i)
+    (outputs t);
+  Format.pp_close_box ppf ()

@@ -1,0 +1,120 @@
+(** Multi-level Boolean networks.
+
+    A network is a DAG of nodes; each logic node carries a local function
+    (an {!Expr.t} whose variable [i] denotes the node's [i]-th fanin) plus
+    physical annotations: a propagation delay and the capacitance switched
+    when the node's output toggles.  Primary inputs are nodes of kind
+    [Input]; primary outputs are named references to nodes.
+
+    This single structure serves as the technology-independent network for
+    synthesis (§III.A), the mapped netlist for simulation and power
+    accounting (§II, §III.B), and the combinational core of sequential
+    circuits (§III.C). *)
+
+type t
+type id = int
+
+exception Cycle of id list
+(** Raised by traversals on a combinational cycle; carries the cycle. *)
+
+val create : unit -> t
+
+val add_input : ?name:string -> t -> id
+(** Append a primary input.  Default name [x<k>] by input position. *)
+
+val add_node :
+  ?name:string -> ?delay:float -> ?cap:float -> t -> Expr.t -> id list -> id
+(** [add_node t f fanins] adds a logic node computing [f] over [fanins].
+    Default [delay] and [cap] are 1.0 (unit-delay, unit-capacitance model).
+    Raises [Invalid_argument] if a fanin is unknown or the expression
+    references a variable beyond the fanin list. *)
+
+val set_output : t -> string -> id -> unit
+(** Declare (or redirect) a named primary output. *)
+
+(** {1 Structure access} *)
+
+val inputs : t -> id list
+(** Primary inputs in declaration order. *)
+
+val outputs : t -> (string * id) list
+val node_ids : t -> id list
+val node_count : t -> int
+(** Logic nodes only (inputs excluded). *)
+
+val is_input : t -> id -> bool
+val name : t -> id -> string
+val func : t -> id -> Expr.t
+(** Raises [Invalid_argument] on an input node. *)
+
+val fanins : t -> id -> id list
+val fanouts : t -> id -> id list
+(** Recomputed on demand. *)
+
+val delay : t -> id -> float
+val cap : t -> id -> float
+val set_delay : t -> id -> float -> unit
+val set_cap : t -> id -> float -> unit
+val input_index : t -> id -> int
+(** Position of an input node among the inputs.  Raises [Not_found]. *)
+
+val mem : t -> id -> bool
+
+(** {1 Traversal and evaluation} *)
+
+val topo_order : t -> id list
+(** Inputs first, then logic nodes in dependency order.  Raises {!Cycle}. *)
+
+val eval : t -> bool array -> (id, bool) Hashtbl.t
+(** Zero-delay evaluation from input values (indexed by input position) to
+    every node's value.  Raises [Invalid_argument] on input-arity mismatch. *)
+
+val eval_outputs : t -> bool array -> (string * bool) list
+
+val global_bdds : t -> Bdd.man -> (id, Bdd.t) Hashtbl.t
+(** Global function of every node over the primary inputs; BDD variable [i]
+    is the [i]-th primary input. *)
+
+val output_bdd : t -> Bdd.man -> string -> Bdd.t
+(** Global function of one named output. *)
+
+(** {1 Metrics} *)
+
+val literal_count : t -> int
+(** Total literal count of all local functions — the technology-independent
+    area estimate. *)
+
+val total_cap : t -> float
+(** Sum of node capacitances (inputs included: their cap models the input
+    pin loading). *)
+
+val level : t -> id -> int
+(** Unit-delay logic depth (inputs are level 0). *)
+
+val arrival_times : t -> (id, float) Hashtbl.t
+(** Longest-path arrival using per-node delays; inputs arrive at 0. *)
+
+val critical_delay : t -> float
+(** Maximum output arrival time. *)
+
+val required_times : t -> float -> (id, float) Hashtbl.t
+(** Latest allowed arrival per node given a required time at all outputs. *)
+
+val slacks : t -> ?required:float -> unit -> (id, float) Hashtbl.t
+(** Per-node slack = required - arrival; default required time is the
+    critical delay (so critical nodes have zero slack). *)
+
+(** {1 Editing} *)
+
+val replace_func : t -> id -> Expr.t -> id list -> unit
+(** Swap a logic node's function and fanins.  Raises [Invalid_argument] on
+    an input node, unknown fanins, or if the change creates a cycle. *)
+
+val sweep : t -> int
+(** Remove logic nodes not reachable from any output; returns the number
+    removed. *)
+
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable listing: one line per node. *)

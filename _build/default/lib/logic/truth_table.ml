@@ -1,0 +1,77 @@
+type t = { n : int; bits : Bytes.t }
+
+let create n =
+  if n < 0 || n > 20 then invalid_arg "Truth_table.create: 0 <= n <= 20";
+  let words = max 1 ((1 lsl n) + 7) / 8 in
+  { n; bits = Bytes.make words '\000' }
+
+let num_vars t = t.n
+let num_minterms t = 1 lsl t.n
+
+let get t i =
+  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
+  byte land (1 lsl (i land 7)) <> 0
+
+let set t i b =
+  let idx = i lsr 3 in
+  let byte = Char.code (Bytes.get t.bits idx) in
+  let mask = 1 lsl (i land 7) in
+  let byte = if b then byte lor mask else byte land lnot mask in
+  Bytes.set t.bits idx (Char.chr byte)
+
+let of_fun n f =
+  let t = create n in
+  for i = 0 to (1 lsl n) - 1 do
+    set t i (f i)
+  done;
+  t
+
+let of_expr n e = of_fun n (fun code -> Expr.eval (fun v -> code land (1 lsl v) <> 0) e)
+
+let of_bdd n b = of_fun n (fun code -> Bdd.eval b (fun v -> code land (1 lsl v) <> 0))
+
+let to_expr t =
+  let minterm code =
+    let lits =
+      List.init t.n (fun v ->
+          if code land (1 lsl v) <> 0 then Expr.var v else Expr.not_ (Expr.var v))
+    in
+    Expr.and_list lits
+  in
+  let terms = ref [] in
+  for code = num_minterms t - 1 downto 0 do
+    if get t code then terms := minterm code :: !terms
+  done;
+  Expr.or_list !terms
+
+let ones t =
+  let count = ref 0 in
+  for i = 0 to num_minterms t - 1 do
+    if get t i then incr count
+  done;
+  !count
+
+let probability t = float_of_int (ones t) /. float_of_int (num_minterms t)
+
+let equal a b = a.n = b.n && Bytes.equal a.bits b.bits
+
+let copy t = { t with bits = Bytes.copy t.bits }
+
+let map2 name f a b =
+  if a.n <> b.n then invalid_arg ("Truth_table." ^ name ^ ": arity mismatch");
+  of_fun a.n (fun i -> f (get a i) (get b i))
+
+let not_ a = of_fun a.n (fun i -> not (get a i))
+let and_ a b = map2 "and_" ( && ) a b
+let or_ a b = map2 "or_" ( || ) a b
+let xor a b = map2 "xor" ( <> ) a b
+
+let cofactor t v b =
+  of_fun t.n (fun code ->
+      let code = if b then code lor (1 lsl v) else code land lnot (1 lsl v) in
+      get t code)
+
+let pp ppf t =
+  for i = 0 to num_minterms t - 1 do
+    Format.pp_print_char ppf (if get t i then '1' else '0')
+  done

@@ -1,0 +1,52 @@
+(** Dense truth tables for small functions (up to 20 inputs).
+
+    Used as an exact oracle in tests and as the exchange format between
+    two-level covers, BDDs and expressions for technology-mapping patterns
+    and FSM next-state functions. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the constant-0 function of [n] variables.
+    Raises [Invalid_argument] if [n < 0] or [n > 20]. *)
+
+val num_vars : t -> int
+val num_minterms : t -> int
+(** [2 ^ num_vars]. *)
+
+val get : t -> int -> bool
+(** Value on the minterm whose bit [i] is variable [i]'s value. *)
+
+val set : t -> int -> bool -> unit
+
+val of_fun : int -> (int -> bool) -> t
+(** [of_fun n f] tabulates [f] over all [2^n] minterm codes. *)
+
+val of_expr : int -> Expr.t -> t
+(** Tabulate an expression over [n] variables. *)
+
+val of_bdd : int -> Bdd.t -> t
+
+val to_expr : t -> Expr.t
+(** Canonical sum-of-minterms expression (not minimized). *)
+
+val ones : t -> int
+(** Number of satisfying minterms. *)
+
+val probability : t -> float
+(** [ones / 2^n] — exact signal probability under uniform inputs. *)
+
+val equal : t -> t -> bool
+val copy : t -> t
+
+val not_ : t -> t
+val and_ : t -> t -> t
+val or_ : t -> t -> t
+val xor : t -> t -> t
+(** Pointwise connectives.  Raise [Invalid_argument] on arity mismatch. *)
+
+val cofactor : t -> int -> bool -> t
+(** Same arity; the cofactored variable becomes irrelevant. *)
+
+val pp : Format.formatter -> t -> unit
+(** Bit string, minterm 0 first. *)

@@ -1,0 +1,1 @@
+lib/seq/clock_gate.ml: Expr Fsm_synth List Markov Network Printf Seq_circuit

@@ -1,0 +1,1 @@
+lib/seq/clock_gate.mli: Fsm_synth Markov Stg

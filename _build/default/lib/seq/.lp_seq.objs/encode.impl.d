@@ -1,0 +1,1 @@
+lib/seq/encode.ml: Array Float Hashtbl List Lowpower Markov Stg

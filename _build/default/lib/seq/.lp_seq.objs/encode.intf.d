@@ -1,0 +1,1 @@
+lib/seq/encode.mli: Lowpower Markov Stg

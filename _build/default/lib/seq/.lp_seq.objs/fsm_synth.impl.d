@@ -1,0 +1,1 @@
+lib/seq/fsm_synth.ml: Array Cover Encode Expr Hashtbl List Lowpower Markov Network Printf Scanf Seq_circuit Stg Truth_table

@@ -1,0 +1,1 @@
+lib/seq/fsm_synth.mli: Encode Lowpower Markov Network Seq_circuit Stg

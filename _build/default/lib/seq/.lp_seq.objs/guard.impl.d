@@ -1,0 +1,1 @@
+lib/seq/guard.ml: Array Bdd Cover Expr Hashtbl List Network Printf Seq_circuit

@@ -1,0 +1,1 @@
+lib/seq/guard.mli: Expr Network Seq_circuit Stimulus

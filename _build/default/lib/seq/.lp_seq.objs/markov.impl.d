@@ -1,0 +1,1 @@
+lib/seq/markov.ml: Array Float Stg

@@ -1,0 +1,1 @@
+lib/seq/markov.mli: Stg

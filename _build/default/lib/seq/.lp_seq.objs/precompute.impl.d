@@ -1,0 +1,1 @@
+lib/seq/precompute.ml: Array Bdd Expr Hashtbl List Network Seq_circuit

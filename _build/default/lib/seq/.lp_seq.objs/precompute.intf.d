@@ -1,0 +1,1 @@
+lib/seq/precompute.mli: Expr Network Seq_circuit Stimulus

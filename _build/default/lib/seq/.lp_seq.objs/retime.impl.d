@@ -1,0 +1,1 @@
+lib/seq/retime.ml: Array Event_sim Hashtbl List Network Option Queue

@@ -1,0 +1,1 @@
+lib/seq/retime.mli: Event_sim Network

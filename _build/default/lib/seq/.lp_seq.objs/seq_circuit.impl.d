@@ -1,0 +1,1 @@
+lib/seq/seq_circuit.ml: Array Event_sim Hashtbl List Network

@@ -1,0 +1,1 @@
+lib/seq/seq_circuit.mli: Event_sim Network Stimulus

@@ -1,0 +1,1 @@
+lib/seq/seq_estimate.ml: Activity Array Float Hashtbl List Network Option Queue Seq_circuit

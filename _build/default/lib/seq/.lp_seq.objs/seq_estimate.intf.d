@@ -1,0 +1,1 @@
+lib/seq/seq_estimate.mli: Hashtbl Network Seq_circuit Stimulus

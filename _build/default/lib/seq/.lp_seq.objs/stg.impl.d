@@ -1,0 +1,1 @@
+lib/seq/stg.ml: Array Format Hashtbl List Printf

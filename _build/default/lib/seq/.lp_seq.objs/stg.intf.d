@@ -1,0 +1,1 @@
+lib/seq/stg.mli: Format

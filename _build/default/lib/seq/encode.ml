@@ -1,0 +1,220 @@
+type t = {
+  bits : int;
+  codes : int array;
+}
+
+let min_bits n =
+  let rec go b = if 1 lsl b >= n then b else go (b + 1) in
+  go 1
+
+let validate ~num_states enc =
+  if Array.length enc.codes <> num_states then
+    invalid_arg "Encode.validate: code arity mismatch";
+  let seen = Hashtbl.create num_states in
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= 1 lsl enc.bits then
+        invalid_arg "Encode.validate: code out of range";
+      if Hashtbl.mem seen c then
+        invalid_arg "Encode.validate: duplicate code";
+      Hashtbl.add seen c ())
+    enc.codes
+
+let binary ~num_states =
+  { bits = min_bits num_states; codes = Array.init num_states (fun s -> s) }
+
+let gray ~num_states =
+  {
+    bits = min_bits num_states;
+    codes = Array.init num_states (fun s -> s lxor (s lsr 1));
+  }
+
+let one_hot ~num_states =
+  { bits = num_states; codes = Array.init num_states (fun s -> 1 lsl s) }
+
+let random rng ~num_states =
+  let bits = min_bits num_states in
+  let space = Array.init (1 lsl bits) (fun c -> c) in
+  Lowpower.Rng.shuffle rng space;
+  { bits; codes = Array.sub space 0 num_states }
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+let weighted_activity stg q enc =
+  validate ~num_states:(Stg.num_states stg) enc;
+  let w = Markov.edge_weights stg q in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun s row ->
+      Array.iteri
+        (fun s' weight ->
+          if weight > 0.0 then
+            acc :=
+              !acc
+              +. weight
+                 *. float_of_int (popcount (enc.codes.(s) lxor enc.codes.(s'))))
+        row)
+    w;
+  !acc
+
+(* Symmetrized edge weights sorted heaviest-first, self-loops dropped
+   (they cost nothing under any encoding). *)
+let heavy_edges stg q =
+  let w = Markov.edge_weights stg q in
+  let n = Stg.num_states stg in
+  let edges = ref [] in
+  for s = 0 to n - 1 do
+    for s' = s + 1 to n - 1 do
+      let weight = w.(s).(s') +. w.(s').(s) in
+      if weight > 0.0 then edges := (weight, s, s') :: !edges
+    done
+  done;
+  List.sort (fun (a, _, _) (b, _, _) -> Float.compare b a) !edges
+
+(* Greedy constructive placement: process edges heaviest first; when one
+   endpoint is placed, put the other on a free code at minimal Hamming
+   distance. *)
+let greedy_place rng stg q bits =
+  let n = Stg.num_states stg in
+  let codes = Array.make n (-1) in
+  let used = Hashtbl.create n in
+  let free_codes () =
+    List.filter
+      (fun c -> not (Hashtbl.mem used c))
+      (List.init (1 lsl bits) (fun c -> c))
+  in
+  let place s c =
+    codes.(s) <- c;
+    Hashtbl.add used c ()
+  in
+  let nearest_free anchor =
+    let free = free_codes () in
+    List.fold_left
+      (fun best c ->
+        match best with
+        | None -> Some c
+        | Some b ->
+          if popcount (c lxor anchor) < popcount (b lxor anchor) then Some c
+          else best)
+      None free
+  in
+  List.iter
+    (fun (_, s, s') ->
+      match codes.(s) >= 0, codes.(s') >= 0 with
+      | true, true -> ()
+      | false, false ->
+        (match free_codes () with
+        | [] -> ()
+        | c :: _ ->
+          place s c;
+          (match nearest_free c with
+          | Some c' -> place s' c'
+          | None -> ()))
+      | true, false ->
+        (match nearest_free codes.(s) with
+        | Some c' -> place s' c'
+        | None -> ())
+      | false, true ->
+        (match nearest_free codes.(s') with
+        | Some c -> place s c
+        | None -> ()))
+    (heavy_edges stg q);
+  (* Unconnected states take whatever is left, in random order. *)
+  let leftovers = Array.of_list (free_codes ()) in
+  Lowpower.Rng.shuffle rng leftovers;
+  let k = ref 0 in
+  Array.iteri
+    (fun s c ->
+      if c < 0 then begin
+        codes.(s) <- leftovers.(!k);
+        incr k
+      end)
+    codes;
+  { bits; codes }
+
+let activity_of w codes =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun s row ->
+      Array.iteri
+        (fun s' weight ->
+          if weight > 0.0 then
+            acc := !acc +. (weight *. float_of_int (popcount (codes.(s) lxor codes.(s')))))
+        row)
+    w;
+  !acc
+
+(* Pairwise swap descent, also trying moves to free codes. *)
+let descend ?(sweeps = 20) stg q enc =
+  let n = Stg.num_states stg in
+  let w = Markov.edge_weights stg q in
+  let enc = { enc with codes = Array.copy enc.codes } in
+  let cost = ref (activity_of w enc.codes) in
+  let space = 1 lsl enc.bits in
+  let owner = Array.make space (-1) in
+  Array.iteri (fun s c -> owner.(c) <- s) enc.codes;
+  let improved = ref true in
+  let sweep () =
+    improved := false;
+    for s = 0 to n - 1 do
+      for c = 0 to space - 1 do
+        let cs = enc.codes.(s) in
+        if c <> cs then begin
+          let other = owner.(c) in
+          (* Swap s's code with code c (owned or free). *)
+          enc.codes.(s) <- c;
+          owner.(c) <- s;
+          owner.(cs) <- other;
+          if other >= 0 then enc.codes.(other) <- cs;
+          let nc = activity_of w enc.codes in
+          if nc < !cost -. 1e-12 then begin
+            cost := nc;
+            improved := true
+          end
+          else begin
+            enc.codes.(s) <- cs;
+            owner.(cs) <- s;
+            owner.(c) <- other;
+            if other >= 0 then enc.codes.(other) <- c
+          end
+        end
+      done
+    done
+  in
+  let rec go k =
+    if k < sweeps then begin
+      sweep ();
+      if !improved then go (k + 1)
+    end
+  in
+  go 0;
+  enc
+
+let low_power ?bits ?(restarts = 4) ?(seed = 42) stg q =
+  let num_states = Stg.num_states stg in
+  let bits =
+    match bits with
+    | Some b ->
+      if 1 lsl b < num_states then
+        invalid_arg "Encode.low_power: too few bits";
+      b
+    | None -> min_bits num_states
+  in
+  let rng = Lowpower.Rng.create seed in
+  let best = ref None in
+  for _ = 1 to restarts do
+    let enc = descend stg q (greedy_place rng stg q bits) in
+    let c = weighted_activity stg q enc in
+    match !best with
+    | Some (bc, _) when bc <= c -> ()
+    | Some _ | None -> best := Some (c, enc)
+  done;
+  match !best with
+  | Some (_, enc) -> enc
+  | None -> binary ~num_states
+
+let improve ?sweeps stg q enc =
+  validate ~num_states:(Stg.num_states stg) enc;
+  descend ?sweeps stg q enc

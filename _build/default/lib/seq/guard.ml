@@ -1,0 +1,175 @@
+let global_with_free man net n z =
+  let bdds = Hashtbl.create 64 in
+  List.iteri (fun k i -> Hashtbl.replace bdds i (Bdd.var man k)) (Network.inputs net);
+  List.iter
+    (fun i ->
+      if not (Network.is_input net i) then
+        if i = n then Hashtbl.replace bdds i z
+        else begin
+          let fanins =
+            Array.of_list (List.map (Hashtbl.find bdds) (Network.fanins net i))
+          in
+          let rec build = function
+            | Expr.Const b -> if b then Bdd.tru man else Bdd.fls man
+            | Expr.Var v -> fanins.(v)
+            | Expr.Not e -> Bdd.not_ man (build e)
+            | Expr.And es -> Bdd.and_list man (List.map build es)
+            | Expr.Or es -> Bdd.or_list man (List.map build es)
+            | Expr.Xor (a, b) -> Bdd.xor man (build a) (build b)
+          in
+          Hashtbl.replace bdds i (build (Network.func net i))
+        end)
+    (Network.topo_order net);
+  bdds
+
+let observability_condition net root =
+  if Network.is_input net root then
+    invalid_arg "Guard.observability_condition: input node";
+  let npi = List.length (Network.inputs net) in
+  if npi > 18 then
+    invalid_arg "Guard.observability_condition: more than 18 primary inputs";
+  let man = Bdd.manager () in
+  let free = global_with_free man net root (Bdd.var man npi) in
+  let odc =
+    List.fold_left
+      (fun acc (_, o) ->
+        let fo = Hashtbl.find free o in
+        let sens =
+          Bdd.xor man (Bdd.restrict man fo npi true)
+            (Bdd.restrict man fo npi false)
+        in
+        Bdd.and_ man acc (Bdd.not_ man sens))
+      (Bdd.tru man) (Network.outputs net)
+  in
+  (* BDD paths give a compact disjoint cover directly; minimize cleans up
+     the path fragmentation. *)
+  Cover.to_expr (Cover.minimize (Cover.of_bdd npi man odc))
+
+type guarded = {
+  circuit : Seq_circuit.t;
+  root : Network.id;
+  pass_node : Network.id;
+  latch_count : int;
+  guard_literals : int;
+}
+
+let build_over_inputs net expr =
+  let pis = Array.of_list (Network.inputs net) in
+  let support = Expr.support expr in
+  List.iter
+    (fun v ->
+      if v >= Array.length pis then
+        invalid_arg "Guard: guard expression escapes the primary inputs")
+    support;
+  match support with
+  | [] -> Network.add_node ~name:"guard" net expr []
+  | _ ->
+    let fanins = List.map (fun v -> pis.(v)) support in
+    let remap =
+      let tbl = Hashtbl.create 8 in
+      List.iteri (fun pos v -> Hashtbl.replace tbl v pos) support;
+      fun v -> Hashtbl.find tbl v
+    in
+    Network.add_node ~name:"guard" net (Expr.rename_vars remap expr) fanins
+
+(* Maximum fanout-free cone of [root]: the nodes all of whose fanout paths
+   run into [root].  Freezing the cone's boundary signals freezes the whole
+   cone. *)
+let mffc net root =
+  let cone = Hashtbl.create 16 in
+  Hashtbl.replace cone root ();
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun i ->
+        if (not (Hashtbl.mem cone i)) && not (Network.is_input net i) then begin
+          let fanouts = Network.fanouts net i in
+          let is_output =
+            List.exists (fun (_, o) -> o = i) (Network.outputs net)
+          in
+          if
+            fanouts <> []
+            && (not is_output)
+            && List.for_all (fun j -> Hashtbl.mem cone j) fanouts
+          then begin
+            Hashtbl.replace cone i ();
+            changed := true
+          end
+        end)
+      (Network.node_ids net)
+  done;
+  cone
+
+let apply net0 ~root ~guard =
+  if Network.is_input net0 root then invalid_arg "Guard.apply: input root";
+  let net = Network.copy net0 in
+  let guard_node = build_over_inputs net guard in
+  let pass =
+    Network.add_node ~name:"pass" net (Expr.not_ (Expr.var 0)) [ guard_node ]
+  in
+  let cone = mffc net root in
+  (* Boundary signals: fanins of cone nodes that are not themselves in the
+     cone.  One transparent latch per distinct boundary signal. *)
+  let latch_of = Hashtbl.create 8 in
+  let regs = ref [] in
+  let latch_for f =
+    match Hashtbl.find_opt latch_of f with
+    | Some l -> l
+    | None ->
+      let held = Network.add_input ~name:(Printf.sprintf "held_%d" f) net in
+      (* Transparent latch at cycle granularity: present the live signal
+         while passing, the held one while guarded. *)
+      let latch_out =
+        Network.add_node ~name:(Printf.sprintf "latch_%d" f) net
+          Expr.(ite (var 0) (var 1) (var 2))
+          [ pass; f; held ]
+      in
+      regs :=
+        { Seq_circuit.d = latch_out; q = held; enable = Some pass;
+          init = false; clock_cap = 1.0 }
+        :: !regs;
+      Hashtbl.replace latch_of f latch_out;
+      latch_out
+  in
+  Hashtbl.iter
+    (fun i () ->
+      let fanins =
+        List.map
+          (fun f -> if Hashtbl.mem cone f then f else latch_for f)
+          (Network.fanins net i)
+      in
+      Network.replace_func net i (Network.func net i) fanins)
+    cone;
+  {
+    circuit = Seq_circuit.create net (List.rev !regs);
+    root;
+    pass_node = pass;
+    latch_count = List.length !regs;
+    guard_literals = Expr.literal_count guard;
+  }
+
+let auto net ~root =
+  let odc = observability_condition net root in
+  match odc with
+  | Expr.Const false -> None
+  | guard -> Some (apply net ~root ~guard)
+
+let equivalent g net ~stimulus =
+  let stats = Seq_circuit.simulate g.circuit stimulus in
+  let reference =
+    List.map (fun vec -> List.sort compare (Network.eval_outputs net vec))
+      stimulus
+  in
+  let got =
+    List.map (fun outs -> List.sort compare outs) stats.Seq_circuit.outputs
+  in
+  reference = got
+
+let energy_comparison g net ~stimulus =
+  (* Wrap the plain network with the same always-transparent structure so
+     latch hardware is present in both designs and the comparison isolates
+     the gating effect. *)
+  let plain = apply net ~root:g.root ~guard:Expr.fls in
+  let e c = Seq_circuit.total_energy (Seq_circuit.simulate c.circuit stimulus) in
+  (e plain, e g)

@@ -1,0 +1,242 @@
+type edge = {
+  src : int;
+  dst : int;
+  mutable weight : int;
+  functional : float;
+  glitchy : float;
+  cap : float;
+}
+
+type t = {
+  delays : float array;
+  mutable edge_list : edge list;
+}
+
+let register_clock_cost = 0.5
+
+let create ~num_vertices ~delays =
+  if Array.length delays <> num_vertices then
+    invalid_arg "Retime.create: delay arity mismatch";
+  Array.iter
+    (fun d -> if d < 0.0 then invalid_arg "Retime.create: negative delay")
+    delays;
+  { delays; edge_list = [] }
+
+let add_edge t ~src ~dst ~weight ?(functional = 0.1) ?glitchy ?(cap = 1.0) () =
+  let n = Array.length t.delays in
+  if src < 0 || src >= n || dst < 0 || dst >= n then
+    invalid_arg "Retime.add_edge: endpoint out of range";
+  if weight < 0 then invalid_arg "Retime.add_edge: negative weight";
+  let glitchy =
+    match glitchy with Some g -> g | None -> 2.0 *. functional
+  in
+  t.edge_list <-
+    { src; dst; weight; functional; glitchy; cap } :: t.edge_list
+
+let edges t = t.edge_list
+let num_vertices t = Array.length t.delays
+
+(* Longest-delay vertex arrival over the zero-register subgraph. *)
+let deltas t =
+  let n = num_vertices t in
+  let indeg = Array.make n 0 in
+  let zero_out = Array.make n [] in
+  List.iter
+    (fun e ->
+      if e.weight = 0 then begin
+        indeg.(e.dst) <- indeg.(e.dst) + 1;
+        zero_out.(e.src) <- e.dst :: zero_out.(e.src)
+      end)
+    t.edge_list;
+  let delta = Array.map (fun d -> d) t.delays in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let processed = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    incr processed;
+    List.iter
+      (fun v ->
+        if delta.(u) +. t.delays.(v) > delta.(v) then
+          delta.(v) <- delta.(u) +. t.delays.(v);
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v queue)
+      zero_out.(u)
+  done;
+  if !processed <> n then
+    invalid_arg "Retime: zero-register cycle (no legal clock period)";
+  delta
+
+let clock_period t =
+  Array.fold_left max 0.0 (deltas t)
+
+let retimed_weight r e = e.weight + r.(e.dst) - r.(e.src)
+
+let is_legal t r =
+  Array.length r = num_vertices t
+  && List.for_all (fun e -> retimed_weight r e >= 0) t.edge_list
+
+let apply t r =
+  if not (is_legal t r) then invalid_arg "Retime.apply: illegal retiming";
+  {
+    delays = t.delays;
+    edge_list =
+      List.map (fun e -> { e with weight = retimed_weight r e }) t.edge_list;
+  }
+
+(* The FEAS heuristic: iterate |V| times, incrementing the lag of every
+   vertex whose arrival exceeds the target period. *)
+let feas t c =
+  let n = num_vertices t in
+  let r = Array.make n 0 in
+  let rec iterate k =
+    if k > n then ()
+    else begin
+      let trial = apply t (Array.copy r) in
+      let delta = deltas trial in
+      let any = ref false in
+      Array.iteri
+        (fun v d ->
+          if d > c +. 1e-9 then begin
+            r.(v) <- r.(v) + 1;
+            any := true
+          end)
+        delta;
+      if !any && is_legal t r then iterate (k + 1)
+    end
+  in
+  (try iterate 1 with Invalid_argument _ -> ());
+  (* Normalize so the host keeps lag 0. *)
+  let base = r.(0) in
+  let r = Array.map (fun x -> x - base) r in
+  if is_legal t r then begin
+    match clock_period (apply t r) with
+    | p when p <= c +. 1e-9 -> Some (r, p)
+    | _ -> None
+    | exception Invalid_argument _ -> None
+  end
+  else None
+
+let min_period t =
+  let lo = Array.fold_left max 0.0 t.delays in
+  let hi =
+    Array.fold_left ( +. ) 0.0 t.delays +. 1.0
+  in
+  let rec search lo hi best iter =
+    if iter = 0 then best
+    else begin
+      let mid = 0.5 *. (lo +. hi) in
+      match feas t mid with
+      | Some (r, p) -> search lo (min mid p) (Some (r, p)) (iter - 1)
+      | None -> search mid hi best (iter - 1)
+    end
+  in
+  match search lo hi None 48 with
+  | Some (r, p) -> (r, p)
+  | None ->
+    (* The identity retiming is always legal. *)
+    (Array.make (num_vertices t) 0, clock_period t)
+
+let power_cost t =
+  List.fold_left
+    (fun acc e ->
+      let wire =
+        if e.weight >= 1 then e.cap *. e.functional else e.cap *. e.glitchy
+      in
+      acc +. wire +. (register_clock_cost *. float_of_int e.weight))
+    0.0 t.edge_list
+
+let register_count t =
+  List.fold_left (fun acc e -> acc + e.weight) 0 t.edge_list
+
+let climb t ~period ~start ~cost =
+  let n = num_vertices t in
+  let current = ref start in
+  let current_cost = ref (cost start) in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    for v = 1 to n - 1 do
+      List.iter
+        (fun delta ->
+          let r = Array.copy !current in
+          r.(v) <- r.(v) + delta;
+          if is_legal t r then
+            match clock_period (apply t r) with
+            | p when p <= period +. 1e-9 ->
+              let c = cost r in
+              if c < !current_cost then begin
+                current := r;
+                current_cost := c;
+                improved := true
+              end
+            | _ -> ()
+            | exception Invalid_argument _ -> ())
+        [ 1; -1 ]
+    done
+  done;
+  !current
+
+let of_network net ~result ?(input_registers = 1) () =
+  let logic =
+    List.filter (fun i -> not (Network.is_input net i)) (Network.node_ids net)
+  in
+  let index = Hashtbl.create 64 in
+  List.iteri (fun k i -> Hashtbl.replace index i (k + 1)) logic;
+  let delays =
+    Array.of_list (0.0 :: List.map (fun i -> Network.delay net i) logic)
+  in
+  let g = create ~num_vertices:(List.length logic + 1) ~delays in
+  let cycles = max 1 result.Event_sim.cycles in
+  let rate tbl i =
+    float_of_int (Option.value (Hashtbl.find_opt tbl i) ~default:0)
+    /. float_of_int cycles
+  in
+  let activities i =
+    ( rate result.Event_sim.functional i,
+      max (rate result.Event_sim.total i) (rate result.Event_sim.functional i) )
+  in
+  List.iter
+    (fun i ->
+      let dst = Hashtbl.find index i in
+      List.iter
+        (fun f ->
+          let functional, glitchy = activities f in
+          let cap = Network.cap net f in
+          if Network.is_input net f then
+            add_edge g ~src:0 ~dst ~weight:input_registers ~functional
+              ~glitchy ~cap ()
+          else
+            add_edge g ~src:(Hashtbl.find index f) ~dst ~weight:0 ~functional
+              ~glitchy ~cap ())
+        (Network.fanins net i))
+    logic;
+  List.iter
+    (fun (_, o) ->
+      let functional, glitchy = activities o in
+      add_edge g ~src:(Hashtbl.find index o) ~dst:0 ~weight:0 ~functional
+        ~glitchy ~cap:(Network.cap net o) ())
+    (Network.outputs net);
+  g
+
+let min_registers t ~period =
+  let start =
+    match feas t period with
+    | Some (r, _) -> r
+    | None -> invalid_arg "Retime.min_registers: period below minimum"
+  in
+  let cost r =
+    let g = apply t r in
+    (register_count g, power_cost g)
+  in
+  climb t ~period ~start ~cost
+
+let low_power t ~period =
+  let start =
+    match feas t period with
+    | Some (r, _) -> r
+    | None -> invalid_arg "Retime.low_power: period below minimum"
+  in
+  climb t ~period ~start ~cost:(fun r -> power_cost (apply t r))

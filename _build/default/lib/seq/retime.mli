@@ -1,0 +1,85 @@
+(** Retiming (§III.C.2; Leiserson–Saxe [24], power-aware variant [29]).
+
+    A synchronous circuit is a directed graph: vertices are combinational
+    blocks with propagation delays, edges carry register counts.  A
+    retiming [r] moves [r v] registers from the outputs to the inputs of
+    vertex [v]; edge weights become [w(e) + r(head) - r(tail)] and must stay
+    non-negative.  Minimum-period retiming finds the legal [r] with the
+    smallest achievable clock period.
+
+    The power observation of [29]: a combinational signal glitches, but a
+    register output only toggles on settled-value changes — so registers
+    act as glitch filters, and among all minimum-period retimings the one
+    holding registers on high-glitch edges dissipates least.  Each edge
+    therefore carries two activities: [functional] (settled changes per
+    cycle) and [glitchy] (total transitions per cycle of the signal when it
+    is not register-buffered). *)
+
+type edge = {
+  src : int;
+  dst : int;
+  mutable weight : int;     (** registers on the edge *)
+  functional : float;       (** activity seen after a register *)
+  glitchy : float;          (** activity seen on the bare wire *)
+  cap : float;              (** capacitance of the edge's wire + fanin *)
+}
+
+type t
+
+val create : num_vertices:int -> delays:float array -> t
+(** Vertex 0 is conventionally the host (environment), with delay 0.
+    Raises [Invalid_argument] on arity mismatch or negative delays. *)
+
+val add_edge :
+  t -> src:int -> dst:int -> weight:int -> ?functional:float -> ?glitchy:float
+  -> ?cap:float -> unit -> unit
+(** Defaults: functional 0.1, glitchy = 2x functional, cap 1.  Raises
+    [Invalid_argument] on bad endpoints or negative weight. *)
+
+val edges : t -> edge list
+val num_vertices : t -> int
+
+val clock_period : t -> float
+(** Longest combinational (zero-register) path delay.  Raises
+    [Invalid_argument] if some zero-weight cycle exists. *)
+
+val is_legal : t -> int array -> bool
+(** All retimed edge weights non-negative (host vertex 0 fixed at 0). *)
+
+val apply : t -> int array -> t
+(** A copy with retimed edge weights.  Raises [Invalid_argument] if
+    illegal. *)
+
+val min_period : t -> int array * float
+(** Binary search over candidate periods with the FEAS iteration; returns
+    the retiming and its period. *)
+
+val power_cost : t -> float
+(** Switching-power proxy of the current register placement: for each edge,
+    [cap * functional] if the edge holds at least one register (glitches
+    filtered) else [cap * glitchy], plus a per-register clocking cost. *)
+
+val register_count : t -> int
+
+val low_power : t -> period:float -> int array
+(** Among retimings meeting the given period (must be >= the minimum), hill
+    climb on single-vertex moves to minimize {!power_cost}.  Returns the
+    best retiming found. *)
+
+val of_network :
+  Network.t -> result:Event_sim.result -> ?input_registers:int -> unit -> t
+(** Bridge from a measured circuit: vertex 0 is the host, one vertex per
+    logic node (delay = the node's [Network.delay]); every fanin connection
+    becomes an edge whose [functional] and [glitchy] activities are the
+    driving node's settled and total transition rates from the simulation
+    [result], and whose capacitance is the driving node's [cap].  Edges
+    from the host to input consumers carry [input_registers] registers
+    (default 1, the usual registered-input design); output-to-host edges
+    carry none.  The returned graph is ready for {!min_period} /
+    {!low_power}, with costs grounded in measured glitch data. *)
+
+val min_registers : t -> period:float -> int array
+(** The paper's other classic retiming objective: among retimings meeting
+    the period, minimize the total register count (hill climbing on
+    single-vertex moves; power cost breaks ties).  Raises
+    [Invalid_argument] if the period is below the minimum. *)

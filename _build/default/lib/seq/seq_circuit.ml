@@ -1,0 +1,122 @@
+type register = {
+  d : Network.id;
+  q : Network.id;
+  enable : Network.id option;
+  init : bool;
+  clock_cap : float;
+}
+
+type t = {
+  net : Network.t;
+  regs : register list;
+}
+
+let create net regs =
+  let seen_q = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      if not (Network.mem net r.d) then
+        invalid_arg "Seq_circuit.create: unknown d node";
+      if not (Network.mem net r.q && Network.is_input net r.q) then
+        invalid_arg "Seq_circuit.create: q must be an input node";
+      if Hashtbl.mem seen_q r.q then
+        invalid_arg "Seq_circuit.create: duplicate q node";
+      Hashtbl.add seen_q r.q ();
+      match r.enable with
+      | Some e ->
+        if not (Network.mem net e) then
+          invalid_arg "Seq_circuit.create: unknown enable node"
+      | None -> ())
+    regs;
+  { net; regs }
+
+let network t = t.net
+let registers t = t.regs
+let register_count t = List.length t.regs
+
+let free_inputs t =
+  let driven = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.add driven r.q ()) t.regs;
+  List.filter (fun i -> not (Hashtbl.mem driven i)) (Network.inputs t.net)
+
+type stats = {
+  cycles : int;
+  comb_energy : float;
+  clock_energy : float;
+  ff_input_toggles : int;
+  ff_output_toggles : int;
+  gated_cycles : int;
+  outputs : (string * bool) list list;
+}
+
+let total_energy s = s.comb_energy +. s.clock_energy
+
+let simulate ?(delay_model = Event_sim.Zero_delay) t stimulus =
+  let free = free_inputs t in
+  (match stimulus with
+  | [] -> invalid_arg "Seq_circuit.simulate: empty stimulus"
+  | v :: _ ->
+    if Array.length v <> List.length free then
+      invalid_arg "Seq_circuit.simulate: primary-input arity mismatch");
+  let all_inputs = Network.inputs t.net in
+  let pos_of =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun k i -> Hashtbl.replace tbl i k) all_inputs;
+    fun i -> Hashtbl.find tbl i
+  in
+  let free_pos = List.map pos_of free in
+  let q_state = Hashtbl.create 16 in
+  List.iter (fun r -> Hashtbl.replace q_state r.q r.init) t.regs;
+  let full_vector pi_vec =
+    let v = Array.make (List.length all_inputs) false in
+    List.iteri (fun k p -> v.(p) <- pi_vec.(k)) free_pos;
+    List.iter (fun r -> v.(pos_of r.q) <- Hashtbl.find q_state r.q) t.regs;
+    v
+  in
+  let clock_energy = ref 0.0 in
+  let ff_in = ref 0 and ff_out = ref 0 and gated = ref 0 in
+  let prev_d = Hashtbl.create 16 in
+  let outputs = ref [] in
+  let full_stream = ref [] in
+  let cycle k pi_vec =
+    let v = full_vector pi_vec in
+    full_stream := v :: !full_stream;
+    let values = Network.eval t.net v in
+    outputs :=
+      List.map (fun (nm, i) -> (nm, Hashtbl.find values i)) (Network.outputs t.net)
+      :: !outputs;
+    List.iter
+      (fun r ->
+        let d = Hashtbl.find values r.d in
+        (if k > 0 then
+           match Hashtbl.find_opt prev_d r.q with
+           | Some pd when pd <> d -> incr ff_in
+           | Some _ | None -> ());
+        Hashtbl.replace prev_d r.q d;
+        let enabled =
+          match r.enable with
+          | None -> true
+          | Some e -> Hashtbl.find values e
+        in
+        if enabled then begin
+          clock_energy := !clock_energy +. r.clock_cap;
+          let old_q = Hashtbl.find q_state r.q in
+          if old_q <> d then incr ff_out;
+          Hashtbl.replace q_state r.q d
+        end
+        else incr gated)
+      t.regs
+  in
+  List.iteri cycle stimulus;
+  let full_stream = List.rev !full_stream in
+  let sim = Event_sim.run t.net delay_model full_stream in
+  {
+    cycles = List.length stimulus;
+    comb_energy =
+      Event_sim.switched_capacitance t.net sim *. float_of_int sim.Event_sim.cycles;
+    clock_energy = !clock_energy;
+    ff_input_toggles = !ff_in;
+    ff_output_toggles = !ff_out;
+    gated_cycles = !gated;
+    outputs = List.rev !outputs;
+  }

@@ -1,0 +1,242 @@
+type t = {
+  state_probs : (int, float) Hashtbl.t;
+  node_activity : (Network.id, float) Hashtbl.t;
+  ff_toggle_rate : float;
+  switched_capacitance : float;
+}
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+(* Shared plumbing: evaluate the combinational core for a (state code,
+   input code) pair. *)
+let evaluator circuit =
+  let net = Seq_circuit.network circuit in
+  let regs = Seq_circuit.registers circuit in
+  let free = Seq_circuit.free_inputs circuit in
+  let all_inputs = Network.inputs net in
+  let pos_of =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun k i -> Hashtbl.replace tbl i k) all_inputs;
+    fun i -> Hashtbl.find tbl i
+  in
+  let arity = List.length all_inputs in
+  let eval state_code input_code =
+    let vec = Array.make arity false in
+    List.iteri
+      (fun k i -> vec.(pos_of i) <- input_code land (1 lsl k) <> 0)
+      free;
+    List.iteri
+      (fun j r -> vec.(pos_of r.Seq_circuit.q) <- state_code land (1 lsl j) <> 0)
+      regs;
+    Network.eval net vec
+  in
+  let next_state values =
+    (* enables sampled from the same evaluation *)
+    let code = ref 0 in
+    List.iteri
+      (fun j r ->
+        let enabled =
+          match r.Seq_circuit.enable with
+          | None -> true
+          | Some e -> Hashtbl.find values e
+        in
+        let bit =
+          if enabled then Hashtbl.find values r.Seq_circuit.d
+          else Hashtbl.find values r.Seq_circuit.q
+        in
+        if bit then code := !code lor (1 lsl j))
+      regs;
+    !code
+  in
+  (net, regs, free, eval, next_state)
+
+let steady_state ?(max_states = 4096) circuit ~input_bit_probs =
+  let net, regs, free, eval, next_state = evaluator circuit in
+  let ni = List.length free in
+  if Array.length input_bit_probs <> ni then
+    invalid_arg "Seq_estimate.steady_state: input probability arity mismatch";
+  if ni > 16 then
+    invalid_arg "Seq_estimate.steady_state: more than 16 input bits";
+  let num_inputs = 1 lsl ni in
+  let q_prob code =
+    let p = ref 1.0 in
+    Array.iteri
+      (fun k pk ->
+        p := !p *. (if code land (1 lsl k) <> 0 then pk else 1.0 -. pk))
+      input_bit_probs;
+    !p
+  in
+  let init_code =
+    List.fold_left
+      (fun (code, j) r ->
+        ((if r.Seq_circuit.init then code lor (1 lsl j) else code), j + 1))
+      (0, 0) regs
+    |> fst
+  in
+  (* Reachability, caching valuations and next states. *)
+  let values_of : (int * int, (Network.id, bool) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let next_of : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
+  let states = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.replace states init_code ();
+  Queue.add init_code queue;
+  while not (Queue.is_empty queue) do
+    if Hashtbl.length states > max_states then
+      invalid_arg "Seq_estimate.steady_state: reachable set exceeds max_states";
+    let s = Queue.pop queue in
+    for i = 0 to num_inputs - 1 do
+      let values = eval s i in
+      Hashtbl.replace values_of (s, i) values;
+      let s' = next_state values in
+      Hashtbl.replace next_of (s, i) s';
+      if not (Hashtbl.mem states s') then begin
+        Hashtbl.replace states s' ();
+        Queue.add s' queue
+      end
+    done
+  done;
+  let nstates = Hashtbl.length states in
+  if nstates * num_inputs * num_inputs > 4_000_000 then
+    invalid_arg "Seq_estimate.steady_state: chain too large for exact analysis";
+  (* Power iteration for the stationary distribution (Cesaro-averaged for
+     periodic chains). *)
+  let state_list = Hashtbl.fold (fun s () acc -> s :: acc) states [] in
+  let pi = Hashtbl.create nstates in
+  List.iter
+    (fun s -> Hashtbl.replace pi s (1.0 /. float_of_int nstates))
+    state_list;
+  for _ = 1 to 300 do
+    let nxt = Hashtbl.create nstates in
+    List.iter (fun s -> Hashtbl.replace nxt s 0.0) state_list;
+    List.iter
+      (fun s ->
+        let ps = Hashtbl.find pi s in
+        for i = 0 to num_inputs - 1 do
+          let s' = Hashtbl.find next_of (s, i) in
+          Hashtbl.replace nxt s' (Hashtbl.find nxt s' +. (ps *. q_prob i))
+        done)
+      state_list;
+    List.iter
+      (fun s ->
+        Hashtbl.replace pi s
+          (0.5 *. (Hashtbl.find pi s +. Hashtbl.find nxt s)))
+      state_list
+  done;
+  let total = List.fold_left (fun acc s -> acc +. Hashtbl.find pi s) 0.0 state_list in
+  List.iter (fun s -> Hashtbl.replace pi s (Hashtbl.find pi s /. total)) state_list;
+  (* Expected toggles: over consecutive (s,i) -> (next(s,i), i') pairs. *)
+  let activity = Hashtbl.create 64 in
+  let node_ids = Network.node_ids net in
+  List.iter (fun n -> Hashtbl.replace activity n 0.0) node_ids;
+  let ff = ref 0.0 in
+  List.iter
+    (fun s ->
+      let ps = Hashtbl.find pi s in
+      if ps > 1e-12 then
+        for i = 0 to num_inputs - 1 do
+          let w1 = ps *. q_prob i in
+          if w1 > 1e-12 then begin
+            let v1 = Hashtbl.find values_of (s, i) in
+            let s' = Hashtbl.find next_of (s, i) in
+            ff := !ff +. (w1 *. float_of_int (popcount (s lxor s')));
+            for i' = 0 to num_inputs - 1 do
+              let w = w1 *. q_prob i' in
+              if w > 1e-12 then begin
+                let v2 = Hashtbl.find values_of (s', i') in
+                List.iter
+                  (fun n ->
+                    if Hashtbl.find v1 n <> Hashtbl.find v2 n then
+                      Hashtbl.replace activity n (Hashtbl.find activity n +. w))
+                  node_ids
+              end
+            done
+          end
+        done)
+    state_list;
+  ignore regs;
+  let swcap =
+    Hashtbl.fold (fun n a acc -> acc +. (Network.cap net n *. a)) activity 0.0
+  in
+  {
+    state_probs = pi;
+    node_activity = activity;
+    ff_toggle_rate = !ff;
+    switched_capacitance = swcap;
+  }
+
+let of_sequence circuit stimulus =
+  let net, regs, free, eval, next_state = evaluator circuit in
+  (match stimulus with
+  | [] -> invalid_arg "Seq_estimate.of_sequence: empty stimulus"
+  | v :: _ ->
+    if Array.length v <> List.length free then
+      invalid_arg "Seq_estimate.of_sequence: input arity mismatch");
+  let code_of vec =
+    let c = ref 0 in
+    Array.iteri (fun k b -> if b then c := !c lor (1 lsl k)) vec;
+    !c
+  in
+  let init_code =
+    List.fold_left
+      (fun (code, j) r ->
+        ((if r.Seq_circuit.init then code lor (1 lsl j) else code), j + 1))
+      (0, 0) regs
+    |> fst
+  in
+  let node_ids = Network.node_ids net in
+  let activity = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace activity n 0.0) node_ids;
+  let visits = Hashtbl.create 32 in
+  let state = ref init_code in
+  let prev_values = ref None in
+  let ff = ref 0 in
+  let cycles = List.length stimulus in
+  List.iter
+    (fun vec ->
+      let s = !state in
+      Hashtbl.replace visits s
+        (1.0 +. Option.value (Hashtbl.find_opt visits s) ~default:0.0);
+      let values = eval s (code_of vec) in
+      (match !prev_values with
+      | Some pv ->
+        List.iter
+          (fun n ->
+            if Hashtbl.find pv n <> Hashtbl.find values n then
+              Hashtbl.replace activity n (Hashtbl.find activity n +. 1.0))
+          node_ids
+      | None -> ());
+      prev_values := Some values;
+      let s' = next_state values in
+      ff := !ff + popcount (s lxor s');
+      state := s')
+    stimulus;
+  let per_cycle = float_of_int (max 1 (cycles - 1)) in
+  Hashtbl.iter
+    (fun n a -> Hashtbl.replace activity n (a /. per_cycle))
+    activity;
+  Hashtbl.iter
+    (fun s v -> Hashtbl.replace visits s (v /. float_of_int cycles))
+    visits;
+  let swcap =
+    Hashtbl.fold (fun n a acc -> acc +. (Network.cap net n *. a)) activity 0.0
+  in
+  {
+    state_probs = visits;
+    node_activity = activity;
+    ff_toggle_rate = float_of_int !ff /. float_of_int cycles;
+    switched_capacitance = swcap;
+  }
+
+let white_noise_error est circuit =
+  let net = Seq_circuit.network circuit in
+  let input_probs = Array.make (List.length (Network.inputs net)) 0.5 in
+  let naive =
+    Activity.switched_capacitance net (Activity.zero_delay net ~input_probs)
+  in
+  if est.switched_capacitance = 0.0 then 0.0
+  else
+    Float.abs (naive -. est.switched_capacitance) /. est.switched_capacitance

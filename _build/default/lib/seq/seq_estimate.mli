@@ -1,0 +1,42 @@
+(** Power estimation of sequential circuits (§V / §III.C; [28] Monteiro &
+    Devadas, "power estimation of sequential logic circuits under
+    user-specified input sequences").
+
+    A combinational estimator applied to a sequential circuit needs the
+    {e state} statistics, not just input statistics: present-state lines
+    are not uniform and not independent of each other.  This module
+    computes the exact steady-state distribution over register states (by
+    enumerating the reachable chain) and derives each node's switching
+    activity from it; the user-specified-sequence variant simply replays a
+    given input sequence. *)
+
+type t = {
+  state_probs : (int, float) Hashtbl.t;
+      (** steady-state probability per register-state code (LSB = first
+          register in [Seq_circuit.registers] order) *)
+  node_activity : (Network.id, float) Hashtbl.t;
+      (** expected transitions per cycle, per combinational node *)
+  ff_toggle_rate : float;  (** expected register toggles per cycle *)
+  switched_capacitance : float; (** cap-weighted node activity per cycle *)
+}
+
+val steady_state :
+  ?max_states:int -> Seq_circuit.t -> input_bit_probs:float array -> t
+(** Exact analysis under temporally independent inputs with the given
+    per-bit 1-probabilities: enumerate reachable states from the initial
+    one, solve the chain by power iteration, and average node toggles over
+    consecutive (state, input) pairs.  Raises [Invalid_argument] if the
+    circuit has more than 16 primary-input bits or more registers than
+    [max_states] (default 4096) can cover, or if the reachable set exceeds
+    [max_states]. *)
+
+val of_sequence : Seq_circuit.t -> Stimulus.t -> t
+(** The user-specified-sequence variant: exact per-node activity for one
+    concrete input sequence (state probabilities are the visit
+    frequencies).  Raises like [Seq_circuit.simulate]. *)
+
+val white_noise_error : t -> Seq_circuit.t -> float
+(** How wrong the naive approach is: relative error of the switched
+    capacitance predicted by treating every register output as an
+    independent p = 0.5 input (the assumption [28] replaces), against this
+    estimate. *)

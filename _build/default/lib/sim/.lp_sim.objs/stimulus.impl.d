@@ -1,0 +1,1 @@
+lib/sim/stimulus.ml: Array List Lowpower

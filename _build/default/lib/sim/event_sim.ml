@@ -1,0 +1,190 @@
+type delay_model = Zero_delay | Unit_delay | Node_delays
+
+type result = {
+  total : (Network.id, int) Hashtbl.t;
+  functional : (Network.id, int) Hashtbl.t;
+  cycles : int;
+}
+
+module Event = struct
+  type t = float * int (* time, node id *)
+
+  let compare (ta, na) (tb, nb) =
+    match Float.compare ta tb with 0 -> compare na nb | c -> c
+end
+
+module Queue_ = Set.Make (Event)
+
+let bump tbl i by =
+  let c = Option.value (Hashtbl.find_opt tbl i) ~default:0 in
+  Hashtbl.replace tbl i (c + by)
+
+let run net model stream =
+  (match stream with
+  | [] -> invalid_arg "Event_sim.run: empty stimulus"
+  | v :: _ ->
+    if Array.length v <> List.length (Network.inputs net) then
+      invalid_arg "Event_sim.run: input arity mismatch");
+  let order = Network.topo_order net in
+  let ins = Network.inputs net in
+  (* Fanout lists, one pass. *)
+  let fanout_of = Hashtbl.create 64 in
+  List.iter
+    (fun i ->
+      if not (Network.is_input net i) then
+        List.iter
+          (fun j ->
+            let l = Option.value (Hashtbl.find_opt fanout_of j) ~default:[] in
+            Hashtbl.replace fanout_of j (i :: l))
+          (Network.fanins net i))
+    order;
+  let fanouts j = Option.value (Hashtbl.find_opt fanout_of j) ~default:[] in
+  let gate_delay i =
+    match model with
+    | Zero_delay -> 0.0
+    | Unit_delay -> 1.0
+    | Node_delays -> max 1.0e-9 (Network.delay net i)
+  in
+  let value = Hashtbl.create 64 in
+  let settled = Hashtbl.create 64 in
+  let total = Hashtbl.create 64 and functional = Hashtbl.create 64 in
+  let eval_node i =
+    let fanin_vals =
+      Array.of_list
+        (List.map (fun j -> Hashtbl.find value j) (Network.fanins net i))
+    in
+    Expr.eval (fun v -> fanin_vals.(v)) (Network.func net i)
+  in
+  (* Initialize from the first vector with zero-delay settling (no
+     transitions are charged for initialization). *)
+  let first = List.hd stream in
+  List.iteri (fun k i -> Hashtbl.replace value i first.(k)) ins;
+  List.iter
+    (fun i ->
+      if not (Network.is_input net i) then Hashtbl.replace value i (eval_node i))
+    order;
+  Hashtbl.iter (fun i v -> Hashtbl.replace settled i v) value;
+  let apply_vector_zero_delay vec =
+    (* Functional reference: settled values under zero delay. *)
+    List.iteri (fun k i -> Hashtbl.replace settled i vec.(k)) ins;
+    List.iter
+      (fun i ->
+        if not (Network.is_input net i) then begin
+          let fanin_vals =
+            Array.of_list
+              (List.map (fun j -> Hashtbl.find settled j) (Network.fanins net i))
+          in
+          let v = Expr.eval (fun k -> fanin_vals.(k)) (Network.func net i) in
+          let old = Hashtbl.find settled i in
+          if v <> old then begin
+            Hashtbl.replace settled i v;
+            bump functional i 1
+          end
+        end)
+      order
+  in
+  let apply_vector_event vec =
+    let queue = ref Queue_.empty in
+    let schedule t i = queue := Queue_.add (t, i) !queue in
+    List.iteri
+      (fun k i ->
+        if Hashtbl.find value i <> vec.(k) then begin
+          Hashtbl.replace value i vec.(k);
+          bump total i 1;
+          List.iter (fun j -> schedule (gate_delay j) j) (fanouts i)
+        end)
+      ins;
+    let rec drain () =
+      match Queue_.min_elt_opt !queue with
+      | None -> ()
+      | Some ((t, i) as ev) ->
+        queue := Queue_.remove ev !queue;
+        let v = eval_node i in
+        if v <> Hashtbl.find value i then begin
+          Hashtbl.replace value i v;
+          bump total i 1;
+          List.iter (fun j -> schedule (t +. gate_delay j) j) (fanouts i)
+        end;
+        drain ()
+    in
+    drain ()
+  in
+  let apply_vector vec =
+    (match model with
+    | Zero_delay ->
+      (* Same pass provides both counts. *)
+      List.iteri
+        (fun k i ->
+          if Hashtbl.find value i <> vec.(k) then begin
+            Hashtbl.replace value i vec.(k);
+            bump total i 1
+          end)
+        ins;
+      List.iter
+        (fun i ->
+          if not (Network.is_input net i) then begin
+            let v = eval_node i in
+            if v <> Hashtbl.find value i then begin
+              Hashtbl.replace value i v;
+              bump total i 1
+            end
+          end)
+        order
+    | Unit_delay | Node_delays ->
+      List.iteri
+        (fun k i ->
+          if Hashtbl.find settled i <> vec.(k) then bump functional i 1)
+        ins;
+      apply_vector_event vec);
+    match model with
+    | Zero_delay ->
+      (* Functional = total under zero delay. *)
+      ()
+    | Unit_delay | Node_delays -> apply_vector_zero_delay vec
+  in
+  let cycles = ref 0 in
+  List.iteri
+    (fun k vec ->
+      if k > 0 then begin
+        apply_vector vec;
+        incr cycles
+      end)
+    stream;
+  (match model with
+  | Zero_delay ->
+    Hashtbl.iter (fun i c -> Hashtbl.replace functional i c) total
+  | Unit_delay | Node_delays -> ());
+  { total; functional; cycles = !cycles }
+
+let node_activity r i =
+  if r.cycles = 0 then 0.0
+  else
+    float_of_int (Option.value (Hashtbl.find_opt r.total i) ~default:0)
+    /. float_of_int r.cycles
+
+let sum tbl = Hashtbl.fold (fun _ c acc -> acc + c) tbl 0
+
+let total_transitions r = sum r.total
+let functional_transitions r = sum r.functional
+
+let spurious_fraction r =
+  let t = total_transitions r in
+  if t = 0 then 0.0
+  else float_of_int (t - functional_transitions r) /. float_of_int t
+
+let switched_capacitance net r =
+  if r.cycles = 0 then 0.0
+  else
+    Hashtbl.fold
+      (fun i c acc -> acc +. (Network.cap net i *. float_of_int c))
+      r.total 0.0
+    /. float_of_int r.cycles
+
+let energy params net r =
+  Hashtbl.fold
+    (fun i c acc ->
+      acc
+      +. float_of_int c
+         *. Lowpower.Power_model.switching_energy_per_transition params
+              ~capacitance:(Network.cap net i))
+    r.total 0.0

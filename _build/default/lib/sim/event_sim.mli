@@ -1,0 +1,46 @@
+(** Event-driven gate-level simulation with transition counting.
+
+    The measurement instrument behind the glitching experiments (§III.A.2):
+    under a real (non-zero) delay model, unequal path delays cause nodes to
+    make {e spurious transitions} — several toggles within one clock cycle
+    before settling.  The simulator counts, per node, both total transitions
+    and {e functional} transitions (settled-value changes, i.e. what a
+    zero-delay simulation would see); the difference is glitch power.
+
+    Transport-delay semantics: every scheduled evaluation re-reads current
+    fanin values at its own timestamp, so pulses propagate and glitches are
+    not filtered. *)
+
+type delay_model =
+  | Zero_delay      (** all gates switch instantly: no glitches by construction *)
+  | Unit_delay      (** every gate has delay 1 *)
+  | Node_delays     (** use each node's [Network.delay] annotation *)
+
+type result = {
+  total : (Network.id, int) Hashtbl.t;
+      (** transitions per node over the whole stream *)
+  functional : (Network.id, int) Hashtbl.t;
+      (** settled-value changes per node *)
+  cycles : int;  (** number of vector-to-vector steps simulated *)
+}
+
+val run : Network.t -> delay_model -> Stimulus.t -> result
+(** Apply the vector stream, one vector per clock period (chosen longer than
+    the critical path so the circuit always settles).  Raises
+    [Invalid_argument] on arity mismatch or an empty stream. *)
+
+val node_activity : result -> Network.id -> float
+(** Average total transitions per cycle of one node. *)
+
+val total_transitions : result -> int
+val functional_transitions : result -> int
+
+val spurious_fraction : result -> float
+(** (total - functional) / total — the paper's "10% to 40%" quantity. *)
+
+val switched_capacitance : Network.t -> result -> float
+(** Capacitance-weighted total transitions per cycle. *)
+
+val energy : Lowpower.Power_model.params -> Network.t -> result -> float
+(** Switching energy in joules for the whole simulated stream, treating node
+    [cap] annotations as farads. *)

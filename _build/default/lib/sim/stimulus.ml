@@ -1,0 +1,58 @@
+type t = bool array list
+
+let random rng ~width ~length ?(prob = 0.5) () =
+  List.init length (fun _ ->
+      Array.init width (fun _ -> Lowpower.Rng.bernoulli rng prob))
+
+let correlated rng ~width ~length ?(prob = 0.5) ~hold () =
+  let state = Array.init width (fun _ -> Lowpower.Rng.bernoulli rng prob) in
+  List.init length (fun _ ->
+      let vec =
+        Array.init width (fun k ->
+            if Lowpower.Rng.bernoulli rng hold then state.(k)
+            else Lowpower.Rng.bernoulli rng prob)
+      in
+      Array.blit vec 0 state 0 width;
+      Array.copy vec)
+
+let per_line_probs rng ~probs ~length =
+  List.init length (fun _ ->
+      Array.map (fun p -> Lowpower.Rng.bernoulli rng p) probs)
+
+let bits_of_int width v = Array.init width (fun k -> v land (1 lsl k) <> 0)
+
+let counter ~width ~length =
+  List.init length (fun i -> bits_of_int width (i land ((1 lsl width) - 1)))
+
+let gray_counter ~width ~length =
+  List.init length (fun i ->
+      let g = i lxor (i lsr 1) in
+      bits_of_int width (g land ((1 lsl width) - 1)))
+
+let of_ints ~width vs = List.map (bits_of_int width) vs
+
+let walking_ones ~width ~length =
+  List.init length (fun i -> Array.init width (fun k -> k = i mod width))
+
+let concat = List.concat
+
+let transitions stream =
+  let rec go acc = function
+    | a :: (b :: _ as rest) ->
+      let d = ref 0 in
+      Array.iteri (fun k v -> if v <> b.(k) then incr d) a;
+      go (acc + !d) rest
+    | [ _ ] | [] -> acc
+  in
+  go 0 stream
+
+let empirical_probs = function
+  | [] -> [||]
+  | first :: _ as stream ->
+    let width = Array.length first in
+    let counts = Array.make width 0 in
+    List.iter
+      (fun vec -> Array.iteri (fun k v -> if v then counts.(k) <- counts.(k) + 1) vec)
+      stream;
+    let n = float_of_int (List.length stream) in
+    Array.map (fun c -> float_of_int c /. n) counts

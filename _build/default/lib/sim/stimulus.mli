@@ -1,0 +1,46 @@
+(** Input-vector streams for simulation-based power measurement.
+
+    Real workloads are both spatially biased (probability of a 1 per line)
+    and temporally correlated (a line tends to hold its value); both matter
+    for power, which is why the survey stresses "typical input streams"
+    (§IV.A) over white noise.  All generators are seeded and deterministic. *)
+
+type t = bool array list
+(** A sequence of input vectors, all of one width. *)
+
+val random :
+  Lowpower.Rng.t -> width:int -> length:int -> ?prob:float -> unit -> t
+(** Independent vectors; each bit is 1 with probability [prob] (default
+    0.5). *)
+
+val correlated :
+  Lowpower.Rng.t -> width:int -> length:int -> ?prob:float -> hold:float
+  -> unit -> t
+(** Markov per-line stream: each cycle a line keeps its previous value with
+    probability [hold], else it is redrawn with bias [prob].  [hold = 0]
+    degenerates to {!random}. *)
+
+val per_line_probs :
+  Lowpower.Rng.t -> probs:float array -> length:int -> t
+(** Independent vectors with a distinct bias per line. *)
+
+val counter : width:int -> length:int -> t
+(** Successive values of a binary up-counter (low activity on high bits). *)
+
+val gray_counter : width:int -> length:int -> t
+(** Gray-coded counter (exactly one transition per step). *)
+
+val of_ints : width:int -> int list -> t
+(** Encode integer words LSB-first. *)
+
+val walking_ones : width:int -> length:int -> t
+(** One-hot pattern rotating each cycle. *)
+
+val concat : t list -> t
+
+val transitions : t -> int
+(** Total bit transitions between consecutive vectors (the raw bus-activity
+    measure). *)
+
+val empirical_probs : t -> float array
+(** Fraction of cycles each line is 1. *)

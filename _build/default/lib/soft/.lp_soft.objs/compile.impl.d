@@ -1,0 +1,1 @@
+lib/soft/compile.ml: Array Dfg Energy_model Hashtbl Isa List Lowpower Machine Option

@@ -1,0 +1,1 @@
+lib/soft/compile.mli: Dfg Energy_model Isa Lowpower

@@ -1,0 +1,1 @@
+lib/soft/energy_model.ml: Isa

@@ -1,0 +1,1 @@
+lib/soft/energy_model.mli: Isa

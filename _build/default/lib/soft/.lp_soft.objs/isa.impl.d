@@ -1,0 +1,1 @@
+lib/soft/isa.ml: Format List

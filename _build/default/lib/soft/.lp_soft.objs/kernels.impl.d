@@ -1,0 +1,1 @@
+lib/soft/kernels.ml: Array Isa List Machine

@@ -1,0 +1,1 @@
+lib/soft/kernels.mli: Isa Machine

@@ -1,0 +1,1 @@
+lib/soft/machine.ml: Array Hashtbl Isa List Option

@@ -1,0 +1,1 @@
+lib/soft/machine.mli: Isa

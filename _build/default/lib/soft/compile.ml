@@ -1,0 +1,471 @@
+type options = {
+  memory_temps : bool;
+  registers : int;
+  use_mac : bool;
+  strength_reduction : bool;
+  cold_schedule : Energy_model.profile option;
+  pair : bool;
+}
+
+let naive =
+  {
+    memory_temps = true;
+    registers = 8;
+    use_mac = false;
+    strength_reduction = false;
+    cold_schedule = None;
+    pair = false;
+  }
+
+let optimized ?profile () =
+  {
+    memory_temps = false;
+    registers = 8;
+    use_mac = true;
+    strength_reduction = true;
+    cold_schedule = profile;
+    pair = (match profile with Some p -> p.Energy_model.pair_discount > 0.0 | None -> false);
+  }
+
+type compiled = {
+  program : Isa.program;
+  input_addrs : (string * int) list;
+  output_addrs : (string * int) list;
+}
+
+(* ---- code generation ---- *)
+
+type layout = {
+  input_of : string -> int;
+  mutable next_slot : int;
+  slots : (Dfg.id, int) Hashtbl.t; (* memory slot per DFG value *)
+}
+
+let slot_of layout i =
+  match Hashtbl.find_opt layout.slots i with
+  | Some a -> a
+  | None ->
+    let a = layout.next_slot in
+    layout.next_slot <- a + 1;
+    Hashtbl.add layout.slots i a;
+    a
+
+(* Naive selection: operands always loaded from memory into r0/r1, result
+   stored back.  One memory slot per DFG node. *)
+let gen_memory_temps opts dfg layout =
+  let code = ref [] in
+  let emit i = code := i :: !code in
+  let addr_of_value v = slot_of layout v in
+  List.iter
+    (fun i ->
+      match Dfg.op dfg i, Dfg.args dfg i with
+      | Dfg.Input nm, [] ->
+        emit (Isa.Ld (0, layout.input_of nm));
+        emit (Isa.St (addr_of_value i, 0))
+      | Dfg.Const c, [] ->
+        emit (Isa.Li (0, c));
+        emit (Isa.St (addr_of_value i, 0))
+      | Dfg.Add, [ a; b ] | Dfg.Sub, [ a; b ] | Dfg.Mul, [ a; b ] ->
+        emit (Isa.Ld (0, addr_of_value a));
+        emit (Isa.Ld (1, addr_of_value b));
+        (match Dfg.op dfg i with
+        | Dfg.Add -> emit (Isa.Add (2, 0, 1))
+        | Dfg.Sub -> emit (Isa.Sub (2, 0, 1))
+        | Dfg.Mul -> emit (Isa.Mul (2, 0, 1))
+        | _ -> assert false);
+        emit (Isa.St (addr_of_value i, 2))
+      | Dfg.Shift_left k, [ a ] ->
+        emit (Isa.Ld (0, addr_of_value a));
+        if opts.strength_reduction then emit (Isa.Shl (2, 0, k))
+        else begin
+          emit (Isa.Li (1, 1 lsl k));
+          emit (Isa.Mul (2, 0, 1))
+        end;
+        emit (Isa.St (addr_of_value i, 2))
+      | Dfg.Output _, [ a ] ->
+        emit (Isa.Ld (0, addr_of_value a));
+        emit (Isa.St (addr_of_value i, 0))
+      | (Dfg.Input _ | Dfg.Const _ | Dfg.Add | Dfg.Sub | Dfg.Mul
+        | Dfg.Shift_left _ | Dfg.Output _), _ ->
+        invalid_arg "Compile: corrupt DFG arity")
+    (Dfg.nodes dfg);
+  List.rev !code
+
+(* Register selection with Belady spilling.
+
+   Liveness runs on an explicit emission schedule, not on DFG node ids:
+   MAC-consumed multiplies are emitted at their accumulation root, so their
+   operands' last uses happen there, regardless of where the Mul node sits
+   in the DFG numbering. *)
+
+type emission =
+  | Emit_plain of Dfg.id                    (* ordinary op; defines its id *)
+  | Emit_mac of Dfg.id * Dfg.id             (* one product: uses x, y *)
+  | Emit_mac_root of Dfg.id                 (* Rdacc; defines the root id *)
+
+let gen_registers opts dfg layout =
+  if opts.registers < 3 || opts.registers > 8 then
+    invalid_arg "Compile: register budget must be in 3..8";
+  let code = ref [] in
+  let emit i = code := i :: !code in
+  let raw_use_count =
+    let uses = Hashtbl.create 32 in
+    List.iter
+      (fun i ->
+        List.iter
+          (fun a ->
+            Hashtbl.replace uses a
+              (1 + Option.value (Hashtbl.find_opt uses a) ~default:0))
+          (Dfg.args dfg i))
+      (Dfg.nodes dfg);
+    fun v -> Option.value (Hashtbl.find_opt uses v) ~default:0
+  in
+  (* MAC selection: single-use Add-trees over single-use Mul leaves. *)
+  let mac_products i =
+    if not opts.use_mac then None
+    else begin
+      let rec flatten i ~root =
+        match Dfg.op dfg i with
+        | Dfg.Add when root || raw_use_count i = 1 ->
+          (match Dfg.args dfg i with
+          | [ a; b ] ->
+            (match flatten a ~root:false, flatten b ~root:false with
+            | Some xs, Some ys -> Some (xs @ ys)
+            | _, _ -> None)
+          | _ -> None)
+        | Dfg.Mul when raw_use_count i = 1 ->
+          (match Dfg.args dfg i with
+          | [ a; b ] -> Some [ (i, a, b) ]
+          | _ -> None)
+        | Dfg.Input _ | Dfg.Const _ | Dfg.Add | Dfg.Sub | Dfg.Mul
+        | Dfg.Shift_left _ | Dfg.Output _ -> None
+      in
+      match flatten i ~root:true with
+      | Some products when List.length products >= 2 -> Some products
+      | Some _ | None -> None
+    end
+  in
+  (* Claim MAC trees, outermost roots first. *)
+  let mac_roots : (Dfg.id, (Dfg.id * Dfg.id * Dfg.id) list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let consumed : (Dfg.id, unit) Hashtbl.t = Hashtbl.create 8 in
+  let rec mark_consumed i ~root =
+    if not root then Hashtbl.replace consumed i ();
+    match Dfg.op dfg i with
+    | Dfg.Add when root || raw_use_count i = 1 ->
+      List.iter (fun a -> mark_consumed a ~root:false) (Dfg.args dfg i)
+    | Dfg.Mul | Dfg.Input _ | Dfg.Const _ | Dfg.Add | Dfg.Sub
+    | Dfg.Shift_left _ | Dfg.Output _ -> ()
+  in
+  List.iter
+    (fun i ->
+      if not (Hashtbl.mem consumed i) then
+        match mac_products i with
+        | Some products ->
+          Hashtbl.replace mac_roots i products;
+          mark_consumed i ~root:true
+        | None -> ())
+    (List.rev (Dfg.nodes dfg));
+  (* Emission schedule: consumed nodes vanish; a root expands into its
+     products (in Mul-id order) followed by the accumulator read. *)
+  let schedule =
+    List.concat_map
+      (fun i ->
+        if Hashtbl.mem consumed i then []
+        else
+          match Hashtbl.find_opt mac_roots i with
+          | Some products ->
+            let products =
+              List.sort (fun (a, _, _) (b, _, _) -> compare a b) products
+            in
+            List.map (fun (_, x, y) -> Emit_mac (x, y)) products
+            @ [ Emit_mac_root i ]
+          | None -> [ Emit_plain i ])
+      (Dfg.nodes dfg)
+  in
+  (* Use times per value, on the schedule's clock. *)
+  let uses : (Dfg.id, int list) Hashtbl.t = Hashtbl.create 32 in
+  List.iteri
+    (fun t item ->
+      let operands =
+        match item with
+        | Emit_plain i -> Dfg.args dfg i
+        | Emit_mac (x, y) -> [ x; y ]
+        | Emit_mac_root _ -> []
+      in
+      List.iter
+        (fun a ->
+          Hashtbl.replace uses a
+            (t :: Option.value (Hashtbl.find_opt uses a) ~default:[]))
+        operands)
+    schedule;
+  (* First use at or after [point]. *)
+  let next_use_from point v =
+    let rec first = function
+      | [] -> max_int
+      | u :: rest -> if u >= point then u else first rest
+    in
+    first (List.rev (Option.value (Hashtbl.find_opt uses v) ~default:[]))
+  in
+  let in_reg : (Dfg.id, Isa.reg) Hashtbl.t = Hashtbl.create 8 in
+  let reg_holds = Array.make 8 (-1) in
+  let spilled : (Dfg.id, unit) Hashtbl.t = Hashtbl.create 8 in
+  (* Round-robin starting point: spreading consecutive values over
+     different registers leaves the scheduler and the pairing pass freedom
+     (a load into the register a MAC just read cannot be paired with it). *)
+  let rr = ref 0 in
+  let free_reg point ~avoid =
+    let find () =
+      let n = opts.registers in
+      let rec go k =
+        if k >= n then None
+        else begin
+          let r = (!rr + k) mod n in
+          if reg_holds.(r) < 0 && not (List.mem r avoid) then Some r
+          else go (k + 1)
+        end
+      in
+      let r = go 0 in
+      (match r with Some r -> rr := (r + 1) mod n | None -> ());
+      r
+    in
+    match find () with
+    | Some r -> r
+    | None ->
+      (* Evict the value with the farthest next use (Belady). *)
+      let victim = ref (-1) and victim_use = ref (-1) in
+      for r = 0 to opts.registers - 1 do
+        if not (List.mem r avoid) then begin
+          let u = next_use_from point reg_holds.(r) in
+          if u > !victim_use then begin
+            victim_use := u;
+            victim := r
+          end
+        end
+      done;
+      let r = !victim in
+      if r < 0 then invalid_arg "Compile: register budget too small";
+      let v = reg_holds.(r) in
+      if v >= 0 then begin
+        if not (Hashtbl.mem spilled v) && next_use_from point v < max_int
+        then begin
+          emit (Isa.St (slot_of layout v, r));
+          Hashtbl.replace spilled v ()
+        end;
+        Hashtbl.remove in_reg v
+      end;
+      r
+  in
+  let assign point v ~avoid =
+    let r = free_reg point ~avoid in
+    reg_holds.(r) <- v;
+    Hashtbl.replace in_reg v r;
+    r
+  in
+  let materialize point v ~avoid =
+    match Hashtbl.find_opt in_reg v with
+    | Some r -> r
+    | None ->
+      let r = assign point v ~avoid in
+      emit (Isa.Ld (r, slot_of layout v));
+      r
+  in
+  let release_dead point vs =
+    List.iter
+      (fun v ->
+        if next_use_from (point + 1) v = max_int then
+          match Hashtbl.find_opt in_reg v with
+          | Some r ->
+            reg_holds.(r) <- -1;
+            Hashtbl.remove in_reg v
+          | None -> ())
+      vs
+  in
+  let mac_open = ref false in
+  List.iteri
+    (fun t item ->
+      match item with
+      | Emit_mac (x, y) ->
+        if not !mac_open then begin
+          emit Isa.Clracc;
+          mac_open := true
+        end;
+        let rx = materialize t x ~avoid:[] in
+        let ry = materialize t y ~avoid:[ rx ] in
+        emit (Isa.Mac (rx, ry));
+        release_dead t [ x; y ]
+      | Emit_mac_root i ->
+        mac_open := false;
+        let r = assign t i ~avoid:[] in
+        emit (Isa.Rdacc r)
+      | Emit_plain i ->
+        (match Dfg.op dfg i, Dfg.args dfg i with
+        | Dfg.Input nm, [] ->
+          let r = assign t i ~avoid:[] in
+          emit (Isa.Ld (r, layout.input_of nm))
+        | Dfg.Const c, [] ->
+          let r = assign t i ~avoid:[] in
+          emit (Isa.Li (r, c))
+        | (Dfg.Add | Dfg.Sub | Dfg.Mul), [ a; b ] ->
+          let ra = materialize t a ~avoid:[] in
+          let rb = materialize t b ~avoid:[ ra ] in
+          release_dead t [ a; b ];
+          let rd = assign t i ~avoid:[ ra; rb ] in
+          (match Dfg.op dfg i with
+          | Dfg.Add -> emit (Isa.Add (rd, ra, rb))
+          | Dfg.Sub -> emit (Isa.Sub (rd, ra, rb))
+          | Dfg.Mul -> emit (Isa.Mul (rd, ra, rb))
+          | _ -> assert false)
+        | Dfg.Shift_left k, [ a ] ->
+          let ra = materialize t a ~avoid:[] in
+          release_dead t [ a ];
+          let rd = assign t i ~avoid:[ ra ] in
+          if opts.strength_reduction then emit (Isa.Shl (rd, ra, k))
+          else begin
+            let rc = free_reg t ~avoid:[ ra; rd ] in
+            emit (Isa.Li (rc, 1 lsl k));
+            emit (Isa.Mul (rd, ra, rc))
+          end
+        | Dfg.Output _, [ a ] ->
+          let ra = materialize t a ~avoid:[] in
+          release_dead t [ a ];
+          emit (Isa.St (slot_of layout i, ra))
+        | (Dfg.Input _ | Dfg.Const _ | Dfg.Add | Dfg.Sub | Dfg.Mul
+          | Dfg.Shift_left _ | Dfg.Output _), _ ->
+          invalid_arg "Compile: corrupt DFG arity"))
+    schedule;
+  List.rev !code
+
+(* ---- cold scheduling ([40]): dependence-preserving greedy reorder ---- *)
+
+let depends before after =
+  let defs_b = Isa.defs before and uses_b = Isa.uses before in
+  let defs_a = Isa.defs after and uses_a = Isa.uses after in
+  let inter xs ys = List.exists (fun x -> List.mem x ys) xs in
+  inter defs_b uses_a (* RAW *)
+  || inter uses_b defs_a (* WAR *)
+  || inter defs_b defs_a (* WAW *)
+  || (Isa.writes_acc before && (Isa.reads_acc after || Isa.writes_acc after))
+  || (Isa.reads_acc before && Isa.writes_acc after)
+  || (match Isa.mem_addr before, Isa.mem_addr after with
+     | Some x, Some y when x = y ->
+       (match before, after with
+       | Isa.Ld _, Isa.Ld _ -> false
+       | _, _ -> true)
+     | _, _ -> false)
+
+let cold_schedule profile program =
+  let arr = Array.of_list program in
+  let n = Array.length arr in
+  let scheduled = Array.make n false in
+  let order = ref [] in
+  let prev_class = ref None in
+  for _ = 1 to n do
+    (* Ready = unscheduled with all dependence predecessors scheduled. *)
+    let best = ref (-1) and best_cost = ref infinity in
+    for i = 0 to n - 1 do
+      if not scheduled.(i) then begin
+        let ready = ref true in
+        for j = 0 to i - 1 do
+          if (not scheduled.(j)) && depends arr.(j) arr.(i) then ready := false
+        done;
+        if !ready then begin
+          let c = Energy_model.classify arr.(i) in
+          let cost =
+            match !prev_class with
+            | None -> 0.0
+            | Some pc -> profile.Energy_model.overhead pc c
+          in
+          if cost < !best_cost then begin
+            best_cost := cost;
+            best := i
+          end
+        end
+      end
+    done;
+    assert (!best >= 0);
+    scheduled.(!best) <- true;
+    prev_class := Some (Energy_model.classify arr.(!best));
+    order := arr.(!best) :: !order
+  done;
+  List.rev !order
+
+(* ---- pairing peephole ([23]) ---- *)
+
+let pair_pass program =
+  let rec go = function
+    | a :: b :: rest when Isa.pairable a b && not (depends a b) ->
+      Isa.Pair (a, b) :: go rest
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go program
+
+let compile opts dfg =
+  let input_addrs =
+    List.mapi (fun k (nm, _) -> (nm, k)) (Dfg.inputs dfg)
+  in
+  let layout =
+    {
+      input_of =
+        (fun nm ->
+          match List.assoc_opt nm input_addrs with
+          | Some a -> a
+          | None -> invalid_arg ("Compile: unknown input " ^ nm));
+      next_slot = List.length input_addrs + 64;
+      slots = Hashtbl.create 32;
+    }
+  in
+  let program =
+    if opts.memory_temps then gen_memory_temps opts dfg layout
+    else gen_registers opts dfg layout
+  in
+  let program =
+    match opts.cold_schedule with
+    | Some p -> cold_schedule p program
+    | None -> program
+  in
+  let program = if opts.pair then pair_pass program else program in
+  Isa.validate program;
+  let output_addrs =
+    List.map (fun (nm, i) -> (nm, slot_of layout i)) (Dfg.outputs dfg)
+  in
+  { program; input_addrs; output_addrs }
+
+let run compiled ?(width = 16) inputs =
+  let m = Machine.create ~width () in
+  List.iter
+    (fun (nm, addr) ->
+      match List.assoc_opt nm inputs with
+      | Some v -> Machine.poke m addr v
+      | None -> invalid_arg ("Compile.run: missing input " ^ nm))
+    compiled.input_addrs;
+  let cycles = Machine.run m compiled.program in
+  ( List.map (fun (nm, addr) -> (nm, Machine.peek m addr)) compiled.output_addrs,
+    cycles )
+
+let verify compiled dfg ~rng ~samples =
+  let m = (1 lsl Dfg.width dfg) - 1 in
+  let names = List.map fst (Dfg.inputs dfg) in
+  let rec go k =
+    if k = 0 then true
+    else begin
+      let env = List.map (fun nm -> (nm, Lowpower.Rng.int rng (m + 1))) names in
+      let expect = List.sort compare (Dfg.eval dfg env) in
+      let got, _ = run compiled ~width:(Dfg.width dfg) env in
+      if List.sort compare got = expect then go (k - 1) else false
+    end
+  in
+  go samples
+
+let measure compiled profile ?(width = 16) inputs =
+  let m = Machine.create ~width () in
+  List.iter
+    (fun (nm, addr) ->
+      match List.assoc_opt nm inputs with
+      | Some v -> Machine.poke m addr v
+      | None -> invalid_arg ("Compile.measure: missing input " ^ nm))
+    compiled.input_addrs;
+  let cycles = Machine.run m compiled.program in
+  (Energy_model.program_energy profile (Machine.executed m), cycles)

@@ -1,0 +1,53 @@
+(** A small compiler from data-flow graphs to the ISA, with the power-
+    relevant choices of §V exposed as options:
+
+    - {e instruction selection} ([45]): register temporaries vs memory
+      temporaries; MAC selection for sum-of-products; strength reduction of
+      constant multiplies;
+    - {e register allocation}: register operands are much cheaper than
+      memory operands, so fewer spills means less energy;
+    - {e cold scheduling} ([40]): reorder independent instructions to
+      minimize the circuit-state overhead between neighbours;
+    - {e instruction packing} ([23]): combine a load and a MAC into one
+      paired instruction on the DSP. *)
+
+type options = {
+  memory_temps : bool;   (** naive selection: all temporaries in memory *)
+  registers : int;       (** register budget (3..8) when not memory_temps *)
+  use_mac : bool;        (** select MAC for sum-of-products outputs *)
+  strength_reduction : bool;
+  cold_schedule : Energy_model.profile option;
+      (** reorder to minimize that profile's overhead *)
+  pair : bool;           (** pack Ld/Mac pairs (DSP only) *)
+}
+
+val naive : options
+(** Memory temporaries, no MAC, no scheduling, no pairing — the untuned
+    compiler of the paper's narrative. *)
+
+val optimized : ?profile:Energy_model.profile -> unit -> options
+(** Registers, MAC, strength reduction; cold scheduling and pairing when a
+    DSP profile is supplied. *)
+
+type compiled = {
+  program : Isa.program;
+  input_addrs : (string * int) list;
+  output_addrs : (string * int) list;
+}
+
+val compile : options -> Dfg.t -> compiled
+(** Raises [Invalid_argument] for register budgets outside 3..8. *)
+
+val run :
+  compiled -> ?width:int -> (string * int) list -> (string * int) list * int
+(** Execute on a fresh machine with the given named inputs; returns named
+    outputs and cycle count. *)
+
+val verify :
+  compiled -> Dfg.t -> rng:Lowpower.Rng.t -> samples:int -> bool
+(** Compiled code agrees with DFG semantics on random inputs. *)
+
+val measure :
+  compiled -> Energy_model.profile -> ?width:int -> (string * int) list
+  -> float * int
+(** [(energy, cycles)] of one execution under the given CPU profile. *)

@@ -1,0 +1,85 @@
+type instr_class = Cls_mem | Cls_alu | Cls_mul | Cls_mac | Cls_ctl
+
+let rec classify = function
+  | Isa.Ld _ | Isa.St _ | Isa.Ldx _ | Isa.Stx _ -> Cls_mem
+  | Isa.Mul _ -> Cls_mul
+  | Isa.Mac _ -> Cls_mac
+  | Isa.Li _ | Isa.Mov _ | Isa.Add _ | Isa.Addi _ | Isa.Sub _ | Isa.Shl _
+  | Isa.Rdacc _ | Isa.Clracc | Isa.Dec _ -> Cls_alu
+  | Isa.Nop | Isa.Bnz _ -> Cls_ctl
+  | Isa.Pair (a, b) ->
+    let rank = function
+      | Cls_mac -> 4 | Cls_mul -> 3 | Cls_mem -> 2 | Cls_alu -> 1 | Cls_ctl -> 0
+    in
+    let ca = classify a and cb = classify b in
+    if rank ca >= rank cb then ca else cb
+
+type profile = {
+  profile_name : string;
+  base : instr_class -> float;
+  overhead : instr_class -> instr_class -> float;
+  pair_discount : float;
+}
+
+let gp_cpu =
+  {
+    profile_name = "gp";
+    base =
+      (function
+      | Cls_mem -> 12.0
+      | Cls_alu -> 5.0
+      | Cls_mul -> 10.0
+      | Cls_mac -> 11.0
+      | Cls_ctl -> 3.0);
+    (* Large cores: circuit-state overhead is small and nearly uniform, so
+       reordering buys almost nothing ([46]'s finding). *)
+    overhead = (fun a b -> if a = b then 0.0 else 0.4);
+    pair_discount = 0.0;
+  }
+
+let dsp_cpu =
+  {
+    profile_name = "dsp";
+    base =
+      (function
+      | Cls_mem -> 6.0
+      | Cls_alu -> 2.5
+      | Cls_mul -> 7.0
+      | Cls_mac -> 7.5
+      | Cls_ctl -> 1.5);
+    overhead =
+      (fun a b ->
+        if a = b then 0.0
+        else
+          match a, b with
+          | (Cls_mem, Cls_mac | Cls_mac, Cls_mem) -> 3.5
+          | (Cls_mem, Cls_mul | Cls_mul, Cls_mem) -> 3.0
+          | (Cls_alu, Cls_mac | Cls_mac, Cls_alu) -> 2.0
+          | (Cls_alu, Cls_mul | Cls_mul, Cls_alu) -> 1.8
+          | (Cls_mul, Cls_mac | Cls_mac, Cls_mul) -> 1.0
+          | _, _ -> 1.0);
+    pair_discount = 4.0;
+  }
+
+let rec instr_energy p = function
+  | Isa.Pair (a, b) ->
+    instr_energy p a +. instr_energy p b -. p.pair_discount
+  | i -> p.base (classify i)
+
+let program_energy p stream =
+  let rec go prev acc = function
+    | [] -> acc
+    | i :: rest ->
+      let e = instr_energy p i in
+      let o =
+        match prev with
+        | None -> 0.0
+        | Some pc -> p.overhead pc (classify i)
+      in
+      go (Some (classify i)) (acc +. e +. o) rest
+  in
+  go None 0.0 stream
+
+let energy_per_cycle p stream ~cycles =
+  if cycles <= 0 then 0.0
+  else program_energy p stream /. float_of_int cycles

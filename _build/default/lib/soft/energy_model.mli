@@ -1,0 +1,47 @@
+(** Instruction-level power models (§V; [46] Tiwari et al., [23] Lee et al.).
+
+    The measurement methodology of [46] assigns each instruction a {e base
+    energy cost} (measured with the instruction in a loop) and each ordered
+    instruction pair a {e circuit-state overhead} (the extra current when
+    two different instructions alternate).  Program energy is the sum of
+    base costs plus pairwise overheads along the dynamic instruction
+    stream.
+
+    Two calibrated CPU profiles reproduce the paper's findings: on the
+    large general-purpose core the overhead matrix is nearly flat, so
+    instruction {e scheduling} barely matters and energy tracks cycle count
+    ("faster is lower energy"); on the small DSP core the overhead between
+    unit classes is comparable to base costs, so scheduling and packing
+    matter. *)
+
+type instr_class = Cls_mem | Cls_alu | Cls_mul | Cls_mac | Cls_ctl
+
+val classify : Isa.instr -> instr_class
+(** A [Pair] classifies as its higher-energy half. *)
+
+type profile = {
+  profile_name : string;
+  base : instr_class -> float;     (** nJ per instruction *)
+  overhead : instr_class -> instr_class -> float;
+      (** circuit-state cost when class [b] follows class [a] *)
+  pair_discount : float;
+      (** energy saved by issuing a legal pair as one instruction
+          (shared fetch/decode); 0 if pairing is unsupported *)
+}
+
+val gp_cpu : profile
+(** General-purpose core: high base costs, flat overhead. *)
+
+val dsp_cpu : profile
+(** Embedded DSP: low base costs, strong class-switch overhead, pairing
+    supported. *)
+
+val instr_energy : profile -> Isa.instr -> float
+(** Base energy (pairs get both halves minus the discount). *)
+
+val program_energy : profile -> Isa.instr list -> float
+(** Total energy of a dynamic instruction stream: bases plus inter-
+    instruction overheads. *)
+
+val energy_per_cycle : profile -> Isa.instr list -> cycles:int -> float
+(** Average power proxy. *)

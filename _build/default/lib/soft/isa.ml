@@ -1,0 +1,141 @@
+type reg = int
+
+type instr =
+  | Li of reg * int
+  | Ld of reg * int
+  | St of int * reg
+  | Ldx of reg * reg
+  | Stx of reg * reg
+  | Mov of reg * reg
+  | Add of reg * reg * reg
+  | Addi of reg * reg * int
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Shl of reg * reg * int
+  | Mac of reg * reg
+  | Clracc
+  | Rdacc of reg
+  | Dec of reg
+  | Bnz of reg * int
+  | Pair of instr * instr
+  | Nop
+
+type program = instr list
+
+let rec defs = function
+  | Li (d, _) | Ld (d, _) | Ldx (d, _) | Mov (d, _) | Add (d, _, _)
+  | Addi (d, _, _) | Sub (d, _, _) | Mul (d, _, _) | Shl (d, _, _)
+  | Rdacc d | Dec d ->
+    [ d ]
+  | St _ | Stx _ | Mac _ | Clracc | Nop | Bnz _ -> []
+  | Pair (a, b) -> defs a @ defs b
+
+let rec uses = function
+  | Li _ | Ld _ | Clracc | Nop -> []
+  | St (_, s) | Mov (_, s) | Shl (_, s, _) | Ldx (_, s) | Addi (_, s, _)
+  | Bnz (s, _) ->
+    [ s ]
+  | Stx (a, s) -> [ a; s ]
+  | Add (_, a, b) | Sub (_, a, b) | Mul (_, a, b) | Mac (a, b) -> [ a; b ]
+  | Dec d -> [ d ]
+  | Rdacc _ -> []
+  | Pair (a, b) -> uses a @ uses b
+
+let rec reads_acc = function
+  | Mac _ | Rdacc _ -> true
+  | Pair (a, b) -> reads_acc a || reads_acc b
+  | Li _ | Ld _ | St _ | Ldx _ | Stx _ | Mov _ | Add _ | Addi _ | Sub _
+  | Mul _ | Shl _ | Clracc | Nop | Dec _ | Bnz _ ->
+    false
+
+let rec writes_acc = function
+  | Mac _ | Clracc -> true
+  | Pair (a, b) -> writes_acc a || writes_acc b
+  | Li _ | Ld _ | St _ | Ldx _ | Stx _ | Mov _ | Add _ | Addi _ | Sub _
+  | Mul _ | Shl _ | Rdacc _ | Nop | Dec _ | Bnz _ ->
+    false
+
+let rec mem_addr = function
+  | Ld (_, a) | St (a, _) -> Some a
+  | Pair (x, y) ->
+    (match mem_addr x with Some a -> Some a | None -> mem_addr y)
+  | Li _ | Ldx _ | Stx _ | Mov _ | Add _ | Addi _ | Sub _ | Mul _ | Shl _
+  | Mac _ | Clracc | Rdacc _ | Nop | Dec _ | Bnz _ ->
+    None
+
+let rec touches_memory = function
+  | Ld _ | St _ | Ldx _ | Stx _ -> true
+  | Pair (a, b) -> touches_memory a || touches_memory b
+  | Li _ | Mov _ | Add _ | Addi _ | Sub _ | Mul _ | Shl _ | Mac _ | Clracc
+  | Rdacc _ | Nop | Dec _ | Bnz _ ->
+    false
+
+let is_branch = function Bnz _ -> true | _ -> false
+
+let pairable a b =
+  match a, b with
+  | Ld (d, _), Mac (s1, s2) | Ldx (d, _), Mac (s1, s2) -> d <> s1 && d <> s2
+  | Mac (s1, s2), Ld (d, _) | Mac (s1, s2), Ldx (d, _) -> d <> s1 && d <> s2
+  | _, _ -> false
+
+let check_reg r =
+  if r < 0 || r > 7 then invalid_arg "Isa: register out of range"
+
+let rec validate_instr n = function
+  | Li (d, _) | Ld (d, _) | Rdacc d | Dec d -> check_reg d
+  | St (_, s) -> check_reg s
+  | Ldx (d, a) | Stx (a, d) ->
+    check_reg d;
+    check_reg a
+  | Mov (d, s) | Addi (d, s, _) ->
+    check_reg d;
+    check_reg s
+  | Add (d, a, b) | Sub (d, a, b) | Mul (d, a, b) ->
+    check_reg d;
+    check_reg a;
+    check_reg b
+  | Shl (d, s, k) ->
+    check_reg d;
+    check_reg s;
+    if k < 0 || k > 30 then invalid_arg "Isa: shift amount out of range"
+  | Mac (a, b) ->
+    check_reg a;
+    check_reg b
+  | Bnz (s, target) ->
+    check_reg s;
+    if target < 0 || target >= n then
+      invalid_arg "Isa: branch target outside the program"
+  | Pair (a, b) ->
+    validate_instr n a;
+    validate_instr n b;
+    if not (pairable a b) then invalid_arg "Isa: illegal pair"
+  | Clracc | Nop -> ()
+
+let validate program =
+  let n = List.length program in
+  List.iter (validate_instr n) program
+
+let rec pp_instr ppf = function
+  | Ldx (d, a) -> Format.fprintf ppf "ldx r%d, [r%d]" d a
+  | Stx (a, s) -> Format.fprintf ppf "stx [r%d], r%d" a s
+  | Addi (d, s, v) -> Format.fprintf ppf "addi r%d, r%d, %d" d s v
+  | Dec d -> Format.fprintf ppf "dec r%d" d
+  | Bnz (s, t) -> Format.fprintf ppf "bnz r%d, %d" s t
+  | Li (d, v) -> Format.fprintf ppf "li r%d, %d" d v
+  | Ld (d, a) -> Format.fprintf ppf "ld r%d, [%d]" d a
+  | St (a, s) -> Format.fprintf ppf "st [%d], r%d" a s
+  | Mov (d, s) -> Format.fprintf ppf "mov r%d, r%d" d s
+  | Add (d, a, b) -> Format.fprintf ppf "add r%d, r%d, r%d" d a b
+  | Sub (d, a, b) -> Format.fprintf ppf "sub r%d, r%d, r%d" d a b
+  | Mul (d, a, b) -> Format.fprintf ppf "mul r%d, r%d, r%d" d a b
+  | Shl (d, s, k) -> Format.fprintf ppf "shl r%d, r%d, %d" d s k
+  | Mac (a, b) -> Format.fprintf ppf "mac r%d, r%d" a b
+  | Clracc -> Format.fprintf ppf "clracc"
+  | Rdacc d -> Format.fprintf ppf "rdacc r%d" d
+  | Pair (a, b) -> Format.fprintf ppf "{%a || %a}" pp_instr a pp_instr b
+  | Nop -> Format.fprintf ppf "nop"
+
+let pp ppf program =
+  Format.pp_open_vbox ppf 0;
+  List.iter (fun i -> Format.fprintf ppf "%a@," pp_instr i) program;
+  Format.pp_close_box ppf ()

@@ -1,0 +1,62 @@
+(** A small load/store ISA with a DSP extension (§V).
+
+    Eight general registers, a dedicated multiply-accumulate accumulator,
+    and word-addressed memory.  The DSP extension adds [Mac] and
+    instruction {e pairing} — a load and a MAC issued as one compacted
+    instruction, the feature [23] exploits on embedded DSPs. *)
+
+type reg = int
+(** 0..7. *)
+
+type instr =
+  | Li of reg * int          (** load immediate *)
+  | Ld of reg * int          (** load from memory address *)
+  | St of int * reg          (** store to memory address *)
+  | Ldx of reg * reg         (** dst <- mem[addr register] *)
+  | Stx of reg * reg         (** mem[addr register] <- src *)
+  | Mov of reg * reg
+  | Add of reg * reg * reg   (** dst, src1, src2 *)
+  | Addi of reg * reg * int  (** dst <- src + immediate *)
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Shl of reg * reg * int
+  | Mac of reg * reg         (** acc <- acc + src1 * src2 *)
+  | Clracc
+  | Rdacc of reg             (** dst <- acc *)
+  | Dec of reg               (** dst <- dst - 1 *)
+  | Bnz of reg * int         (** branch to absolute index if reg <> 0 *)
+  | Pair of instr * instr    (** DSP compaction; see {!pairable} *)
+  | Nop
+
+type program = instr list
+(** Code with optional backward branches ([Bnz]); the compiler emits only
+    straight-line programs, hand-built streaming kernels (see {!Kernels})
+    use loops. *)
+
+val pairable : instr -> instr -> bool
+(** Only [Ld] paired with [Mac], and only when the load's destination is
+    not a MAC source (the MAC reads the pre-load value otherwise, which the
+    compacted hardware does not support). *)
+
+val defs : instr -> reg list
+(** Registers written (accumulator excluded). *)
+
+val uses : instr -> reg list
+
+val reads_acc : instr -> bool
+val writes_acc : instr -> bool
+val mem_addr : instr -> int option
+(** Statically-known address touched, if any (indexed accesses return
+    [None]). *)
+
+val touches_memory : instr -> bool
+(** Any load or store, indexed or not. *)
+
+val is_branch : instr -> bool
+
+val validate : program -> unit
+(** Raises [Invalid_argument] on register indexes outside 0..7, illegal
+    pairs, or branch targets outside the program. *)
+
+val pp_instr : Format.formatter -> instr -> unit
+val pp : Format.formatter -> program -> unit

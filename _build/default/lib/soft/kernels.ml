@@ -1,0 +1,105 @@
+type fir_layout = {
+  x_base : int;
+  c_base : int;
+  y_base : int;
+}
+
+let fir_layout ~taps ~samples =
+  { x_base = 0; c_base = samples + taps + 8; y_base = (2 * (samples + taps)) + 16 }
+
+let check taps samples =
+  if taps < 1 || taps > 6 then invalid_arg "Kernels: taps in [1, 6]";
+  if samples < 1 then invalid_arg "Kernels: samples >= 1"
+
+let reference_fir ~taps ~samples ~coeffs ~xs ~width =
+  if List.length coeffs <> taps then invalid_arg "Kernels: coefficient count";
+  if List.length xs < samples + taps - 1 then
+    invalid_arg "Kernels: sample buffer too short";
+  let m = (1 lsl width) - 1 in
+  let x = Array.of_list xs and c = Array.of_list coeffs in
+  List.init samples (fun i ->
+      let acc = ref 0 in
+      for j = 0 to taps - 1 do
+        acc := (!acc + (c.(j) * x.(i + j))) land m
+      done;
+      !acc)
+
+(* Registers: r0 loop counter, r1 window base, r2 y pointer, r3 walking x
+   cursor, operand banks (r4, r5) and (r6, r7) alternating per tap.
+
+   The body is software-pipelined: tap j's loads issue before tap j-1's
+   MAC, so a Ldx sits next to an independent Mac of the other register
+   bank — exactly the adjacency the DSP pairing peephole packs. *)
+let fir_body ~taps ~(layout : fir_layout) =
+  let bank j = if j mod 2 = 0 then (4, 5) else (6, 7) in
+  let per_tap j =
+    let x, c = bank j in
+    let load =
+      [ Isa.Ldx (x, 3) ]
+      @ (if j > 0 then
+           let px, pc = bank (j - 1) in
+           [ Isa.Mac (px, pc) ]
+         else [])
+      @ [ Isa.Ld (c, layout.c_base + j); Isa.Addi (3, 3, 1) ]
+    in
+    load
+  in
+  let lx, lc = bank (taps - 1) in
+  [ Isa.Clracc; Isa.Addi (3, 1, 0) ]
+  @ List.concat (List.init taps per_tap)
+  @ [ Isa.Mac (lx, lc); Isa.Rdacc 4; Isa.Stx (2, 4); Isa.Addi (1, 1, 1);
+      Isa.Addi (2, 2, 1) ]
+
+(* Ld/Ldx followed or preceded by an independent Mac packs into a Pair. *)
+let pair_peephole body =
+  let independent a b =
+    let inter xs ys = List.exists (fun x -> List.mem x ys) xs in
+    (not (inter (Isa.defs a) (Isa.uses b)))
+    && (not (inter (Isa.uses a) (Isa.defs b)))
+    && not (inter (Isa.defs a) (Isa.defs b))
+  in
+  let rec go = function
+    | a :: b :: rest when Isa.pairable a b && independent a b ->
+      Isa.Pair (a, b) :: go rest
+    | a :: rest -> a :: go rest
+    | [] -> []
+  in
+  go body
+
+let streaming_fir ~taps ~samples ?(pair = false) () =
+  check taps samples;
+  let layout = fir_layout ~taps ~samples in
+  let body = fir_body ~taps ~layout in
+  let body = if pair then pair_peephole body else body in
+  let prologue =
+    [ Isa.Li (0, samples); Isa.Li (1, layout.x_base); Isa.Li (2, layout.y_base) ]
+  in
+  let loop_start = List.length prologue in
+  let program =
+    prologue @ body @ [ Isa.Dec 0; Isa.Bnz (0, loop_start) ]
+  in
+  Isa.validate program;
+  (program, layout)
+
+let unrolled_fir ~taps ~samples =
+  check taps samples;
+  let layout = fir_layout ~taps ~samples in
+  let per_sample i =
+    [ Isa.Clracc ]
+    @ List.concat
+        (List.init taps (fun j ->
+             [ Isa.Ld (4, layout.x_base + i + j);
+               Isa.Ld (5, layout.c_base + j);
+               Isa.Mac (4, 5) ]))
+    @ [ Isa.Rdacc 4; Isa.St (layout.y_base + i, 4) ]
+  in
+  let program = List.concat (List.init samples per_sample) in
+  Isa.validate program;
+  (program, layout)
+
+let load_fir_inputs m layout ~coeffs ~xs =
+  List.iteri (fun j c -> Machine.poke m (layout.c_base + j) c) coeffs;
+  List.iteri (fun i x -> Machine.poke m (layout.x_base + i) x) xs
+
+let read_fir_outputs m layout ~samples =
+  List.init samples (fun i -> Machine.peek m (layout.y_base + i))

@@ -1,0 +1,38 @@
+(** Hand-built streaming DSP kernels — looped programs over memory-resident
+    sample buffers, the shape of real embedded DSP code (§V, [23]).
+
+    The compiler ({!Compile}) emits straight-line code for one evaluation;
+    these kernels process [samples] outputs with one loop, trading a
+    per-iteration control overhead for constant code size.  Both forms are
+    verified against the same integer reference. *)
+
+type fir_layout = {
+  x_base : int;    (** samples x[0 .. samples + taps - 2], oldest first *)
+  c_base : int;    (** coefficients c[0 .. taps - 1] *)
+  y_base : int;    (** outputs y[0 .. samples - 1] *)
+}
+
+val fir_layout : taps:int -> samples:int -> fir_layout
+
+val reference_fir :
+  taps:int -> samples:int -> coeffs:int list -> xs:int list -> width:int
+  -> int list
+(** [y.(i) = sum_j c.(j) * x.(i + j)] with wrap-around at [width] bits. *)
+
+val streaming_fir :
+  taps:int -> samples:int -> ?pair:bool -> unit -> Isa.program * fir_layout
+(** One loop over the sample buffer: pointer walks with [Addi]/[Ldx], the
+    tap MACs unrolled inside the body, [Dec]/[Bnz] closing the loop.
+    [pair] (default false) runs the Ld/MAC packing peephole inside the
+    body (branch targets are recomputed).  Raises [Invalid_argument] for
+    [taps < 1], [samples < 1] or [taps > 6] (register budget). *)
+
+val unrolled_fir : taps:int -> samples:int -> Isa.program * fir_layout
+(** The same computation fully unrolled with static addresses — no loop
+    overhead, code size proportional to [samples]. *)
+
+val load_fir_inputs :
+  Machine.t -> fir_layout -> coeffs:int list -> xs:int list -> unit
+(** Poke coefficients and samples into memory per the layout. *)
+
+val read_fir_outputs : Machine.t -> fir_layout -> samples:int -> int list

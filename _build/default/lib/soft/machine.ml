@@ -1,0 +1,78 @@
+type t = {
+  width : int;
+  regs : int array;
+  mutable acc_v : int;
+  mem : (int, int) Hashtbl.t;
+  mutable trace : Isa.instr list; (* reversed *)
+}
+
+let create ?(width = 16) () =
+  if width < 1 || width > 30 then invalid_arg "Machine.create: width in [1,30]";
+  { width; regs = Array.make 8 0; acc_v = 0; mem = Hashtbl.create 64;
+    trace = [] }
+
+let mask t = (1 lsl t.width) - 1
+
+let poke t addr v = Hashtbl.replace t.mem addr (v land mask t)
+let peek t addr = Option.value (Hashtbl.find_opt t.mem addr) ~default:0
+let reg t r = t.regs.(r)
+let acc t = t.acc_v
+
+let rec latency = function
+  | Isa.Ld _ | Isa.St _ | Isa.Ldx _ | Isa.Stx _ | Isa.Mul _ | Isa.Mac _ -> 2
+  | Isa.Pair (a, b) -> max (latency a) (latency b)
+  | Isa.Li _ | Isa.Mov _ | Isa.Add _ | Isa.Addi _ | Isa.Sub _ | Isa.Shl _
+  | Isa.Clracc | Isa.Rdacc _ | Isa.Nop | Isa.Dec _ | Isa.Bnz _ -> 1
+
+(* [exec] returns the next-pc delta relative to fallthrough (branches
+   return an absolute target through [Jump]). *)
+exception Jump of int
+
+let rec exec t i =
+  let m = mask t in
+  match i with
+  | Isa.Ldx (d, a) -> t.regs.(d) <- peek t t.regs.(a)
+  | Isa.Stx (a, s) -> poke t t.regs.(a) t.regs.(s)
+  | Isa.Addi (d, s, v) -> t.regs.(d) <- (t.regs.(s) + v) land m
+  | Isa.Dec d -> t.regs.(d) <- (t.regs.(d) - 1) land m
+  | Isa.Bnz (s, target) -> if t.regs.(s) <> 0 then raise (Jump target)
+  | Isa.Li (d, v) -> t.regs.(d) <- v land m
+  | Isa.Ld (d, a) -> t.regs.(d) <- peek t a
+  | Isa.St (a, s) -> poke t a t.regs.(s)
+  | Isa.Mov (d, s) -> t.regs.(d) <- t.regs.(s)
+  | Isa.Add (d, a, b) -> t.regs.(d) <- (t.regs.(a) + t.regs.(b)) land m
+  | Isa.Sub (d, a, b) -> t.regs.(d) <- (t.regs.(a) - t.regs.(b)) land m
+  | Isa.Mul (d, a, b) -> t.regs.(d) <- t.regs.(a) * t.regs.(b) land m
+  | Isa.Shl (d, s, k) -> t.regs.(d) <- (t.regs.(s) lsl k) land m
+  | Isa.Mac (a, b) -> t.acc_v <- (t.acc_v + (t.regs.(a) * t.regs.(b))) land m
+  | Isa.Clracc -> t.acc_v <- 0
+  | Isa.Rdacc d -> t.regs.(d) <- t.acc_v
+  | Isa.Pair (a, b) ->
+    (* Both halves read pre-instruction state; pairable guarantees no
+       conflict, so sequential execution is equivalent. *)
+    exec t a;
+    exec t b
+  | Isa.Nop -> ()
+
+let fuel_limit = 2_000_000
+
+let run t program =
+  Isa.validate program;
+  t.trace <- [];
+  let code = Array.of_list program in
+  let cycles = ref 0 in
+  let pc = ref 0 in
+  let fuel = ref fuel_limit in
+  while !pc < Array.length code do
+    decr fuel;
+    if !fuel <= 0 then invalid_arg "Machine.run: instruction budget exceeded";
+    let i = code.(!pc) in
+    cycles := !cycles + latency i;
+    t.trace <- i :: t.trace;
+    (match exec t i with
+    | () -> incr pc
+    | exception Jump target -> pc := target)
+  done;
+  !cycles
+
+let executed t = List.rev t.trace

@@ -1,0 +1,26 @@
+(** Instruction-set simulator with cycle accounting. *)
+
+type t
+
+val create : ?width:int -> unit -> t
+(** Word width (default 16) for wrap-around arithmetic. *)
+
+val poke : t -> int -> int -> unit
+(** Write a memory word. *)
+
+val peek : t -> int -> int
+(** Read a memory word (0 if never written). *)
+
+val reg : t -> Isa.reg -> int
+val acc : t -> int
+
+val run : t -> Isa.program -> int
+(** Execute (following [Bnz] branches); returns total cycles.  Latencies:
+    memory and multiply/MAC instructions take 2 cycles, everything else 1;
+    a [Pair] takes the maximum of its halves (that is the compaction win).
+    Raises [Invalid_argument] after 2M dynamic instructions (runaway
+    loop guard). *)
+
+val executed : t -> Isa.instr list
+(** The dynamic instruction stream of the last {!run} (pairs kept intact) —
+    the input to {!Energy_model.program_energy}. *)

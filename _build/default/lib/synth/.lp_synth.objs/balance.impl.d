@@ -1,0 +1,1 @@
+lib/synth/balance.ml: Expr Hashtbl List Network Printf

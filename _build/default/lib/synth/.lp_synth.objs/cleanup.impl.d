@@ -1,0 +1,1 @@
+lib/synth/cleanup.ml: Expr Hashtbl List Network

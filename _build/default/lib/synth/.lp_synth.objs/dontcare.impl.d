@@ -1,0 +1,1 @@
+lib/synth/dontcare.ml: Array Bdd Cover Expr Float Hashtbl List Network Option Probability Truth_table

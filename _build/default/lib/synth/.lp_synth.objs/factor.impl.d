@@ -1,0 +1,1 @@
+lib/synth/factor.ml: Bdd Expr Hashtbl List Network Printf

@@ -1,0 +1,1 @@
+lib/synth/factor.mli: Expr Network

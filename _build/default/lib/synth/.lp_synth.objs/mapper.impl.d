@@ -1,0 +1,1 @@
+lib/synth/mapper.ml: Activity Array Expr Hashtbl List Network Option Printf Subject Techlib

@@ -1,0 +1,1 @@
+lib/synth/mapper.mli: Activity Network Techlib

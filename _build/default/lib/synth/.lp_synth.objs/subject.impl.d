@@ -1,0 +1,1 @@
+lib/synth/subject.ml: Array Expr Float Hashtbl List Network

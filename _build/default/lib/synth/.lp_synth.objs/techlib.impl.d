@@ -1,0 +1,1 @@
+lib/synth/techlib.ml: Expr List Truth_table

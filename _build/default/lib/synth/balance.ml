@@ -1,0 +1,94 @@
+let buffer_func = Expr.Var 0
+
+let levels net =
+  let lv = Hashtbl.create 64 in
+  List.iter
+    (fun i ->
+      if Network.is_input net i then Hashtbl.replace lv i 0
+      else
+        let d =
+          List.fold_left
+            (fun d j -> max d (Hashtbl.find lv j))
+            0 (Network.fanins net i)
+        in
+        Hashtbl.replace lv i (d + 1))
+    (Network.topo_order net);
+  lv
+
+let imbalance net =
+  let lv = levels net in
+  List.fold_left
+    (fun acc i ->
+      if Network.is_input net i then acc
+      else
+        let fls = List.map (Hashtbl.find lv) (Network.fanins net i) in
+        let top = List.fold_left max 0 fls in
+        List.fold_left (fun acc l -> acc + (top - l)) acc fls)
+    0 (Network.node_ids net)
+
+let pad ?(budget = max_int) ?(buffer_cap = 0.5) ~keep net0 =
+  let net = Network.copy net0 in
+  let lv = levels net in
+  (* Gaps computed on the original structure; padding a fanin of g does not
+     change any other node's level. *)
+  let gaps =
+    List.concat_map
+      (fun g ->
+        if Network.is_input net g then []
+        else begin
+          let fanins = Network.fanins net g in
+          let fls = List.map (Hashtbl.find lv) fanins in
+          let top = List.fold_left max 0 fls in
+          List.filteri (fun _ _ -> true)
+            (List.mapi
+               (fun pos f -> (g, pos, f, top - Hashtbl.find lv f))
+               fanins)
+          |> List.filter (fun (_, _, _, gap) -> gap > 0 && keep gap)
+        end)
+      (Network.node_ids net)
+  in
+  let gaps =
+    List.sort (fun (_, _, _, a) (_, _, _, b) -> compare b a) gaps
+  in
+  let inserted = ref 0 in
+  let chains = Hashtbl.create 16 in
+  (* Chain of k buffers above node f, shared between positions of the same
+     gate and across gates (a buffered signal is a buffered signal). *)
+  let rec chain f k =
+    if k <= 0 then f
+    else
+      match Hashtbl.find_opt chains (f, k) with
+      | Some b -> b
+      | None ->
+        let below = chain f (k - 1) in
+        let b =
+          Network.add_node ~name:(Printf.sprintf "buf%d_%d" f k) ~delay:1.0
+            ~cap:buffer_cap net buffer_func [ below ]
+        in
+        incr inserted;
+        Hashtbl.replace chains (f, k) b;
+        b
+  in
+  List.iter
+    (fun (g, pos, f, gap) ->
+      if !inserted < budget then begin
+        let k = min gap (budget - !inserted) in
+        let b = chain f k in
+        let fanins =
+          List.mapi
+            (fun p fi -> if p = pos then b else fi)
+            (Network.fanins net g)
+        in
+        Network.replace_func net g (Network.func net g) fanins
+      end)
+    gaps;
+  (net, !inserted)
+
+let balance ?budget ?buffer_cap net =
+  pad ?budget ?buffer_cap ~keep:(fun _ -> true) net
+
+let selective net ~threshold =
+  pad ~keep:(fun gap -> gap > threshold) net
+
+let pad_selective ?buffer_cap net ~threshold =
+  pad ?buffer_cap ~keep:(fun gap -> gap > threshold) net

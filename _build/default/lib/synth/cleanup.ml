@@ -1,0 +1,105 @@
+(* Substitute fanin [victim] of node [user] by rewriting [user]'s function
+   so that references to position [pos] become [replacement]. *)
+let rewrite_fanin net user pos replacement =
+  let fanins = Network.fanins net user in
+  let updated = List.mapi (fun k f -> if k = pos then replacement else f) fanins in
+  Network.replace_func net user (Network.func net user) updated
+
+let propagate_constants net =
+  let changed = ref 0 in
+  List.iter
+    (fun i ->
+      if not (Network.is_input net i) then
+        match Network.func net i with
+        | Expr.Const b ->
+          (* Fold this constant into every fanout's local function. *)
+          List.iter
+            (fun user ->
+              let fanins = Network.fanins net user in
+              let f = Network.func net user in
+              let f' =
+                Expr.map_vars
+                  (fun v ->
+                    if List.nth fanins v = i then Expr.Const b else Expr.var v)
+                  f
+              in
+              if not (Expr.equal f f') then begin
+                Network.replace_func net user f' fanins;
+                incr changed
+              end)
+            (Network.fanouts net i)
+        | Expr.Var _ | Expr.Not _ | Expr.And _ | Expr.Or _ | Expr.Xor _ -> ())
+    (Network.node_ids net);
+  !changed
+
+(* The signal a node forwards unchanged, if any. *)
+let forwarded net i =
+  if Network.is_input net i then None
+  else
+    match Network.func net i, Network.fanins net i with
+    | Expr.Var 0, [ f ] -> Some f
+    | Expr.Not (Expr.Var 0), [ f ] ->
+      (* Double inverter: forward the inner inverter's source. *)
+      if Network.is_input net f then None
+      else (
+        match Network.func net f, Network.fanins net f with
+        | Expr.Not (Expr.Var 0), [ g ] -> Some g
+        | _, _ -> None)
+    | _, _ -> None
+
+let collapse_buffers net =
+  let changed = ref 0 in
+  List.iter
+    (fun i ->
+      match forwarded net i with
+      | None -> ()
+      | Some source ->
+        List.iter
+          (fun user ->
+            let fanins = Network.fanins net user in
+            List.iteri
+              (fun pos f ->
+                if f = i then begin
+                  rewrite_fanin net user pos source;
+                  incr changed
+                end)
+              fanins)
+          (Network.fanouts net i))
+    (Network.node_ids net);
+  !changed
+
+(* Drop fanins the local function no longer reads (left behind by constant
+   propagation), renumbering the expression's variables. *)
+let trim_fanins net =
+  let changed = ref 0 in
+  List.iter
+    (fun i ->
+      if not (Network.is_input net i) then begin
+        let f = Network.func net i in
+        let fanins = Network.fanins net i in
+        let support = Expr.support f in
+        if List.length support <> List.length fanins then begin
+          let keep = List.map (fun v -> List.nth fanins v) support in
+          let remap =
+            let tbl = Hashtbl.create 8 in
+            List.iteri (fun pos v -> Hashtbl.replace tbl v pos) support;
+            fun v -> Hashtbl.find tbl v
+          in
+          Network.replace_func net i (Expr.rename_vars remap f) keep;
+          incr changed
+        end
+      end)
+    (Network.node_ids net);
+  !changed
+
+let sweep = Network.sweep
+
+let run net =
+  let rec go total =
+    let c =
+      propagate_constants net + collapse_buffers net + trim_fanins net
+      + sweep net
+    in
+    if c = 0 then total else go (total + c)
+  in
+  go 0

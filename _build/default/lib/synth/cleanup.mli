@@ -1,0 +1,27 @@
+(** Structural network cleanup — the janitorial pass every synthesis flow
+    runs between optimizations: constant propagation, double-inverter
+    collapsing, single-fanin identity removal, and dead-node sweeping.
+
+    All rewrites are local and function-preserving; [run] returns the
+    number of changes so callers can iterate other passes to fixpoint. *)
+
+val propagate_constants : Network.t -> int
+(** Fold constant node functions into their fanouts ([f(…, 1, …)] becomes
+    the cofactor); constant nodes that end up dead are left for {!sweep}.
+    Returns the number of fanout rewrites. *)
+
+val collapse_buffers : Network.t -> int
+(** Rewire fanouts of identity nodes ([Var 0]) and double inverters
+    directly to the underlying signal.  Output references are preserved
+    (an output pointing at a buffer keeps the buffer). *)
+
+val trim_fanins : Network.t -> int
+(** Remove fanin references the node's function no longer reads (left
+    behind by constant propagation), renumbering variables. *)
+
+val sweep : Network.t -> int
+(** [Network.sweep]: drop nodes unreachable from any output. *)
+
+val run : Network.t -> int
+(** All three, iterated until no pass changes anything; returns total
+    changes. *)

@@ -1,0 +1,247 @@
+type dc = {
+  node : Network.id;
+  local_onset : Truth_table.t;
+  dontcare : Truth_table.t;
+}
+
+type policy =
+  | For_area
+  | For_power of float array
+  | For_power_fanout of float array
+
+(* Global BDDs of all nodes, with node [n]'s function replaced by the free
+   variable [z] (used to detect observability). *)
+let global_with_free man net n z =
+  let bdds = Hashtbl.create 64 in
+  List.iteri (fun k i -> Hashtbl.replace bdds i (Bdd.var man k)) (Network.inputs net);
+  List.iter
+    (fun i ->
+      if not (Network.is_input net i) then
+        if i = n then Hashtbl.replace bdds i z
+        else begin
+          let fanins =
+            Array.of_list
+              (List.map (Hashtbl.find bdds) (Network.fanins net i))
+          in
+          let rec build = function
+            | Expr.Const b -> if b then Bdd.tru man else Bdd.fls man
+            | Expr.Var v -> fanins.(v)
+            | Expr.Not e -> Bdd.not_ man (build e)
+            | Expr.And es -> Bdd.and_list man (List.map build es)
+            | Expr.Or es -> Bdd.or_list man (List.map build es)
+            | Expr.Xor (a, b) -> Bdd.xor man (build a) (build b)
+          in
+          Hashtbl.replace bdds i (build (Network.func net i))
+        end)
+    (Network.topo_order net);
+  bdds
+
+let compute net n =
+  if Network.is_input net n then invalid_arg "Dontcare.compute: input node";
+  let fanins = Network.fanins net n in
+  let k = List.length fanins in
+  if k > 16 then invalid_arg "Dontcare.compute: more than 16 fanins";
+  let npi = List.length (Network.inputs net) in
+  let man = Bdd.manager () in
+  let globals = Network.global_bdds net man in
+  (* Variables: 0..npi-1 are primary inputs; npi..npi+k-1 stand for the
+     fanin values y; npi+k is the free variable z. *)
+  let yvar j = npi + j in
+  let zvar = npi + k in
+  let pis = List.init npi (fun i -> i) in
+  (* Consistency relation C(x, y). *)
+  let consistency =
+    Bdd.and_list man
+      (List.mapi
+         (fun j fi ->
+           Bdd.xnor man (Bdd.var man (yvar j)) (Hashtbl.find globals fi))
+         fanins)
+  in
+  let sdc = Bdd.not_ man (Bdd.exists man pis consistency) in
+  (* Observability: outputs as functions of x and z. *)
+  let free = global_with_free man net n (Bdd.var man zvar) in
+  let odc_global =
+    List.fold_left
+      (fun acc (_, o) ->
+        let fo = Hashtbl.find free o in
+        let sens =
+          Bdd.xor man (Bdd.restrict man fo zvar true)
+            (Bdd.restrict man fo zvar false)
+        in
+        Bdd.and_ man acc (Bdd.not_ man sens))
+      (Bdd.tru man) (Network.outputs net)
+  in
+  (* y is a local ODC iff every x consistent with y is globally
+     unobservable. *)
+  let odc_local =
+    Bdd.not_ man
+      (Bdd.exists man pis
+         (Bdd.and_ man consistency (Bdd.not_ man odc_global)))
+  in
+  let dc_bdd = Bdd.or_ man sdc odc_local in
+  let tt_of bdd =
+    Truth_table.of_fun k (fun code ->
+        Bdd.eval bdd (fun v ->
+            if v >= npi && v < npi + k then code land (1 lsl (v - npi)) <> 0
+            else false))
+  in
+  let local_onset = Truth_table.of_expr k (Network.func net n) in
+  { node = n; local_onset; dontcare = tt_of dc_bdd }
+
+let minimized_candidates d =
+  let k = Truth_table.num_vars d.local_onset in
+  let care = Truth_table.not_ d.dontcare in
+  let onset_care = Truth_table.and_ d.local_onset care in
+  let dc_cover = Cover.of_truth_table d.dontcare in
+  (* Three assignments of the don't-cares: free (minimizer decides), all to
+     0 (low probability bias), all to 1 (high probability bias). *)
+  let free_min =
+    Cover.minimize ~dc:dc_cover (Cover.of_truth_table onset_care)
+  in
+  let zero_min = Cover.minimize (Cover.of_truth_table onset_care) in
+  let one_min =
+    Cover.minimize
+      (Cover.of_truth_table (Truth_table.or_ d.local_onset d.dontcare))
+  in
+  ignore k;
+  [ free_min; zero_min; one_min ]
+
+let candidate_probability net n cand ~input_probs =
+  let man = Bdd.manager () in
+  let globals = Network.global_bdds net man in
+  let fanins =
+    Array.of_list
+      (List.map (fun j -> Hashtbl.find globals j) (Network.fanins net n))
+  in
+  let rec build = function
+    | Expr.Const b -> if b then Bdd.tru man else Bdd.fls man
+    | Expr.Var v -> fanins.(v)
+    | Expr.Not e -> Bdd.not_ man (build e)
+    | Expr.And es -> Bdd.and_list man (List.map build es)
+    | Expr.Or es -> Bdd.or_list man (List.map build es)
+    | Expr.Xor (a, b) -> Bdd.xor man (build a) (build b)
+  in
+  Bdd.probability man (fun v -> input_probs.(v)) (build (Cover.to_expr cand))
+
+(* Capacitance-weighted activity of a node set under exact probabilities,
+   with node [n]'s local function temporarily replaced by [cand]. *)
+let fanout_cost net n cand ~input_probs =
+  let fanout = Hashtbl.create 16 in
+  let rec mark i =
+    if not (Hashtbl.mem fanout i) then begin
+      Hashtbl.replace fanout i ();
+      List.iter mark (Network.fanouts net i)
+    end
+  in
+  mark n;
+  let old_f = Network.func net n in
+  let fanins = Network.fanins net n in
+  Network.replace_func net n (Cover.to_expr cand) fanins;
+  let probs = Probability.exact net ~input_probs in
+  Network.replace_func net n old_f fanins;
+  Hashtbl.fold
+    (fun i () acc ->
+      let p = Hashtbl.find probs i in
+      acc +. (Network.cap net i *. 2.0 *. p *. (1.0 -. p)))
+    fanout 0.0
+
+let optimize_node net policy n =
+  if Network.is_input net n || List.length (Network.fanins net n) > 16 then
+    false
+  else begin
+    let d = compute net n in
+    let cands = minimized_candidates d in
+    let current_lits = Expr.literal_count (Network.func net n) in
+    let chosen =
+      match policy with
+      | For_power_fanout input_probs ->
+        let scored =
+          List.map
+            (fun c -> (fanout_cost net n c ~input_probs, Cover.literal_count c, c))
+            cands
+        in
+        let best =
+          List.fold_left
+            (fun acc (a, l, c) ->
+              match acc with
+              | None -> Some (a, l, c)
+              | Some (ba, bl, _) ->
+                if a < ba -. 1e-12 || (Float.abs (a -. ba) <= 1e-12 && l < bl)
+                then Some (a, l, c)
+                else acc)
+            None scored
+        in
+        Option.map (fun (_, _, c) -> c) best
+      | For_area ->
+        let best =
+          List.fold_left
+            (fun acc c ->
+              match acc with
+              | None -> Some c
+              | Some b ->
+                if Cover.literal_count c < Cover.literal_count b then Some c
+                else acc)
+            None cands
+        in
+        best
+      | For_power input_probs ->
+        let activity c =
+          let p = candidate_probability net n c ~input_probs in
+          2.0 *. p *. (1.0 -. p)
+        in
+        let scored = List.map (fun c -> (activity c, Cover.literal_count c, c)) cands in
+        let best =
+          List.fold_left
+            (fun acc (a, l, c) ->
+              match acc with
+              | None -> Some (a, l, c)
+              | Some (ba, bl, _) ->
+                if a < ba -. 1e-12 || (Float.abs (a -. ba) <= 1e-12 && l < bl)
+                then Some (a, l, c)
+                else acc)
+            None scored
+        in
+        Option.map (fun (_, _, c) -> c) best
+    in
+    match chosen with
+    | None -> false
+    | Some cover ->
+      let expr = Cover.to_expr cover in
+      let improves =
+        match policy with
+        | For_power_fanout input_probs ->
+          let old_cov =
+            Cover.of_truth_table
+              (Truth_table.of_expr
+                 (List.length (Network.fanins net n))
+                 (Network.func net n))
+          in
+          fanout_cost net n cover ~input_probs
+          < fanout_cost net n old_cov ~input_probs -. 1e-12
+        | For_area -> Expr.literal_count expr < current_lits
+        | For_power input_probs ->
+          let old_cov =
+            Cover.of_truth_table (Truth_table.of_expr
+              (List.length (Network.fanins net n)) (Network.func net n))
+          in
+          let old_p = candidate_probability net n old_cov ~input_probs in
+          let new_p = candidate_probability net n cover ~input_probs in
+          let act p = 2.0 *. p *. (1.0 -. p) in
+          act new_p < act old_p -. 1e-12
+          || (Float.abs (act new_p -. act old_p) <= 1e-12
+             && Expr.literal_count expr < current_lits)
+      in
+      if improves && not (Expr.equal expr (Network.func net n)) then begin
+        Network.replace_func net n expr (Network.fanins net n);
+        true
+      end
+      else false
+  end
+
+let optimize net policy =
+  List.fold_left
+    (fun changed i ->
+      if Network.is_input net i then changed
+      else if optimize_node net policy i then changed + 1
+      else changed)
+    0 (Network.topo_order net)

@@ -1,0 +1,308 @@
+type sop = int list list
+
+let lit_pos v = 2 * v
+let lit_neg v = (2 * v) + 1
+let lit_var l = l / 2
+let lit_is_pos l = l land 1 = 0
+
+let canon_cube c = List.sort_uniq compare c
+let canon f = List.sort_uniq compare (List.map canon_cube f)
+
+let sop_of_expr e =
+  let lit_of = function
+    | Expr.Var v -> lit_pos v
+    | Expr.Not (Expr.Var v) -> lit_neg v
+    | _ -> invalid_arg "Factor.sop_of_expr: not a literal"
+  in
+  let cube_of = function
+    | Expr.And ls -> List.map lit_of ls
+    | (Expr.Var _ | Expr.Not (Expr.Var _)) as l -> [ lit_of l ]
+    | Expr.Const true -> []
+    | _ -> invalid_arg "Factor.sop_of_expr: not a cube"
+  in
+  match e with
+  | Expr.Or cs -> canon (List.map cube_of cs)
+  | Expr.Const false -> []
+  | e -> canon [ cube_of e ]
+
+let expr_of_sop f =
+  let lit l =
+    if lit_is_pos l then Expr.var (lit_var l)
+    else Expr.not_ (Expr.var (lit_var l))
+  in
+  Expr.or_list (List.map (fun c -> Expr.and_list (List.map lit c)) f)
+
+let sop_literals f = List.fold_left (fun n c -> n + List.length c) 0 f
+
+let cube_contains big small = List.for_all (fun l -> List.mem l big) small
+
+let cube_minus big small = List.filter (fun l -> not (List.mem l small)) big
+
+let divide_by_cube f c =
+  let q, r =
+    List.partition_map
+      (fun cube ->
+        if cube_contains cube c then Left (cube_minus cube c) else Right cube)
+      f
+  in
+  (canon q, canon r)
+
+let divide f d =
+  match d with
+  | [] -> ([], f)
+  | first :: rest ->
+    let q0, _ = divide_by_cube f first in
+    let q =
+      List.fold_left
+        (fun q c ->
+          let qc, _ = divide_by_cube f c in
+          List.filter (fun cube -> List.mem cube qc) q)
+        q0 rest
+    in
+    let q = canon q in
+    let product =
+      canon
+        (List.concat_map
+           (fun qc -> List.map (fun dc -> canon_cube (qc @ dc)) d)
+           q)
+    in
+    let r = List.filter (fun cube -> not (List.mem cube product)) f in
+    (q, canon r)
+
+let largest_common_cube = function
+  | [] -> []
+  | first :: rest ->
+    List.fold_left
+      (fun acc cube -> List.filter (fun l -> List.mem l cube) acc)
+      first rest
+
+let make_cube_free f =
+  let c = largest_common_cube f in
+  if c = [] then canon f else fst (divide_by_cube f c)
+
+let is_cube_free f = largest_common_cube f = [] && List.length f > 1
+
+(* All kernels via the classic recursive literal-cofactoring procedure. *)
+let kernels f =
+  let f = canon f in
+  let results = ref [] in
+  let seen = Hashtbl.create 32 in
+  let add co k =
+    let key = canon k in
+    if List.length key >= 2 && not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      results := (canon_cube co, key) :: !results
+    end
+  in
+  let literals_of g =
+    List.sort_uniq compare (List.concat g)
+  in
+  let rec kernel1 min_lit g co =
+    let lits = literals_of g in
+    List.iter
+      (fun l ->
+        if l >= min_lit then begin
+          let count =
+            List.length (List.filter (fun c -> List.mem l c) g)
+          in
+          if count >= 2 then begin
+            let q, _ = divide_by_cube g [ l ] in
+            let common = largest_common_cube q in
+            (* Skip if the common cube contains a literal smaller than l:
+               this kernel was found from that smaller literal already. *)
+            if not (List.exists (fun x -> x < l) common) then begin
+              let h = if common = [] then q else fst (divide_by_cube q common) in
+              let co' = canon_cube (co @ (l :: common)) in
+              add co' h;
+              kernel1 (l + 1) h co'
+            end
+          end
+        end)
+      lits
+  in
+  let f_cf = make_cube_free f in
+  if List.length f_cf >= 2 then add (largest_common_cube f) f_cf;
+  kernel1 0 f [];
+  !results
+
+type cost =
+  | Literals
+  | Activity of { weight : int -> float; prob : int -> float }
+
+let sop_cost cost f =
+  match cost with
+  | Literals -> float_of_int (sop_literals f)
+  | Activity { weight; _ } ->
+    List.fold_left
+      (fun acc c ->
+        List.fold_left (fun acc l -> acc +. weight (lit_var l)) acc c)
+      0.0 f
+
+type extraction = {
+  functions : (string * sop) list;
+  defs : (int * sop) list;
+  nvars : int;
+}
+
+(* Probability of an SOP treating its variables as independent with the
+   given 1-probabilities — used to derive the activity weight of a freshly
+   extracted signal. *)
+let sop_probability prob f =
+  let man = Bdd.manager () in
+  Bdd.probability man prob (Bdd.of_expr man (expr_of_sop f))
+
+let extract ?(max_new = 50) cost ~nvars functions =
+  let weights = Hashtbl.create 16 and probs = Hashtbl.create 16 in
+  (match cost with
+  | Literals -> ()
+  | Activity { weight; prob } ->
+    for v = 0 to nvars - 1 do
+      Hashtbl.replace weights v (weight v);
+      Hashtbl.replace probs v (prob v)
+    done);
+  let current_cost () =
+    match cost with
+    | Literals -> Literals
+    | Activity _ ->
+      Activity
+        {
+          weight = (fun v -> Hashtbl.find weights v);
+          prob = (fun v -> Hashtbl.find probs v);
+        }
+  in
+  let funcs = ref (List.map (fun (n, f) -> (n, canon f)) functions) in
+  let defs = ref [] in
+  let next_var = ref nvars in
+  let rec loop rounds =
+    if rounds >= max_new then ()
+    else begin
+      let cst = current_cost () in
+      (* Candidate divisors: all kernels of all current functions. *)
+      let candidates =
+        List.sort_uniq compare
+          (List.concat_map (fun (_, f) -> List.map snd (kernels f)) !funcs)
+      in
+      let value k =
+        (* Saving from rewriting every function as q*t + r. *)
+        let new_var_weight =
+          match cst with
+          | Literals -> 1.0
+          | Activity { prob; _ } ->
+            let p = sop_probability prob k in
+            2.0 *. p *. (1.0 -. p)
+        in
+        let saving =
+          List.fold_left
+            (fun acc (_, f) ->
+              let q, r = divide f k in
+              if q = [] then acc
+              else begin
+                let rewritten_cost =
+                  sop_cost cst q
+                  +. (float_of_int (List.length q) *. new_var_weight)
+                  +. sop_cost cst r
+                in
+                acc +. (sop_cost cst f -. rewritten_cost)
+              end)
+            0.0 !funcs
+        in
+        saving -. sop_cost cst k
+      in
+      let best =
+        List.fold_left
+          (fun acc k ->
+            let v = value k in
+            match acc with
+            | Some (_, bv) when bv >= v -> acc
+            | Some _ | None -> if v > 1e-9 then Some (k, v) else acc)
+          None candidates
+      in
+      match best with
+      | None -> ()
+      | Some (k, _) ->
+        let t = !next_var in
+        incr next_var;
+        (match cost with
+        | Literals -> ()
+        | Activity { prob = _; _ } ->
+          let p =
+            sop_probability (fun v -> Hashtbl.find probs v) k
+          in
+          Hashtbl.replace probs t p;
+          Hashtbl.replace weights t (2.0 *. p *. (1.0 -. p)));
+        defs := (t, k) :: !defs;
+        funcs :=
+          List.map
+            (fun (n, f) ->
+              let q, r = divide f k in
+              if q = [] then (n, f)
+              else
+                ( n,
+                  canon
+                    (List.map (fun qc -> canon_cube (lit_pos t :: qc)) q @ r)
+                ))
+            !funcs;
+        loop (rounds + 1)
+    end
+  in
+  loop 0;
+  { functions = !funcs; defs = List.rev !defs; nvars = !next_var }
+
+let total_cost cost ext =
+  let weights = Hashtbl.create 16 and probs = Hashtbl.create 16 in
+  (match cost with
+  | Literals -> ()
+  | Activity { weight; prob } ->
+    let orig = ext.nvars - List.length ext.defs in
+    for v = 0 to orig - 1 do
+      Hashtbl.replace weights v (weight v);
+      Hashtbl.replace probs v (prob v)
+    done;
+    List.iter
+      (fun (t, k) ->
+        let p = sop_probability (fun v -> Hashtbl.find probs v) k in
+        Hashtbl.replace probs t p;
+        Hashtbl.replace weights t (2.0 *. p *. (1.0 -. p)))
+      ext.defs);
+  let cst =
+    match cost with
+    | Literals -> Literals
+    | Activity _ ->
+      Activity
+        {
+          weight = (fun v -> Hashtbl.find weights v);
+          prob = (fun v -> Hashtbl.find probs v);
+        }
+  in
+  List.fold_left (fun acc (_, f) -> acc +. sop_cost cst f) 0.0 ext.functions
+  +. List.fold_left (fun acc (_, k) -> acc +. sop_cost cst k) 0.0 ext.defs
+
+let to_network ext =
+  let net = Network.create () in
+  let orig = ext.nvars - List.length ext.defs in
+  let node_of_var = Hashtbl.create 32 in
+  for v = 0 to orig - 1 do
+    Hashtbl.replace node_of_var v (Network.add_input net)
+  done;
+  let add_sop_node ?name f =
+    let expr = expr_of_sop f in
+    let support = Expr.support expr in
+    let fanins = List.map (Hashtbl.find node_of_var) support in
+    let remap =
+      let tbl = Hashtbl.create 8 in
+      List.iteri (fun pos v -> Hashtbl.replace tbl v pos) support;
+      fun v -> Hashtbl.find tbl v
+    in
+    Network.add_node ?name net (Expr.rename_vars remap expr) fanins
+  in
+  List.iter
+    (fun (t, k) ->
+      let id = add_sop_node ~name:(Printf.sprintf "t%d" t) k in
+      Hashtbl.replace node_of_var t id)
+    ext.defs;
+  List.iter
+    (fun (nm, f) ->
+      let id = add_sop_node ~name:nm f in
+      Network.set_output net nm id)
+    ext.functions;
+  net

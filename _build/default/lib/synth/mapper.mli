@@ -1,0 +1,44 @@
+(** Technology mapping by tree covering (§III.B; [20], [43], [48], [26]).
+
+    The subject graph is covered with library-cell patterns by dynamic
+    programming over the DAG (multi-fanout nodes are covering boundaries,
+    the classic tree-partition heuristic).  Three cost functions:
+
+    - {!Area}: minimize total cell area — the original DAGON objective.
+    - {!Delay}: minimize the mapped critical path (DP combines leaf costs
+      with [max] instead of [+]).
+    - {!Power}: minimize switched capacitance.  Every net that survives
+      mapping costs (activity of the net) × (driving cell's output cap +
+      fanin pin caps); nets hidden inside a cell cost nothing.  A power
+      mapping therefore prefers covers that swallow high-activity nodes,
+      exactly the intuition of [43]. *)
+
+type objective =
+  | Area
+  | Delay
+  | Power of Activity.t
+      (** zero-delay activity per {e subject-graph} node *)
+
+type mapping
+
+val map : ?cells:Techlib.cell list -> Network.t -> objective -> mapping
+(** Cover a subject graph (see {!Subject.decompose}); the default library is
+    {!Techlib.default}.  Raises [Invalid_argument] if the network is not a
+    subject graph or if some node cannot be matched by any cell (the default
+    library always matches INV and NAND2, so this means an empty or
+    inadequate custom library). *)
+
+val netlist : mapping -> Network.t
+(** The mapped network: one logic node per chosen cell instance, with
+    [delay] and [cap] annotations taken from the cell ([cap] = cell output
+    capacitance + fanout pin capacitances). *)
+
+val instances : mapping -> (string * int) list
+(** Cell-name usage histogram. *)
+
+val total_area : mapping -> float
+val critical_delay : mapping -> float
+(** Of the mapped netlist, using cell delays. *)
+
+val switched_capacitance : mapping -> input_probs:float array -> float
+(** Exact zero-delay switched capacitance of the mapped netlist. *)

@@ -1,0 +1,213 @@
+let inv_func = Expr.Not (Expr.Var 0)
+let nand2_func = Expr.Not (Expr.And [ Expr.Var 0; Expr.Var 1 ])
+
+(* Structural hashing of primitives: key by (op, fanin ids). *)
+type key = K_inv of int | K_nand of int * int
+
+let decompose net =
+  let out = Network.create () in
+  let strash : (key, Network.id) Hashtbl.t = Hashtbl.create 256 in
+  let mk_inv a =
+    let key = K_inv a in
+    match Hashtbl.find_opt strash key with
+    | Some i -> i
+    | None ->
+      let i = Network.add_node out inv_func [ a ] in
+      Hashtbl.add strash key i;
+      i
+  in
+  let mk_nand a b =
+    let a, b = if a <= b then a, b else b, a in
+    let key = K_nand (a, b) in
+    match Hashtbl.find_opt strash key with
+    | Some i -> i
+    | None ->
+      let i = Network.add_node out nand2_func [ a; b ] in
+      Hashtbl.add strash key i;
+      i
+  in
+  let mk_and a b = mk_inv (mk_nand a b) in
+  let mk_or a b = mk_nand (mk_inv a) (mk_inv b) in
+  let rec balanced mk = function
+    | [] -> invalid_arg "Subject.decompose: empty operand list"
+    | [ x ] -> x
+    | xs ->
+      let rec split k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: rest -> split (k - 1) (x :: acc) rest
+      in
+      let half = List.length xs / 2 in
+      let l, r = split half [] xs in
+      mk (balanced mk l) (balanced mk r)
+  in
+  let rec build env = function
+    | Expr.Const _ ->
+      invalid_arg "Subject.decompose: constant node function"
+    | Expr.Var v -> env.(v)
+    | Expr.Not e -> mk_inv (build env e)
+    | Expr.And es -> balanced mk_and (List.map (build env) es)
+    | Expr.Or es -> balanced mk_or (List.map (build env) es)
+    | Expr.Xor (a, b) ->
+      let xa = build env a and xb = build env b in
+      (* nand(nand(a, b'), nand(a', b)) = a xor b; shares the inverters. *)
+      mk_nand (mk_nand xa (mk_inv xb)) (mk_nand (mk_inv xa) xb)
+  in
+  (* Map original node ids to subject node ids. *)
+  let image = Hashtbl.create 256 in
+  List.iter
+    (fun i ->
+      if Network.is_input net i then begin
+        let j = Network.add_input ~name:(Network.name net i) out in
+        Hashtbl.replace image i j
+      end
+      else begin
+        let fanins = Network.fanins net i in
+        let env =
+          Array.of_list (List.map (Hashtbl.find image) fanins)
+        in
+        Hashtbl.replace image i (build env (Network.func net i))
+      end)
+    (Network.topo_order net);
+  List.iter
+    (fun (nm, i) -> Network.set_output out nm (Hashtbl.find image i))
+    (Network.outputs net);
+  out
+
+(* Activity-aware decomposition: left-deep chains whose operand order is
+   chosen by signal probability.  Probabilities are propagated with the
+   independence approximation, which is all the ordering heuristic needs. *)
+let decompose_for_power net ~input_probs =
+  if Array.length input_probs <> List.length (Network.inputs net) then
+    invalid_arg "Subject.decompose_for_power: input_probs arity mismatch";
+  let out = Network.create () in
+  let strash : (key, Network.id) Hashtbl.t = Hashtbl.create 256 in
+  let prob : (Network.id, float) Hashtbl.t = Hashtbl.create 256 in
+  let p_of i = Hashtbl.find prob i in
+  let mk_inv a =
+    let key = K_inv a in
+    match Hashtbl.find_opt strash key with
+    | Some i -> i
+    | None ->
+      let i = Network.add_node out inv_func [ a ] in
+      Hashtbl.add strash key i;
+      Hashtbl.replace prob i (1.0 -. p_of a);
+      i
+  in
+  let mk_nand a b =
+    let a, b = if a <= b then a, b else b, a in
+    let key = K_nand (a, b) in
+    match Hashtbl.find_opt strash key with
+    | Some i -> i
+    | None ->
+      let i = Network.add_node out nand2_func [ a; b ] in
+      Hashtbl.add strash key i;
+      Hashtbl.replace prob i (1.0 -. (p_of a *. p_of b));
+      i
+  in
+  let mk_and a b = mk_inv (mk_nand a b) in
+  let mk_or a b = mk_nand (mk_inv a) (mk_inv b) in
+  (* Decomposition of a wide operand list: operands are sorted so that the
+     running combination leaves p = 1/2 as fast as possible, then the
+     cheaper of a left-deep chain and a balanced tree is built — evaluated
+     analytically on the internal nodes' 2p(1-p) activities (both the NAND
+     and its inverter switch).  This per-node choice is the "targeting low
+     power" step of [48]. *)
+  let chain mk combine_p sort_key = function
+    | [] -> invalid_arg "Subject.decompose_for_power: empty operand list"
+    | operands ->
+      let sorted =
+        List.sort
+          (fun x y -> Float.compare (sort_key (p_of x)) (sort_key (p_of y)))
+          operands
+      in
+      let act p = 2.0 *. p *. (1.0 -. p) in
+      let rec chain_cost acc_p acc = function
+        | [] -> acc
+        | p :: rest ->
+          let q = combine_p acc_p p in
+          chain_cost q (acc +. (2.0 *. act q)) rest
+      in
+      let rec balanced_cost ps =
+        match ps with
+        | [] | [ _ ] -> 0.0
+        | ps ->
+          let rec pair acc = function
+            | a :: b :: rest ->
+              let q = combine_p a b in
+              pair ((q, 2.0 *. act q) :: acc) rest
+            | [ a ] -> (a, 0.0) :: acc
+            | [] -> acc
+          in
+          let level = List.rev (pair [] ps) in
+          List.fold_left (fun acc (_, c) -> acc +. c) 0.0 level
+          +. balanced_cost (List.map fst level)
+      in
+      (match sorted with
+      | [] -> assert false
+      | first :: rest ->
+        let probs = List.map p_of sorted in
+        let c_chain = chain_cost (p_of first) 0.0 (List.map p_of rest) in
+        let c_bal = balanced_cost probs in
+        if c_chain <= c_bal then List.fold_left mk first rest
+        else begin
+          let rec balance = function
+            | [] -> assert false
+            | [ x ] -> x
+            | xs ->
+              let rec pair = function
+                | a :: b :: rest -> mk a b :: pair rest
+                | [ a ] -> [ a ]
+                | [] -> []
+              in
+              balance (pair xs)
+          in
+          balance sorted
+        end)
+  in
+  let rec build env = function
+    | Expr.Const _ ->
+      invalid_arg "Subject.decompose_for_power: constant node function"
+    | Expr.Var v -> env.(v)
+    | Expr.Not e -> mk_inv (build env e)
+    | Expr.And es ->
+      (* Lowest probability first: internal conjunctions head to 0. *)
+      chain mk_and (fun a b -> a *. b) (fun p -> p) (List.map (build env) es)
+    | Expr.Or es ->
+      (* Highest probability first: internal disjunctions head to 1. *)
+      chain mk_or
+        (fun a b -> 1.0 -. ((1.0 -. a) *. (1.0 -. b)))
+        (fun p -> -. p)
+        (List.map (build env) es)
+    | Expr.Xor (a, b) ->
+      let xa = build env a and xb = build env b in
+      mk_nand (mk_nand xa (mk_inv xb)) (mk_nand (mk_inv xa) xb)
+  in
+  let image = Hashtbl.create 256 in
+  List.iter
+    (fun i ->
+      if Network.is_input net i then begin
+        let j = Network.add_input ~name:(Network.name net i) out in
+        Hashtbl.replace prob j input_probs.(Network.input_index net i);
+        Hashtbl.replace image i j
+      end
+      else begin
+        let fanins = Network.fanins net i in
+        let env = Array.of_list (List.map (Hashtbl.find image) fanins) in
+        Hashtbl.replace image i (build env (Network.func net i))
+      end)
+    (Network.topo_order net);
+  List.iter
+    (fun (nm, i) -> Network.set_output out nm (Hashtbl.find image i))
+    (Network.outputs net);
+  out
+
+let is_subject_graph net =
+  List.for_all
+    (fun i ->
+      Network.is_input net i
+      ||
+      let f = Network.func net i and fanins = Network.fanins net i in
+      (Expr.equal f inv_func && List.length fanins = 1)
+      || (Expr.equal f nand2_func && List.length fanins = 2))
+    (Network.node_ids net)

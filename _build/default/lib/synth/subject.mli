@@ -1,0 +1,29 @@
+(** Subject-graph construction: decompose a Boolean network into NAND2/INV
+    primitives, the canonical form that technology-mapping patterns are
+    matched against [20]. *)
+
+val decompose : Network.t -> Network.t
+(** A functionally equivalent network whose every logic node is either
+    [INV] (function [Not (Var 0)], one fanin) or [NAND2]
+    (function [Not (And [Var 0; Var 1])], two fanins).  And/Or lists are
+    balanced into trees; Xor expands into the four-NAND form whose repeated
+    leaves make the XOR library pattern matchable.  Structural hashing
+    merges identical primitives.  Raises [Invalid_argument] if some node
+    function is constant (run [Network.sweep]/simplification first). *)
+
+val decompose_for_power :
+  Network.t -> input_probs:float array -> Network.t
+(** Activity-aware technology decomposition ([48] Tsui, Pedram & Despain):
+    same NAND2/INV target as {!decompose}, but And/Or operand lists are
+    ordered by signal probability before chaining so that the intermediate
+    nodes sit at probabilities far from 1/2 — e.g. an AND chain absorbs its
+    lowest-probability operand first, driving every internal conjunction
+    toward 0 and its [2p(1-p)] activity toward nothing.  The resulting
+    subject graph feeds the same {!Mapper}; experiment E7 quantifies the
+    effect.  Raises like {!decompose}. *)
+
+val is_subject_graph : Network.t -> bool
+(** Check the invariant above. *)
+
+val inv_func : Expr.t
+val nand2_func : Expr.t

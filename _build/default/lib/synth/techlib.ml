@@ -1,0 +1,81 @@
+type pattern =
+  | L of int
+  | Inv of pattern
+  | Nand of pattern * pattern
+
+type cell = {
+  cell_name : string;
+  pattern : pattern;
+  func : Expr.t;
+  arity : int;
+  area : float;
+  delay : float;
+  pin_cap : float;
+  out_cap : float;
+}
+
+let rec pattern_func = function
+  | L k -> Expr.var k
+  | Inv p -> Expr.not_ (pattern_func p)
+  | Nand (p, q) -> Expr.not_ Expr.(pattern_func p &&& pattern_func q)
+
+let rec pattern_leaves = function
+  | L k -> [ k ]
+  | Inv p -> pattern_leaves p
+  | Nand (p, q) -> pattern_leaves p @ pattern_leaves q
+
+let make_cell ~name ~pattern ~area ~delay ~pin_cap ~out_cap =
+  let func = pattern_func pattern in
+  let arity = Expr.max_var func + 1 in
+  { cell_name = name; pattern; func; arity; area; delay; pin_cap; out_cap }
+
+let default =
+  let a = L 0 and b = L 1 and c = L 2 and d = L 3 in
+  let and2 x y = Inv (Nand (x, y)) in
+  let or2 x y = Nand (Inv x, Inv y) in
+  [
+    make_cell ~name:"INV" ~pattern:(Inv a)
+      ~area:1.0 ~delay:1.0 ~pin_cap:1.0 ~out_cap:1.0;
+    make_cell ~name:"NAND2" ~pattern:(Nand (a, b))
+      ~area:2.0 ~delay:1.4 ~pin_cap:1.0 ~out_cap:1.4;
+    make_cell ~name:"NAND3" ~pattern:(Nand (and2 a b, c))
+      ~area:3.0 ~delay:1.8 ~pin_cap:1.0 ~out_cap:1.8;
+    make_cell ~name:"NAND4" ~pattern:(Nand (and2 a b, and2 c d))
+      ~area:4.0 ~delay:2.2 ~pin_cap:1.0 ~out_cap:2.2;
+    make_cell ~name:"NOR2" ~pattern:(Inv (or2 a b))
+      ~area:2.0 ~delay:1.6 ~pin_cap:1.0 ~out_cap:1.4;
+    make_cell ~name:"NOR3" ~pattern:(Inv (or2 (or2 a b) c))
+      ~area:3.0 ~delay:2.2 ~pin_cap:1.0 ~out_cap:1.8;
+    make_cell ~name:"AND2" ~pattern:(and2 a b)
+      ~area:2.5 ~delay:1.8 ~pin_cap:1.0 ~out_cap:1.2;
+    make_cell ~name:"OR2" ~pattern:(or2 a b)
+      ~area:2.5 ~delay:1.8 ~pin_cap:1.0 ~out_cap:1.2;
+    make_cell ~name:"AOI21" ~pattern:(Inv (Nand (Nand (a, b), Inv c)))
+      ~area:3.0 ~delay:2.0 ~pin_cap:1.0 ~out_cap:1.6;
+    make_cell ~name:"AOI22"
+      ~pattern:(Inv (Nand (Nand (a, b), Nand (c, d))))
+      ~area:4.0 ~delay:2.4 ~pin_cap:1.0 ~out_cap:2.0;
+    make_cell ~name:"OAI21" ~pattern:(Nand (or2 a b, c))
+      ~area:3.0 ~delay:2.0 ~pin_cap:1.0 ~out_cap:1.6;
+    make_cell ~name:"OAI22" ~pattern:(Nand (or2 a b, or2 c d))
+      ~area:4.0 ~delay:2.4 ~pin_cap:1.0 ~out_cap:2.0;
+    make_cell ~name:"XOR2"
+      ~pattern:(Nand (Nand (a, Inv b), Nand (Inv a, b)))
+      ~area:4.5 ~delay:2.6 ~pin_cap:1.1 ~out_cap:1.8;
+    make_cell ~name:"XNOR2"
+      ~pattern:(Nand (Nand (a, b), Nand (Inv a, Inv b)))
+      ~area:4.5 ~delay:2.6 ~pin_cap:1.1 ~out_cap:1.8;
+  ]
+
+let find cells name =
+  match List.find_opt (fun c -> c.cell_name = name) cells with
+  | Some c -> c
+  | None -> raise Not_found
+
+let check cell =
+  let n = cell.arity in
+  if n > 20 then false
+  else
+    Truth_table.equal
+      (Truth_table.of_expr n (pattern_func cell.pattern))
+      (Truth_table.of_expr n cell.func)

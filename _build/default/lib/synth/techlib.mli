@@ -1,0 +1,49 @@
+(** Technology library for tree-covering technology mapping (§III.B).
+
+    Cells are described by NAND2/INV pattern trees over numbered leaves —
+    the classic DAGON formulation [20].  A repeated leaf index inside a
+    pattern (as in the XOR cell) requires the same subject-graph signal at
+    both positions.  Physical data per cell: area, intrinsic delay, input
+    pin capacitance and output capacitance; the power cost of instantiating
+    a cell is the activity of its output net times its output capacitance
+    plus the activity of each leaf net times the pin capacitance ([43],
+    [48]). *)
+
+type pattern =
+  | L of int                    (** leaf; the int is a binding slot *)
+  | Inv of pattern
+  | Nand of pattern * pattern
+
+type cell = {
+  cell_name : string;
+  pattern : pattern;
+  func : Expr.t;        (** over leaf slots, must equal the pattern's function *)
+  arity : int;          (** number of distinct leaf slots *)
+  area : float;
+  delay : float;
+  pin_cap : float;      (** per input pin *)
+  out_cap : float;
+}
+
+val pattern_func : pattern -> Expr.t
+(** Logic function of a pattern over its leaf slots. *)
+
+val pattern_leaves : pattern -> int list
+(** Leaf slots in left-to-right order (duplicates preserved). *)
+
+val make_cell :
+  name:string -> pattern:pattern -> area:float -> delay:float
+  -> pin_cap:float -> out_cap:float -> cell
+(** Builds a cell, deriving [func] and [arity] from the pattern. *)
+
+val default : cell list
+(** A 14-cell static CMOS library: INV, NAND2-4, NOR2-3, AND2, OR2, AOI21,
+    AOI22, OAI21, OAI22, XOR2, XNOR2.  Areas and delays grow with
+    complexity; complex cells hide internal nets, which is where their
+    power advantage comes from. *)
+
+val find : cell list -> string -> cell
+(** Lookup by name.  Raises [Not_found]. *)
+
+val check : cell -> bool
+(** Verifies [func] matches the pattern function (used in tests). *)

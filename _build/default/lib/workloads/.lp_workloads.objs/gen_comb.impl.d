@@ -1,0 +1,1 @@
+lib/workloads/gen_comb.ml: Array Expr Factor Hashtbl List Lowpower Network Printf

@@ -1,0 +1,1 @@
+lib/workloads/gen_comb.mli: Factor Lowpower Network

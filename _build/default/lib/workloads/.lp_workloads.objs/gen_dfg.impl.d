@@ -1,0 +1,1 @@
+lib/workloads/gen_dfg.ml: Array Dfg Hashtbl List Lowpower Option Printf

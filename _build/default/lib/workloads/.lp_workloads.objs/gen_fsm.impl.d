@@ -1,0 +1,1 @@
+lib/workloads/gen_fsm.ml: Array List Lowpower Printf Stg

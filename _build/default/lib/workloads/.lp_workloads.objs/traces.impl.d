@@ -1,0 +1,1 @@
+lib/workloads/traces.ml: List Lowpower

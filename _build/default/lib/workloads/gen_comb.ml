@@ -1,0 +1,124 @@
+type shape = {
+  num_inputs : int;
+  num_gates : int;
+  max_fanin : int;
+  output_fraction : float;
+}
+
+let default_shape =
+  { num_inputs = 8; num_gates = 40; max_fanin = 3; output_fraction = 0.15 }
+
+let gate_funcs_2 =
+  Expr.
+    [
+      not_ (var 0 &&& var 1);                    (* nand2 *)
+      not_ (var 0 ||| var 1);                    (* nor2 *)
+      var 0 &&& var 1;
+      var 0 ||| var 1;
+      Xor (var 0, var 1);
+      not_ (Xor (var 0, var 1));
+      var 0 &&& not_ (var 1);
+    ]
+
+let gate_funcs_3 =
+  Expr.
+    [
+      not_ (and_list [ var 0; var 1; var 2 ]);           (* nand3 *)
+      not_ (or_list [ var 0; var 1; var 2 ]);            (* nor3 *)
+      not_ ((var 0 &&& var 1) ||| var 2);                (* aoi21 *)
+      not_ ((var 0 ||| var 1) &&& var 2);                (* oai21 *)
+      ite (var 0) (var 1) (var 2);                       (* mux *)
+      Xor (var 0, Xor (var 1, var 2));                   (* xor3 *)
+      (var 0 &&& var 1) ||| (var 1 &&& var 2) ||| (var 0 &&& var 2); (* maj *)
+    ]
+
+let random rng shape =
+  if shape.num_inputs < 2 || shape.num_gates < 1 then
+    invalid_arg "Gen_comb.random: degenerate shape";
+  if shape.max_fanin < 2 || shape.max_fanin > 3 then
+    invalid_arg "Gen_comb.random: max_fanin must be 2 or 3";
+  let net = Network.create () in
+  let signals = ref [] in
+  for _ = 1 to shape.num_inputs do
+    signals := Network.add_input net :: !signals
+  done;
+  let pick_distinct k =
+    let pool = Array.of_list !signals in
+    Lowpower.Rng.shuffle rng pool;
+    Array.to_list (Array.sub pool 0 k)
+  in
+  for _ = 1 to shape.num_gates do
+    let fanin =
+      if shape.max_fanin = 2 then 2 else 2 + Lowpower.Rng.int rng 2
+    in
+    let fanin = min fanin (List.length !signals) in
+    let funcs = if fanin = 2 then gate_funcs_2 else gate_funcs_3 in
+    let f = Lowpower.Rng.pick rng (Array.of_list funcs) in
+    let fanins = pick_distinct fanin in
+    signals := Network.add_node net f fanins :: !signals
+  done;
+  (* Sinks are always outputs; add a sample of internal nodes. *)
+  let with_fanout = Hashtbl.create 64 in
+  List.iter
+    (fun i ->
+      List.iter (fun j -> Hashtbl.replace with_fanout j ()) (Network.fanins net i))
+    (Network.node_ids net);
+  let k = ref 0 in
+  List.iter
+    (fun i ->
+      if not (Network.is_input net i) then
+        if
+          (not (Hashtbl.mem with_fanout i))
+          || Lowpower.Rng.bernoulli rng shape.output_fraction
+        then begin
+          Network.set_output net (Printf.sprintf "z%d" !k) i;
+          incr k
+        end)
+    (Network.node_ids net);
+  net
+
+let random_sop_set rng ~nvars ~nfuncs ~cubes ~max_lits =
+  if nvars < 2 || nfuncs < 1 || cubes < 1 || max_lits < 1 then
+    invalid_arg "Gen_comb.random_sop_set: degenerate parameters";
+  (* Shared sub-cubes encourage extractable kernels. *)
+  let random_cube max_lits =
+    let n = 1 + Lowpower.Rng.int rng max_lits in
+    let vars = Array.init nvars (fun v -> v) in
+    Lowpower.Rng.shuffle rng vars;
+    List.sort compare
+      (List.init (min n nvars) (fun k ->
+           let v = vars.(k) in
+           if Lowpower.Rng.bool rng then Factor.lit_pos v else Factor.lit_neg v))
+  in
+  let shared = List.init 3 (fun _ -> random_cube (max 1 (max_lits - 1))) in
+  List.init nfuncs (fun f ->
+      let sop =
+        List.init cubes (fun _ ->
+            if Lowpower.Rng.bernoulli rng 0.5 then begin
+              (* Extend a shared sub-cube with one extra literal. *)
+              let base = Lowpower.Rng.pick rng (Array.of_list shared) in
+              let extra = random_cube 1 in
+              List.sort_uniq compare (base @ extra)
+            end
+            else random_cube max_lits)
+      in
+      (Printf.sprintf "f%d" f, sop))
+
+let deep_chain ~width ~depth =
+  if width < 2 || depth < 1 then invalid_arg "Gen_comb.deep_chain: degenerate";
+  let net = Network.create () in
+  let ins = List.init width (fun _ -> Network.add_input net) in
+  let arr = Array.of_list ins in
+  (* Long chain: alternating and/or over rotating inputs. *)
+  let chain = ref arr.(0) in
+  for d = 1 to depth do
+    let other = arr.(d mod width) in
+    let f = if d mod 2 = 0 then Expr.(var 0 &&& var 1) else Expr.(var 0 ||| var 1) in
+    chain := Network.add_node net f [ !chain; other ]
+  done;
+  (* Short path: single gate from two inputs, recombined with the deep
+     chain so arrival times collide maximally. *)
+  let short = Network.add_node net Expr.(Xor (var 0, var 1)) [ arr.(0); arr.(1 mod width) ] in
+  let out = Network.add_node net Expr.(Xor (var 0, var 1)) [ !chain; short ] in
+  Network.set_output net "z" out;
+  net

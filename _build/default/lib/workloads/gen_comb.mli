@@ -1,0 +1,28 @@
+(** Seeded random combinational networks — the stand-in for MCNC/ISCAS
+    benchmark circuits (see the substitution table in DESIGN.md). *)
+
+type shape = {
+  num_inputs : int;
+  num_gates : int;
+  max_fanin : int;       (** 2 or 3 give realistic structures *)
+  output_fraction : float; (** fraction of sink gates exported as outputs *)
+}
+
+val default_shape : shape
+
+val random : Lowpower.Rng.t -> shape -> Network.t
+(** Gates draw a random function over [2..max_fanin] distinct earlier
+    signals (mix of NAND/NOR/XOR/AOI shapes); every sink node becomes an
+    output, plus a sampled fraction of internal nodes.  Acyclic by
+    construction. *)
+
+val random_sop_set :
+  Lowpower.Rng.t -> nvars:int -> nfuncs:int -> cubes:int -> max_lits:int
+  -> (string * Factor.sop) list
+(** Random two-level functions sharing a variable set, with deliberately
+    embedded common subexpressions — the factoring workload of E6. *)
+
+val deep_chain : width:int -> depth:int -> Network.t
+(** A deliberately unbalanced network (one long AND chain XOR-ed against
+    short paths) that maximizes glitching; used in E5 alongside the
+    arithmetic circuits. *)

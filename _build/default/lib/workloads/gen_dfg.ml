@@ -1,0 +1,185 @@
+let fir ~taps ?coeffs () =
+  if taps < 1 || taps > 64 then invalid_arg "Gen_dfg.fir: taps in [1,64]";
+  let coeffs =
+    match coeffs with
+    | Some cs ->
+      if List.length cs <> taps then
+        invalid_arg "Gen_dfg.fir: coefficient count mismatch";
+      cs
+    | None -> List.init taps (fun k -> (2 * k) + 1)
+  in
+  let dfg = Dfg.create () in
+  let xs =
+    List.init taps (fun k -> Dfg.add dfg (Dfg.Input (Printf.sprintf "x%d" k)) [])
+  in
+  let cs = List.map (fun c -> Dfg.add dfg (Dfg.Const c) []) coeffs in
+  let products = List.map2 (fun x c -> Dfg.add dfg Dfg.Mul [ x; c ]) xs cs in
+  let sum =
+    match products with
+    | [] -> invalid_arg "Gen_dfg.fir: no taps"
+    | p :: rest -> List.fold_left (fun acc q -> Dfg.add dfg Dfg.Add [ acc; q ]) p rest
+  in
+  ignore (Dfg.add dfg (Dfg.Output "y") [ sum ]);
+  dfg
+
+let biquad () =
+  let dfg = Dfg.create () in
+  let input nm = Dfg.add dfg (Dfg.Input nm) [] in
+  let x = input "x" and x1 = input "x1" and x2 = input "x2" in
+  let y1 = input "y1" and y2 = input "y2" in
+  let const c = Dfg.add dfg (Dfg.Const c) [] in
+  let b0 = const 3 and b1 = const 5 and b2 = const 2 in
+  let a1 = const 7 and a2 = const 1 in
+  let mul a b = Dfg.add dfg Dfg.Mul [ a; b ] in
+  let add a b = Dfg.add dfg Dfg.Add [ a; b ] in
+  let sub a b = Dfg.add dfg Dfg.Sub [ a; b ] in
+  let feed = add (add (mul b0 x) (mul b1 x1)) (mul b2 x2) in
+  let back = add (mul a1 y1) (mul a2 y2) in
+  let y = sub feed back in
+  ignore (Dfg.add dfg (Dfg.Output "y") [ y ]);
+  dfg
+
+let ewf_like rng ~ops =
+  if ops < 4 || ops > 200 then invalid_arg "Gen_dfg.ewf_like: ops in [4,200]";
+  let dfg = Dfg.create () in
+  let pool = ref [] in
+  for k = 0 to 7 do
+    pool := Dfg.add dfg (Dfg.Input (Printf.sprintf "in%d" k)) [] :: !pool
+  done;
+  (* Depth bias: prefer recent values so the DAG grows deep, as EWF does. *)
+  let pick () =
+    let arr = Array.of_list !pool in
+    let n = Array.length arr in
+    let idx =
+      let a = Lowpower.Rng.int rng n and b = Lowpower.Rng.int rng n in
+      min a b
+    in
+    arr.(idx)
+  in
+  for _ = 1 to ops do
+    let a = pick () and b = pick () in
+    let node =
+      if Lowpower.Rng.bernoulli rng 0.75 then Dfg.add dfg Dfg.Add [ a; b ]
+      else Dfg.add dfg Dfg.Mul [ a; b ]
+    in
+    pool := node :: !pool
+  done;
+  (match !pool with
+  | last :: _ -> ignore (Dfg.add dfg (Dfg.Output "out") [ last ])
+  | [] -> assert false);
+  dfg
+
+let poly_coeffs degree = function
+  | Some cs ->
+    if List.length cs <> degree + 1 then
+      invalid_arg "Gen_dfg.poly: coefficient count must be degree + 1";
+    cs
+  | None -> List.init (degree + 1) (fun k -> (3 * k) + 1)
+
+let check_degree degree =
+  if degree < 1 || degree > 12 then
+    invalid_arg "Gen_dfg.poly: degree in [1, 12]"
+
+let poly_naive ~degree ?coeffs () =
+  check_degree degree;
+  let cs = poly_coeffs degree coeffs in
+  let dfg = Dfg.create () in
+  let x = Dfg.add dfg (Dfg.Input "x") [] in
+  let term k c =
+    let cnode = Dfg.add dfg (Dfg.Const c) [] in
+    if k = 0 then cnode
+    else begin
+      (* x^k rebuilt from scratch: k-1 multiplies. *)
+      let rec power acc j =
+        if j = k then acc else power (Dfg.add dfg Dfg.Mul [ acc; x ]) (j + 1)
+      in
+      Dfg.add dfg Dfg.Mul [ cnode; power x 1 ]
+    end
+  in
+  let sum =
+    List.fold_left
+      (fun acc (k, c) ->
+        let t = term k c in
+        match acc with
+        | None -> Some t
+        | Some s -> Some (Dfg.add dfg Dfg.Add [ s; t ]))
+      None
+      (List.mapi (fun k c -> (k, c)) cs)
+  in
+  ignore (Dfg.add dfg (Dfg.Output "p") [ Option.get sum ]);
+  dfg
+
+let poly_horner ~degree ?coeffs () =
+  check_degree degree;
+  let cs = poly_coeffs degree coeffs in
+  let dfg = Dfg.create () in
+  let x = Dfg.add dfg (Dfg.Input "x") [] in
+  let rec horner acc = function
+    | [] -> acc
+    | c :: rest ->
+      let cnode = Dfg.add dfg (Dfg.Const c) [] in
+      let m = Dfg.add dfg Dfg.Mul [ acc; x ] in
+      horner (Dfg.add dfg Dfg.Add [ m; cnode ]) rest
+  in
+  let highest, rest =
+    match List.rev cs with
+    | h :: r -> (h, r)
+    | [] -> assert false (* degree >= 1 gives >= 2 coefficients *)
+  in
+  let top = Dfg.add dfg (Dfg.Const highest) [] in
+  let result = horner top rest in
+  ignore (Dfg.add dfg (Dfg.Output "p") [ result ]);
+  dfg
+
+let add_chain ~terms =
+  if terms < 2 || terms > 64 then invalid_arg "Gen_dfg.add_chain: terms in [2,64]";
+  let dfg = Dfg.create () in
+  let xs =
+    List.init terms (fun k -> Dfg.add dfg (Dfg.Input (Printf.sprintf "a%d" k)) [])
+  in
+  let sum =
+    match xs with
+    | x :: rest -> List.fold_left (fun acc y -> Dfg.add dfg Dfg.Add [ acc; y ]) x rest
+    | [] -> assert false
+  in
+  ignore (Dfg.add dfg (Dfg.Output "s") [ sum ]);
+  dfg
+
+let const_mul_chain ~terms =
+  if terms < 2 || terms > 30 then
+    invalid_arg "Gen_dfg.const_mul_chain: terms in [2,30]";
+  let dfg = Dfg.create () in
+  let sum = ref None in
+  for k = 0 to terms - 1 do
+    let x = Dfg.add dfg (Dfg.Input (Printf.sprintf "x%d" k)) [] in
+    let c = Dfg.add dfg (Dfg.Const (1 lsl (k mod 5))) [] in
+    let p = Dfg.add dfg Dfg.Mul [ x; c ] in
+    sum :=
+      (match !sum with
+      | None -> Some p
+      | Some s -> Some (Dfg.add dfg Dfg.Add [ s; p ]))
+  done;
+  ignore (Dfg.add dfg (Dfg.Output "s") [ Option.get !sum ]);
+  dfg
+
+let random_samples rng dfg ~n ?(correlated = false) () =
+  let names = List.map fst (Dfg.inputs dfg) in
+  let m = (1 lsl Dfg.width dfg) - 1 in
+  if correlated then begin
+    let state = Hashtbl.create 8 in
+    List.iter
+      (fun nm -> Hashtbl.replace state nm (Lowpower.Rng.int rng (m + 1)))
+      names;
+    List.init n (fun _ ->
+        List.map
+          (fun nm ->
+            let prev = Hashtbl.find state nm in
+            let step = Lowpower.Rng.int rng 8 - 4 in
+            let v = (prev + step) land m in
+            Hashtbl.replace state nm v;
+            (nm, v))
+          names)
+  end
+  else
+    List.init n (fun _ ->
+        List.map (fun nm -> (nm, Lowpower.Rng.int rng (m + 1))) names)

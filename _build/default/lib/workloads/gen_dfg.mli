@@ -1,0 +1,38 @@
+(** Classic behavioral-synthesis benchmark DFGs (§IV.B workloads). *)
+
+val fir : taps:int -> ?coeffs:int list -> unit -> Dfg.t
+(** Direct-form FIR filter: inputs [x0..x{taps-1}] (the delay line) and
+    constant coefficients; output "y" = sum of products.  Default
+    coefficients are small odd constants.  The dot-product shape is also
+    the software kernel of E17. *)
+
+val biquad : unit -> Dfg.t
+(** Second-order IIR section (Direct Form I): 5 multiplies, 4 adds, inputs
+    [x, x1, x2, y1, y2], output "y". *)
+
+val ewf_like : Lowpower.Rng.t -> ops:int -> Dfg.t
+(** A random arithmetic DAG in the style of the elliptic-wave-filter
+    benchmark: a mix of adds and multiplies (~3:1), depth-biased wiring,
+    single output.  Seeded and reproducible. *)
+
+val poly_naive : degree:int -> ?coeffs:int list -> unit -> Dfg.t
+(** Polynomial evaluation the wasteful way: every power of x recomputed
+    from scratch per term — O(n^2) multiplies.  The algorithm-selection
+    workload of [49] (same function as {!poly_horner}, different
+    algorithm, different power). *)
+
+val poly_horner : degree:int -> ?coeffs:int list -> unit -> Dfg.t
+(** Horner's rule: n multiplies and n adds for the same polynomial. *)
+
+val add_chain : terms:int -> Dfg.t
+(** [((a1 + a2) + a3) + ...] — the tree-height-reduction showcase. *)
+
+val const_mul_chain : terms:int -> Dfg.t
+(** Sum of [x_i * 2^k_i] products — the strength-reduction showcase. *)
+
+val random_samples :
+  Lowpower.Rng.t -> Dfg.t -> n:int -> ?correlated:bool -> unit
+  -> (string * int) list list
+(** Input sample sets; [correlated] (default false) makes each input a slow
+    random walk instead of white noise, which matters to the E14 power
+    models. *)

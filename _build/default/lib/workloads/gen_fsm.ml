@@ -1,0 +1,103 @@
+let random rng ~num_states ~num_inputs ~num_outputs ?(locality = 0.6) () =
+  if num_states < 2 then invalid_arg "Gen_fsm.random: need >= 2 states";
+  let codes = 1 lsl num_inputs in
+  let next_tbl =
+    Array.init num_states (fun s ->
+        Array.init codes (fun _ ->
+            if Lowpower.Rng.bernoulli rng locality then
+              (* Preferred neighbours: the ring successor or predecessor.
+                 Self-loops are left to the uniform branch so the chain
+                 cannot collapse into an absorbing state. *)
+              if Lowpower.Rng.bool rng then (s + 1) mod num_states
+              else (s + num_states - 1) mod num_states
+            else Lowpower.Rng.int rng num_states))
+  in
+  let out_tbl =
+    Array.init num_states (fun _ ->
+        Array.init codes (fun _ -> Lowpower.Rng.int rng (1 lsl num_outputs)))
+  in
+  Stg.create ~name:"random" ~num_states ~num_inputs ~num_outputs
+    ~next:(fun s i -> next_tbl.(s).(i))
+    ~output:(fun s i -> out_tbl.(s).(i))
+    ()
+
+let counter ~bits =
+  if bits < 1 || bits > 8 then invalid_arg "Gen_fsm.counter: bits in [1,8]";
+  let n = 1 lsl bits in
+  Stg.create ~name:(Printf.sprintf "counter%d" bits) ~num_states:n
+    ~num_inputs:1 ~num_outputs:bits
+    ~next:(fun s i -> if i = 1 then (s + 1) mod n else s)
+    ~output:(fun s _ -> s)
+    ()
+
+let sequence_detector ~pattern =
+  let k = List.length pattern in
+  if k < 1 || k > 10 then
+    invalid_arg "Gen_fsm.sequence_detector: pattern length in [1,10]";
+  let pat = Array.of_list pattern in
+  (* KMP automaton: state = matched prefix length, failure function for
+     mismatches, border collapse after a full match (overlaps allowed). *)
+  let failure = Array.make (k + 1) 0 in
+  for s = 2 to k do
+    let rec extend j =
+      if pat.(s - 1) = pat.(j) then j + 1
+      else if j = 0 then 0
+      else extend failure.(j)
+    in
+    failure.(s) <- extend failure.(s - 1)
+  done;
+  let rec delta s bit =
+    if s < k && pat.(s) = bit then s + 1
+    else if s = 0 then 0
+    else delta failure.(s) bit
+  in
+  let step s i = delta s (i = 1) in
+  let next s i =
+    let t = step s i in
+    if t = k then failure.(k) else t
+  in
+  let output s i = if step s i = k then 1 else 0 in
+  Stg.create ~name:"detector" ~num_states:k ~num_inputs:1 ~num_outputs:1
+    ~next ~output ()
+
+let johnson ~bits =
+  if bits < 2 || bits > 6 then invalid_arg "Gen_fsm.johnson: bits in [2,6]";
+  let n = 2 * bits in
+  (* State s < n; the shift-register code is derived from the ring
+     position: positions 0..bits fill with ones from the LSB, then drain. *)
+  Stg.create ~name:(Printf.sprintf "johnson%d" bits) ~num_states:n
+    ~num_inputs:1 ~num_outputs:bits
+    ~next:(fun s _ -> (s + 1) mod n)
+    ~output:(fun s _ ->
+      if s <= bits then (1 lsl s) - 1
+      else ((1 lsl bits) - 1) lxor ((1 lsl (s - bits)) - 1))
+    ()
+
+let lfsr ~bits =
+  if bits < 3 || bits > 6 then invalid_arg "Gen_fsm.lfsr: bits in [3,6]";
+  (* Primitive feedback taps (Fibonacci form) per width. *)
+  let taps = match bits with
+    | 3 -> [ 2; 1 ] | 4 -> [ 3; 2 ] | 5 -> [ 4; 2 ] | _ -> [ 5; 4 ]
+  in
+  let step s =
+    let bit =
+      List.fold_left (fun acc t -> acc lxor ((s lsr t) land 1)) 0 taps
+    in
+    (((s lsl 1) lor bit) land ((1 lsl bits) - 1))
+  in
+  (* States 1..2^bits-1 reachable; include 0 as a self-loop dead state so
+     the machine is complete. *)
+  Stg.create ~name:(Printf.sprintf "lfsr%d" bits) ~num_states:(1 lsl bits)
+    ~num_inputs:1 ~num_outputs:bits
+    ~next:(fun s _ -> if s = 0 then 0 else step s)
+    ~output:(fun s _ -> s)
+    ()
+
+let modulo_counter ~modulus =
+  if modulus < 2 || modulus > 64 then
+    invalid_arg "Gen_fsm.modulo_counter: modulus in [2,64]";
+  Stg.create ~name:(Printf.sprintf "mod%d" modulus) ~num_states:modulus
+    ~num_inputs:1 ~num_outputs:1
+    ~next:(fun s _ -> (s + 1) mod modulus)
+    ~output:(fun s _ -> if s = 0 then 1 else 0)
+    ()

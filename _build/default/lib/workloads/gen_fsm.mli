@@ -1,0 +1,31 @@
+(** FSM workloads for encoding, gating and synthesis experiments. *)
+
+val random :
+  Lowpower.Rng.t -> num_states:int -> num_inputs:int -> num_outputs:int
+  -> ?locality:float -> unit -> Stg.t
+(** Random complete machine.  [locality] (default 0.6) is the probability
+    that a transition goes to the state's ring successor or predecessor
+    rather than uniformly anywhere — giving the skewed transition weights
+    low-power encodings exploit without risking absorbing states. *)
+
+val counter : bits:int -> Stg.t
+(** Up-counter with an enable input; output is the count.  Self-loops on
+    [enable = 0] make it the canonical clock-gating customer. *)
+
+val sequence_detector : pattern:bool list -> Stg.t
+(** Mealy detector asserting its output when the input bit stream ends with
+    [pattern]; the classic small control FSM. *)
+
+val johnson : bits:int -> Stg.t
+(** Free-running Johnson (twisted-ring) counter with [2*bits] states; its
+    natural shift-register code is uni-distant by construction, making it
+    the reference point low-power encodings chase. *)
+
+val lfsr : bits:int -> Stg.t
+(** Maximal-length linear-feedback shift register over [bits] in {3..6}
+    (fixed primitive taps): a pseudo-random state sequence with high,
+    pattern-free switching — the adversarial case for encoding. *)
+
+val modulo_counter : modulus:int -> Stg.t
+(** Free-running counter mod [modulus] (no inputs beyond a dummy bit), a
+    pure cyclic chain — uni-distant encodings shine here. *)

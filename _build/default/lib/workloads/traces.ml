@@ -1,0 +1,39 @@
+let check_width width =
+  if width < 1 || width > 30 then invalid_arg "Traces: width in [1, 30]"
+
+let random_words rng ~width ~n =
+  check_width width;
+  List.init n (fun _ -> Lowpower.Rng.int rng (1 lsl width))
+
+let random_walk rng ~width ~n ~step =
+  check_width width;
+  if step < 1 then invalid_arg "Traces.random_walk: step >= 1";
+  let m = (1 lsl width) - 1 in
+  let state = ref (Lowpower.Rng.int rng (m + 1)) in
+  List.init n (fun _ ->
+      let delta = Lowpower.Rng.int rng ((2 * step) + 1) - step in
+      state := (!state + delta) land m;
+      !state)
+
+let sequential ~width ~n =
+  check_width width;
+  let m = (1 lsl width) - 1 in
+  List.init n (fun i -> i land m)
+
+let sparse_events rng ~width ~n ~activity =
+  check_width width;
+  if activity < 0.0 || activity > 1.0 then
+    invalid_arg "Traces.sparse_events: activity in [0,1]";
+  let state = ref 0 in
+  List.init n (fun _ ->
+      if Lowpower.Rng.bernoulli rng activity then
+        state := Lowpower.Rng.int rng (1 lsl width);
+      !state)
+
+let enable_trace rng ~n ~duty ~data =
+  if List.length data < n then
+    invalid_arg "Traces.enable_trace: data trace too short";
+  if duty < 0.0 || duty > 1.0 then
+    invalid_arg "Traces.enable_trace: duty in [0,1]";
+  List.filteri (fun i _ -> i < n) data
+  |> List.map (fun w -> (Lowpower.Rng.bernoulli rng duty, w))

@@ -1,0 +1,23 @@
+(** Word-level data traces for the bus-coding and register experiments. *)
+
+val random_words : Lowpower.Rng.t -> width:int -> n:int -> int list
+(** White noise. *)
+
+val random_walk :
+  Lowpower.Rng.t -> width:int -> n:int -> step:int -> int list
+(** Slowly varying data (audio-like): each word is the previous plus a
+    uniform step in [-step, step], wrapped. *)
+
+val sequential : width:int -> n:int -> int list
+(** 0, 1, 2, ... — an instruction-address stream. *)
+
+val sparse_events :
+  Lowpower.Rng.t -> width:int -> n:int -> activity:float -> int list
+(** Mostly-idle trace: with probability [1 - activity] the previous word
+    repeats. *)
+
+val enable_trace :
+  Lowpower.Rng.t -> n:int -> duty:float -> data:int list -> (bool * int) list
+(** Pair a data trace with a write-enable that is high with probability
+    [duty] — the clock-gating workload.  Raises [Invalid_argument] if the
+    data trace is shorter than [n]. *)

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Activity Alcotest Array Circuits Expr List Lowpower Mos Probability Reorder Sizing Test_util Truth_table

@@ -1,0 +1,1 @@
+test/test_coding.ml: Alcotest Bus Bus_invert Limited_weight List Lowpower Printf QCheck2 Residue Test_util Traces

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Format List Lowpower Option String Test_util

@@ -1,0 +1,1 @@
+test/test_estimate.ml: Activity Alcotest Circuits Event_sim Expr Hashtbl List Lowpower Network Probability Stimulus Test_util

@@ -1,0 +1,1 @@
+test/test_guard.ml: Alcotest Array Circuits Expr Guard List Lowpower Network Printf Stimulus Test_util

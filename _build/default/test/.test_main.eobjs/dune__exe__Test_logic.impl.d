@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Bdd Cover Cube Expr Float List Option QCheck2 Test_util Truth_table

@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array Bdd Circuits Event_sim Expr Hashtbl List Lowpower Network Printf Stimulus Test_util

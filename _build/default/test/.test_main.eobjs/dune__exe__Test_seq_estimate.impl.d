@@ -1,0 +1,1 @@
+test/test_seq_estimate.ml: Alcotest Clock_gate Encode Fsm_synth Gen_fsm Hashtbl List Markov Seq_circuit Seq_estimate Stimulus Test_util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Circuits Event_sim Hashtbl List Lowpower Network Option Stimulus Test_util

@@ -1,0 +1,1 @@
+test/test_soft.ml: Alcotest Compile Dfg Energy_model Float Gen_dfg Isa Kernels List Lowpower Machine Printf Test_util Transform

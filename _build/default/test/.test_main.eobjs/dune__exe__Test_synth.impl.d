@@ -1,0 +1,1 @@
+test/test_synth.ml: Activity Alcotest Array Balance Circuits Cleanup Dontcare Event_sim Expr Factor Gen_comb List Mapper Network Probability QCheck2 Stimulus Subject Techlib Test_util Truth_table

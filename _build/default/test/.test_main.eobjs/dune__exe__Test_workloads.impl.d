@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Balance Bus Dfg Factor Gen_comb Gen_dfg Gen_fsm Hashtbl List Lowpower Network Printf Stg Test_util Traces

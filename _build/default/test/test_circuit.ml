@@ -1,0 +1,205 @@
+(* Tests for lp_circuit: Mos, Reorder, Sizing. *)
+
+open Test_util
+
+(* f = (a + b) . c — the complex gate from the paper's §II.A. *)
+let aoi_pulldown = Mos.Series [ Mos.Parallel [ Mos.Input 0; Mos.Input 1 ]; Mos.Input 2 ]
+
+let test_mos_conduction_and_function () =
+  let env code v = code land (1 lsl v) <> 0 in
+  (* Conducts iff (a | b) & c. *)
+  for code = 0 to 7 do
+    let expect = (env code 0 || env code 1) && env code 2 in
+    Alcotest.(check bool) "conduction" expect
+      (Mos.conducts aoi_pulldown (env code))
+  done;
+  let out = Mos.output_expr aoi_pulldown in
+  Alcotest.(check bool) "output = not f" true
+    (Truth_table.equal
+       (Truth_table.of_expr 3 out)
+       (Truth_table.of_expr 3 Expr.(not_ ((var 0 ||| var 1) &&& var 2))))
+
+let test_mos_counts () =
+  Alcotest.(check int) "transistors" 3 (Mos.transistor_count aoi_pulldown);
+  Alcotest.(check int) "inputs" 3 (Mos.num_inputs aoi_pulldown);
+  let g = Mos.elaborate aoi_pulldown in
+  (* One internal node between the parallel pair and the series c. *)
+  Alcotest.(check int) "internal nodes" 1 (Mos.internal_node_count g)
+
+let test_mos_validation () =
+  expect_invalid_arg "empty series" (fun () -> Mos.validate (Mos.Series []));
+  expect_invalid_arg "negative input" (fun () ->
+      Mos.validate (Mos.Input (-1)))
+
+let test_mos_energy_nonnegative_and_output_driven () =
+  let g = Mos.elaborate aoi_pulldown in
+  let st = Mos.initial_state g (fun _ -> false) in
+  (* Switch all inputs on: output falls, internal node discharges. *)
+  let _, e = Mos.step g st (fun _ -> true) in
+  Alcotest.(check bool) "energy positive on a full swing" true (e > 0.0)
+
+let test_mos_no_change_no_energy () =
+  let g = Mos.elaborate aoi_pulldown in
+  let st = Mos.initial_state g (fun v -> v = 0) in
+  let _, e = Mos.step g st (fun v -> v = 0) in
+  check_close "same vector, no switching" 0.0 e
+
+let test_mos_expected_energy_matches_trace () =
+  (* Long random trace average should approach the analytic pairwise
+     expectation. *)
+  let g = Mos.elaborate aoi_pulldown in
+  let probs = [| 0.5; 0.5; 0.5 |] in
+  let expected = Mos.expected_energy_per_cycle g ~input_probs:probs in
+  let r = rng () in
+  let n = 40_000 in
+  let trace =
+    List.init n (fun _ ->
+        let code = Lowpower.Rng.int r 8 in
+        fun v -> code land (1 lsl v) <> 0)
+  in
+  let measured = Mos.trace_energy g trace /. float_of_int (n - 1) in
+  check_close_rel ~eps:0.05 "pairwise model vs trace" expected measured
+
+let test_mos_too_many_inputs () =
+  let wide = Mos.Series (List.init 11 (fun i -> Mos.Input i)) in
+  let g = Mos.elaborate wide in
+  expect_invalid_arg "11 inputs" (fun () ->
+      Mos.expected_energy_per_cycle g ~input_probs:(Array.make 11 0.5))
+
+(* --- Reorder --- *)
+
+let stack3 = Mos.Series [ Mos.Input 0; Mos.Input 1; Mos.Input 2 ]
+
+let test_orderings_count () =
+  Alcotest.(check int) "3! orderings" 6 (List.length (Reorder.orderings stack3));
+  Alcotest.(check int) "parallel order collapses" 1
+    (List.length (Reorder.orderings (Mos.Parallel [ Mos.Input 0; Mos.Input 1 ])))
+
+let test_orderings_preserve_function () =
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "same function" true
+        (Truth_table.equal
+           (Truth_table.of_expr 3 (Mos.output_expr stack3))
+           (Truth_table.of_expr 3 (Mos.output_expr o))))
+    (Reorder.orderings stack3)
+
+let test_best_beats_or_ties_heuristic () =
+  let input_probs = [| 0.9; 0.5; 0.1 |] in
+  let _, best_p, _ = Reorder.best Reorder.Min_power stack3 ~input_probs () in
+  let heur = Reorder.heuristic_power_order stack3 ~input_probs in
+  let heur_p, _ = Reorder.evaluate heur ~input_probs () in
+  Alcotest.(check bool) "exhaustive <= heuristic" true (best_p <= heur_p +. 1e-12)
+
+let test_ordering_changes_power () =
+  (* With skewed probabilities the ordering must matter. *)
+  let input_probs = [| 0.95; 0.5; 0.05 |] in
+  let powers =
+    List.map
+      (fun o -> fst (Reorder.evaluate o ~input_probs ()))
+      (Reorder.orderings stack3)
+  in
+  Alcotest.(check bool) "spread exists" true
+    (Lowpower.Stats.maximum powers -. Lowpower.Stats.minimum powers > 1e-6)
+
+let test_delay_order_puts_late_near_output () =
+  let arrival = function 0 -> 0.0 | 1 -> 5.0 | _ -> 1.0 in
+  match Reorder.heuristic_delay_order stack3 ~arrival with
+  | Mos.Series (Mos.Input first :: _) ->
+    Alcotest.(check int) "latest first" 1 first
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_min_delay_objective () =
+  let arrival = function 0 -> 3.0 | _ -> 0.0 in
+  let best, _, d_best = Reorder.best Reorder.Min_delay stack3 ~input_probs:[| 0.5; 0.5; 0.5 |] ~arrival () in
+  List.iter
+    (fun o ->
+      let _, d = Reorder.evaluate o ~input_probs:[| 0.5; 0.5; 0.5 |] ~arrival () in
+      Alcotest.(check bool) "minimal" true (d_best <= d +. 1e-12))
+    (Reorder.orderings stack3);
+  ignore best
+
+let test_orderings_blowup_guard () =
+  let big = Mos.Series (List.init 9 (fun i -> Mos.Input i)) in
+  expect_invalid_arg "too many orderings" (fun () -> Reorder.orderings big)
+
+(* --- Sizing --- *)
+
+let sizing_net () =
+  (Circuits.ripple_adder 4).Circuits.net
+
+let test_sizing_delay_model_monotone () =
+  let net = sizing_net () in
+  let dp = Sizing.default_delay_params in
+  let big = Sizing.uniform net 4.0 in
+  let small = Sizing.uniform net 1.0 in
+  Alcotest.(check bool) "bigger is faster" true
+    (Sizing.critical_delay dp net big < Sizing.critical_delay dp net small)
+
+let test_sizing_power_monotone () =
+  let net = sizing_net () in
+  let dp = Sizing.default_delay_params in
+  let act = Activity.zero_delay net ~input_probs:(Probability.uniform_inputs net) in
+  let big = Sizing.uniform net 4.0 and small = Sizing.uniform net 1.0 in
+  Alcotest.(check bool) "bigger burns more" true
+    (Sizing.switched_capacitance dp net big ~activity:act
+    > Sizing.switched_capacitance dp net small ~activity:act)
+
+let test_sizing_respects_constraint () =
+  let net = sizing_net () in
+  let dp = Sizing.default_delay_params in
+  let act = Activity.zero_delay net ~input_probs:(Probability.uniform_inputs net) in
+  let start = Sizing.uniform net 4.0 in
+  let d0 = Sizing.critical_delay dp net start in
+  let required = d0 *. 1.3 in
+  let sized = Sizing.size_for_power dp net ~required ~activity:act start in
+  Alcotest.(check bool) "constraint met" true
+    (Sizing.critical_delay dp net sized <= required +. 1e-6);
+  Alcotest.(check bool) "power reduced" true
+    (Sizing.switched_capacitance dp net sized ~activity:act
+    < Sizing.switched_capacitance dp net start ~activity:act)
+
+let test_sizing_slack_zero_means_no_change () =
+  let net = sizing_net () in
+  let dp = Sizing.default_delay_params in
+  let act = Activity.zero_delay net ~input_probs:(Probability.uniform_inputs net) in
+  let start = Sizing.uniform net 4.0 in
+  let d0 = Sizing.critical_delay dp net start in
+  (* Required = current delay: nothing may slow down the critical path, but
+     off-path gates can still shrink; power must not increase. *)
+  let sized = Sizing.size_for_power dp net ~required:d0 ~activity:act start in
+  Alcotest.(check bool) "no worse" true
+    (Sizing.switched_capacitance dp net sized ~activity:act
+    <= Sizing.switched_capacitance dp net start ~activity:act +. 1e-9)
+
+let test_sizing_infeasible_start () =
+  let net = sizing_net () in
+  let dp = Sizing.default_delay_params in
+  let act = Activity.zero_delay net ~input_probs:(Probability.uniform_inputs net) in
+  let start = Sizing.uniform net 1.0 in
+  let d = Sizing.critical_delay dp net start in
+  expect_invalid_arg "initially violated" (fun () ->
+      Sizing.size_for_power dp net ~required:(d /. 2.0) ~activity:act start)
+
+let suite =
+  [
+    quick "mos conduction and logic function" test_mos_conduction_and_function;
+    quick "mos structure counts" test_mos_counts;
+    quick "mos validation" test_mos_validation;
+    quick "mos full swing dissipates" test_mos_energy_nonnegative_and_output_driven;
+    quick "mos idle vector free" test_mos_no_change_no_energy;
+    quick "mos expectation matches trace" test_mos_expected_energy_matches_trace;
+    quick "mos input limit" test_mos_too_many_inputs;
+    quick "orderings enumerated" test_orderings_count;
+    quick "orderings preserve function" test_orderings_preserve_function;
+    quick "exhaustive beats heuristic" test_best_beats_or_ties_heuristic;
+    quick "ordering changes power" test_ordering_changes_power;
+    quick "delay heuristic places late input at output" test_delay_order_puts_late_near_output;
+    quick "min delay objective" test_min_delay_objective;
+    quick "ordering explosion guarded" test_orderings_blowup_guard;
+    quick "sizing delay monotone in size" test_sizing_delay_model_monotone;
+    quick "sizing power monotone in size" test_sizing_power_monotone;
+    quick "sizing meets delay constraint" test_sizing_respects_constraint;
+    quick "sizing at zero budget never worse" test_sizing_slack_zero_means_no_change;
+    quick "sizing infeasible start rejected" test_sizing_infeasible_start;
+  ]

@@ -1,0 +1,211 @@
+(* Tests for lp_coding: Bus, Bus_invert, Limited_weight, Residue. *)
+
+open Test_util
+
+let test_bus_counting () =
+  Alcotest.(check int) "hamming" 2 (Bus.hamming 0b1011 0b0010);
+  Alcotest.(check int) "popcount" 3 (Bus.popcount 0b1011);
+  (* From idle 0: 1 + 1 + 4 transitions. *)
+  Alcotest.(check int) "trace transitions" 6
+    (Bus.transitions [ 0b0001; 0b0011; 0b1100 ]);
+  check_close "per word" 2.0
+    (Bus.transitions_per_word [ 0b0001; 0b0011; 0b1100 ]);
+  Alcotest.(check bool) "energy positive" true
+    (Bus.energy ~cap_per_line:1e-12 ~vdd:3.3 [ 1; 2; 3 ] > 0.0)
+
+(* --- Bus-invert --- *)
+
+let test_paper_example () =
+  (* The survey's worked example: previous 0000, current 1011 -> drive 0100
+     with E asserted. *)
+  let enc = Bus_invert.encode ~width:4 [ 0b0000; 0b1011 ] in
+  match enc with
+  | [ first; second ] ->
+    Alcotest.(check int) "first word plain" 0 first.Bus_invert.driven;
+    Alcotest.(check bool) "E low" false first.Bus_invert.invert;
+    Alcotest.(check int) "second complemented" 0b0100 second.Bus_invert.driven;
+    Alcotest.(check bool) "E high" true second.Bus_invert.invert
+  | _ -> Alcotest.fail "arity"
+
+let test_roundtrip () =
+  let r = rng () in
+  let words = Traces.random_words r ~width:8 ~n:500 in
+  Alcotest.(check (list int)) "decode inverts encode" words
+    (Bus_invert.decode ~width:8 (Bus_invert.encode ~width:8 words))
+
+let prop_roundtrip =
+  prop ~count:100 "bus-invert roundtrip"
+    QCheck2.Gen.(list_size (int_range 1 50) (int_bound 255))
+    (fun words ->
+      Bus_invert.decode ~width:8 (Bus_invert.encode ~width:8 words) = words)
+
+let prop_worst_case_bound =
+  prop ~count:200 "per-transfer transitions bounded by ceil(n/2)"
+    QCheck2.Gen.(list_size (int_range 2 40) (int_bound 255))
+    (fun words ->
+      let enc = Bus_invert.encode ~width:8 words in
+      let rec check prev prev_e = function
+        | [] -> true
+        | e :: rest ->
+          let d =
+            Bus.hamming prev e.Bus_invert.driven
+            + if prev_e <> e.Bus_invert.invert then 1 else 0
+          in
+          d <= Bus_invert.max_transitions_per_transfer ~width:8
+          && check e.Bus_invert.driven e.Bus_invert.invert rest
+      in
+      check 0 false enc)
+
+let prop_never_much_worse =
+  prop ~count:200 "encoded transitions never exceed raw + wordcount"
+    QCheck2.Gen.(list_size (int_range 1 40) (int_bound 4095))
+    (fun words ->
+      let raw = Bus_invert.raw_transitions ~width:12 words in
+      let enc =
+        Bus_invert.transitions ~width:12 (Bus_invert.encode ~width:12 words)
+      in
+      enc <= raw + List.length words)
+
+let test_savings_on_random_data () =
+  let r = rng () in
+  let words = Traces.random_words r ~width:8 ~n:5000 in
+  let s = Bus_invert.saving ~width:8 words in
+  (* Known asymptotic for 8-bit random data is ~18%; accept a band. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "saving %.3f in band" s)
+    true
+    (s > 0.10 && s < 0.25)
+
+let test_savings_high_activity () =
+  (* Alternating complement-heavy trace: bus-invert nearly eliminates it. *)
+  let words = List.init 100 (fun i -> if i mod 2 = 0 then 0x00 else 0xFF) in
+  let s = Bus_invert.saving ~width:8 words in
+  Alcotest.(check bool) "huge saving" true (s > 0.8)
+
+let test_width_validation () =
+  expect_invalid_arg "word too wide" (fun () ->
+      ignore (Bus_invert.encode ~width:4 [ 0x1F ]));
+  expect_invalid_arg "bad width" (fun () ->
+      ignore (Bus_invert.encode ~width:0 [ 0 ]))
+
+(* --- Limited weight / gray / transition signaling --- *)
+
+let test_transition_signaling_roundtrip () =
+  let r = rng () in
+  let words = Traces.random_words r ~width:10 ~n:200 in
+  Alcotest.(check (list int)) "designal . signal = id" words
+    (Limited_weight.transition_designal
+       (Limited_weight.transition_signal words))
+
+let test_gray_conversion () =
+  for i = 0 to 255 do
+    Alcotest.(check int) "int_of_gray . gray_of_int" i
+      (Limited_weight.int_of_gray (Limited_weight.gray_of_int i))
+  done
+
+let test_gray_address_savings () =
+  let n = 1024 in
+  let g = Limited_weight.gray_sequence_transitions n in
+  let b = Limited_weight.binary_sequence_transitions n in
+  Alcotest.(check int) "gray fetch = n-1 transitions" (n - 1) g;
+  (* Binary counting costs ~2 toggles per increment. *)
+  Alcotest.(check bool) "binary about 2x" true
+    (float_of_int b /. float_of_int g > 1.8)
+
+let test_lwc_construction () =
+  match Limited_weight.make_lwc ~payload_bits:4 ~max_weight:2 with
+  | None -> Alcotest.fail "code should exist"
+  | Some c ->
+    Alcotest.(check bool) "wider than payload" true
+      (Limited_weight.codeword_bits c >= 4);
+    (* All codewords decode back and respect the weight bound. *)
+    for p = 0 to 15 do
+      let w = Limited_weight.lwc_encode c p in
+      Alcotest.(check int) "roundtrip" p (Limited_weight.lwc_decode c w);
+      Alcotest.(check bool) "weight bounded" true (Bus.popcount w <= 2)
+    done
+
+let test_lwc_infeasible () =
+  Alcotest.(check bool) "weight 0 impossible" true
+    (Limited_weight.make_lwc ~payload_bits:4 ~max_weight:0 = None)
+
+let test_lwc_bus_bound () =
+  match Limited_weight.make_lwc ~payload_bits:6 ~max_weight:3 with
+  | None -> Alcotest.fail "code should exist"
+  | Some c ->
+    let r = rng () in
+    let payloads = Traces.random_words r ~width:6 ~n:300 in
+    let t = Limited_weight.lwc_bus_transitions c payloads in
+    Alcotest.(check bool) "bounded by w per transfer" true (t <= 3 * 300)
+
+(* --- Residue --- *)
+
+let test_residue_roundtrip () =
+  let sys = Residue.standard in
+  for x = 0 to 200 do
+    Alcotest.(check int) "decode . encode" x
+      (Residue.decode sys (Residue.encode sys x))
+  done
+
+let test_residue_arithmetic () =
+  let sys = Residue.make [ 3; 5; 7 ] in
+  let n = Residue.range sys in
+  Alcotest.(check int) "range" 105 n;
+  let r = rng () in
+  for _ = 1 to 200 do
+    let a = Lowpower.Rng.int r n and b = Lowpower.Rng.int r n in
+    Alcotest.(check int) "add"
+      ((a + b) mod n)
+      (Residue.decode sys (Residue.add sys (Residue.encode sys a) (Residue.encode sys b)));
+    Alcotest.(check int) "mul"
+      (a * b mod n)
+      (Residue.decode sys (Residue.mul sys (Residue.encode sys a) (Residue.encode sys b)))
+  done
+
+let test_residue_coprime_check () =
+  expect_invalid_arg "not coprime" (fun () -> ignore (Residue.make [ 4; 6 ]));
+  expect_invalid_arg "below 2" (fun () -> ignore (Residue.make [ 1; 3 ]))
+
+let test_one_hot_transitions_bounded () =
+  let sys = Residue.make [ 3; 5; 7 ] in
+  let a = Residue.encode sys 13 and b = Residue.encode sys 87 in
+  let t = Residue.one_hot_transitions sys a b in
+  (* At most 2 per digit. *)
+  Alcotest.(check bool) "bounded" true (t <= 2 * 3);
+  Alcotest.(check int) "no change, no toggles" 0
+    (Residue.one_hot_transitions sys a a)
+
+let test_accumulator_comparison () =
+  let r = rng () in
+  let data = Traces.random_words r ~width:10 ~n:2000 in
+  let sys = Residue.standard in
+  let rns = Residue.accumulate_transitions sys data in
+  let bin = Residue.binary_accumulate_transitions ~width:10 data in
+  (* The one-hot RNS accumulator toggles a bounded 2/digit; binary ripples.
+     Toggles per step: RNS <= 8, binary averages ~width/2 + carries. *)
+  Alcotest.(check bool) "rns bounded per step" true (rns <= 2 * 4 * 2000);
+  Alcotest.(check bool) "positive work measured" true (bin > 0 && rns > 0)
+
+let suite =
+  [
+    quick "bus transition counting" test_bus_counting;
+    quick "paper's 0000->1011 example" test_paper_example;
+    quick "bus-invert roundtrip" test_roundtrip;
+    prop_roundtrip;
+    prop_worst_case_bound;
+    prop_never_much_worse;
+    quick "bus-invert saves ~18% on random 8-bit data" test_savings_on_random_data;
+    quick "bus-invert on complement-heavy data" test_savings_high_activity;
+    quick "bus-invert width validation" test_width_validation;
+    quick "transition signaling roundtrip" test_transition_signaling_roundtrip;
+    quick "gray conversions" test_gray_conversion;
+    quick "gray addressing halves fetch transitions" test_gray_address_savings;
+    quick "limited-weight code construction" test_lwc_construction;
+    quick "limited-weight infeasible" test_lwc_infeasible;
+    quick "limited-weight bus bound" test_lwc_bus_bound;
+    quick "residue roundtrip" test_residue_roundtrip;
+    quick "residue arithmetic" test_residue_arithmetic;
+    quick "residue coprimality enforced" test_residue_coprime_check;
+    quick "one-hot transitions bounded" test_one_hot_transitions_bounded;
+    quick "accumulator transition comparison" test_accumulator_comparison;
+  ]

@@ -1,0 +1,114 @@
+(* Tests for Guard: guarded evaluation (paper III.C.4, [44]). *)
+
+open Test_util
+
+let mux_net () = Circuits.mux_compare 4
+
+(* Find the equality block's root: the mux "z" reads [sel; gt; eq]. *)
+let roots net =
+  let z = List.assoc "z" (Network.outputs net) in
+  match Network.fanins net z with
+  | [ _sel; gt_root; eq_root ] -> (gt_root, eq_root)
+  | _ -> Alcotest.fail "unexpected mux shape"
+
+let test_odc_of_mux_blocks () =
+  let net, _sel = mux_net () in
+  let gt_root, eq_root = roots net in
+  (* The equality block is unobservable when sel = 1 (mux picks gt);
+     sel is input position 0. *)
+  Alcotest.(check bool) "ODC(eq block) = sel" true
+    (Expr.equal (Guard.observability_condition net eq_root) (Expr.var 0));
+  Alcotest.(check bool) "ODC(gt block) = sel'" true
+    (Expr.equal
+       (Guard.observability_condition net gt_root)
+       (Expr.not_ (Expr.var 0)))
+
+let test_odc_constant_false_when_observable () =
+  (* A single buffer driving the only output is always observable. *)
+  let net = Network.create () in
+  let a = Network.add_input net in
+  let g = Network.add_node net (Expr.not_ (Expr.var 0)) [ a ] in
+  Network.set_output net "z" g;
+  Alcotest.(check bool) "always observable" true
+    (Expr.equal (Guard.observability_condition net g) Expr.fls);
+  Alcotest.(check bool) "auto declines" true (Guard.auto net ~root:g = None)
+
+let test_guarded_equivalent () =
+  let net, _ = mux_net () in
+  let _, eq_root = roots net in
+  match Guard.auto net ~root:eq_root with
+  | None -> Alcotest.fail "expected a guard"
+  | Some g ->
+    let stim = Stimulus.random (rng ()) ~width:9 ~length:500 () in
+    Alcotest.(check bool) "guarded design equivalent" true
+      (Guard.equivalent g net ~stimulus:stim)
+
+let test_guarded_both_blocks_equivalent () =
+  let net, _ = mux_net () in
+  let gt_root, _ = roots net in
+  match Guard.auto net ~root:gt_root with
+  | None -> Alcotest.fail "expected a guard"
+  | Some g ->
+    let stim = Stimulus.random (rng ()) ~width:9 ~length:500 () in
+    Alcotest.(check bool) "guarding the other block is equivalent" true
+      (Guard.equivalent g net ~stimulus:stim)
+
+let test_guarded_saves_energy () =
+  let net, _ = mux_net () in
+  let _, eq_root = roots net in
+  match Guard.auto net ~root:eq_root with
+  | None -> Alcotest.fail "expected a guard"
+  | Some g ->
+    (* Bias sel toward 1: the equality block is usually unobservable. *)
+    let r = rng () in
+    let stim =
+      List.init 600 (fun _ ->
+          Array.init 9 (fun k ->
+              if k = 0 then Lowpower.Rng.bernoulli r 0.9
+              else Lowpower.Rng.bool r))
+    in
+    let plain, guarded = Guard.energy_comparison g net ~stimulus:stim in
+    Alcotest.(check bool)
+      (Printf.sprintf "guarding saves (%.0f -> %.0f)" plain guarded)
+      true (guarded < plain)
+
+let test_guard_freezes_whole_cone () =
+  let net, _ = mux_net () in
+  let _, eq_root = roots net in
+  match Guard.auto net ~root:eq_root with
+  | None -> Alcotest.fail "expected a guard"
+  | Some g ->
+    (* The 4-bit equality cone has 4 xnors + 3 ands = at least 8 boundary
+       signals (the operand bits). *)
+    Alcotest.(check bool) "boundary latches cover the operands" true
+      (g.Guard.latch_count >= 8)
+
+let test_wrong_guard_breaks_equivalence () =
+  (* Failure injection: guard with a condition that is NOT inside the ODC
+     and observe the mismatch — documents why the ODC matters. *)
+  let net, _ = mux_net () in
+  let _, eq_root = roots net in
+  let bogus = Guard.apply net ~root:eq_root ~guard:(Expr.not_ (Expr.var 0)) in
+  let stim = Stimulus.random (rng ()) ~width:9 ~length:500 () in
+  Alcotest.(check bool) "non-ODC guard breaks the circuit" false
+    (Guard.equivalent bogus net ~stimulus:stim)
+
+let test_guard_input_validation () =
+  let net, sel = mux_net () in
+  expect_invalid_arg "input root" (fun () ->
+      ignore (Guard.apply net ~root:sel ~guard:Expr.fls));
+  let _, eq_root = roots net in
+  expect_invalid_arg "guard escapes inputs" (fun () ->
+      ignore (Guard.apply net ~root:eq_root ~guard:(Expr.var 40)))
+
+let suite =
+  [
+    quick "ODC of the mux blocks is the select line" test_odc_of_mux_blocks;
+    quick "always-observable node has empty ODC" test_odc_constant_false_when_observable;
+    quick "guarded equality block equivalent" test_guarded_equivalent;
+    quick "guarded magnitude block equivalent" test_guarded_both_blocks_equivalent;
+    quick "guarding saves energy under biased select" test_guarded_saves_energy;
+    quick "guard freezes the whole cone" test_guard_freezes_whole_cone;
+    quick "non-ODC guard detected by equivalence check" test_wrong_guard_breaks_equivalence;
+    quick "guard input validation" test_guard_input_validation;
+  ]

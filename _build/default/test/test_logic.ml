@@ -1,0 +1,410 @@
+(* Tests for lp_logic: Expr, Bdd, Truth_table, Cube, Cover. *)
+
+open Test_util
+
+(* Random expression generator for property tests. *)
+let gen_expr nvars =
+  let open QCheck2.Gen in
+  sized_size (int_bound 6) (fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [ map (fun v -> Expr.var v) (int_bound (nvars - 1));
+            map (fun b -> Expr.Const b) bool ]
+      else
+        oneof
+          [
+            map (fun v -> Expr.var v) (int_bound (nvars - 1));
+            map Expr.not_ (self (n - 1));
+            map2 Expr.( &&& ) (self (n / 2)) (self (n / 2));
+            map2 Expr.( ||| ) (self (n / 2)) (self (n / 2));
+            map2 Expr.( ^^^ ) (self (n / 2)) (self (n / 2));
+          ]))
+
+let env_of_code code v = code land (1 lsl v) <> 0
+
+(* --- Expr unit tests --- *)
+
+let test_expr_eval () =
+  let e = Expr.(var 0 &&& not_ (var 1) ||| (var 2 ^^^ var 0)) in
+  Alcotest.(check bool) "101" true
+    (Expr.eval (env_of_code 0b101) e);
+  Alcotest.(check bool) "111" false
+    (Expr.eval (env_of_code 0b111) e)
+
+let test_expr_simplifications () =
+  Alcotest.(check bool) "x & 0 = 0" true
+    (Expr.equal Expr.fls Expr.(var 0 &&& fls));
+  Alcotest.(check bool) "x | 1 = 1" true
+    (Expr.equal Expr.tru Expr.(var 0 ||| tru));
+  Alcotest.(check bool) "not not x = x" true
+    (Expr.equal (Expr.var 3) (Expr.not_ (Expr.not_ (Expr.var 3))));
+  Alcotest.(check bool) "x ^ 1 = x'" true
+    (Expr.equal (Expr.not_ (Expr.var 0)) Expr.(var 0 ^^^ tru))
+
+let test_expr_support () =
+  let e = Expr.(var 3 &&& (var 1 ||| var 3)) in
+  Alcotest.(check (list int)) "support" [ 1; 3 ] (Expr.support e);
+  Alcotest.(check int) "max var" 3 (Expr.max_var e);
+  Alcotest.(check int) "max var const" (-1) (Expr.max_var Expr.tru)
+
+let test_expr_literal_count_depth () =
+  let e = Expr.(var 0 &&& not_ (var 1) ||| var 0) in
+  Alcotest.(check int) "literals" 3 (Expr.literal_count e);
+  Alcotest.(check int) "depth of var" 0 (Expr.depth (Expr.var 0))
+
+let test_expr_cofactor () =
+  let e = Expr.(var 0 &&& var 1) in
+  Alcotest.(check bool) "cofactor 1" true
+    (Expr.equal (Expr.var 1) (Expr.cofactor 0 true e));
+  Alcotest.(check bool) "cofactor 0" true
+    (Expr.equal Expr.fls (Expr.cofactor 0 false e))
+
+let test_expr_rename () =
+  let e = Expr.(var 0 ||| var 1) in
+  let r = Expr.rename_vars (fun v -> v + 10) e in
+  Alcotest.(check (list int)) "renamed support" [ 10; 11 ] (Expr.support r)
+
+let test_expr_pp () =
+  Alcotest.(check string) "pp" "x0.x1' + x2"
+    (Expr.to_string Expr.(var 0 &&& not_ (var 1) ||| var 2))
+
+(* --- BDD unit tests --- *)
+
+let test_bdd_basic () =
+  let m = Bdd.manager () in
+  let x = Bdd.var m 0 and y = Bdd.var m 1 in
+  Alcotest.(check bool) "x & x' = 0" true
+    (Bdd.is_false (Bdd.and_ m x (Bdd.not_ m x)));
+  Alcotest.(check bool) "x | x' = 1" true
+    (Bdd.is_true (Bdd.or_ m x (Bdd.not_ m x)));
+  Alcotest.(check bool) "canonicity" true
+    (Bdd.equal (Bdd.and_ m x y) (Bdd.and_ m y x))
+
+let test_bdd_quantify () =
+  let m = Bdd.manager () in
+  let f = Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1) in
+  Alcotest.(check bool) "exists x0 (x0 & x1) = x1" true
+    (Bdd.equal (Bdd.var m 1) (Bdd.exists m [ 0 ] f));
+  Alcotest.(check bool) "forall x0 (x0 & x1) = 0" true
+    (Bdd.is_false (Bdd.forall m [ 0 ] f));
+  let g = Bdd.or_ m (Bdd.var m 0) (Bdd.var m 1) in
+  Alcotest.(check bool) "forall x0 (x0 | x1) = x1" true
+    (Bdd.equal (Bdd.var m 1) (Bdd.forall m [ 0 ] g))
+
+let test_bdd_compose () =
+  let m = Bdd.manager () in
+  (* f = x0 xor x2, compose x0 := x1 & x2 -> (x1 & x2) xor x2 *)
+  let f = Bdd.xor m (Bdd.var m 0) (Bdd.var m 2) in
+  let g = Bdd.and_ m (Bdd.var m 1) (Bdd.var m 2) in
+  let h = Bdd.compose m f 0 g in
+  let expect =
+    Bdd.of_expr m Expr.((var 1 &&& var 2) ^^^ var 2)
+  in
+  Alcotest.(check bool) "compose" true (Bdd.equal h expect)
+
+let test_bdd_boolean_difference () =
+  let m = Bdd.manager () in
+  (* d(x&y)/dx = y *)
+  let f = Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1) in
+  Alcotest.(check bool) "d(xy)/dx = y" true
+    (Bdd.equal (Bdd.var m 1) (Bdd.boolean_difference m f 0));
+  (* d(x xor y)/dx = 1 *)
+  let g = Bdd.xor m (Bdd.var m 0) (Bdd.var m 1) in
+  Alcotest.(check bool) "d(x^y)/dx = 1" true
+    (Bdd.is_true (Bdd.boolean_difference m g 0))
+
+let test_bdd_probability_exact () =
+  let m = Bdd.manager () in
+  let f = Bdd.of_expr m Expr.(var 0 &&& var 1 ||| var 2) in
+  (* p = p0 p1 + p2 - p0 p1 p2 with independent inputs *)
+  let p = Bdd.probability m (fun v -> [| 0.5; 0.25; 0.1 |].(v)) f in
+  check_close "probability" ((0.5 *. 0.25) +. 0.1 -. (0.5 *. 0.25 *. 0.1)) p
+
+let test_bdd_any_sat () =
+  let m = Bdd.manager () in
+  Alcotest.(check bool) "unsat" true (Bdd.any_sat (Bdd.fls m) = None);
+  let f = Bdd.of_expr m Expr.(var 0 &&& not_ (var 1)) in
+  (match Bdd.any_sat f with
+  | None -> Alcotest.fail "should be sat"
+  | Some assignment ->
+    Alcotest.(check bool) "assignment satisfies" true
+      (Bdd.eval f (fun v ->
+           Option.value (List.assoc_opt v assignment) ~default:false)))
+
+let test_bdd_size_support () =
+  let m = Bdd.manager () in
+  let f = Bdd.of_expr m Expr.(var 0 ^^^ (var 2 ^^^ var 4)) in
+  Alcotest.(check (list int)) "support" [ 0; 2; 4 ] (Bdd.support f);
+  (* Without complement edges a 3-input xor chain needs 1 + 2 + 2 nodes. *)
+  Alcotest.(check int) "xor chain size" 5 (Bdd.size f)
+
+let test_bdd_fold_paths_cover () =
+  let m = Bdd.manager () in
+  let e = Expr.(var 0 &&& var 1 ||| (not_ (var 0) &&& var 2)) in
+  let f = Bdd.of_expr m e in
+  let cover = Cover.of_bdd 3 m f in
+  Alcotest.(check bool) "paths form an equivalent cover" true
+    (Truth_table.equal (Truth_table.of_expr 3 e) (Cover.to_truth_table cover))
+
+(* --- Property: BDD semantics match expression semantics --- *)
+
+let prop_bdd_matches_expr =
+  prop ~count:200 "bdd of_expr preserves semantics" (gen_expr 4) (fun e ->
+      let m = Bdd.manager () in
+      let f = Bdd.of_expr m e in
+      let ok = ref true in
+      for code = 0 to 15 do
+        if Bdd.eval f (env_of_code code) <> Expr.eval (env_of_code code) e then
+          ok := false
+      done;
+      !ok)
+
+let prop_bdd_canonical =
+  prop ~count:200 "semantically equal expressions share one BDD node"
+    QCheck2.Gen.(pair (gen_expr 3) (gen_expr 3))
+    (fun (a, b) ->
+      let m = Bdd.manager () in
+      let fa = Bdd.of_expr m a and fb = Bdd.of_expr m b in
+      let same_sem =
+        List.for_all
+          (fun code ->
+            Expr.eval (env_of_code code) a = Expr.eval (env_of_code code) b)
+          (List.init 8 (fun i -> i))
+      in
+      Bdd.equal fa fb = same_sem)
+
+let prop_bdd_probability_is_minterm_fraction =
+  prop ~count:200 "uniform probability = minterm fraction" (gen_expr 4)
+    (fun e ->
+      let m = Bdd.manager () in
+      let f = Bdd.of_expr m e in
+      let p = Bdd.probability m (fun _ -> 0.5) f in
+      let tt = Truth_table.of_expr 4 e in
+      Float.abs (p -. Truth_table.probability tt) < 1e-9)
+
+let prop_bdd_shannon =
+  prop ~count:200 "f = x f|x + x' f|x'" (gen_expr 4) (fun e ->
+      let m = Bdd.manager () in
+      let f = Bdd.of_expr m e in
+      let x = Bdd.var m 0 in
+      let hi = Bdd.restrict m f 0 true and lo = Bdd.restrict m f 0 false in
+      Bdd.equal f
+        (Bdd.or_ m (Bdd.and_ m x hi) (Bdd.and_ m (Bdd.not_ m x) lo)))
+
+(* --- Truth table --- *)
+
+let test_tt_roundtrip () =
+  let e = Expr.(var 0 ^^^ (var 1 &&& var 2)) in
+  let tt = Truth_table.of_expr 3 e in
+  Alcotest.(check bool) "to_expr roundtrip" true
+    (Truth_table.equal tt (Truth_table.of_expr 3 (Truth_table.to_expr tt)))
+
+let test_tt_ops () =
+  let a = Truth_table.of_expr 2 (Expr.var 0) in
+  let b = Truth_table.of_expr 2 (Expr.var 1) in
+  Alcotest.(check bool) "and" true
+    (Truth_table.equal
+       (Truth_table.of_expr 2 Expr.(var 0 &&& var 1))
+       (Truth_table.and_ a b));
+  Alcotest.(check bool) "xor" true
+    (Truth_table.equal
+       (Truth_table.of_expr 2 Expr.(var 0 ^^^ var 1))
+       (Truth_table.xor a b));
+  Alcotest.(check int) "ones" 2 (Truth_table.ones a);
+  check_close "probability" 0.5 (Truth_table.probability a)
+
+let test_tt_cofactor () =
+  let tt = Truth_table.of_expr 2 Expr.(var 0 &&& var 1) in
+  let c1 = Truth_table.cofactor tt 0 true in
+  Alcotest.(check bool) "cofactor" true
+    (Truth_table.equal (Truth_table.of_expr 2 (Expr.var 1)) c1)
+
+let test_tt_bounds () =
+  expect_invalid_arg "too many vars" (fun () -> Truth_table.create 21);
+  expect_invalid_arg "negative" (fun () -> Truth_table.create (-1))
+
+(* --- Cube --- *)
+
+let test_cube_basics () =
+  let c = Cube.of_lits [ (0, true); (2, false) ] ~n:4 in
+  Alcotest.(check int) "literal count" 2 (Cube.literal_count c);
+  Alcotest.(check bool) "covers 0b0001" true (Cube.covers_minterm c 0b0001);
+  Alcotest.(check bool) "not covers 0b0101" false (Cube.covers_minterm c 0b0101);
+  Alcotest.(check bool) "contains itself" true (Cube.contains c c);
+  Alcotest.(check bool) "full contains c" true (Cube.contains (Cube.full 4) c)
+
+let test_cube_conflict () =
+  expect_invalid_arg "conflicting" (fun () ->
+      Cube.of_lits [ (0, true); (0, false) ] ~n:2)
+
+let test_cube_intersect_supercube () =
+  let a = Cube.of_lits [ (0, true) ] ~n:3 in
+  let b = Cube.of_lits [ (1, false) ] ~n:3 in
+  (match Cube.intersect a b with
+  | None -> Alcotest.fail "should intersect"
+  | Some c ->
+    Alcotest.(check int) "intersection lits" 2 (Cube.literal_count c));
+  let a' = Cube.of_lits [ (0, true) ] ~n:3 in
+  let b' = Cube.of_lits [ (0, false) ] ~n:3 in
+  Alcotest.(check bool) "conflict" true (Cube.intersect a' b' = None);
+  Alcotest.(check int) "distance" 1 (Cube.distance a' b');
+  Alcotest.(check int) "supercube free" 0
+    (Cube.literal_count (Cube.supercube a' b'))
+
+let test_cube_cofactor () =
+  let c = Cube.of_lits [ (0, true); (1, false) ] ~n:3 in
+  (match Cube.cofactor c 0 true with
+  | None -> Alcotest.fail "compatible cofactor"
+  | Some c' -> Alcotest.(check int) "freed" 1 (Cube.literal_count c'));
+  Alcotest.(check bool) "conflicting cofactor" true (Cube.cofactor c 0 false = None)
+
+(* --- Cover --- *)
+
+let test_cover_tautology () =
+  let n = 2 in
+  let full = Cover.universe n in
+  Alcotest.(check bool) "universe" true (Cover.tautology full);
+  let xs =
+    Cover.of_cubes n
+      [ Cube.of_lits [ (0, true) ] ~n; Cube.of_lits [ (0, false) ] ~n ]
+  in
+  Alcotest.(check bool) "x + x'" true (Cover.tautology xs);
+  let half = Cover.of_cubes n [ Cube.of_lits [ (0, true) ] ~n ] in
+  Alcotest.(check bool) "x alone" false (Cover.tautology half);
+  Alcotest.(check bool) "empty" false (Cover.tautology (Cover.empty n))
+
+let test_cover_containment () =
+  let n = 3 in
+  let f = Cover.of_cubes n [ Cube.of_lits [ (0, true); (1, true) ] ~n ] in
+  let g = Cover.of_cubes n [ Cube.of_lits [ (0, true) ] ~n ] in
+  Alcotest.(check bool) "f in g" true (Cover.contained f g);
+  Alcotest.(check bool) "g not in f" false (Cover.contained g f)
+
+let test_cover_minimize_simple () =
+  (* x y + x y' minimizes to x *)
+  let n = 2 in
+  let f =
+    Cover.of_cubes n
+      [
+        Cube.of_lits [ (0, true); (1, true) ] ~n;
+        Cube.of_lits [ (0, true); (1, false) ] ~n;
+      ]
+  in
+  let g = Cover.minimize f in
+  Alcotest.(check int) "one cube" 1 (Cover.cube_count g);
+  Alcotest.(check int) "one literal" 1 (Cover.literal_count g);
+  Alcotest.(check bool) "equivalent" true (Cover.equivalent f g)
+
+let test_cover_minimize_with_dc () =
+  (* onset = x y; dc = x y'; minimal implementation is x. *)
+  let n = 2 in
+  let f = Cover.of_cubes n [ Cube.of_lits [ (0, true); (1, true) ] ~n ] in
+  let dc = Cover.of_cubes n [ Cube.of_lits [ (0, true); (1, false) ] ~n ] in
+  let g = Cover.minimize ~dc f in
+  Alcotest.(check int) "one literal with dc" 1 (Cover.literal_count g)
+
+let gen_small_tt =
+  QCheck2.Gen.(map (fun e -> Truth_table.of_expr 4 e) (gen_expr 4))
+
+let prop_cover_minimize_preserves =
+  prop ~count:150 "minimize preserves the function" gen_small_tt (fun tt ->
+      let f = Cover.of_truth_table tt in
+      let g = Cover.minimize f in
+      Truth_table.equal tt (Cover.to_truth_table g))
+
+let prop_cover_minimize_never_grows =
+  prop ~count:150 "minimize never increases cost" gen_small_tt (fun tt ->
+      let f = Cover.of_truth_table tt in
+      let g = Cover.minimize f in
+      Cover.literal_count g <= Cover.literal_count f
+      && Cover.cube_count g <= Cover.cube_count f)
+
+let prop_cover_dc_respects_onset =
+  prop ~count:100 "dc minimization stays within on+dc and covers onset"
+    QCheck2.Gen.(pair gen_small_tt gen_small_tt)
+    (fun (on_tt, dc_raw) ->
+      (* Make dc disjoint from the onset. *)
+      let dc_tt = Truth_table.and_ dc_raw (Truth_table.not_ on_tt) in
+      let f = Cover.of_truth_table on_tt in
+      let dc = Cover.of_truth_table dc_tt in
+      let g = Cover.minimize ~dc f in
+      let gt = Cover.to_truth_table g in
+      let within =
+        Truth_table.equal
+          (Truth_table.and_ gt (Truth_table.not_ (Truth_table.or_ on_tt dc_tt)))
+          (Truth_table.create 4)
+      in
+      let covers =
+        Truth_table.equal (Truth_table.and_ gt on_tt) on_tt
+      in
+      within && covers)
+
+let prop_cover_complement_correct =
+  prop ~count:150 "complement is pointwise negation" gen_small_tt (fun tt ->
+      let f = Cover.of_truth_table tt in
+      let g = Cover.complement (Cover.minimize f) in
+      Truth_table.equal (Truth_table.not_ tt) (Cover.to_truth_table g))
+
+let prop_cover_reduce_preserves =
+  prop ~count:100 "reduce keeps the cover's function" gen_small_tt (fun tt ->
+      let f = Cover.minimize (Cover.of_truth_table tt) in
+      let r = Cover.reduce f ~dc:(Cover.empty 4) in
+      Truth_table.equal tt (Cover.to_truth_table r))
+
+let test_complement_small () =
+  (* complement(x0 x1) = x0' + x1' *)
+  let f =
+    Cover.of_cubes 2 [ Cube.of_lits [ (0, true); (1, true) ] ~n:2 ]
+  in
+  let g = Cover.minimize (Cover.complement f) in
+  Alcotest.(check int) "two cubes" 2 (Cover.cube_count g);
+  Alcotest.(check int) "two literals" 2 (Cover.literal_count g);
+  Alcotest.(check bool) "empty complements to universe" true
+    (Cover.tautology (Cover.complement (Cover.empty 3)))
+
+let prop_tautology_agrees_with_tt =
+  prop ~count:150 "tautology check matches truth table" gen_small_tt (fun tt ->
+      let f = Cover.of_truth_table tt in
+      Cover.tautology f = (Truth_table.ones tt = Truth_table.num_minterms tt))
+
+let suite =
+  [
+    quick "expr eval" test_expr_eval;
+    quick "expr constant folding" test_expr_simplifications;
+    quick "expr support" test_expr_support;
+    quick "expr literals and depth" test_expr_literal_count_depth;
+    quick "expr cofactor" test_expr_cofactor;
+    quick "expr rename" test_expr_rename;
+    quick "expr pretty printing" test_expr_pp;
+    quick "bdd basics" test_bdd_basic;
+    quick "bdd quantification" test_bdd_quantify;
+    quick "bdd compose" test_bdd_compose;
+    quick "bdd boolean difference" test_bdd_boolean_difference;
+    quick "bdd exact probability" test_bdd_probability_exact;
+    quick "bdd any_sat" test_bdd_any_sat;
+    quick "bdd size and support" test_bdd_size_support;
+    quick "bdd fold_paths gives a cover" test_bdd_fold_paths_cover;
+    prop_bdd_matches_expr;
+    prop_bdd_canonical;
+    prop_bdd_probability_is_minterm_fraction;
+    prop_bdd_shannon;
+    quick "truth table roundtrip" test_tt_roundtrip;
+    quick "truth table connectives" test_tt_ops;
+    quick "truth table cofactor" test_tt_cofactor;
+    quick "truth table bounds" test_tt_bounds;
+    quick "cube basics" test_cube_basics;
+    quick "cube conflicting literals rejected" test_cube_conflict;
+    quick "cube intersect and supercube" test_cube_intersect_supercube;
+    quick "cube cofactor" test_cube_cofactor;
+    quick "cover tautology" test_cover_tautology;
+    quick "cover containment" test_cover_containment;
+    quick "cover minimize merges cubes" test_cover_minimize_simple;
+    quick "cover minimize uses dc" test_cover_minimize_with_dc;
+    prop_cover_minimize_preserves;
+    prop_cover_minimize_never_grows;
+    prop_cover_dc_respects_onset;
+    prop_cover_complement_correct;
+    prop_cover_reduce_preserves;
+    quick "cover complement small cases" test_complement_small;
+    prop_tautology_agrees_with_tt;
+  ]

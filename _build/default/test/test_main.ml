@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "lowpower"
+    [
+      ("core", Test_core.suite);
+      ("logic", Test_logic.suite);
+      ("network", Test_network.suite);
+      ("estimate", Test_estimate.suite);
+      ("sim", Test_sim.suite);
+      ("circuit", Test_circuit.suite);
+      ("synth", Test_synth.suite);
+      ("seq", Test_seq.suite);
+      ("guard", Test_guard.suite);
+      ("seq_estimate", Test_seq_estimate.suite);
+      ("coding", Test_coding.suite);
+      ("arch", Test_arch.suite);
+      ("soft", Test_soft.suite);
+      ("workloads", Test_workloads.suite);
+      ("integration", Test_integration.suite);
+      ("surface", Test_surface.suite);
+    ]

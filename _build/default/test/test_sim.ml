@@ -1,0 +1,127 @@
+(* Tests for lp_sim: Stimulus and Event_sim. *)
+
+open Test_util
+
+let test_stimulus_shapes () =
+  let r = rng () in
+  let s = Stimulus.random r ~width:5 ~length:10 () in
+  Alcotest.(check int) "length" 10 (List.length s);
+  List.iter (fun v -> Alcotest.(check int) "width" 5 (Array.length v)) s
+
+let test_stimulus_bias () =
+  let r = rng () in
+  let s = Stimulus.random r ~width:4 ~length:20_000 ~prob:0.2 () in
+  Array.iter
+    (fun p -> check_close_rel ~eps:0.08 "bias" 0.2 p)
+    (Stimulus.empirical_probs s)
+
+let test_stimulus_hold_reduces_transitions () =
+  let r = rng () in
+  let free = Stimulus.random r ~width:8 ~length:5000 () in
+  let held = Stimulus.correlated r ~width:8 ~length:5000 ~hold:0.9 () in
+  Alcotest.(check bool) "hold reduces transitions" true
+    (Stimulus.transitions held < Stimulus.transitions free / 3)
+
+let test_stimulus_counters () =
+  let c = Stimulus.counter ~width:3 ~length:8 in
+  Alcotest.(check int) "counter transitions 0..7"
+    (* 1+2+1+3+1+2+1 = 11 *)
+    11
+    (Stimulus.transitions c);
+  let g = Stimulus.gray_counter ~width:3 ~length:8 in
+  Alcotest.(check int) "gray: one per step" 7 (Stimulus.transitions g)
+
+let test_stimulus_walking_ones () =
+  let w = Stimulus.walking_ones ~width:4 ~length:5 in
+  List.iteri
+    (fun i v ->
+      Alcotest.(check int) "one hot" 1
+        (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 v);
+      Alcotest.(check bool) "position rotates" true v.(i mod 4))
+    w
+
+let test_event_sim_zero_delay_counts () =
+  let net = (Circuits.ripple_adder 3).Circuits.net in
+  let stim = Stimulus.of_ints ~width:6 [ 0b000000; 0b000001; 0b000011 ] in
+  let r = Event_sim.run net Event_sim.Zero_delay stim in
+  Alcotest.(check int) "cycles" 2 r.Event_sim.cycles;
+  (* Zero delay: total = functional by construction. *)
+  Alcotest.(check int) "no glitches at zero delay"
+    (Event_sim.total_transitions r)
+    (Event_sim.functional_transitions r);
+  check_close "spurious fraction 0" 0.0 (Event_sim.spurious_fraction r)
+
+let test_event_sim_functional_agree_across_models () =
+  (* Functional (settled) transition counts are delay-model independent. *)
+  let net = (Circuits.array_multiplier 4).Circuits.net in
+  let stim = Stimulus.random (rng ()) ~width:8 ~length:50 () in
+  let z = Event_sim.run net Event_sim.Zero_delay stim in
+  let u = Event_sim.run net Event_sim.Unit_delay stim in
+  Alcotest.(check int) "functional counts equal"
+    (Event_sim.functional_transitions z)
+    (Event_sim.functional_transitions u)
+
+let test_event_sim_glitches_exist () =
+  (* The multiplier glitches under unit delay. *)
+  let net = (Circuits.array_multiplier 4).Circuits.net in
+  let stim = Stimulus.random (rng ()) ~width:8 ~length:200 () in
+  let u = Event_sim.run net Event_sim.Unit_delay stim in
+  Alcotest.(check bool) "total > functional" true
+    (Event_sim.total_transitions u > Event_sim.functional_transitions u);
+  let f = Event_sim.spurious_fraction u in
+  Alcotest.(check bool) "spurious fraction in (0, 1)" true (f > 0.0 && f < 1.0)
+
+let test_event_sim_settles_correctly () =
+  (* After each vector the event simulator's node values must equal the
+     zero-delay evaluation: transport delay cannot change the fixpoint. *)
+  let net = (Circuits.carry_select_adder 4).Circuits.net in
+  let stim = Stimulus.random (rng ()) ~width:8 ~length:30 () in
+  (* Compare output value traces via functional counts on outputs only:
+     identical functional counts per node imply identical settled series
+     given identical initial vector. *)
+  let z = Event_sim.run net Event_sim.Zero_delay stim in
+  let u = Event_sim.run net Event_sim.Node_delays stim in
+  List.iter
+    (fun (_, o) ->
+      Alcotest.(check int) "output functional transitions"
+        (Option.value (Hashtbl.find_opt z.Event_sim.functional o) ~default:0)
+        (Option.value (Hashtbl.find_opt u.Event_sim.functional o) ~default:0))
+    (Network.outputs net)
+
+let test_event_sim_balanced_tree_no_glitch () =
+  (* A perfectly balanced xor tree fed by simultaneous inputs does not
+     glitch under unit delay. *)
+  let net, _ = Circuits.parity_tree 8 in
+  let stim = Stimulus.random (rng ()) ~width:8 ~length:100 () in
+  let u = Event_sim.run net Event_sim.Unit_delay stim in
+  check_close "balanced tree spurious = 0" 0.0 (Event_sim.spurious_fraction u)
+
+let test_event_sim_validation () =
+  let net = (Circuits.ripple_adder 2).Circuits.net in
+  expect_invalid_arg "empty stream" (fun () ->
+      Event_sim.run net Event_sim.Zero_delay []);
+  expect_invalid_arg "arity" (fun () ->
+      Event_sim.run net Event_sim.Zero_delay [ [| true |] ])
+
+let test_event_sim_energy_positive () =
+  let net = (Circuits.ripple_adder 3).Circuits.net in
+  let stim = Stimulus.random (rng ()) ~width:6 ~length:20 () in
+  let r = Event_sim.run net Event_sim.Unit_delay stim in
+  Alcotest.(check bool) "energy positive" true
+    (Event_sim.energy Lowpower.Power_model.default_params net r > 0.0)
+
+let suite =
+  [
+    quick "stimulus shapes" test_stimulus_shapes;
+    quick "stimulus bias" test_stimulus_bias;
+    quick "temporal correlation lowers transitions" test_stimulus_hold_reduces_transitions;
+    quick "binary vs gray counter transitions" test_stimulus_counters;
+    quick "walking ones" test_stimulus_walking_ones;
+    quick "event sim zero delay" test_event_sim_zero_delay_counts;
+    quick "functional counts model independent" test_event_sim_functional_agree_across_models;
+    quick "multiplier glitches under unit delay" test_event_sim_glitches_exist;
+    quick "event sim settles to zero-delay fixpoint" test_event_sim_settles_correctly;
+    quick "balanced tree does not glitch" test_event_sim_balanced_tree_no_glitch;
+    quick "event sim validation" test_event_sim_validation;
+    quick "event sim energy" test_event_sim_energy_positive;
+  ]

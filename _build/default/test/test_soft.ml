@@ -1,0 +1,363 @@
+(* Tests for lp_soft: Isa, Machine, Energy_model, Compile. *)
+
+open Test_util
+
+(* --- Isa / Machine --- *)
+
+let test_machine_arithmetic () =
+  let m = Machine.create ~width:8 () in
+  Machine.poke m 0 200;
+  Machine.poke m 1 100;
+  let cycles =
+    Machine.run m
+      [
+        Isa.Ld (0, 0);
+        Isa.Ld (1, 1);
+        Isa.Add (2, 0, 1);
+        Isa.Sub (3, 0, 1);
+        Isa.Mul (4, 0, 1);
+        Isa.Shl (5, 1, 1);
+        Isa.St (2, 2);
+      ]
+  in
+  Alcotest.(check int) "add wraps" ((200 + 100) land 255) (Machine.reg m 2);
+  Alcotest.(check int) "sub" 100 (Machine.reg m 3);
+  Alcotest.(check int) "mul wraps" (200 * 100 land 255) (Machine.reg m 4);
+  Alcotest.(check int) "shl" 200 (Machine.reg m 5);
+  Alcotest.(check int) "stored" (Machine.reg m 2) (Machine.peek m 2);
+  (* 2+2+1+1+2+1+2 = 11 *)
+  Alcotest.(check int) "cycles" 11 cycles
+
+let test_machine_mac () =
+  let m = Machine.create () in
+  let cycles =
+    Machine.run m
+      [ Isa.Li (0, 3); Isa.Li (1, 4); Isa.Clracc; Isa.Mac (0, 1);
+        Isa.Mac (0, 1); Isa.Rdacc 2 ]
+  in
+  Alcotest.(check int) "acc" 24 (Machine.reg m 2);
+  Alcotest.(check int) "cycles" 8 cycles
+
+let test_pair_semantics_and_latency () =
+  let m = Machine.create () in
+  Machine.poke m 5 7;
+  let seq = Machine.create () in
+  Machine.poke seq 5 7;
+  let body = [ Isa.Li (0, 3); Isa.Li (1, 4); Isa.Clracc ] in
+  let paired = body @ [ Isa.Pair (Isa.Ld (2, 5), Isa.Mac (0, 1)) ] in
+  let unpaired = body @ [ Isa.Ld (2, 5); Isa.Mac (0, 1) ] in
+  let c_pair = Machine.run m paired in
+  let c_seq = Machine.run seq unpaired in
+  Alcotest.(check int) "same acc" (Machine.acc seq) (Machine.acc m);
+  Alcotest.(check int) "same reg" (Machine.reg seq 2) (Machine.reg m 2);
+  Alcotest.(check bool) "pair saves cycles" true (c_pair < c_seq)
+
+let test_isa_validation () =
+  expect_invalid_arg "bad register" (fun () -> Isa.validate [ Isa.Li (9, 0) ]);
+  expect_invalid_arg "illegal pair" (fun () ->
+      Isa.validate [ Isa.Pair (Isa.Ld (0, 0), Isa.Mac (0, 1)) ]);
+  expect_invalid_arg "two alu ops cannot pair" (fun () ->
+      Isa.validate [ Isa.Pair (Isa.Add (0, 1, 2), Isa.Add (3, 4, 5)) ])
+
+let test_pairable_rules () =
+  Alcotest.(check bool) "ld+mac distinct regs" true
+    (Isa.pairable (Isa.Ld (3, 0)) (Isa.Mac (0, 1)));
+  Alcotest.(check bool) "ld dest collides" false
+    (Isa.pairable (Isa.Ld (0, 0)) (Isa.Mac (0, 1)));
+  Alcotest.(check bool) "mac then ld" true
+    (Isa.pairable (Isa.Mac (0, 1)) (Isa.Ld (3, 0)))
+
+(* --- Energy model --- *)
+
+let test_classification () =
+  Alcotest.(check bool) "ld is mem" true
+    (Energy_model.classify (Isa.Ld (0, 0)) = Energy_model.Cls_mem);
+  Alcotest.(check bool) "pair takes heavier class" true
+    (Energy_model.classify (Isa.Pair (Isa.Ld (2, 0), Isa.Mac (0, 1)))
+    = Energy_model.Cls_mac)
+
+let test_program_energy_overheads () =
+  let p = Energy_model.dsp_cpu in
+  let alternating =
+    [ Isa.Ld (0, 0); Isa.Mac (0, 0); Isa.Ld (1, 1); Isa.Mac (1, 1) ]
+  in
+  let grouped = [ Isa.Ld (0, 0); Isa.Ld (1, 1); Isa.Mac (0, 0); Isa.Mac (1, 1) ] in
+  Alcotest.(check bool) "alternation costs circuit-state overhead" true
+    (Energy_model.program_energy p alternating
+    > Energy_model.program_energy p grouped);
+  (* Same bases, only overhead differs. *)
+  let base_sum prog =
+    List.fold_left (fun acc i -> acc +. Energy_model.instr_energy p i) 0.0 prog
+  in
+  check_close "same base energy" (base_sum alternating) (base_sum grouped)
+
+let test_gp_insensitive_to_order () =
+  let p = Energy_model.gp_cpu in
+  let a = [ Isa.Ld (0, 0); Isa.Mul (1, 0, 0); Isa.Ld (2, 1); Isa.Mul (3, 2, 2) ] in
+  let b = [ Isa.Ld (0, 0); Isa.Ld (2, 1); Isa.Mul (1, 0, 0); Isa.Mul (3, 2, 2) ] in
+  let ea = Energy_model.program_energy p a in
+  let eb = Energy_model.program_energy p b in
+  Alcotest.(check bool) "under 3% difference on the big core" true
+    (Float.abs (ea -. eb) /. eb < 0.03)
+
+let test_pair_discount () =
+  let p = Energy_model.dsp_cpu in
+  let pair = Isa.Pair (Isa.Ld (2, 0), Isa.Mac (0, 1)) in
+  check_close "pair = parts - discount"
+    (Energy_model.instr_energy p (Isa.Ld (2, 0))
+    +. Energy_model.instr_energy p (Isa.Mac (0, 1))
+    -. 4.0)
+    (Energy_model.instr_energy p pair)
+
+(* --- Compile --- *)
+
+let dot_product taps =
+  let dfg = Dfg.create ~width:12 () in
+  let xs = List.init taps (fun k -> Dfg.add dfg (Dfg.Input (Printf.sprintf "x%d" k)) []) in
+  let ys = List.init taps (fun k -> Dfg.add dfg (Dfg.Input (Printf.sprintf "y%d" k)) []) in
+  let prods = List.map2 (fun x y -> Dfg.add dfg Dfg.Mul [ x; y ]) xs ys in
+  let sum =
+    match prods with
+    | p :: rest -> List.fold_left (fun acc q -> Dfg.add dfg Dfg.Add [ acc; q ]) p rest
+    | [] -> assert false
+  in
+  ignore (Dfg.add dfg (Dfg.Output "dot") [ sum ]);
+  dfg
+
+let variants =
+  [
+    ("naive", Compile.naive);
+    ("optimized", Compile.optimized ());
+    ("gp-scheduled", Compile.optimized ~profile:Energy_model.gp_cpu ());
+    ("dsp-full", Compile.optimized ~profile:Energy_model.dsp_cpu ());
+    ( "dsp-4regs",
+      { (Compile.optimized ~profile:Energy_model.dsp_cpu ()) with
+        Compile.registers = 4 } );
+    ("3regs", { (Compile.optimized ()) with Compile.registers = 3 });
+  ]
+
+let test_all_variants_correct () =
+  let dfg = dot_product 6 in
+  List.iter
+    (fun (name, opts) ->
+      let comp = Compile.compile opts dfg in
+      Alcotest.(check bool) (name ^ " correct") true
+        (Compile.verify comp dfg ~rng:(rng ()) ~samples:100))
+    variants
+
+let test_fir_compiles_correctly () =
+  let dfg = Gen_dfg.fir ~taps:5 () in
+  List.iter
+    (fun (name, opts) ->
+      let comp = Compile.compile opts dfg in
+      Alcotest.(check bool) (name ^ " fir correct") true
+        (Compile.verify comp dfg ~rng:(rng ()) ~samples:100))
+    variants
+
+let test_register_budget_validation () =
+  let dfg = dot_product 3 in
+  expect_invalid_arg "2 registers" (fun () ->
+      ignore
+        (Compile.compile { (Compile.optimized ()) with Compile.registers = 2 } dfg))
+
+let run_energy opts profile dfg =
+  let comp = Compile.compile opts dfg in
+  let inputs =
+    List.mapi (fun k (nm, _) -> (nm, (k * 93) + 7)) (Dfg.inputs dfg)
+  in
+  Compile.measure comp profile ~width:12 inputs
+
+let test_optimized_faster_and_cheaper () =
+  (* §V: "faster code almost always implies lower energy code". *)
+  let dfg = dot_product 6 in
+  let e_naive, c_naive = run_energy Compile.naive Energy_model.gp_cpu dfg in
+  let e_opt, c_opt = run_energy (Compile.optimized ()) Energy_model.gp_cpu dfg in
+  Alcotest.(check bool) "fewer cycles" true (c_opt < c_naive);
+  Alcotest.(check bool) "less energy" true (e_opt < e_naive)
+
+let test_register_operands_cheaper () =
+  (* §V: register operands are much cheaper than memory operands. *)
+  let dfg = dot_product 6 in
+  let e8, _ = run_energy (Compile.optimized ()) Energy_model.gp_cpu dfg in
+  let e3, _ =
+    run_energy { (Compile.optimized ()) with Compile.registers = 3 }
+      Energy_model.gp_cpu dfg
+  in
+  Alcotest.(check bool) "spilling costs energy" true (e3 > e8)
+
+let test_dsp_scheduling_matters_gp_does_not () =
+  let dfg = dot_product 8 in
+  let with_profile p =
+    let base, _ = run_energy (Compile.optimized ()) p dfg in
+    let sched, _ =
+      run_energy
+        { (Compile.optimized ~profile:p ()) with Compile.pair = false }
+        p dfg
+    in
+    (base -. sched) /. base
+  in
+  let gp_gain = with_profile Energy_model.gp_cpu in
+  let dsp_gain = with_profile Energy_model.dsp_cpu in
+  Alcotest.(check bool)
+    (Printf.sprintf "dsp gain (%.3f) exceeds gp gain (%.3f)" dsp_gain gp_gain)
+    true
+    (dsp_gain >= gp_gain -. 1e-9);
+  Alcotest.(check bool) "gp gain is small (<3%)" true (gp_gain < 0.03)
+
+let test_pairing_saves_on_dsp () =
+  let dfg = dot_product 8 in
+  let opts_nopair =
+    { (Compile.optimized ~profile:Energy_model.dsp_cpu ()) with
+      Compile.registers = 4; pair = false }
+  in
+  let opts_pair = { opts_nopair with Compile.pair = true } in
+  let e_nopair, c_nopair = run_energy opts_nopair Energy_model.dsp_cpu dfg in
+  let e_pair, c_pair = run_energy opts_pair Energy_model.dsp_cpu dfg in
+  Alcotest.(check bool) "pairing reduces cycles" true (c_pair < c_nopair);
+  Alcotest.(check bool) "pairing reduces energy" true (e_pair < e_nopair);
+  (* And it must still be correct. *)
+  let comp = Compile.compile opts_pair dfg in
+  Alcotest.(check bool) "paired code correct" true
+    (Compile.verify comp dfg ~rng:(rng ()) ~samples:100)
+
+let test_mac_selection_used () =
+  let dfg = dot_product 4 in
+  let comp = Compile.compile (Compile.optimized ()) dfg in
+  let has_mac =
+    List.exists
+      (fun i -> match i with Isa.Mac _ | Isa.Pair _ -> true | _ -> false)
+      comp.Compile.program
+  in
+  Alcotest.(check bool) "mac selected" true has_mac
+
+let test_strength_reduction_in_codegen () =
+  (* Constant multiplies are strength-reduced at the DFG level
+     (Transform.strength_reduce); the backend then emits Shl for the
+     resulting Shift_left nodes instead of multiplier activations. *)
+  let dfg = Gen_dfg.const_mul_chain ~terms:4 in
+  let reduced = Transform.strength_reduce dfg in
+  let with_sr = Compile.compile (Compile.optimized ()) reduced in
+  let without_sr = Compile.compile (Compile.optimized ()) dfg in
+  let mul_activations prog =
+    List.length
+      (List.filter
+         (function
+           | Isa.Mul _ | Isa.Mac _ | Isa.Pair _ -> true
+           | _ -> false)
+         prog)
+  in
+  let shifts prog =
+    List.length (List.filter (function Isa.Shl _ -> true | _ -> false) prog)
+  in
+  Alcotest.(check bool) "fewer multiplier activations" true
+    (mul_activations with_sr.Compile.program
+    < mul_activations without_sr.Compile.program);
+  Alcotest.(check bool) "shifts appear" true (shifts with_sr.Compile.program > 0);
+  Alcotest.(check bool) "still correct" true
+    (Compile.verify with_sr reduced ~rng:(rng ()) ~samples:100);
+  (* The reduced program is cheaper on both CPU profiles. *)
+  let inputs = List.mapi (fun k (nm, _) -> (nm, (k * 19) + 3)) (Dfg.inputs dfg) in
+  let e_sr, _ = Compile.measure with_sr Energy_model.dsp_cpu inputs in
+  let e_mul, _ = Compile.measure without_sr Energy_model.dsp_cpu inputs in
+  Alcotest.(check bool) "shift kernel cheaper" true (e_sr < e_mul)
+
+(* --- Streaming kernels --- *)
+
+let fir_case ~taps ~samples seed =
+  let r = rng () in
+  ignore seed;
+  let coeffs = List.init taps (fun k -> (2 * k) + 1) in
+  let xs =
+    List.init (samples + taps - 1) (fun _ -> Lowpower.Rng.int r 4096)
+  in
+  let expect = Kernels.reference_fir ~taps ~samples ~coeffs ~xs ~width:16 in
+  (coeffs, xs, expect)
+
+let run_kernel program layout ~coeffs ~xs ~samples =
+  let m = Machine.create ~width:16 () in
+  Kernels.load_fir_inputs m layout ~coeffs ~xs;
+  let cycles = Machine.run m program in
+  (Kernels.read_fir_outputs m layout ~samples, cycles, m)
+
+let test_streaming_fir_correct () =
+  List.iter
+    (fun (taps, samples) ->
+      let coeffs, xs, expect = fir_case ~taps ~samples 1 in
+      let program, layout = Kernels.streaming_fir ~taps ~samples () in
+      let got, _, _ = run_kernel program layout ~coeffs ~xs ~samples in
+      Alcotest.(check (list int))
+        (Printf.sprintf "fir %dx%d" taps samples)
+        expect got)
+    [ (1, 1); (3, 5); (4, 16); (6, 10) ]
+
+let test_unrolled_fir_correct () =
+  let taps = 4 and samples = 12 in
+  let coeffs, xs, expect = fir_case ~taps ~samples 2 in
+  let program, layout = Kernels.unrolled_fir ~taps ~samples in
+  let got, _, _ = run_kernel program layout ~coeffs ~xs ~samples in
+  Alcotest.(check (list int)) "unrolled" expect got
+
+let test_paired_streaming_fir_correct_and_faster () =
+  let taps = 4 and samples = 20 in
+  let coeffs, xs, expect = fir_case ~taps ~samples 3 in
+  let plain, layout = Kernels.streaming_fir ~taps ~samples () in
+  let paired, layout' = Kernels.streaming_fir ~taps ~samples ~pair:true () in
+  let got_p, cyc_p, mp = run_kernel plain layout ~coeffs ~xs ~samples in
+  let got_q, cyc_q, mq = run_kernel paired layout' ~coeffs ~xs ~samples in
+  Alcotest.(check (list int)) "plain loop" expect got_p;
+  Alcotest.(check (list int)) "paired loop" expect got_q;
+  Alcotest.(check bool) "pairing cuts cycles" true (cyc_q < cyc_p);
+  let e m = Energy_model.program_energy Energy_model.dsp_cpu (Machine.executed m) in
+  Alcotest.(check bool) "pairing cuts DSP energy" true (e mq < e mp)
+
+let test_loop_vs_unrolled_tradeoff () =
+  (* The loop form is smaller but pays branch/pointer overhead per sample;
+     unrolled is larger but cheaper per sample. *)
+  let taps = 4 and samples = 32 in
+  let coeffs, xs, _ = fir_case ~taps ~samples 4 in
+  let looped, l1 = Kernels.streaming_fir ~taps ~samples () in
+  let unrolled, l2 = Kernels.unrolled_fir ~taps ~samples in
+  Alcotest.(check bool) "loop code smaller" true
+    (List.length looped < List.length unrolled / 4);
+  let _, cyc_loop, _ = run_kernel looped l1 ~coeffs ~xs ~samples in
+  let _, cyc_unrolled, _ = run_kernel unrolled l2 ~coeffs ~xs ~samples in
+  Alcotest.(check bool) "unrolled faster per sample" true
+    (cyc_unrolled < cyc_loop)
+
+let test_runaway_loop_guard () =
+  (* bnz to itself with a register that never clears. *)
+  let program = [ Isa.Li (0, 1); Isa.Bnz (0, 1) ] in
+  let m = Machine.create () in
+  expect_invalid_arg "fuel" (fun () -> Machine.run m program)
+
+let test_branch_validation () =
+  expect_invalid_arg "target out of range" (fun () ->
+      Isa.validate [ Isa.Bnz (0, 5) ])
+
+let suite =
+  [
+    quick "machine arithmetic and latency" test_machine_arithmetic;
+    quick "machine mac" test_machine_mac;
+    quick "pair semantics and latency" test_pair_semantics_and_latency;
+    quick "isa validation" test_isa_validation;
+    quick "pairable rules" test_pairable_rules;
+    quick "instruction classification" test_classification;
+    quick "circuit-state overhead measurable" test_program_energy_overheads;
+    quick "gp core order-insensitive" test_gp_insensitive_to_order;
+    quick "pair discount" test_pair_discount;
+    quick "all compiler variants correct (dot)" test_all_variants_correct;
+    quick "all compiler variants correct (fir)" test_fir_compiles_correctly;
+    quick "register budget validated" test_register_budget_validation;
+    quick "faster code is lower energy (paper V)" test_optimized_faster_and_cheaper;
+    quick "register operands cheaper than memory" test_register_operands_cheaper;
+    quick "scheduling matters on DSP not GP (paper V)" test_dsp_scheduling_matters_gp_does_not;
+    quick "pairing saves on DSP (paper V)" test_pairing_saves_on_dsp;
+    quick "mac selection used" test_mac_selection_used;
+    quick "strength reduction in codegen" test_strength_reduction_in_codegen;
+    quick "streaming fir correct" test_streaming_fir_correct;
+    quick "unrolled fir correct" test_unrolled_fir_correct;
+    quick "paired streaming fir" test_paired_streaming_fir_correct_and_faster;
+    quick "loop vs unrolled tradeoff" test_loop_vs_unrolled_tradeoff;
+    quick "runaway loop guard" test_runaway_loop_guard;
+    quick "branch validation" test_branch_validation;
+  ]

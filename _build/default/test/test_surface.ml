@@ -1,0 +1,151 @@
+(* Coverage of the smaller API surfaces: pretty-printers, accessors and
+   corner cases not exercised by the behavioural suites. *)
+
+open Test_util
+
+let test_network_pp_smoke () =
+  let net = (Circuits.ripple_adder 2).Circuits.net in
+  let s = Format.asprintf "%a" Network.pp net in
+  Alcotest.(check bool) "mentions inputs" true
+    (Option.is_some (String.index_opt s 'a'));
+  Alcotest.(check bool) "mentions outputs" true
+    (let re = "output" in
+     let rec find i =
+       i + String.length re <= String.length s
+       && (String.sub s i (String.length re) = re || find (i + 1))
+     in
+     find 0)
+
+let test_stg_pp_smoke () =
+  let stg = Gen_fsm.modulo_counter ~modulus:3 in
+  let s = Format.asprintf "%a" Stg.pp stg in
+  Alcotest.(check bool) "lists transitions" true (String.length s > 40)
+
+let test_cover_pp_and_cubes () =
+  let f =
+    Cover.of_cubes 3
+      [ Cube.of_lits [ (0, true) ] ~n:3; Cube.of_lits [ (2, false) ] ~n:3 ]
+  in
+  let s = Format.asprintf "%a" Cover.pp f in
+  Alcotest.(check bool) "positional rows" true
+    (String.length s >= 7);
+  Alcotest.(check int) "cubes accessor" 2 (List.length (Cover.cubes f));
+  Alcotest.(check int) "num_vars" 3 (Cover.num_vars f)
+
+let test_isa_pp_all_forms () =
+  let program =
+    [ Isa.Li (0, 5); Isa.Ld (1, 2); Isa.St (3, 1); Isa.Ldx (2, 0);
+      Isa.Stx (0, 2); Isa.Mov (3, 2); Isa.Add (4, 3, 2); Isa.Addi (4, 4, 1);
+      Isa.Sub (5, 4, 3); Isa.Mul (6, 5, 4); Isa.Shl (7, 6, 2);
+      Isa.Clracc; Isa.Mac (4, 5); Isa.Rdacc 6; Isa.Dec 0; Isa.Bnz (0, 0);
+      Isa.Pair (Isa.Ld (7, 9), Isa.Mac (4, 5)); Isa.Nop ]
+  in
+  let s = Format.asprintf "%a" Isa.pp program in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) ("prints " ^ fragment) true
+        (let rec find i =
+           i + String.length fragment <= String.length s
+           && (String.sub s i (String.length fragment) = fragment
+              || find (i + 1))
+         in
+         find 0))
+    [ "li"; "ldx"; "stx"; "addi"; "dec"; "bnz"; "mac"; "{"; "nop" ]
+
+let test_expr_pp_variants () =
+  Alcotest.(check string) "xor" "x0 ^ x1"
+    (Expr.to_string Expr.(var 0 ^^^ var 1));
+  Alcotest.(check string) "const" "1" (Expr.to_string Expr.tru);
+  Alcotest.(check string) "nested negation" "(x0 + x1)'"
+    (Expr.to_string (Expr.Not (Expr.Or [ Expr.var 0; Expr.var 1 ])))
+
+let test_power_model_pp () =
+  let b =
+    Lowpower.Power_model.power Lowpower.Power_model.default_params
+      ~capacitance:1.0e-12 ~activity:2.0
+  in
+  let s = Format.asprintf "%a" Lowpower.Power_model.pp_breakdown b in
+  Alcotest.(check bool) "has units" true
+    (Option.is_some (String.index_opt s 'W'))
+
+let test_event_sim_node_activity () =
+  let net, _ = Circuits.parity_tree 2 in
+  let stim = Stimulus.of_ints ~width:2 [ 0b00; 0b01; 0b11; 0b10 ] in
+  let r = Event_sim.run net Event_sim.Zero_delay stim in
+  let out = List.assoc "parity" (Network.outputs net) in
+  (* Parity of 0,1,0,1: toggles every step. *)
+  check_close "per-cycle activity" 1.0 (Event_sim.node_activity r out)
+
+let test_bdd_clear_caches_and_count () =
+  let m = Bdd.manager () in
+  let _ = Bdd.of_expr m Expr.(var 0 &&& var 1 ||| var 2) in
+  Alcotest.(check bool) "nodes created" true (Bdd.node_count m > 0);
+  Bdd.clear_caches m;
+  (* Still usable and canonical after a cache drop. *)
+  Alcotest.(check bool) "canonicity survives" true
+    (Bdd.equal
+       (Bdd.of_expr m Expr.(var 0 &&& var 1))
+       (Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1)))
+
+let test_mos_structure_accessors () =
+  let g = Mos.Series [ Mos.Parallel [ Mos.Input 0; Mos.Input 1 ]; Mos.Input 2 ] in
+  Alcotest.(check int) "num inputs" 3 (Mos.num_inputs g);
+  let elaborated = Mos.elaborate ~internal_cap:0.3 ~output_cap:2.0 g in
+  Alcotest.(check int) "internals" 1 (Mos.internal_node_count elaborated)
+
+let test_schedule_of_impl_choice () =
+  let dfg = Gen_dfg.fir ~taps:3 () in
+  let choice = Module_select.all_cheapest Modlib.default dfg in
+  let d = Schedule.of_impl_choice dfg (fun i -> Hashtbl.find choice i) in
+  let s = Schedule.asap dfg d in
+  Alcotest.(check bool) "schedulable" true (Schedule.valid dfg d s);
+  (* Cheapest multiplier takes 3 steps; the critical path reflects it. *)
+  Alcotest.(check bool) "slow multipliers lengthen the path" true
+    (s.Schedule.makespan >= 5)
+
+let test_limited_weight_codeword_bits () =
+  match Limited_weight.make_lwc ~payload_bits:3 ~max_weight:1 with
+  | None -> Alcotest.fail "one-hot-ish code exists"
+  | Some c ->
+    (* Weight <= 1 over n bits gives n + 1 codewords; need 8 -> n = 7. *)
+    Alcotest.(check int) "codeword width" 7 (Limited_weight.codeword_bits c)
+
+let test_machine_peek_poke_roundtrip () =
+  let m = Machine.create ~width:10 () in
+  Machine.poke m 100 1234;
+  Alcotest.(check int) "masked store" (1234 land 1023) (Machine.peek m 100);
+  Alcotest.(check int) "unwritten is zero" 0 (Machine.peek m 999)
+
+let test_seq_circuit_accessors () =
+  let stg = Gen_fsm.counter ~bits:2 in
+  let synth = Fsm_synth.synthesize stg (Encode.binary ~num_states:4) in
+  let c = synth.Fsm_synth.circuit in
+  Alcotest.(check int) "register count" 2 (Seq_circuit.register_count c);
+  Alcotest.(check int) "one free input" 1 (List.length (Seq_circuit.free_inputs c));
+  Alcotest.(check bool) "network accessor" true
+    (Network.node_count (Seq_circuit.network c) > 0)
+
+let test_retime_edges_accessor () =
+  let g = Retime.create ~num_vertices:2 ~delays:[| 0.0; 1.0 |] in
+  Retime.add_edge g ~src:0 ~dst:1 ~weight:2 ();
+  Retime.add_edge g ~src:1 ~dst:0 ~weight:0 ();
+  Alcotest.(check int) "edges" 2 (List.length (Retime.edges g));
+  Alcotest.(check int) "registers" 2 (Retime.register_count g)
+
+let suite =
+  [
+    quick "network pretty-printer" test_network_pp_smoke;
+    quick "stg pretty-printer" test_stg_pp_smoke;
+    quick "cover pretty-printer and accessors" test_cover_pp_and_cubes;
+    quick "isa pretty-printer covers all forms" test_isa_pp_all_forms;
+    quick "expr pretty-printer variants" test_expr_pp_variants;
+    quick "power breakdown pretty-printer" test_power_model_pp;
+    quick "event sim per-node activity" test_event_sim_node_activity;
+    quick "bdd cache management" test_bdd_clear_caches_and_count;
+    quick "mos accessors" test_mos_structure_accessors;
+    quick "schedule from module choice" test_schedule_of_impl_choice;
+    quick "limited-weight codeword width" test_limited_weight_codeword_bits;
+    quick "machine memory roundtrip" test_machine_peek_poke_roundtrip;
+    quick "seq circuit accessors" test_seq_circuit_accessors;
+    quick "retime accessors" test_retime_edges_accessor;
+  ]

@@ -1,0 +1,45 @@
+(* Shared helpers for the test suites. *)
+
+let rng () = Lowpower.Rng.create 20260705
+
+let check_close ?(eps = 1e-9) name expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.12g, got %.12g" name expected actual
+
+let check_close_rel ?(eps = 0.05) name expected actual =
+  let denom = max (Float.abs expected) 1e-12 in
+  if Float.abs (expected -. actual) /. denom > eps then
+    Alcotest.failf "%s: expected ~%.6g (within %g%%), got %.6g" name expected
+      (100.0 *. eps) actual
+
+let expect_invalid_arg name f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  | exception Invalid_argument _ -> ()
+
+let quick name f = Alcotest.test_case name `Quick f
+
+let prop ?(count = 100) name gen law =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen law)
+
+(* Exhaustive or sampled input-vector space of a network. *)
+let eval_minterm net code =
+  let n = List.length (Network.inputs net) in
+  let vec = Array.init n (fun k -> code land (1 lsl k) <> 0) in
+  Network.eval_outputs net vec
+
+let networks_equivalent a b =
+  let na = List.length (Network.inputs a) in
+  let nb = List.length (Network.inputs b) in
+  na = nb && na <= 16
+  &&
+  let rec go code =
+    if code >= 1 lsl na then true
+    else if
+      List.sort compare (eval_minterm a code)
+      = List.sort compare (eval_minterm b code)
+    then go (code + 1)
+    else false
+  in
+  go 0

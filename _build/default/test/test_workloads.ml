@@ -1,0 +1,200 @@
+(* Tests for lp_workloads generators. *)
+
+open Test_util
+
+let test_random_network_well_formed () =
+  let r = rng () in
+  for _ = 1 to 5 do
+    let net = Gen_comb.random r Gen_comb.default_shape in
+    (* Acyclic (topo_order succeeds), evaluable, and has outputs. *)
+    Alcotest.(check bool) "has outputs" true (Network.outputs net <> []);
+    let n = List.length (Network.inputs net) in
+    let vec = Array.make n false in
+    ignore (Network.eval net vec)
+  done
+
+let test_random_network_deterministic () =
+  let net1 = Gen_comb.random (Lowpower.Rng.create 5) Gen_comb.default_shape in
+  let net2 = Gen_comb.random (Lowpower.Rng.create 5) Gen_comb.default_shape in
+  Alcotest.(check bool) "same seed same network" true
+    (networks_equivalent net1 net2)
+
+let test_random_network_shape_validation () =
+  expect_invalid_arg "bad fanin" (fun () ->
+      ignore
+        (Gen_comb.random (rng ())
+           { Gen_comb.default_shape with Gen_comb.max_fanin = 5 }))
+
+let test_random_sop_shape () =
+  let r = rng () in
+  let funcs = Gen_comb.random_sop_set r ~nvars:6 ~nfuncs:4 ~cubes:5 ~max_lits:3 in
+  Alcotest.(check int) "functions" 4 (List.length funcs);
+  List.iter
+    (fun (_, sop) ->
+      Alcotest.(check bool) "has cubes" true (sop <> []);
+      List.iter
+        (fun cube ->
+          List.iter
+            (fun l ->
+              Alcotest.(check bool) "literal in range" true
+                (Factor.lit_var l >= 0 && Factor.lit_var l < 6))
+            cube)
+        sop)
+    funcs
+
+let test_deep_chain_imbalanced () =
+  let net = Gen_comb.deep_chain ~width:4 ~depth:12 in
+  Alcotest.(check bool) "deeply imbalanced" true (Balance.imbalance net > 10)
+
+let test_fsm_generators_valid () =
+  let r = rng () in
+  let machines =
+    [
+      Gen_fsm.random r ~num_states:6 ~num_inputs:2 ~num_outputs:2 ();
+      Gen_fsm.counter ~bits:3;
+      Gen_fsm.sequence_detector ~pattern:[ true; true; false ];
+      Gen_fsm.modulo_counter ~modulus:9;
+    ]
+  in
+  List.iter
+    (fun stg ->
+      (* Every tabulated transition is in range by Stg.create; check
+         reachability from reset is nonempty. *)
+      Alcotest.(check bool) "reachable nonempty" true
+        (Stg.reachable stg ~from:0 <> []))
+    machines
+
+let test_johnson_is_twisted_ring () =
+  let stg = Gen_fsm.johnson ~bits:3 in
+  Alcotest.(check int) "2n states" 6 (Stg.num_states stg);
+  (* The output code sequence is uni-distant, including the wrap. *)
+  let rec walk s k =
+    if k = 0 then ()
+    else begin
+      let s' = Stg.next stg s 0 in
+      Alcotest.(check int) "uni-distant outputs" 1
+        (Bus.popcount (Stg.output stg s 0 lxor Stg.output stg s' 0));
+      walk s' (k - 1)
+    end
+  in
+  walk 0 12
+
+let test_lfsr_maximal_period () =
+  List.iter
+    (fun bits ->
+      let stg = Gen_fsm.lfsr ~bits in
+      (* From state 1, the sequence must visit all 2^bits - 1 nonzero
+         states before repeating (primitive polynomial). *)
+      let seen = Hashtbl.create 64 in
+      let rec walk s =
+        if not (Hashtbl.mem seen s) then begin
+          Hashtbl.add seen s ();
+          walk (Stg.next stg s 0)
+        end
+      in
+      walk 1;
+      Alcotest.(check int)
+        (Printf.sprintf "period of %d-bit lfsr" bits)
+        ((1 lsl bits) - 1)
+        (Hashtbl.length seen))
+    [ 3; 4; 5; 6 ]
+
+let test_detector_no_false_positives () =
+  let stg = Gen_fsm.sequence_detector ~pattern:[ true; true; true ] in
+  (* Stream of alternating bits never matches 111. *)
+  let rec run s k =
+    if k = 0 then ()
+    else begin
+      let i = k mod 2 in
+      Alcotest.(check int) "no hit" 0 (Stg.output stg s i);
+      run (Stg.next stg s i) (k - 1)
+    end
+  in
+  run 0 50
+
+let test_dfg_generators_evaluable () =
+  let r = rng () in
+  let graphs =
+    [
+      Gen_dfg.fir ~taps:4 ();
+      Gen_dfg.biquad ();
+      Gen_dfg.ewf_like r ~ops:20;
+      Gen_dfg.add_chain ~terms:6;
+      Gen_dfg.const_mul_chain ~terms:4;
+    ]
+  in
+  List.iter
+    (fun dfg ->
+      let env = List.map (fun (nm, _) -> (nm, 3)) (Dfg.inputs dfg) in
+      Alcotest.(check bool) "evaluable" true (Dfg.eval dfg env <> []))
+    graphs
+
+let test_fir_semantics () =
+  let dfg = Gen_dfg.fir ~taps:2 ~coeffs:[ 3; 5 ] () in
+  Alcotest.(check (list (pair string int))) "y = 3 x0 + 5 x1"
+    [ ("y", 31) ]
+    (Dfg.eval dfg [ ("x0", 2); ("x1", 5) ])
+
+let test_traces_bounded () =
+  let r = rng () in
+  List.iter
+    (fun trace ->
+      List.iter
+        (fun w ->
+          Alcotest.(check bool) "in range" true (w >= 0 && w < 256))
+        trace)
+    [
+      Traces.random_words r ~width:8 ~n:100;
+      Traces.random_walk r ~width:8 ~n:100 ~step:5;
+      Traces.sequential ~width:8 ~n:100;
+      Traces.sparse_events r ~width:8 ~n:100 ~activity:0.1;
+    ]
+
+let test_walk_smoother_than_noise () =
+  let r = rng () in
+  let noise = Traces.random_words r ~width:12 ~n:2000 in
+  let walk = Traces.random_walk r ~width:12 ~n:2000 ~step:3 in
+  Alcotest.(check bool) "walk has fewer bus transitions" true
+    (Bus.transitions walk < Bus.transitions noise / 2)
+
+let test_sparse_mostly_idle () =
+  let r = rng () in
+  let t = Traces.sparse_events r ~width:8 ~n:4000 ~activity:0.05 in
+  let changes =
+    let rec go prev acc = function
+      | [] -> acc
+      | w :: rest -> go w (if w <> prev then acc + 1 else acc) rest
+    in
+    go 0 0 t
+  in
+  Alcotest.(check bool) "few changes" true
+    (float_of_int changes /. 4000.0 < 0.08)
+
+let test_enable_trace_duty () =
+  let r = rng () in
+  let data = Traces.random_words r ~width:8 ~n:5000 in
+  let t = Traces.enable_trace r ~n:5000 ~duty:0.3 ~data in
+  let enabled = List.length (List.filter fst t) in
+  check_close_rel ~eps:0.1 "duty respected" 0.3
+    (float_of_int enabled /. 5000.0);
+  expect_invalid_arg "short data" (fun () ->
+      ignore (Traces.enable_trace r ~n:10 ~duty:0.5 ~data:[ 1; 2 ]))
+
+let suite =
+  [
+    quick "random networks well-formed" test_random_network_well_formed;
+    quick "random networks deterministic" test_random_network_deterministic;
+    quick "shape validation" test_random_network_shape_validation;
+    quick "random sop sets" test_random_sop_shape;
+    quick "deep chain is imbalanced" test_deep_chain_imbalanced;
+    quick "fsm generators valid" test_fsm_generators_valid;
+    quick "johnson counter uni-distant" test_johnson_is_twisted_ring;
+    quick "lfsr maximal period" test_lfsr_maximal_period;
+    quick "detector no false positives" test_detector_no_false_positives;
+    quick "dfg generators evaluable" test_dfg_generators_evaluable;
+    quick "fir semantics" test_fir_semantics;
+    quick "traces bounded" test_traces_bounded;
+    quick "random walk smoother than noise" test_walk_smoother_than_noise;
+    quick "sparse events mostly idle" test_sparse_mostly_idle;
+    quick "enable trace duty" test_enable_trace_duty;
+  ]
