@@ -29,6 +29,30 @@ let event_sim =
   Test.make ~name:"event_sim_mult4_50vec"
     (Staged.stage (fun () -> ignore (Event_sim.run net Event_sim.Unit_delay stim)))
 
+(* Same run with compilation hoisted out — the amortized per-stream cost
+   when one network is simulated against many stimuli. *)
+let event_sim_compiled =
+  let net = (Circuits.array_multiplier 4).Circuits.net in
+  let comp = Compiled.of_network net in
+  let stim =
+    Stimulus.random (Lowpower.Rng.create 1) ~width:8 ~length:50 ()
+  in
+  Test.make ~name:"event_sim_mult4_50vec_compiled"
+    (Staged.stage (fun () ->
+         ignore (Event_sim.run_compiled comp Event_sim.Unit_delay stim)))
+
+(* Static timing (arrival + required + slack) on a 1k-gate network; linear
+   in the network size since required times use the cached reverse
+   adjacency. *)
+let required_times_1k =
+  let net =
+    Gen_comb.random (Lowpower.Rng.create 7)
+      { Gen_comb.num_inputs = 24; num_gates = 1000; max_fanin = 3;
+        output_fraction = 0.1 }
+  in
+  Test.make ~name:"required_times_1k"
+    (Staged.stage (fun () -> ignore (Network.slacks net ())))
+
 let list_scheduling =
   let dfg = Gen_dfg.ewf_like (Lowpower.Rng.create 2) ~ops:40 in
   let d = Schedule.uniform_delays dfg in
@@ -78,8 +102,22 @@ let streaming_kernel =
          ignore (Machine.run m program)))
 
 let tests =
-  [ bdd_build; cover_minimize; event_sim; list_scheduling; iss_run;
-    encoding_search; odc_guard; seq_chain; streaming_kernel ]
+  [ bdd_build; cover_minimize; event_sim; event_sim_compiled;
+    required_times_1k; list_scheduling; iss_run; encoding_search; odc_guard;
+    seq_chain; streaming_kernel ]
+
+(* Machine-readable mirror of the stdout table: name -> ns/run, one JSON
+   object, so the perf trajectory is diffable across commits. *)
+let write_json path results =
+  let oc = open_out path in
+  output_string oc "{\n";
+  let last = List.length results - 1 in
+  List.iteri
+    (fun k (name, ns) ->
+      Printf.fprintf oc "  %S: %.1f%s\n" name ns (if k = last then "" else ","))
+    results;
+  output_string oc "}\n";
+  close_out oc
 
 let run () =
   let instances = Instance.[ monotonic_clock ] in
@@ -90,14 +128,22 @@ let run () =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   print_endline "Microbenchmarks (Bechamel, monotonic clock):";
-  List.iter
-    (fun test ->
-      let raw = Benchmark.all cfg instances test in
-      let results = Analyze.all ols Instance.monotonic_clock raw in
-      Hashtbl.iter
-        (fun name est ->
-          match Analyze.OLS.estimates est with
-          | Some [ t ] -> Printf.printf "  %-32s %14.1f ns/run\n" name t
-          | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
-        results)
-    tests
+  let estimates =
+    List.concat_map
+      (fun test ->
+        let raw = Benchmark.all cfg instances test in
+        let results = Analyze.all ols Instance.monotonic_clock raw in
+        Hashtbl.fold
+          (fun name est acc ->
+            match Analyze.OLS.estimates est with
+            | Some [ t ] ->
+              Printf.printf "  %-32s %14.1f ns/run\n" name t;
+              (name, t) :: acc
+            | Some _ | None ->
+              Printf.printf "  %-32s (no estimate)\n" name;
+              acc)
+          results [])
+      tests
+  in
+  write_json "BENCH.json" estimates;
+  print_endline "  (written to BENCH.json)"

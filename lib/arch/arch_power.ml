@@ -9,12 +9,13 @@ type calibration = {
 let shift_cost = 2.0
 
 let step_energies net ~width pairs =
-  (* Per-transfer switched capacitance: one event-driven run over the whole
-     operand sequence; per-step values come from pairwise runs. *)
+  (* Per-transfer switched capacitance: the network is compiled once and
+     per-step values come from pairwise runs against the compiled form. *)
   let stim = Circuits.operand_stimulus pairs ~width in
+  let comp = Compiled.of_network net in
   let rec per_step acc = function
     | a :: (b :: _ as rest) ->
-      let r = Event_sim.run net Event_sim.Unit_delay [ a; b ] in
+      let r = Event_sim.run_compiled comp Event_sim.Unit_delay [ a; b ] in
       per_step (Event_sim.switched_capacitance net r :: acc) rest
     | [ _ ] | [] -> List.rev acc
   in

@@ -47,23 +47,27 @@ let approximate net ~input_probs =
 
 let simulated net ~rng ~input_probs ~vectors =
   check_probs net input_probs;
-  let counts = Hashtbl.create 64 in
+  let c = Compiled.of_network net in
+  let n = Compiled.size c in
   let arity = Array.length input_probs in
+  let counts = Array.make n 0 in
+  let vec = Array.make arity false in
+  let plane = Array.make n false in
   for _ = 1 to vectors do
-    let vec =
-      Array.init arity (fun k -> Lowpower.Rng.bernoulli rng input_probs.(k))
-    in
-    let values = Network.eval net vec in
-    Hashtbl.iter
-      (fun i v ->
-        let c = Option.value (Hashtbl.find_opt counts i) ~default:0 in
-        Hashtbl.replace counts i (if v then c + 1 else c))
-      values
+    for k = 0 to arity - 1 do
+      vec.(k) <- Lowpower.Rng.bernoulli rng input_probs.(k)
+    done;
+    Compiled.eval_into c vec plane;
+    for x = 0 to n - 1 do
+      if plane.(x) then counts.(x) <- counts.(x) + 1
+    done
   done;
-  let probs = Hashtbl.create (Hashtbl.length counts) in
-  Hashtbl.iter
-    (fun i c ->
-      Hashtbl.replace probs i (float_of_int c /. float_of_int vectors))
+  let probs = Hashtbl.create n in
+  Array.iteri
+    (fun x ct ->
+      Hashtbl.replace probs
+        (Compiled.id_of_index c x)
+        (float_of_int ct /. float_of_int vectors))
     counts;
   probs
 

@@ -25,7 +25,9 @@ val approximate : Network.t -> input_probs:float array -> t
 val simulated :
   Network.t -> rng:Lowpower.Rng.t -> input_probs:float array -> vectors:int -> t
 (** Monte-Carlo estimate from random functional simulation — the reference
-    that exact estimation must agree with (used in tests). *)
+    that exact estimation must agree with (used in tests).  Compiles the
+    network once ({!Compiled.of_network}) and evaluates flat value planes,
+    so per-vector cost is linear with no per-node allocation. *)
 
 val uniform_inputs : Network.t -> float array
 (** All-0.5 input probability vector of the right arity. *)

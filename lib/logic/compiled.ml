@@ -1,0 +1,140 @@
+type t = {
+  size : int;
+  ids : int array;
+  idx_of : int array;
+  is_input : bool array;
+  input_idx : int array;
+  topo : int array;
+  topo_pos : int array;
+  fanin : int array array;
+  fanout : int array array;
+  delay : float array;
+  cap : float array;
+  eval_fn : (bool array -> bool) array;
+  outs : (string * int) array;
+}
+
+(* Specialize an [Expr.t] into a closure over the value plane.  The fanin
+   positions are resolved to plane indices once, at compile time, so
+   evaluation never touches the expression tree, a list, or a hashtable. *)
+let rec compile_expr fanin_idx = function
+  | Expr.Const b -> fun _ -> b
+  | Expr.Var v ->
+    let j = fanin_idx.(v) in
+    fun values -> Array.unsafe_get values j
+  | Expr.Not e ->
+    let f = compile_expr fanin_idx e in
+    fun values -> not (f values)
+  | Expr.And es ->
+    let fs = Array.of_list (List.map (compile_expr fanin_idx) es) in
+    fun values -> Array.for_all (fun f -> f values) fs
+  | Expr.Or es ->
+    let fs = Array.of_list (List.map (compile_expr fanin_idx) es) in
+    fun values -> Array.exists (fun f -> f values) fs
+  | Expr.Xor (a, b) ->
+    let fa = compile_expr fanin_idx a and fb = compile_expr fanin_idx b in
+    fun values -> fa values <> fb values
+
+let of_network net =
+  let ids = Array.of_list (Network.node_ids net) in
+  let size = Array.length ids in
+  let max_id = Array.fold_left max (-1) ids in
+  let idx_of = Array.make (max_id + 1) (-1) in
+  Array.iteri (fun x i -> idx_of.(i) <- x) ids;
+  let is_input = Array.map (Network.is_input net) ids in
+  let input_idx =
+    Array.of_list (List.map (fun i -> idx_of.(i)) (Network.inputs net))
+  in
+  let topo =
+    Array.of_list (List.map (fun i -> idx_of.(i)) (Network.topo_order net))
+  in
+  let topo_pos = Array.make size 0 in
+  Array.iteri (fun p x -> topo_pos.(x) <- p) topo;
+  let fanin =
+    Array.map
+      (fun i ->
+        Array.of_list (List.map (fun j -> idx_of.(j)) (Network.fanins net i)))
+      ids
+  in
+  (* Fanout adjacency in one counting pass over the fanin arrays.  Each
+     fanout appears once per distinct (driver, sink) pair. *)
+  let deg = Array.make size 0 in
+  let each_distinct_fanin f x =
+    let fs = fanin.(x) in
+    Array.iteri
+      (fun k j ->
+        let dup = ref false in
+        for k' = 0 to k - 1 do
+          if fs.(k') = j then dup := true
+        done;
+        if not !dup then f j)
+      fs
+  in
+  for x = 0 to size - 1 do
+    each_distinct_fanin (fun j -> deg.(j) <- deg.(j) + 1) x
+  done;
+  let fanout = Array.init size (fun j -> Array.make deg.(j) 0) in
+  let fill = Array.make size 0 in
+  for x = 0 to size - 1 do
+    each_distinct_fanin
+      (fun j ->
+        fanout.(j).(fill.(j)) <- x;
+        fill.(j) <- fill.(j) + 1)
+      x
+  done;
+  let delay = Array.map (Network.delay net) ids in
+  let cap = Array.map (Network.cap net) ids in
+  let eval_fn =
+    Array.mapi
+      (fun x i ->
+        if is_input.(x) then fun _ -> false
+        else compile_expr fanin.(x) (Network.func net i))
+      ids
+  in
+  let outs =
+    Array.of_list
+      (List.map (fun (nm, i) -> (nm, idx_of.(i))) (Network.outputs net))
+  in
+  { size; ids; idx_of; is_input; input_idx; topo; topo_pos; fanin; fanout;
+    delay; cap; eval_fn; outs }
+
+let size c = c.size
+let num_inputs c = Array.length c.input_idx
+let id_of_index c x = c.ids.(x)
+
+let index_of_id c i =
+  if i < 0 || i >= Array.length c.idx_of || c.idx_of.(i) < 0 then
+    invalid_arg (Printf.sprintf "Compiled.index_of_id: unknown node %d" i)
+  else c.idx_of.(i)
+
+let is_input c x = c.is_input.(x)
+let inputs c = c.input_idx
+let topo c = c.topo
+let topo_pos c = c.topo_pos
+let fanins c x = c.fanin.(x)
+let fanouts c x = c.fanout.(x)
+let delay c x = c.delay.(x)
+let cap c x = c.cap.(x)
+let outputs c = c.outs
+let eval_node c x values = c.eval_fn.(x) values
+
+let eval_into c input_values values =
+  if Array.length input_values <> Array.length c.input_idx then
+    invalid_arg "Compiled.eval: input arity mismatch";
+  if Array.length values <> c.size then
+    invalid_arg "Compiled.eval_into: value plane size mismatch";
+  Array.iteri (fun k x -> values.(x) <- input_values.(k)) c.input_idx;
+  Array.iter
+    (fun x ->
+      if not c.is_input.(x) then values.(x) <- c.eval_fn.(x) values)
+    c.topo;
+  ()
+
+let eval c input_values =
+  let values = Array.make c.size false in
+  eval_into c input_values values;
+  values
+
+let eval_outputs c input_values =
+  let values = eval c input_values in
+  Array.to_list (Array.map (fun (nm, x) -> (nm, values.(x))) c.outs)

@@ -1,0 +1,63 @@
+(** Compiled (frozen) form of a {!Network.t} for simulation-rate access.
+
+    [of_network] takes a one-shot snapshot of a network into dense
+    int-indexed arrays: node ids are mapped to compact indices
+    [0 .. size-1] (assigned in ascending id order, so comparing indices
+    orders nodes exactly like comparing ids), fanin/fanout adjacency
+    becomes int arrays, per-node delay/cap become float arrays, and every
+    node function is specialized into a closure over the value plane.
+
+    Use this when the same network is evaluated many times (event-driven
+    simulation, Monte-Carlo probability estimation, state-space sweeps);
+    keep using {!Network.t} directly while a transformation is still
+    mutating the structure.  A compiled value does {e not} track later
+    edits of the source network — recompile after mutation.
+
+    All arrays returned by accessors are the internal ones: treat them as
+    read-only. *)
+
+type t
+
+val of_network : Network.t -> t
+
+val size : t -> int
+(** Total node count (inputs included). *)
+
+val num_inputs : t -> int
+
+val id_of_index : t -> int -> Network.id
+val index_of_id : t -> Network.id -> int
+(** Raises [Invalid_argument] on an id absent from the snapshot. *)
+
+val is_input : t -> int -> bool
+
+val inputs : t -> int array
+(** Input position [k] (as fed to {!eval}) -> compact index. *)
+
+val topo : t -> int array
+(** All nodes, inputs first, then logic nodes in dependency order. *)
+
+val topo_pos : t -> int array
+(** Inverse of {!topo}: compact index -> position in topological order. *)
+
+val fanins : t -> int -> int array
+val fanouts : t -> int -> int array
+(** Distinct fanouts (a duplicated fanin yields one entry). *)
+
+val delay : t -> int -> float
+val cap : t -> int -> float
+
+val outputs : t -> (string * int) array
+
+val eval_node : t -> int -> bool array -> bool
+(** Re-evaluate one logic node's function against a value plane. *)
+
+val eval : t -> bool array -> bool array
+(** Zero-delay evaluation; returns a fresh value plane indexed by compact
+    index.  Raises [Invalid_argument] on input-arity mismatch. *)
+
+val eval_into : t -> bool array -> bool array -> unit
+(** [eval_into c ins plane] is {!eval} into a caller-owned plane of length
+    [size c] — the allocation-free form for tight loops. *)
+
+val eval_outputs : t -> bool array -> (string * bool) list

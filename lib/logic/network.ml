@@ -17,11 +17,25 @@ type t = {
   mutable ins : id list;    (* reverse order *)
   mutable outs : (string * id) list; (* reverse order *)
   mutable next : int;
+  (* Reverse adjacency (fanouts), maintained incrementally on every edit so
+     [fanouts], [required_times] and [slacks] are linear in the network
+     size rather than quadratic.  Each list holds each fanout once (a node
+     with a duplicated fanin appears once). *)
+  rev : (id, id list) Hashtbl.t;
+  (* Derived-structure caches, dropped on any structural edit. *)
+  mutable levels_cache : (id, int) Hashtbl.t option;
+  mutable topo_cache : id list option;
 }
 
 exception Cycle of id list
 
-let create () = { nodes = Hashtbl.create 64; ins = []; outs = []; next = 0 }
+let create () =
+  { nodes = Hashtbl.create 64; ins = []; outs = []; next = 0;
+    rev = Hashtbl.create 64; levels_cache = None; topo_cache = None }
+
+let invalidate t =
+  t.levels_cache <- None;
+  t.topo_cache <- None
 
 let get t i =
   match Hashtbl.find_opt t.nodes i with
@@ -32,6 +46,21 @@ let mem t i = Hashtbl.mem t.nodes i
 
 let fresh t = let i = t.next in t.next <- i + 1; i
 
+let rev_add t fanins i =
+  List.iter
+    (fun j ->
+      let l = Option.value (Hashtbl.find_opt t.rev j) ~default:[] in
+      Hashtbl.replace t.rev j (i :: l))
+    (List.sort_uniq compare fanins)
+
+let rev_remove t fanins i =
+  List.iter
+    (fun j ->
+      match Hashtbl.find_opt t.rev j with
+      | None -> ()
+      | Some l -> Hashtbl.replace t.rev j (List.filter (fun k -> k <> i) l))
+    (List.sort_uniq compare fanins)
+
 let add_input ?name t =
   let i = fresh t in
   let node_name =
@@ -41,6 +70,7 @@ let add_input ?name t =
     { nid = i; node_name; kind = Input; nfunc = Expr.fls; nfanins = [];
       ndelay = 0.0; ncap = 1.0 };
   t.ins <- i :: t.ins;
+  invalidate t;
   i
 
 let check_func_arity f fanins =
@@ -57,6 +87,8 @@ let add_node ?name ?(delay = 1.0) ?(cap = 1.0) t f fanins =
   Hashtbl.add t.nodes i
     { nid = i; node_name; kind = Logic; nfunc = f; nfanins = fanins;
       ndelay = delay; ncap = cap };
+  rev_add t fanins i;
+  invalidate t;
   i
 
 let set_output t name i =
@@ -85,10 +117,7 @@ let fanins t i = (get t i).nfanins
 
 let fanouts t i =
   ignore (get t i);
-  Hashtbl.fold
-    (fun j n acc -> if List.mem i n.nfanins then j :: acc else acc)
-    t.nodes []
-  |> List.sort compare
+  List.sort compare (Option.value (Hashtbl.find_opt t.rev i) ~default:[])
 
 let delay t i = (get t i).ndelay
 let cap t i = (get t i).ncap
@@ -103,29 +132,35 @@ let input_index t i =
   in
   find 0 (inputs t)
 
-(* Depth-first topological sort with on-stack cycle detection. *)
+(* Depth-first topological sort with on-stack cycle detection.  The result
+   is cached until the next structural edit. *)
 let topo_order t =
-  let visited = Hashtbl.create (Hashtbl.length t.nodes) in
-  let on_stack = Hashtbl.create 16 in
-  let order = ref [] in
-  let rec visit path i =
-    if Hashtbl.mem on_stack i then raise (Cycle (i :: path));
-    if not (Hashtbl.mem visited i) then begin
-      Hashtbl.add on_stack i ();
-      let n = get t i in
-      List.iter (visit (i :: path)) n.nfanins;
-      Hashtbl.remove on_stack i;
-      Hashtbl.add visited i ();
-      order := i :: !order
-    end
-  in
-  List.iter (visit []) (node_ids t);
-  let all = List.rev !order in
-  let ins, logic = List.partition (fun i -> (get t i).kind = Input) all in
-  (* Keep declared input order. *)
-  let declared = inputs t in
-  assert (List.length ins = List.length declared);
-  declared @ logic
+  match t.topo_cache with
+  | Some order -> order
+  | None ->
+    let visited = Hashtbl.create (Hashtbl.length t.nodes) in
+    let on_stack = Hashtbl.create 16 in
+    let order = ref [] in
+    let rec visit path i =
+      if Hashtbl.mem on_stack i then raise (Cycle (i :: path));
+      if not (Hashtbl.mem visited i) then begin
+        Hashtbl.add on_stack i ();
+        let n = get t i in
+        List.iter (visit (i :: path)) n.nfanins;
+        Hashtbl.remove on_stack i;
+        Hashtbl.add visited i ();
+        order := i :: !order
+      end
+    in
+    List.iter (visit []) (node_ids t);
+    let all = List.rev !order in
+    let ins, logic = List.partition (fun i -> (get t i).kind = Input) all in
+    (* Keep declared input order. *)
+    let declared = inputs t in
+    assert (List.length ins = List.length declared);
+    let order = declared @ logic in
+    t.topo_cache <- Some order;
+    order
 
 let eval t input_values =
   let ins = inputs t in
@@ -189,70 +224,92 @@ let literal_count t =
 let total_cap t = Hashtbl.fold (fun _ n acc -> acc +. n.ncap) t.nodes 0.0
 
 let levels t =
-  let lv = Hashtbl.create (Hashtbl.length t.nodes) in
-  List.iter
-    (fun i ->
-      let n = get t i in
-      match n.kind with
-      | Input -> Hashtbl.replace lv i 0
-      | Logic ->
-        let deep =
-          List.fold_left (fun d j -> max d (Hashtbl.find lv j)) 0 n.nfanins
-        in
-        Hashtbl.replace lv i (deep + 1))
-    (topo_order t);
-  lv
+  match t.levels_cache with
+  | Some lv -> lv
+  | None ->
+    let lv = Hashtbl.create (Hashtbl.length t.nodes) in
+    List.iter
+      (fun i ->
+        let n = get t i in
+        match n.kind with
+        | Input -> Hashtbl.replace lv i 0
+        | Logic ->
+          let deep =
+            List.fold_left (fun d j -> max d (Hashtbl.find lv j)) 0 n.nfanins
+          in
+          Hashtbl.replace lv i (deep + 1))
+      (topo_order t);
+    t.levels_cache <- Some lv;
+    lv
 
 let level t i = Hashtbl.find (levels t) i
 
-let arrival_times t =
-  let at = Hashtbl.create (Hashtbl.length t.nodes) in
+(* The timing traversals run over flat float arrays indexed by raw id
+   (ids are dense: always < t.next); the per-node hashtables the public
+   API promises are built in one final pass. *)
+
+let arrival_array t =
+  let at = Array.make t.next 0.0 in
   List.iter
     (fun i ->
       let n = get t i in
       match n.kind with
-      | Input -> Hashtbl.replace at i 0.0
+      | Input -> at.(i) <- 0.0
       | Logic ->
         let latest =
-          List.fold_left (fun d j -> max d (Hashtbl.find at j)) 0.0 n.nfanins
+          List.fold_left
+            (fun d j -> let a = at.(j) in if a > d then a else d)
+            0.0 n.nfanins
         in
-        Hashtbl.replace at i (latest +. n.ndelay))
+        at.(i) <- latest +. n.ndelay)
     (topo_order t);
   at
 
-let critical_delay t =
-  let at = arrival_times t in
-  List.fold_left (fun d (_, i) -> max d (Hashtbl.find at i)) 0.0 (outputs t)
+let arrival_times t =
+  let at = arrival_array t in
+  let tbl = Hashtbl.create (Hashtbl.length t.nodes) in
+  Hashtbl.iter (fun i _ -> Hashtbl.replace tbl i at.(i)) t.nodes;
+  tbl
 
-let required_times t required =
-  let rt = Hashtbl.create (Hashtbl.length t.nodes) in
-  let order = List.rev (topo_order t) in
-  let is_out i = List.exists (fun (_, j) -> j = i) (outputs t) in
+let critical_delay t =
+  let at = arrival_array t in
+  List.fold_left (fun d (_, i) -> max d at.(i)) 0.0 (outputs t)
+
+let required_array t required =
+  let rt = Array.make t.next infinity in
+  let dl = Array.make t.next 0.0 in
+  Hashtbl.iter (fun i n -> dl.(i) <- n.ndelay) t.nodes;
+  let is_out = Array.make t.next false in
+  List.iter (fun (_, j) -> is_out.(j) <- true) t.outs;
   List.iter
     (fun i ->
       let from_fanouts =
         List.fold_left
-          (fun r j ->
-            let nj = get t j in
-            min r (Hashtbl.find rt j -. nj.ndelay))
-          infinity (fanouts t i)
+          (fun r j -> let v = rt.(j) -. dl.(j) in if v < r then v else r)
+          infinity
+          (Option.value (Hashtbl.find_opt t.rev i) ~default:[])
       in
-      let r = if is_out i then min required from_fanouts else from_fanouts in
-      Hashtbl.replace rt i r)
-    order;
+      rt.(i) <-
+        (if is_out.(i) then min required from_fanouts else from_fanouts))
+    (List.rev (topo_order t));
   rt
+
+let required_times t required =
+  let rt = required_array t required in
+  let tbl = Hashtbl.create (Hashtbl.length t.nodes) in
+  Hashtbl.iter (fun i _ -> Hashtbl.replace tbl i rt.(i)) t.nodes;
+  tbl
 
 let slacks t ?required () =
   let required =
     match required with Some r -> r | None -> critical_delay t
   in
-  let at = arrival_times t and rt = required_times t required in
+  let at = arrival_array t and rt = required_array t required in
   let sl = Hashtbl.create (Hashtbl.length t.nodes) in
   Hashtbl.iter
-    (fun i a ->
-      let r = Hashtbl.find rt i in
-      if r < infinity then Hashtbl.replace sl i (r -. a))
-    at;
+    (fun i _ ->
+      if rt.(i) < infinity then Hashtbl.replace sl i (rt.(i) -. at.(i)))
+    t.nodes;
   sl
 
 let replace_func t i f fanins =
@@ -265,10 +322,16 @@ let replace_func t i f fanins =
   let old_f = n.nfunc and old_fanins = n.nfanins in
   n.nfunc <- f;
   n.nfanins <- fanins;
+  rev_remove t old_fanins i;
+  rev_add t fanins i;
+  invalidate t;
   try ignore (topo_order t)
   with Cycle _ ->
     n.nfunc <- old_f;
     n.nfanins <- old_fanins;
+    rev_remove t fanins i;
+    rev_add t old_fanins i;
+    invalidate t;
     invalid_arg "Network.replace_func: change would create a cycle"
 
 let sweep t =
@@ -290,15 +353,19 @@ let sweep t =
   in
   List.iter
     (fun i ->
+      rev_remove t (get t i).nfanins i;
+      Hashtbl.remove t.rev i;
       Hashtbl.remove t.nodes i;
       incr removed)
     victims;
+  if !removed > 0 then invalidate t;
   !removed
 
 let copy t =
   let nodes = Hashtbl.create (Hashtbl.length t.nodes) in
   Hashtbl.iter (fun i n -> Hashtbl.add nodes i { n with nid = n.nid }) t.nodes;
-  { nodes; ins = t.ins; outs = t.outs; next = t.next }
+  { nodes; ins = t.ins; outs = t.outs; next = t.next;
+    rev = Hashtbl.copy t.rev; levels_cache = None; topo_cache = None }
 
 let pp ppf t =
   Format.pp_open_vbox ppf 0;

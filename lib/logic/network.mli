@@ -49,7 +49,9 @@ val func : t -> id -> Expr.t
 
 val fanins : t -> id -> id list
 val fanouts : t -> id -> id list
-(** Recomputed on demand. *)
+(** Served from an incrementally maintained reverse-adjacency index: O(d)
+    in the fanout degree, not a scan of the network.  Sorted by id; a node
+    appears once even if the fanin is duplicated. *)
 
 val delay : t -> id -> float
 val cap : t -> id -> float
@@ -88,8 +90,13 @@ val total_cap : t -> float
 (** Sum of node capacitances (inputs included: their cap models the input
     pin loading). *)
 
+val levels : t -> (id, int) Hashtbl.t
+(** Unit-delay logic depth of every node (inputs are level 0).  Cached
+    until the next structural edit; treat the table as read-only. *)
+
 val level : t -> id -> int
-(** Unit-delay logic depth (inputs are level 0). *)
+(** Unit-delay logic depth (inputs are level 0).  Served from the
+    {!levels} cache, so per-query cost is O(1) on an unmodified network. *)
 
 val arrival_times : t -> (id, float) Hashtbl.t
 (** Longest-path arrival using per-node delays; inputs arrive at 0. *)
@@ -98,7 +105,8 @@ val critical_delay : t -> float
 (** Maximum output arrival time. *)
 
 val required_times : t -> float -> (id, float) Hashtbl.t
-(** Latest allowed arrival per node given a required time at all outputs. *)
+(** Latest allowed arrival per node given a required time at all outputs.
+    Linear in the network size (uses the cached reverse adjacency). *)
 
 val slacks : t -> ?required:float -> unit -> (id, float) Hashtbl.t
 (** Per-node slack = required - arrival; default required time is the

@@ -59,12 +59,24 @@ let simulate ?(delay_model = Event_sim.Zero_delay) t stimulus =
     if Array.length v <> List.length free then
       invalid_arg "Seq_circuit.simulate: primary-input arity mismatch");
   let all_inputs = Network.inputs t.net in
+  let comp = Compiled.of_network t.net in
   let pos_of =
     let tbl = Hashtbl.create 16 in
     List.iteri (fun k i -> Hashtbl.replace tbl i k) all_inputs;
     fun i -> Hashtbl.find tbl i
   in
   let free_pos = List.map pos_of free in
+  let out_idx =
+    Array.to_list (Compiled.outputs comp)
+  in
+  let reg_read =
+    List.map
+      (fun r ->
+        ( r,
+          Compiled.index_of_id comp r.d,
+          Option.map (Compiled.index_of_id comp) r.enable ))
+      t.regs
+  in
   let q_state = Hashtbl.create 16 in
   List.iter (fun r -> Hashtbl.replace q_state r.q r.init) t.regs;
   let full_vector pi_vec =
@@ -81,22 +93,21 @@ let simulate ?(delay_model = Event_sim.Zero_delay) t stimulus =
   let cycle k pi_vec =
     let v = full_vector pi_vec in
     full_stream := v :: !full_stream;
-    let values = Network.eval t.net v in
+    let values = Compiled.eval comp v in
     outputs :=
-      List.map (fun (nm, i) -> (nm, Hashtbl.find values i)) (Network.outputs t.net)
-      :: !outputs;
+      List.map (fun (nm, x) -> (nm, values.(x))) out_idx :: !outputs;
     List.iter
-      (fun r ->
-        let d = Hashtbl.find values r.d in
+      (fun (r, d_idx, enable_idx) ->
+        let d = values.(d_idx) in
         (if k > 0 then
            match Hashtbl.find_opt prev_d r.q with
            | Some pd when pd <> d -> incr ff_in
            | Some _ | None -> ());
         Hashtbl.replace prev_d r.q d;
         let enabled =
-          match r.enable with
+          match enable_idx with
           | None -> true
-          | Some e -> Hashtbl.find values e
+          | Some e -> values.(e)
         in
         if enabled then begin
           clock_energy := !clock_energy +. r.clock_cap;
@@ -105,11 +116,11 @@ let simulate ?(delay_model = Event_sim.Zero_delay) t stimulus =
           Hashtbl.replace q_state r.q d
         end
         else incr gated)
-      t.regs
+      reg_read
   in
   List.iteri cycle stimulus;
   let full_stream = List.rev !full_stream in
-  let sim = Event_sim.run t.net delay_model full_stream in
+  let sim = Event_sim.run_compiled comp delay_model full_stream in
   {
     cycles = List.length stimulus;
     comb_energy =

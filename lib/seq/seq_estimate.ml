@@ -10,11 +10,13 @@ let popcount x =
   go 0 x
 
 (* Shared plumbing: evaluate the combinational core for a (state code,
-   input code) pair. *)
+   input code) pair.  The network is compiled once; evaluations return
+   flat value planes indexed by compact node index. *)
 let evaluator circuit =
   let net = Seq_circuit.network circuit in
   let regs = Seq_circuit.registers circuit in
   let free = Seq_circuit.free_inputs circuit in
+  let comp = Compiled.of_network net in
   let all_inputs = Network.inputs net in
   let pos_of =
     let tbl = Hashtbl.create 16 in
@@ -22,38 +24,47 @@ let evaluator circuit =
     fun i -> Hashtbl.find tbl i
   in
   let arity = List.length all_inputs in
+  let free_pos = Array.of_list (List.map pos_of free) in
+  let reg_pos =
+    Array.of_list (List.map (fun r -> pos_of r.Seq_circuit.q) regs)
+  in
+  (* Per-register compact indices of d / q / enable, resolved once. *)
+  let reg_read =
+    Array.of_list
+      (List.map
+         (fun r ->
+           ( Compiled.index_of_id comp r.Seq_circuit.d,
+             Compiled.index_of_id comp r.Seq_circuit.q,
+             Option.map (Compiled.index_of_id comp) r.Seq_circuit.enable ))
+         regs)
+  in
   let eval state_code input_code =
     let vec = Array.make arity false in
-    List.iteri
-      (fun k i -> vec.(pos_of i) <- input_code land (1 lsl k) <> 0)
-      free;
-    List.iteri
-      (fun j r -> vec.(pos_of r.Seq_circuit.q) <- state_code land (1 lsl j) <> 0)
-      regs;
-    Network.eval net vec
+    Array.iteri
+      (fun k p -> vec.(p) <- input_code land (1 lsl k) <> 0)
+      free_pos;
+    Array.iteri
+      (fun j p -> vec.(p) <- state_code land (1 lsl j) <> 0)
+      reg_pos;
+    Compiled.eval comp vec
   in
   let next_state values =
     (* enables sampled from the same evaluation *)
     let code = ref 0 in
-    List.iteri
-      (fun j r ->
+    Array.iteri
+      (fun j (d, q, enable) ->
         let enabled =
-          match r.Seq_circuit.enable with
-          | None -> true
-          | Some e -> Hashtbl.find values e
+          match enable with None -> true | Some e -> values.(e)
         in
-        let bit =
-          if enabled then Hashtbl.find values r.Seq_circuit.d
-          else Hashtbl.find values r.Seq_circuit.q
-        in
+        let bit = if enabled then values.(d) else values.(q) in
         if bit then code := !code lor (1 lsl j))
-      regs;
+      reg_read;
     !code
   in
-  (net, regs, free, eval, next_state)
+  (net, comp, regs, free, eval, next_state)
 
 let steady_state ?(max_states = 4096) circuit ~input_bit_probs =
-  let net, regs, free, eval, next_state = evaluator circuit in
+  let net, comp, regs, free, eval, next_state = evaluator circuit in
   let ni = List.length free in
   if Array.length input_bit_probs <> ni then
     invalid_arg "Seq_estimate.steady_state: input probability arity mismatch";
@@ -76,9 +87,7 @@ let steady_state ?(max_states = 4096) circuit ~input_bit_probs =
     |> fst
   in
   (* Reachability, caching valuations and next states. *)
-  let values_of : (int * int, (Network.id, bool) Hashtbl.t) Hashtbl.t =
-    Hashtbl.create 256
-  in
+  let values_of : (int * int, bool array) Hashtbl.t = Hashtbl.create 256 in
   let next_of : (int * int, int) Hashtbl.t = Hashtbl.create 256 in
   let states = Hashtbl.create 64 in
   let queue = Queue.create () in
@@ -129,9 +138,8 @@ let steady_state ?(max_states = 4096) circuit ~input_bit_probs =
   let total = List.fold_left (fun acc s -> acc +. Hashtbl.find pi s) 0.0 state_list in
   List.iter (fun s -> Hashtbl.replace pi s (Hashtbl.find pi s /. total)) state_list;
   (* Expected toggles: over consecutive (s,i) -> (next(s,i), i') pairs. *)
-  let activity = Hashtbl.create 64 in
-  let node_ids = Network.node_ids net in
-  List.iter (fun n -> Hashtbl.replace activity n 0.0) node_ids;
+  let size = Compiled.size comp in
+  let activity_arr = Array.make size 0.0 in
   let ff = ref 0.0 in
   List.iter
     (fun s ->
@@ -147,17 +155,20 @@ let steady_state ?(max_states = 4096) circuit ~input_bit_probs =
               let w = w1 *. q_prob i' in
               if w > 1e-12 then begin
                 let v2 = Hashtbl.find values_of (s', i') in
-                List.iter
-                  (fun n ->
-                    if Hashtbl.find v1 n <> Hashtbl.find v2 n then
-                      Hashtbl.replace activity n (Hashtbl.find activity n +. w))
-                  node_ids
+                for x = 0 to size - 1 do
+                  if v1.(x) <> v2.(x) then
+                    activity_arr.(x) <- activity_arr.(x) +. w
+                done
               end
             done
           end
         done)
     state_list;
   ignore regs;
+  let activity = Hashtbl.create size in
+  Array.iteri
+    (fun x a -> Hashtbl.replace activity (Compiled.id_of_index comp x) a)
+    activity_arr;
   let swcap =
     Hashtbl.fold (fun n a acc -> acc +. (Network.cap net n *. a)) activity 0.0
   in
@@ -169,7 +180,7 @@ let steady_state ?(max_states = 4096) circuit ~input_bit_probs =
   }
 
 let of_sequence circuit stimulus =
-  let net, regs, free, eval, next_state = evaluator circuit in
+  let net, comp, regs, free, eval, next_state = evaluator circuit in
   (match stimulus with
   | [] -> invalid_arg "Seq_estimate.of_sequence: empty stimulus"
   | v :: _ ->
@@ -187,9 +198,8 @@ let of_sequence circuit stimulus =
       (0, 0) regs
     |> fst
   in
-  let node_ids = Network.node_ids net in
-  let activity = Hashtbl.create 64 in
-  List.iter (fun n -> Hashtbl.replace activity n 0.0) node_ids;
+  let size = Compiled.size comp in
+  let activity_arr = Array.make size 0.0 in
   let visits = Hashtbl.create 32 in
   let state = ref init_code in
   let prev_values = ref None in
@@ -203,11 +213,10 @@ let of_sequence circuit stimulus =
       let values = eval s (code_of vec) in
       (match !prev_values with
       | Some pv ->
-        List.iter
-          (fun n ->
-            if Hashtbl.find pv n <> Hashtbl.find values n then
-              Hashtbl.replace activity n (Hashtbl.find activity n +. 1.0))
-          node_ids
+        for x = 0 to size - 1 do
+          if pv.(x) <> values.(x) then
+            activity_arr.(x) <- activity_arr.(x) +. 1.0
+        done
       | None -> ());
       prev_values := Some values;
       let s' = next_state values in
@@ -215,9 +224,11 @@ let of_sequence circuit stimulus =
       state := s')
     stimulus;
   let per_cycle = float_of_int (max 1 (cycles - 1)) in
-  Hashtbl.iter
-    (fun n a -> Hashtbl.replace activity n (a /. per_cycle))
-    activity;
+  let activity = Hashtbl.create size in
+  Array.iteri
+    (fun x a ->
+      Hashtbl.replace activity (Compiled.id_of_index comp x) (a /. per_cycle))
+    activity_arr;
   Hashtbl.iter
     (fun s v -> Hashtbl.replace visits s (v /. float_of_int cycles))
     visits;

@@ -1,0 +1,106 @@
+(* Array-backed binary min-heap of (time, node) pairs, ordered by time
+   with ties broken on the node index — the same order as the functional
+   [Set]-of-events queue it replaces, without the per-operation
+   allocation.  Stored as parallel unboxed arrays so pushes and pops stay
+   in two flat float/int buffers. *)
+
+type t = {
+  mutable times : float array;
+  mutable nodes : int array;
+  mutable size : int;
+}
+
+let create ?(capacity = 256) () =
+  let capacity = max capacity 1 in
+  { times = Array.make capacity 0.0; nodes = Array.make capacity 0; size = 0 }
+
+let size h = h.size
+let is_empty h = h.size = 0
+let clear h = h.size <- 0
+
+let grow h =
+  let cap = Array.length h.times in
+  let times = Array.make (2 * cap) 0.0 and nodes = Array.make (2 * cap) 0 in
+  Array.blit h.times 0 times 0 h.size;
+  Array.blit h.nodes 0 nodes 0 h.size;
+  h.times <- times;
+  h.nodes <- nodes
+
+(* The lexicographic (time, node) comparison is written out inline in the
+   sift loops: a shared [before] helper would not be inlined without
+   flambda, and a non-inlined call boxes both float arguments on every
+   loop iteration. *)
+
+let push h t n =
+  if h.size = Array.length h.times then grow h;
+  let times = h.times and nodes = h.nodes in
+  let k = ref h.size in
+  h.size <- h.size + 1;
+  (* Sift up. *)
+  let continue_ = ref true in
+  while !continue_ && !k > 0 do
+    let parent = (!k - 1) / 2 in
+    let pt = Array.unsafe_get times parent in
+    if t < pt || (t = pt && n < Array.unsafe_get nodes parent) then begin
+      Array.unsafe_set times !k pt;
+      Array.unsafe_set nodes !k (Array.unsafe_get nodes parent);
+      k := parent
+    end
+    else continue_ := false
+  done;
+  Array.unsafe_set times !k t;
+  Array.unsafe_set nodes !k n
+
+let min_time h =
+  if h.size = 0 then invalid_arg "Event_heap.min_time: empty heap";
+  h.times.(0)
+
+let min_node h =
+  if h.size = 0 then invalid_arg "Event_heap.min_node: empty heap";
+  h.nodes.(0)
+
+let remove_min h =
+  if h.size = 0 then invalid_arg "Event_heap.remove_min: empty heap";
+  let times = h.times and nodes = h.nodes in
+  h.size <- h.size - 1;
+  let n = h.size in
+  if n > 0 then begin
+    let t = times.(n) and v = nodes.(n) in
+    (* Sift down from the root. *)
+    let k = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !k) + 1 in
+      if l >= n then continue_ := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if
+            r < n
+            &&
+            let tr = Array.unsafe_get times r and tl = Array.unsafe_get times l in
+            tr < tl
+            || (tr = tl && Array.unsafe_get nodes r < Array.unsafe_get nodes l)
+          then r
+          else l
+        in
+        let tc = Array.unsafe_get times c in
+        if tc < t || (tc = t && Array.unsafe_get nodes c < v) then begin
+          Array.unsafe_set times !k tc;
+          Array.unsafe_set nodes !k (Array.unsafe_get nodes c);
+          k := c
+        end
+        else continue_ := false
+      end
+    done;
+    Array.unsafe_set times !k t;
+    Array.unsafe_set nodes !k v
+  end
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let t = h.times.(0) and n = h.nodes.(0) in
+    remove_min h;
+    Some (t, n)
+  end

@@ -1,0 +1,33 @@
+(** Mutable binary min-heap of timestamped node events.
+
+    Events are [(time, node)] pairs ordered by time with ties broken on
+    the node index — the order the event-driven simulator needs so that
+    simultaneous evaluations happen in ascending node order.  Backed by a
+    pair of flat [float]/[int] arrays that double on demand, so [push] /
+    [remove_min] never allocate.
+
+    Duplicate events are allowed (unlike the [Set]-based queue this
+    replaces); callers that need set semantics skip consecutive equal
+    minima after popping. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val size : t -> int
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Drop all events; keeps the allocated capacity. *)
+
+val push : t -> float -> int -> unit
+
+val min_time : t -> float
+val min_node : t -> int
+(** Peek at the minimum event.  Raise [Invalid_argument] when empty. *)
+
+val remove_min : t -> unit
+(** Drop the minimum event.  Raises [Invalid_argument] when empty. *)
+
+val pop : t -> (float * int) option
+(** [min_time]/[min_node]/[remove_min] in one allocating call — for tests
+    and non-hot paths. *)

@@ -6,6 +6,200 @@ type result = {
   cycles : int;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Compiled fast path                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_compiled c model stream =
+  (match stream with
+  | [] -> invalid_arg "Event_sim.run: empty stimulus"
+  | v :: _ ->
+    if Array.length v <> Compiled.num_inputs c then
+      invalid_arg "Event_sim.run: input arity mismatch");
+  let n = Compiled.size c in
+  let ins = Compiled.inputs c in
+  let nins = Array.length ins in
+  let topo = Compiled.topo c in
+  let topo_pos = Compiled.topo_pos c in
+  let value = Array.make n false in
+  let settled = Array.make n false in
+  let total_c = Array.make n 0 in
+  let functional_c = Array.make n 0 in
+  (* Initialize from the first vector with zero-delay settling (no
+     transitions are charged for initialization). *)
+  let first = List.hd stream in
+  Array.iteri (fun k x -> value.(x) <- first.(k)) ins;
+  Array.iter
+    (fun x ->
+      if not (Compiled.is_input c x) then value.(x) <- Compiled.eval_node c x value)
+    topo;
+  Array.blit value 0 settled 0 n;
+  (* Zero-delay settling over the fanout cone of the changed inputs only:
+     dirty nodes drain in topological order (the worklist heap is keyed by
+     topo position), so a node is evaluated once, after all its dirty
+     fanins.  [queued] dedupes nodes reached through several changed
+     fanins. *)
+  let worklist = Int_heap.create ~capacity:64 () in
+  let queued = Array.make n false in
+  let settle_dirty plane counts vec =
+    let mark_dirty x =
+      let fo = Compiled.fanouts c x in
+      for q = 0 to Array.length fo - 1 do
+        let j = Array.unsafe_get fo q in
+        if not (Array.unsafe_get queued j) then begin
+          Array.unsafe_set queued j true;
+          Int_heap.push worklist (Array.unsafe_get topo_pos j)
+        end
+      done
+    in
+    for k = 0 to nins - 1 do
+      let x = Array.unsafe_get ins k in
+      if Array.unsafe_get plane x <> Array.unsafe_get vec k then begin
+        Array.unsafe_set plane x (Array.unsafe_get vec k);
+        Array.unsafe_set counts x (Array.unsafe_get counts x + 1);
+        mark_dirty x
+      end
+    done;
+    while not (Int_heap.is_empty worklist) do
+      let pos = Int_heap.min_elt worklist in
+      Int_heap.remove_min worklist;
+      let x = Array.unsafe_get topo pos in
+      Array.unsafe_set queued x false;
+      let v = Compiled.eval_node c x plane in
+      if v <> Array.unsafe_get plane x then begin
+        Array.unsafe_set plane x v;
+        Array.unsafe_set counts x (Array.unsafe_get counts x + 1);
+        mark_dirty x
+      end
+    done
+  in
+  (* Transport-delay event loops on mutable min-heaps.  Both admit
+     duplicate events; consecutive equal minima are skipped after the
+     first pop, reproducing the old [Set]-based queue exactly.  Unit delay
+     has integer timestamps, so (time, node) packs into the single int key
+     [time * n + node] and heap order on the key is exactly the event
+     order; node delays need real-valued times and take the float heap. *)
+  let iheap = Int_heap.create ~capacity:256 () in
+  let apply_vector_unit vec =
+    for k = 0 to nins - 1 do
+      let x = Array.unsafe_get ins k in
+      if Array.unsafe_get value x <> Array.unsafe_get vec k then begin
+        Array.unsafe_set value x (Array.unsafe_get vec k);
+        Array.unsafe_set total_c x (Array.unsafe_get total_c x + 1);
+        let fo = Compiled.fanouts c x in
+        for q = 0 to Array.length fo - 1 do
+          Int_heap.push iheap (n + Array.unsafe_get fo q)
+        done
+      end
+    done;
+    while not (Int_heap.is_empty iheap) do
+      let key = Int_heap.min_elt iheap in
+      Int_heap.remove_min iheap;
+      while (not (Int_heap.is_empty iheap)) && Int_heap.min_elt iheap = key do
+        Int_heap.remove_min iheap
+      done;
+      let x = key mod n in
+      let v = Compiled.eval_node c x value in
+      if v <> Array.unsafe_get value x then begin
+        Array.unsafe_set value x v;
+        Array.unsafe_set total_c x (Array.unsafe_get total_c x + 1);
+        let base = key - x + n in
+        let fo = Compiled.fanouts c x in
+        for q = 0 to Array.length fo - 1 do
+          Int_heap.push iheap (base + Array.unsafe_get fo q)
+        done
+      end
+    done
+  in
+  let fheap = Event_heap.create ~capacity:256 () in
+  let gate_delay =
+    match model with
+    | Node_delays ->
+      Array.init n (fun x -> max 1.0e-9 (Compiled.delay c x))
+    | Zero_delay | Unit_delay -> [||]
+  in
+  let apply_vector_float vec =
+    for k = 0 to nins - 1 do
+      let x = Array.unsafe_get ins k in
+      if Array.unsafe_get value x <> Array.unsafe_get vec k then begin
+        Array.unsafe_set value x (Array.unsafe_get vec k);
+        Array.unsafe_set total_c x (Array.unsafe_get total_c x + 1);
+        let fo = Compiled.fanouts c x in
+        for q = 0 to Array.length fo - 1 do
+          let j = Array.unsafe_get fo q in
+          Event_heap.push fheap (Array.unsafe_get gate_delay j) j
+        done
+      end
+    done;
+    while not (Event_heap.is_empty fheap) do
+      let t = Event_heap.min_time fheap and x = Event_heap.min_node fheap in
+      Event_heap.remove_min fheap;
+      while
+        (not (Event_heap.is_empty fheap))
+        && Event_heap.min_time fheap = t
+        && Event_heap.min_node fheap = x
+      do
+        Event_heap.remove_min fheap
+      done;
+      let v = Compiled.eval_node c x value in
+      if v <> Array.unsafe_get value x then begin
+        Array.unsafe_set value x v;
+        Array.unsafe_set total_c x (Array.unsafe_get total_c x + 1);
+        let fo = Compiled.fanouts c x in
+        for q = 0 to Array.length fo - 1 do
+          let j = Array.unsafe_get fo q in
+          Event_heap.push fheap (t +. Array.unsafe_get gate_delay j) j
+        done
+      end
+    done
+  in
+  let apply_vector vec =
+    match model with
+    | Zero_delay ->
+      (* One settling pass provides both counts (functional = total). *)
+      settle_dirty value total_c vec
+    | Unit_delay ->
+      apply_vector_unit vec;
+      (* Functional reference: settled values under zero delay. *)
+      settle_dirty settled functional_c vec
+    | Node_delays ->
+      apply_vector_float vec;
+      settle_dirty settled functional_c vec
+  in
+  let cycles = ref 0 in
+  List.iteri
+    (fun k vec ->
+      if k > 0 then begin
+        apply_vector vec;
+        incr cycles
+      end)
+    stream;
+  let table_of counts =
+    let tbl = Hashtbl.create 64 in
+    Array.iteri
+      (fun x ct -> if ct > 0 then Hashtbl.replace tbl (Compiled.id_of_index c x) ct)
+      counts;
+    tbl
+  in
+  let total = table_of total_c in
+  let functional =
+    match model with
+    | Zero_delay -> table_of total_c
+    | Unit_delay | Node_delays -> table_of functional_c
+  in
+  { total; functional; cycles = !cycles }
+
+let run net model stream = run_compiled (Compiled.of_network net) model stream
+
+(* ------------------------------------------------------------------ *)
+(* Reference implementation                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The original, allocation-heavy simulator over [Network.t] directly:
+   functional [Set] event queue, hashtable value planes, full zero-delay
+   re-evaluation per vector.  Kept as the differential-testing oracle for
+   the compiled path; never use it on a hot path. *)
+
 module Event = struct
   type t = float * int (* time, node id *)
 
@@ -19,7 +213,7 @@ let bump tbl i by =
   let c = Option.value (Hashtbl.find_opt tbl i) ~default:0 in
   Hashtbl.replace tbl i (c + by)
 
-let run net model stream =
+let run_reference net model stream =
   (match stream with
   | [] -> invalid_arg "Event_sim.run: empty stimulus"
   | v :: _ ->
@@ -155,6 +349,10 @@ let run net model stream =
     Hashtbl.iter (fun i c -> Hashtbl.replace functional i c) total
   | Unit_delay | Node_delays -> ());
   { total; functional; cycles = !cycles }
+
+(* ------------------------------------------------------------------ *)
+(* Result accounting                                                  *)
+(* ------------------------------------------------------------------ *)
 
 let node_activity r i =
   if r.cycles = 0 then 0.0

@@ -27,7 +27,23 @@ type result = {
 val run : Network.t -> delay_model -> Stimulus.t -> result
 (** Apply the vector stream, one vector per clock period (chosen longer than
     the critical path so the circuit always settles).  Raises
-    [Invalid_argument] on arity mismatch or an empty stream. *)
+    [Invalid_argument] on arity mismatch or an empty stream.
+
+    Compiles the network first ({!Compiled.of_network}) and runs the fast
+    path; when simulating the same network against many streams, compile
+    once yourself and call {!run_compiled} to amortize the compilation. *)
+
+val run_compiled : Compiled.t -> delay_model -> Stimulus.t -> result
+(** {!run} on a pre-compiled network: array-backed binary-heap event queue,
+    flat value planes, and dirty-cone zero-delay settling (only the fanout
+    cone of changed inputs is re-evaluated for the functional reference).
+    Result tables are keyed by the original {!Network.id}s. *)
+
+val run_reference : Network.t -> delay_model -> Stimulus.t -> result
+(** The original straightforward simulator (functional set as the event
+    queue, hashtable value planes, full re-evaluation per vector).  Slow;
+    retained as the differential-testing oracle for {!run_compiled} —
+    transition counts of the two implementations are identical per node. *)
 
 val node_activity : result -> Network.id -> float
 (** Average total transitions per cycle of one node. *)

@@ -1,0 +1,69 @@
+(* Array-backed binary min-heap of plain ints.  The event simulator packs
+   (integer time, node index) into a single key — [time * size + index] —
+   so one unboxed comparison replaces the two-field event compare; the
+   settle worklist uses bare topological positions.  All accesses are
+   unchecked: indices come from the heap's own size counter. *)
+
+type t = { mutable keys : int array; mutable size : int }
+
+let create ?(capacity = 256) () =
+  { keys = Array.make (max capacity 1) 0; size = 0 }
+
+let size h = h.size
+let is_empty h = h.size = 0
+let clear h = h.size <- 0
+
+let grow h =
+  let keys = Array.make (2 * Array.length h.keys) 0 in
+  Array.blit h.keys 0 keys 0 h.size;
+  h.keys <- keys
+
+let push h key =
+  if h.size = Array.length h.keys then grow h;
+  let keys = h.keys in
+  let k = ref h.size in
+  h.size <- h.size + 1;
+  let continue_ = ref true in
+  while !continue_ && !k > 0 do
+    let parent = (!k - 1) / 2 in
+    let pk = Array.unsafe_get keys parent in
+    if key < pk then begin
+      Array.unsafe_set keys !k pk;
+      k := parent
+    end
+    else continue_ := false
+  done;
+  Array.unsafe_set keys !k key
+
+let min_elt h =
+  if h.size = 0 then invalid_arg "Int_heap.min_elt: empty heap";
+  Array.unsafe_get h.keys 0
+
+let remove_min h =
+  if h.size = 0 then invalid_arg "Int_heap.remove_min: empty heap";
+  let keys = h.keys in
+  h.size <- h.size - 1;
+  let n = h.size in
+  if n > 0 then begin
+    let key = Array.unsafe_get keys n in
+    let k = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !k) + 1 in
+      if l >= n then continue_ := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if r < n && Array.unsafe_get keys r < Array.unsafe_get keys l then r
+          else l
+        in
+        let ck = Array.unsafe_get keys c in
+        if ck < key then begin
+          Array.unsafe_set keys !k ck;
+          k := c
+        end
+        else continue_ := false
+      end
+    done;
+    Array.unsafe_set keys !k key
+  end

@@ -1,0 +1,23 @@
+(** Mutable binary min-heap of plain [int] keys.
+
+    The integer-time specialization of {!Event_heap}: under the unit-delay
+    model the simulator packs [(time, node)] into [time * size + node], so
+    heap order on the packed key is exactly the event order, with one
+    unboxed comparison per step.  Duplicates are allowed. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val size : t -> int
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Drop all keys; keeps the allocated capacity. *)
+
+val push : t -> int -> unit
+
+val min_elt : t -> int
+(** Peek at the minimum key.  Raises [Invalid_argument] when empty. *)
+
+val remove_min : t -> unit
+(** Drop the minimum key.  Raises [Invalid_argument] when empty. *)

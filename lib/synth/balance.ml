@@ -1,19 +1,9 @@
 let buffer_func = Expr.Var 0
 
-let levels net =
-  let lv = Hashtbl.create 64 in
-  List.iter
-    (fun i ->
-      if Network.is_input net i then Hashtbl.replace lv i 0
-      else
-        let d =
-          List.fold_left
-            (fun d j -> max d (Hashtbl.find lv j))
-            0 (Network.fanins net i)
-        in
-        Hashtbl.replace lv i (d + 1))
-    (Network.topo_order net);
-  lv
+(* Unit-delay depth per node, from the network's cached levelization.
+   Callers that mutate the network afterwards keep working on the snapshot
+   they fetched (the cache is dropped, not mutated, on edits). *)
+let levels = Network.levels
 
 let imbalance net =
   let lv = levels net in

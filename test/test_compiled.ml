@@ -1,0 +1,336 @@
+(* Differential tests for the compiled network core: the heap-backed
+   event simulator against the retained reference implementation, the
+   compiled evaluator against Network.eval, and the incremental
+   fanout/timing caches against naive recomputation. *)
+
+open Test_util
+
+let gen_network =
+  QCheck2.Gen.(
+    map2
+      (fun seed gates ->
+        ( seed,
+          Gen_comb.random
+            (Lowpower.Rng.create seed)
+            {
+              Gen_comb.num_inputs = 6;
+              num_gates = 8 + gates;
+              max_fanin = 3;
+              output_fraction = 0.2;
+            } ))
+      (int_bound 10_000) (int_bound 20))
+
+(* ---- heaps ---------------------------------------------------------- *)
+
+let test_event_heap_ordering () =
+  let r = rng () in
+  let h = Event_heap.create ~capacity:4 () in
+  let events =
+    List.init 200 (fun _ ->
+        (float_of_int (Lowpower.Rng.int r 20), Lowpower.Rng.int r 50))
+  in
+  List.iter (fun (t, n) -> Event_heap.push h t n) events;
+  Alcotest.(check int) "size" 200 (Event_heap.size h);
+  let popped = ref [] in
+  let rec drain () =
+    match Event_heap.pop h with
+    | Some e ->
+      popped := e :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let popped = List.rev !popped in
+  (* Heap order must equal the order of the old Set.Make(Event) queue:
+     by time, ties broken on ascending node. *)
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "sorted by (time, node)"
+    (List.sort compare events)
+    popped;
+  Alcotest.(check bool) "empty after drain" true (Event_heap.is_empty h)
+
+let test_event_heap_tie_break () =
+  let h = Event_heap.create () in
+  List.iter (fun n -> Event_heap.push h 3.0 n) [ 9; 2; 7; 0; 5 ];
+  Event_heap.push h 1.0 8;
+  let order = ref [] in
+  while not (Event_heap.is_empty h) do
+    order := Event_heap.min_node h :: !order;
+    Event_heap.remove_min h
+  done;
+  Alcotest.(check (list int))
+    "equal times pop in ascending node order" [ 8; 0; 2; 5; 7; 9 ]
+    (List.rev !order)
+
+let test_event_heap_clear () =
+  let h = Event_heap.create () in
+  Event_heap.push h 1.0 1;
+  Event_heap.push h 2.0 2;
+  Event_heap.clear h;
+  Alcotest.(check bool) "cleared" true (Event_heap.is_empty h);
+  Event_heap.push h 5.0 3;
+  Alcotest.(check (option (pair (float 0.0) int)))
+    "usable after clear" (Some (5.0, 3)) (Event_heap.pop h)
+
+let test_int_heap_ordering () =
+  let r = rng () in
+  let h = Int_heap.create ~capacity:2 () in
+  let keys = List.init 300 (fun _ -> Lowpower.Rng.int r 1000) in
+  List.iter (Int_heap.push h) keys;
+  Alcotest.(check int) "size" 300 (Int_heap.size h);
+  let popped = ref [] in
+  while not (Int_heap.is_empty h) do
+    popped := Int_heap.min_elt h :: !popped;
+    Int_heap.remove_min h
+  done;
+  Alcotest.(check (list int))
+    "sorted ascending" (List.sort compare keys) (List.rev !popped)
+
+(* ---- compiled evaluator --------------------------------------------- *)
+
+let prop_compiled_eval_matches_network =
+  prop ~count:100 "Compiled.eval agrees with Network.eval on every node"
+    QCheck2.Gen.(pair gen_network (int_bound 63))
+    (fun ((_, net), code) ->
+      let comp = Compiled.of_network net in
+      let n = List.length (Network.inputs net) in
+      let vec = Array.init n (fun k -> code land (1 lsl k) <> 0) in
+      let by_id = Network.eval net vec in
+      let plane = Compiled.eval comp vec in
+      List.for_all
+        (fun i ->
+          plane.(Compiled.index_of_id comp i) = Hashtbl.find by_id i)
+        (Network.node_ids net)
+      && Compiled.eval_outputs comp vec = Network.eval_outputs net vec)
+
+(* ---- event simulation vs the reference implementation ---------------- *)
+
+let count tbl i = Option.value (Hashtbl.find_opt tbl i) ~default:0
+
+let same_result net (a : Event_sim.result) (b : Event_sim.result) =
+  a.Event_sim.cycles = b.Event_sim.cycles
+  && List.for_all
+       (fun i ->
+         count a.Event_sim.total i = count b.Event_sim.total i
+         && count a.Event_sim.functional i = count b.Event_sim.functional i)
+       (Network.node_ids net)
+
+let prop_event_sim_matches_reference =
+  prop ~count:100
+    "compiled event sim counts match the reference under all delay models"
+    QCheck2.Gen.(pair gen_network (int_bound 10_000))
+    (fun ((_, net), stim_seed) ->
+      let stim =
+        Stimulus.random
+          (Lowpower.Rng.create (stim_seed + 1))
+          ~width:(List.length (Network.inputs net))
+          ~length:10 ()
+      in
+      List.for_all
+        (fun model ->
+          same_result net
+            (Event_sim.run net model stim)
+            (Event_sim.run_reference net model stim))
+        [ Event_sim.Zero_delay; Event_sim.Unit_delay; Event_sim.Node_delays ])
+
+let prop_run_compiled_is_run =
+  prop ~count:30 "run_compiled on a pre-compiled network equals run"
+    QCheck2.Gen.(pair gen_network (int_bound 10_000))
+    (fun ((_, net), stim_seed) ->
+      let comp = Compiled.of_network net in
+      let stim =
+        Stimulus.random
+          (Lowpower.Rng.create (stim_seed + 7))
+          ~width:(List.length (Network.inputs net))
+          ~length:8 ()
+      in
+      same_result net
+        (Event_sim.run_compiled comp Event_sim.Node_delays stim)
+        (Event_sim.run net Event_sim.Node_delays stim))
+
+(* ---- fanout cache --------------------------------------------------- *)
+
+(* Oracle: fanouts by scanning every node's fanin list. *)
+let naive_fanouts net i =
+  List.sort compare
+    (List.filter
+       (fun j -> List.mem i (Network.fanins net j))
+       (Network.node_ids net))
+
+let fanouts_consistent net =
+  List.for_all
+    (fun i -> Network.fanouts net i = naive_fanouts net i)
+    (Network.node_ids net)
+
+let prop_fanout_cache_tracks_edits =
+  prop ~count:50 "fanout cache stays consistent across edits and sweep"
+    QCheck2.Gen.(pair gen_network (int_bound 10_000))
+    (fun ((_, net0), seed) ->
+      let net = Network.copy net0 in
+      let r = Lowpower.Rng.create (seed + 3) in
+      fanouts_consistent net
+      && begin
+           (* Grow: a fresh node over two random existing signals. *)
+           let ids = Array.of_list (Network.node_ids net) in
+           let pick () = ids.(Lowpower.Rng.int r (Array.length ids)) in
+           let g =
+             Network.add_node net
+               (Expr.And [ Expr.Var 0; Expr.Not (Expr.Var 1) ])
+               [ pick (); pick () ]
+           in
+           Network.set_output net "tc_extra" g;
+           fanouts_consistent net
+         end
+      && begin
+           (* Rewire: retarget one logic node onto two inputs. *)
+           let logic =
+             List.filter
+               (fun i -> not (Network.is_input net i))
+               (Network.node_ids net)
+           in
+           let victim =
+             List.nth logic (Lowpower.Rng.int r (List.length logic))
+           in
+           (match Network.inputs net with
+           | a :: b :: _ ->
+             Network.replace_func net victim
+               (Expr.Or [ Expr.Var 0; Expr.Var 1 ])
+               [ a; b ]
+           | _ -> ());
+           fanouts_consistent net
+         end
+      && begin
+           ignore (Network.sweep net);
+           fanouts_consistent net
+         end)
+
+(* ---- timing: linear required times vs naive oracle ------------------- *)
+
+let naive_required_times net required =
+  let rt = Hashtbl.create 64 in
+  let order = List.rev (Network.topo_order net) in
+  let out_set = Hashtbl.create 16 in
+  List.iter (fun (_, j) -> Hashtbl.replace out_set j ()) (Network.outputs net);
+  List.iter
+    (fun i ->
+      let from_fanouts =
+        List.fold_left
+          (fun acc j -> min acc (Hashtbl.find rt j -. Network.delay net j))
+          infinity (naive_fanouts net i)
+      in
+      let r =
+        if Hashtbl.mem out_set i then min required from_fanouts
+        else from_fanouts
+      in
+      Hashtbl.replace rt i r)
+    order;
+  rt
+
+let test_required_times_matches_naive () =
+  let net =
+    Gen_comb.random (rng ())
+      {
+        Gen_comb.num_inputs = 10;
+        num_gates = 200;
+        max_fanin = 3;
+        output_fraction = 0.15;
+      }
+  in
+  let required = Network.critical_delay net in
+  let fast = Network.required_times net required in
+  let slow = naive_required_times net required in
+  List.iter
+    (fun i ->
+      check_close
+        (Printf.sprintf "required time of node %d" i)
+        (Hashtbl.find slow i) (Hashtbl.find fast i))
+    (Network.node_ids net)
+
+let test_slacks_1k_network () =
+  let net =
+    Gen_comb.random (rng ())
+      {
+        Gen_comb.num_inputs = 24;
+        num_gates = 1000;
+        max_fanin = 3;
+        output_fraction = 0.1;
+      }
+  in
+  let sl = Network.slacks net () in
+  let at = Network.arrival_times net in
+  let rt = Network.required_times net (Network.critical_delay net) in
+  (* slack = required - arrival wherever required is finite, and the
+     critical path has zero slack. *)
+  let min_slack = ref infinity in
+  Hashtbl.iter
+    (fun i s ->
+      check_close
+        (Printf.sprintf "slack of node %d" i)
+        (Hashtbl.find rt i -. Hashtbl.find at i)
+        s;
+      if s < !min_slack then min_slack := s)
+    sl;
+  check_close "critical path slack" 0.0 !min_slack
+
+let test_level_cache_survives_edits () =
+  let net =
+    Gen_comb.random (rng ())
+      {
+        Gen_comb.num_inputs = 5;
+        num_gates = 30;
+        max_fanin = 2;
+        output_fraction = 0.2;
+      }
+  in
+  let naive_levels () =
+    let lv = Hashtbl.create 64 in
+    List.iter
+      (fun i ->
+        let l =
+          if Network.is_input net i then 0
+          else
+            1
+            + List.fold_left
+                (fun m j -> max m (Hashtbl.find lv j))
+                0 (Network.fanins net i)
+        in
+        Hashtbl.replace lv i l)
+      (Network.topo_order net);
+    lv
+  in
+  let check_all tag =
+    let lv = naive_levels () in
+    List.iter
+      (fun i ->
+        Alcotest.(check int)
+          (Printf.sprintf "%s: level of node %d" tag i)
+          (Hashtbl.find lv i) (Network.level net i))
+      (Network.node_ids net)
+  in
+  check_all "fresh";
+  let a, b =
+    match Network.inputs net with a :: b :: _ -> (a, b) | _ -> assert false
+  in
+  let g = Network.add_node net (Expr.And [ Expr.Var 0; Expr.Var 1 ]) [ a; b ] in
+  let deep = Network.add_node net (Expr.Not (Expr.Var 0)) [ g ] in
+  Network.set_output net "tc_deep" deep;
+  check_all "after add";
+  Network.replace_func net deep (Expr.Var 0) [ a ];
+  check_all "after replace";
+  ignore (Network.sweep net);
+  check_all "after sweep"
+
+let suite =
+  [
+    quick "event heap pops in (time, node) order" test_event_heap_ordering;
+    quick "event heap tie-break on node index" test_event_heap_tie_break;
+    quick "event heap clear" test_event_heap_clear;
+    quick "int heap pops ascending" test_int_heap_ordering;
+    prop_compiled_eval_matches_network;
+    prop_event_sim_matches_reference;
+    prop_run_compiled_is_run;
+    prop_fanout_cache_tracks_edits;
+    quick "required times match the naive oracle" test_required_times_matches_naive;
+    quick "slacks on a 1k-gate network" test_slacks_1k_network;
+    quick "level cache tracks edits" test_level_cache_survives_edits;
+  ]
