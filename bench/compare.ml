@@ -1,0 +1,78 @@
+(* Perf-regression gate: compare a freshly measured BENCH.json against the
+   committed baseline and fail on any entry that got more than 25% slower.
+
+   Usage: compare.exe FRESH BASELINE
+
+   The files are in the flat one-number-per-key format [Microbench.write_json]
+   emits, so a full JSON parser is unnecessary. *)
+
+let threshold = 1.25
+
+let parse path =
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       (* Lines look like:   "name": 1234.5,  *)
+       match String.index_opt line '"' with
+       | None -> ()
+       | Some q0 ->
+         let q1 = String.index_from line (q0 + 1) '"' in
+         let name = String.sub line (q0 + 1) (q1 - q0 - 1) in
+         let colon = String.index_from line q1 ':' in
+         let rest =
+           String.sub line (colon + 1) (String.length line - colon - 1)
+         in
+         let rest = String.trim rest in
+         let rest =
+           if String.length rest > 0 && rest.[String.length rest - 1] = ','
+           then String.sub rest 0 (String.length rest - 1)
+           else rest
+         in
+         entries := (name, float_of_string rest) :: !entries
+     done
+   with End_of_file -> close_in ic);
+  List.rev !entries
+
+let () =
+  let fresh_path, base_path =
+    match Sys.argv with
+    | [| _; f; b |] -> (f, b)
+    | _ ->
+      prerr_endline "usage: compare FRESH_BENCH_JSON BASELINE_BENCH_JSON";
+      exit 2
+  in
+  let fresh = parse fresh_path and base = parse base_path in
+  let failures = ref 0 in
+  Printf.printf "%-36s %14s %14s %9s\n" "benchmark" "baseline ns"
+    "fresh ns" "ratio";
+  List.iter
+    (fun (name, b) ->
+      match List.assoc_opt name fresh with
+      | None ->
+        incr failures;
+        Printf.printf "%-36s %14.1f %14s   MISSING\n" name b "-"
+      | Some f ->
+        let ratio = f /. b in
+        let flag =
+          if ratio > threshold then begin
+            incr failures;
+            "  REGRESSED"
+          end
+          else if ratio < 1.0 /. threshold then "  improved"
+          else ""
+        in
+        Printf.printf "%-36s %14.1f %14.1f %8.2fx%s\n" name b f ratio flag)
+    base;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name base) then
+        Printf.printf "%-36s (new entry, no baseline)\n" name)
+    fresh;
+  if !failures > 0 then begin
+    Printf.printf "\n%d benchmark(s) regressed beyond %.0f%% of baseline.\n"
+      !failures ((threshold -. 1.0) *. 100.0);
+    exit 1
+  end
+  else print_endline "\nAll benchmarks within threshold."

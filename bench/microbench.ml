@@ -21,6 +21,8 @@ let cover_minimize =
   Test.make ~name:"cover_minimize_cmp3"
     (Staged.stage (fun () -> ignore (Cover.minimize (Cover.of_truth_table tt))))
 
+(* Canonical event-sim entry: [Event_sim.run] compiles then simulates, the
+   cost a one-shot caller pays. *)
 let event_sim =
   let net = (Circuits.array_multiplier 4).Circuits.net in
   let stim =
@@ -29,17 +31,16 @@ let event_sim =
   Test.make ~name:"event_sim_mult4_50vec"
     (Staged.stage (fun () -> ignore (Event_sim.run net Event_sim.Unit_delay stim)))
 
-(* Same run with compilation hoisted out — the amortized per-stream cost
-   when one network is simulated against many stimuli. *)
-let event_sim_compiled =
+(* The pre-PR-1 reference simulator on the same workload, so the
+   compiled-vs-reference gap stays visible in BENCH.json. *)
+let event_sim_reference =
   let net = (Circuits.array_multiplier 4).Circuits.net in
-  let comp = Compiled.of_network net in
   let stim =
     Stimulus.random (Lowpower.Rng.create 1) ~width:8 ~length:50 ()
   in
-  Test.make ~name:"event_sim_mult4_50vec_compiled"
+  Test.make ~name:"event_sim_mult4_50vec_reference"
     (Staged.stage (fun () ->
-         ignore (Event_sim.run_compiled comp Event_sim.Unit_delay stim)))
+         ignore (Event_sim.run_reference net Event_sim.Unit_delay stim)))
 
 (* Static timing (arrival + required + slack) on a 1k-gate network; linear
    in the network size since required times use the cached reverse
@@ -102,7 +103,7 @@ let streaming_kernel =
          ignore (Machine.run m program)))
 
 let tests =
-  [ bdd_build; cover_minimize; event_sim; event_sim_compiled;
+  [ bdd_build; cover_minimize; event_sim; event_sim_reference;
     required_times_1k; list_scheduling; iss_run; encoding_search; odc_guard;
     seq_chain; streaming_kernel ]
 

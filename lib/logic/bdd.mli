@@ -1,4 +1,4 @@
-(** Reduced Ordered Binary Decision Diagrams.
+(** Reduced Ordered Binary Decision Diagrams with complement edges.
 
     The exact machinery behind several surveyed techniques: exact signal
     probability for power estimation (§III.A.1, §IV.A), observability
@@ -6,25 +6,77 @@
     precomputation logic (§III.C.4, [30]), and symbolic equivalence checks
     used as test oracles throughout.
 
-    Nodes are hash-consed within a manager, so structural equality of
-    functions is physical equality of nodes ([equal] is O(1)).  Variable
-    order is the natural integer order. *)
+    Functions are hash-consed edges into a manager-owned node store, so
+    structural equality of functions is integer equality ([equal] is
+    O(1)), and [not_] is O(1) (it flips the edge's complement bit — no
+    negated subgraph is ever built).  All binary operations route through
+    one memoized [ite] kernel; the unique and computed tables are packed
+    int arrays that do not allocate on lookup.
+
+    Variable order defaults to the natural integer order; it can be fixed
+    up front with {!set_order} on a pristine manager, or improved later
+    with sifting via {!reorder}.  The slower, simpler engine this one
+    replaced survives as {!Bdd_reference} for differential testing. *)
 
 type man
-(** A BDD manager: unique table plus operation caches. *)
+(** A BDD manager: node store, unique table, computed cache, and the
+    variable order. *)
 
 type t
-(** A BDD node, valid within the manager that created it. *)
+(** A BDD (an edge into a manager's node store), valid within the manager
+    that created it. *)
 
-val manager : unit -> man
-(** Fresh manager. *)
+val manager : ?order:int array -> unit -> man
+(** Fresh manager.  [order] fixes the initial variable order as for
+    {!set_order}. *)
 
 val clear_caches : man -> unit
-(** Drop operation caches (the unique table is kept).  Useful between
-    unrelated workloads to bound memory. *)
+(** Drop the computed cache (the unique table is kept).  Useful between
+    unrelated workloads to avoid stale-entry evictions. *)
 
 val node_count : man -> int
-(** Number of live unique nodes ever created in the manager. *)
+(** Number of live unique nodes currently in the manager's unique table
+    (the terminal is not counted). *)
+
+val peak_node_count : man -> int
+(** High-water mark of {!node_count} over the manager's lifetime
+    (reordering can shrink the live count below a previous peak). *)
+
+type stats = {
+  live_nodes : int;
+  peak_nodes : int;
+  cache_hits : int;
+  cache_misses : int;
+  unique_slots : int;
+  cache_slots : int;
+}
+
+val stats : man -> stats
+(** Table occupancy and computed-cache hit/miss counters. *)
+
+(** {1 Variable order} *)
+
+val set_order : man -> int array -> unit
+(** [set_order m order] places variable [order.(l)] at level [l] (level 0
+    is the root).  [order] must be a permutation of [0..n-1].  Only legal
+    on a pristine manager (no nodes built yet); raises [Invalid_argument]
+    otherwise.  Variables beyond [n] introduced later are appended below
+    the existing levels in index order. *)
+
+val order : man -> int array
+(** Current order: the variable at each level, root first. *)
+
+val num_vars : man -> int
+(** Number of variables known to the manager. *)
+
+val reorder : man -> t list -> t list
+(** [reorder m roots] runs Rudell sifting over the functions reachable
+    from [roots] and rebuilds the manager under the best order found,
+    returning the roots re-expressed in the new order (same functions,
+    possibly different node counts).  The combined node count of the
+    returned roots never exceeds that of [roots]; if sifting cannot
+    improve it, the store and order are left untouched.  Any other [t]
+    values from this manager are invalidated. *)
 
 (** {1 Construction} *)
 
@@ -61,7 +113,9 @@ val support : t -> int list
 (** Sorted variable support. *)
 
 val size : t -> int
-(** Number of distinct internal nodes reachable from this root. *)
+(** Number of distinct internal nodes reachable from this root
+    (complement-edge sharing means a function and its negation have equal
+    size). *)
 
 val any_sat : t -> (int * bool) list option
 (** A satisfying partial assignment (variables on some root-to-[1] path), or
@@ -82,6 +136,11 @@ val forall : man -> int list -> t -> t
 (** Universal quantification — the operator used by precomputation
     subcircuit selection [30]. *)
 
+val and_exists : man -> int list -> t -> t -> t
+(** [and_exists m vs f g = exists m vs (and_ m f g)], computed as a fused
+    relational product that never materializes the conjunction — the
+    workhorse of consistency-function don't-care computation. *)
+
 val boolean_difference : man -> t -> int -> t
 (** [df/dx = f|x=1 XOR f|x=0]; the sensitivity function behind Najm-style
     transition-density propagation. *)
@@ -98,7 +157,8 @@ val probability : man -> (int -> float) -> t -> float
 val fold_paths :
   man -> t -> init:'a -> f:('a -> (int * bool) list -> 'a) -> 'a
 (** Fold over all root-to-[1] paths; each path is the list of (variable,
-    polarity) decisions along it, i.e. a cube of the function's cover. *)
+    polarity) decisions along it, i.e. a cube of the function's cover.
+    Path variables follow the manager's level order. *)
 
 val to_expr : man -> t -> Expr.t
 (** Multiplexer-tree expression equivalent to the function (one [ite] per

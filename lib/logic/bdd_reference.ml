@@ -1,0 +1,305 @@
+type t =
+  | False
+  | True
+  | Node of { id : int; v : int; lo : t; hi : t }
+
+let node_id = function False -> 0 | True -> 1 | Node n -> n.id
+
+(* Keys for the unique table and the binary-operation caches. *)
+module Unique_key = struct
+  type t = int * int * int (* var, lo id, hi id *)
+
+  let equal (a, b, c) (x, y, z) = a = x && b = y && c = z
+  let hash (a, b, c) = (a * 0x9e3779b1) lxor (b * 0x85ebca77) lxor (c * 0xc2b2ae3d)
+end
+
+module Unique_tbl = Hashtbl.Make (Unique_key)
+
+module Op_key = struct
+  type t = int * int * int (* op tag, arg ids *)
+
+  let equal (a, b, c) (x, y, z) = a = x && b = y && c = z
+  let hash (a, b, c) = (a * 31) lxor (b * 0x9e3779b1) lxor (c * 0x85ebca77)
+end
+
+module Op_tbl = Hashtbl.Make (Op_key)
+
+type man = {
+  unique : t Unique_tbl.t;
+  ops : t Op_tbl.t;
+  mutable next_id : int;
+}
+
+let manager () =
+  { unique = Unique_tbl.create 4096; ops = Op_tbl.create 4096; next_id = 2 }
+
+let clear_caches m = Op_tbl.reset m.ops
+
+let node_count m = m.next_id - 2
+
+let tru _ = True
+let fls _ = False
+
+let mk m v lo hi =
+  if lo == hi then lo
+  else
+    let key = (v, node_id lo, node_id hi) in
+    match Unique_tbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+      let n = Node { id = m.next_id; v; lo; hi } in
+      m.next_id <- m.next_id + 1;
+      Unique_tbl.add m.unique key n;
+      n
+
+let var m i =
+  if i < 0 then invalid_arg "Bdd.var: negative index";
+  mk m i False True
+
+let nvar m i =
+  if i < 0 then invalid_arg "Bdd.nvar: negative index";
+  mk m i True False
+
+let equal a b = a == b
+let is_true = function True -> true | False | Node _ -> false
+let is_false = function False -> true | True | Node _ -> false
+let is_const = function True | False -> true | Node _ -> false
+
+(* Operation tags for the shared memo table. *)
+let tag_not = 0
+let tag_and = 1
+let tag_xor = 2
+
+let rec not_ m f =
+  match f with
+  | True -> False
+  | False -> True
+  | Node n ->
+    let key = (tag_not, n.id, 0) in
+    (match Op_tbl.find_opt m.ops key with
+    | Some r -> r
+    | None ->
+      let r = mk m n.v (not_ m n.lo) (not_ m n.hi) in
+      Op_tbl.add m.ops key r;
+      r)
+
+let top_var f g =
+  match f, g with
+  | Node a, Node b -> min a.v b.v
+  | Node a, (True | False) -> a.v
+  | (True | False), Node b -> b.v
+  | (True | False), (True | False) -> invalid_arg "Bdd.top_var: two leaves"
+
+let cof v f b =
+  match f with
+  | Node n when n.v = v -> if b then n.hi else n.lo
+  | f -> f
+
+let rec and_ m f g =
+  match f, g with
+  | False, _ | _, False -> False
+  | True, h | h, True -> h
+  | _ when f == g -> f
+  | _ ->
+    let a, b = if node_id f <= node_id g then f, g else g, f in
+    let key = (tag_and, node_id a, node_id b) in
+    (match Op_tbl.find_opt m.ops key with
+    | Some r -> r
+    | None ->
+      let v = top_var a b in
+      let r =
+        mk m v (and_ m (cof v a false) (cof v b false))
+          (and_ m (cof v a true) (cof v b true))
+      in
+      Op_tbl.add m.ops key r;
+      r)
+
+let or_ m f g = not_ m (and_ m (not_ m f) (not_ m g))
+
+let rec xor m f g =
+  match f, g with
+  | False, h | h, False -> h
+  | True, h | h, True -> not_ m h
+  | _ when f == g -> False
+  | _ ->
+    let a, b = if node_id f <= node_id g then f, g else g, f in
+    let key = (tag_xor, node_id a, node_id b) in
+    (match Op_tbl.find_opt m.ops key with
+    | Some r -> r
+    | None ->
+      let v = top_var a b in
+      let r =
+        mk m v (xor m (cof v a false) (cof v b false))
+          (xor m (cof v a true) (cof v b true))
+      in
+      Op_tbl.add m.ops key r;
+      r)
+
+let xnor m f g = not_ m (xor m f g)
+
+let ite m c t e = or_ m (and_ m c t) (and_ m (not_ m c) e)
+
+let and_list m = List.fold_left (and_ m) True
+let or_list m = List.fold_left (or_ m) False
+
+let rec of_expr m = function
+  | Expr.Const b -> if b then True else False
+  | Expr.Var i -> var m i
+  | Expr.Not e -> not_ m (of_expr m e)
+  | Expr.And es -> and_list m (List.map (of_expr m) es)
+  | Expr.Or es -> or_list m (List.map (of_expr m) es)
+  | Expr.Xor (a, b) -> xor m (of_expr m a) (of_expr m b)
+
+let rec eval f env =
+  match f with
+  | True -> true
+  | False -> false
+  | Node n -> eval (if env n.v then n.hi else n.lo) env
+
+let support f =
+  let module IS = Set.Make (Int) in
+  let seen = Hashtbl.create 64 in
+  let rec go acc f =
+    match f with
+    | True | False -> acc
+    | Node n ->
+      if Hashtbl.mem seen n.id then acc
+      else begin
+        Hashtbl.add seen n.id ();
+        go (go (IS.add n.v acc) n.lo) n.hi
+      end
+  in
+  IS.elements (go IS.empty f)
+
+let size f =
+  let seen = Hashtbl.create 64 in
+  let rec go f =
+    match f with
+    | True | False -> ()
+    | Node n ->
+      if not (Hashtbl.mem seen n.id) then begin
+        Hashtbl.add seen n.id ();
+        go n.lo;
+        go n.hi
+      end
+  in
+  go f;
+  Hashtbl.length seen
+
+let any_sat f =
+  let rec go acc = function
+    | True -> Some (List.rev acc)
+    | False -> None
+    | Node n ->
+      (match go ((n.v, true) :: acc) n.hi with
+      | Some p -> Some p
+      | None -> go ((n.v, false) :: acc) n.lo)
+  in
+  go [] f
+
+let restrict m f v b =
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    match f with
+    | True | False -> f
+    | Node n when n.v > v -> f
+    | Node n when n.v = v -> if b then n.hi else n.lo
+    | Node n ->
+      (match Hashtbl.find_opt memo n.id with
+      | Some r -> r
+      | None ->
+        let r = mk m n.v (go n.lo) (go n.hi) in
+        Hashtbl.add memo n.id r;
+        r)
+  in
+  go f
+
+let compose m f v g =
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    match f with
+    | True | False -> f
+    | Node n when n.v > v -> f
+    | Node n ->
+      (match Hashtbl.find_opt memo n.id with
+      | Some r -> r
+      | None ->
+        let r =
+          if n.v = v then ite m g n.hi n.lo
+          else
+            (* Rebuild with ite: composition below may disturb ordering
+               locally, ite restores canonicity. *)
+            ite m (var m n.v) (go n.hi) (go n.lo)
+        in
+        Hashtbl.add memo n.id r;
+        r)
+  in
+  go f
+
+let quantify combine m vs f =
+  let module IS = Set.Make (Int) in
+  let vset = IS.of_list vs in
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    match f with
+    | True | False -> f
+    | Node n ->
+      (match Hashtbl.find_opt memo n.id with
+      | Some r -> r
+      | None ->
+        let lo = go n.lo and hi = go n.hi in
+        let r =
+          if IS.mem n.v vset then combine m lo hi else mk m n.v lo hi
+        in
+        Hashtbl.add memo n.id r;
+        r)
+  in
+  go f
+
+let exists m vs f = quantify or_ m vs f
+let forall m vs f = quantify and_ m vs f
+
+let boolean_difference m f v =
+  xor m (restrict m f v true) (restrict m f v false)
+
+let probability _m p f =
+  let memo = Hashtbl.create 64 in
+  let rec go f =
+    match f with
+    | True -> 1.0
+    | False -> 0.0
+    | Node n ->
+      (match Hashtbl.find_opt memo n.id with
+      | Some r -> r
+      | None ->
+        let pv = p n.v in
+        let r = (pv *. go n.hi) +. ((1.0 -. pv) *. go n.lo) in
+        Hashtbl.add memo n.id r;
+        r)
+  in
+  go f
+
+let fold_paths _m f ~init ~f:step =
+  let rec go acc path = function
+    | False -> acc
+    | True -> step acc (List.rev path)
+    | Node n ->
+      let acc = go acc ((n.v, false) :: path) n.lo in
+      go acc ((n.v, true) :: path) n.hi
+  in
+  go init [] f
+
+let to_expr _m f =
+  let memo = Hashtbl.create 64 in
+  let rec go = function
+    | True -> Expr.tru
+    | False -> Expr.fls
+    | Node n ->
+      (match Hashtbl.find_opt memo n.id with
+      | Some e -> e
+      | None ->
+        let e = Expr.ite (Expr.var n.v) (go n.hi) (go n.lo) in
+        Hashtbl.add memo n.id e;
+        e)
+  in
+  go f

@@ -1,0 +1,106 @@
+(** Reference ROBDD implementation — the differential-testing oracle.
+
+    This is the original straightforward engine (variant nodes, Hashtbl
+    unique/op tables, no complement edges), kept verbatim so the
+    production {!Bdd} engine can be checked against it, mirroring the
+    [Event_sim.run_reference] pattern.  Do not use it from production
+    code paths; it exists for tests.
+
+    Nodes are hash-consed within a manager, so structural equality of
+    functions is physical equality of nodes ([equal] is O(1)).  Variable
+    order is the natural integer order. *)
+
+type man
+(** A BDD manager: unique table plus operation caches. *)
+
+type t
+(** A BDD node, valid within the manager that created it. *)
+
+val manager : unit -> man
+(** Fresh manager. *)
+
+val clear_caches : man -> unit
+(** Drop operation caches (the unique table is kept).  Useful between
+    unrelated workloads to bound memory. *)
+
+val node_count : man -> int
+(** Number of unique nodes ever created in the manager (this engine never
+    frees nodes, so "ever created" and "live" coincide). *)
+
+(** {1 Construction} *)
+
+val tru : man -> t
+val fls : man -> t
+val var : man -> int -> t
+val nvar : man -> int -> t
+(** Complemented variable. *)
+
+val not_ : man -> t -> t
+val and_ : man -> t -> t -> t
+val or_ : man -> t -> t -> t
+val xor : man -> t -> t -> t
+val xnor : man -> t -> t -> t
+val ite : man -> t -> t -> t -> t
+val and_list : man -> t list -> t
+val or_list : man -> t list -> t
+
+val of_expr : man -> Expr.t -> t
+(** Build from a structural expression; [Expr.Var i] maps to BDD variable
+    [i]. *)
+
+(** {1 Inspection} *)
+
+val equal : t -> t -> bool
+val is_true : t -> bool
+val is_false : t -> bool
+val is_const : t -> bool
+
+val eval : t -> (int -> bool) -> bool
+(** Evaluate under an assignment. *)
+
+val support : t -> int list
+(** Sorted variable support. *)
+
+val size : t -> int
+(** Number of distinct internal nodes reachable from this root. *)
+
+val any_sat : t -> (int * bool) list option
+(** A satisfying partial assignment (variables on some root-to-[1] path), or
+    [None] for the zero function. *)
+
+(** {1 Transformation} *)
+
+val restrict : man -> t -> int -> bool -> t
+(** Cofactor with respect to one variable. *)
+
+val compose : man -> t -> int -> t -> t
+(** [compose m f v g] substitutes function [g] for variable [v] in [f]. *)
+
+val exists : man -> int list -> t -> t
+(** Existential quantification over a variable set. *)
+
+val forall : man -> int list -> t -> t
+(** Universal quantification — the operator used by precomputation
+    subcircuit selection [30]. *)
+
+val boolean_difference : man -> t -> int -> t
+(** [df/dx = f|x=1 XOR f|x=0]; the sensitivity function behind Najm-style
+    transition-density propagation. *)
+
+(** {1 Probability} *)
+
+val probability : man -> (int -> float) -> t -> float
+(** [probability m p f] is the probability that [f] evaluates to 1 when each
+    variable [i] is independently 1 with probability [p i].  Exact, linear in
+    the BDD size (one weighted traversal). *)
+
+(** {1 Enumeration} *)
+
+val fold_paths :
+  man -> t -> init:'a -> f:('a -> (int * bool) list -> 'a) -> 'a
+(** Fold over all root-to-[1] paths; each path is the list of (variable,
+    polarity) decisions along it, i.e. a cube of the function's cover. *)
+
+val to_expr : man -> t -> Expr.t
+(** Multiplexer-tree expression equivalent to the function (one [ite] per
+    node; exact, not minimized). *)

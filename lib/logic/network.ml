@@ -185,35 +185,104 @@ let eval_outputs t input_values =
   let values = eval t input_values in
   List.map (fun (nm, i) -> (nm, Hashtbl.find values i)) (outputs t)
 
-let global_bdds t man =
+(* Interleave operand bits in the variable order: inputs named
+   [<prefix><digits>] sort by (numeric suffix, prefix), so declared order
+   a0..a7,b0..b7 becomes a0,b0,a1,b1,…  Keeping same-significance bits
+   adjacent is what makes adder/comparator BDDs linear instead of
+   exponential; suffix-less inputs (selects, enables) stay in front in
+   declared order, which puts them near the root. *)
+let bdd_input_order t =
+  let split nm =
+    let len = String.length nm in
+    let i = ref len in
+    while !i > 0 && nm.[!i - 1] >= '0' && nm.[!i - 1] <= '9' do
+      decr i
+    done;
+    if !i = len || !i = 0 then None
+    else Some (String.sub nm 0 !i, int_of_string (String.sub nm !i (len - !i)))
+  in
+  let keyed =
+    List.mapi
+      (fun k i ->
+        match split (name t i) with
+        | Some (p, s) -> ((0, s, p, k), k)
+        | None -> ((-1, 0, "", k), k))
+      (inputs t)
+  in
+  Array.of_list (List.map snd (List.sort compare keyed))
+
+(* Adopt the interleaved order when the caller hands us a pristine
+   manager; a manager that already holds nodes or a caller-chosen order
+   is left alone. *)
+let adopt_input_order t man =
+  if Bdd.node_count man = 0 && Bdd.num_vars man = 0 then
+    Bdd.set_order man (bdd_input_order t)
+
+(* Shared builder behind the [global_bdds*] entry points.  [keep] limits
+   the build to a cone; [override] replaces one node's function wholesale
+   (the free-variable trick used by don't-care computation). *)
+let build_global_bdds t man ~keep ~override =
   let bdds = Hashtbl.create (Hashtbl.length t.nodes) in
-  List.iteri (fun k i -> Hashtbl.replace bdds i (Bdd.var man k)) (inputs t);
+  List.iteri
+    (fun k i -> if keep i then Hashtbl.replace bdds i (Bdd.var man k))
+    (inputs t);
   List.iter
     (fun i ->
-      let n = get t i in
-      match n.kind with
-      | Input -> ()
-      | Logic ->
-        let fanin_bdds =
-          Array.of_list (List.map (Hashtbl.find bdds) n.nfanins)
-        in
-        let rec build = function
-          | Expr.Const b -> if b then Bdd.tru man else Bdd.fls man
-          | Expr.Var v -> fanin_bdds.(v)
-          | Expr.Not e -> Bdd.not_ man (build e)
-          | Expr.And es -> Bdd.and_list man (List.map build es)
-          | Expr.Or es -> Bdd.or_list man (List.map build es)
-          | Expr.Xor (a, b) -> Bdd.xor man (build a) (build b)
-        in
-        Hashtbl.replace bdds i (build n.nfunc))
+      if keep i then
+        let n = get t i in
+        match n.kind with
+        | Input -> ()
+        | Logic -> (
+          match override i with
+          | Some f -> Hashtbl.replace bdds i f
+          | None ->
+            let fanin_bdds =
+              Array.of_list (List.map (Hashtbl.find bdds) n.nfanins)
+            in
+            let rec build = function
+              | Expr.Const b -> if b then Bdd.tru man else Bdd.fls man
+              | Expr.Var v -> fanin_bdds.(v)
+              | Expr.Not e -> Bdd.not_ man (build e)
+              | Expr.And es -> Bdd.and_list man (List.map build es)
+              | Expr.Or es -> Bdd.or_list man (List.map build es)
+              | Expr.Xor (a, b) -> Bdd.xor man (build a) (build b)
+            in
+            Hashtbl.replace bdds i (build n.nfunc)))
     (topo_order t);
   bdds
 
+let global_bdds t man =
+  adopt_input_order t man;
+  build_global_bdds t man ~keep:(fun _ -> true) ~override:(fun _ -> None)
+
+let global_bdds_with_free t man ~node ~free_var =
+  if is_input t node then
+    invalid_arg "Network.global_bdds_with_free: input node";
+  adopt_input_order t man;
+  let z = Bdd.var man free_var in
+  build_global_bdds t man
+    ~keep:(fun _ -> true)
+    ~override:(fun i -> if i = node then Some z else None)
+
 let output_bdd t man output_name =
-  let bdds = global_bdds t man in
   match List.assoc_opt output_name (outputs t) with
-  | Some i -> Hashtbl.find bdds i
   | None -> invalid_arg ("Network.output_bdd: unknown output " ^ output_name)
+  | Some root ->
+    adopt_input_order t man;
+    (* Build only the transitive fanin cone of the requested output. *)
+    let cone = Hashtbl.create 64 in
+    let rec mark i =
+      if not (Hashtbl.mem cone i) then begin
+        Hashtbl.replace cone i ();
+        List.iter mark (fanins t i)
+      end
+    in
+    mark root;
+    let bdds =
+      build_global_bdds t man ~keep:(Hashtbl.mem cone)
+        ~override:(fun _ -> None)
+    in
+    Hashtbl.find bdds root
 
 let literal_count t =
   Hashtbl.fold

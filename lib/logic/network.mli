@@ -73,12 +73,31 @@ val eval : t -> bool array -> (id, bool) Hashtbl.t
 
 val eval_outputs : t -> bool array -> (string * bool) list
 
+val bdd_input_order : t -> int array
+(** Interleaved BDD variable order for this network's inputs: inputs named
+    [<prefix><digits>] are sorted by (numeric suffix, prefix) so operand
+    bits of equal significance sit at adjacent levels (a0,b0,a1,b1,…),
+    which keeps adder/comparator BDDs linear.  Suffix-less inputs come
+    first in declared order.  Entry [l] is the input position placed at
+    level [l]. *)
+
 val global_bdds : t -> Bdd.man -> (id, Bdd.t) Hashtbl.t
 (** Global function of every node over the primary inputs; BDD variable [i]
-    is the [i]-th primary input. *)
+    is the [i]-th primary input.  If [man] is pristine (no nodes, no
+    variables), the {!bdd_input_order} interleaved order is installed
+    first; pre-seeded managers are left untouched. *)
+
+val global_bdds_with_free : t -> Bdd.man -> node:id -> free_var:int -> (id, Bdd.t) Hashtbl.t
+(** Like {!global_bdds}, but node [node]'s global function is replaced by
+    the free BDD variable [free_var], so downstream functions are computed
+    over the inputs plus that free variable — the standard setup for
+    observability don't-care extraction.  Raises [Invalid_argument] if
+    [node] is an input. *)
 
 val output_bdd : t -> Bdd.man -> string -> Bdd.t
-(** Global function of one named output. *)
+(** Global function of one named output.  Builds only the output's
+    transitive fanin cone, and installs the interleaved order on pristine
+    managers as {!global_bdds} does. *)
 
 (** {1 Metrics} *)
 

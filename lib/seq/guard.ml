@@ -1,27 +1,3 @@
-let global_with_free man net n z =
-  let bdds = Hashtbl.create 64 in
-  List.iteri (fun k i -> Hashtbl.replace bdds i (Bdd.var man k)) (Network.inputs net);
-  List.iter
-    (fun i ->
-      if not (Network.is_input net i) then
-        if i = n then Hashtbl.replace bdds i z
-        else begin
-          let fanins =
-            Array.of_list (List.map (Hashtbl.find bdds) (Network.fanins net i))
-          in
-          let rec build = function
-            | Expr.Const b -> if b then Bdd.tru man else Bdd.fls man
-            | Expr.Var v -> fanins.(v)
-            | Expr.Not e -> Bdd.not_ man (build e)
-            | Expr.And es -> Bdd.and_list man (List.map build es)
-            | Expr.Or es -> Bdd.or_list man (List.map build es)
-            | Expr.Xor (a, b) -> Bdd.xor man (build a) (build b)
-          in
-          Hashtbl.replace bdds i (build (Network.func net i))
-        end)
-    (Network.topo_order net);
-  bdds
-
 let observability_condition net root =
   if Network.is_input net root then
     invalid_arg "Guard.observability_condition: input node";
@@ -29,15 +5,13 @@ let observability_condition net root =
   if npi > 18 then
     invalid_arg "Guard.observability_condition: more than 18 primary inputs";
   let man = Bdd.manager () in
-  let free = global_with_free man net root (Bdd.var man npi) in
+  let free =
+    Network.global_bdds_with_free net man ~node:root ~free_var:npi
+  in
   let odc =
     List.fold_left
       (fun acc (_, o) ->
-        let fo = Hashtbl.find free o in
-        let sens =
-          Bdd.xor man (Bdd.restrict man fo npi true)
-            (Bdd.restrict man fo npi false)
-        in
+        let sens = Bdd.boolean_difference man (Hashtbl.find free o) npi in
         Bdd.and_ man acc (Bdd.not_ man sens))
       (Bdd.tru man) (Network.outputs net)
   in

@@ -112,47 +112,57 @@ let steady_state ?(max_states = 4096) circuit ~input_bit_probs =
   if nstates * num_inputs * num_inputs > 4_000_000 then
     invalid_arg "Seq_estimate.steady_state: chain too large for exact analysis";
   (* Power iteration for the stationary distribution (Cesaro-averaged for
-     periodic chains). *)
+     periodic chains).  States are re-indexed densely so the iteration is
+     float-array arithmetic rather than tuple-keyed Hashtbl traffic — on
+     small chains the boxing otherwise dominates the whole analysis. *)
   let state_list = Hashtbl.fold (fun s () acc -> s :: acc) states [] in
-  let pi = Hashtbl.create nstates in
-  List.iter
-    (fun s -> Hashtbl.replace pi s (1.0 /. float_of_int nstates))
-    state_list;
+  let state_arr = Array.of_list state_list in
+  let idx_of = Hashtbl.create nstates in
+  Array.iteri (fun k s -> Hashtbl.replace idx_of s k) state_arr;
+  let qp = Array.init num_inputs q_prob in
+  let next_idx = Array.make (nstates * num_inputs) 0 in
+  Array.iteri
+    (fun k s ->
+      for i = 0 to num_inputs - 1 do
+        next_idx.((k * num_inputs) + i)
+        <- Hashtbl.find idx_of (Hashtbl.find next_of (s, i))
+      done)
+    state_arr;
+  let pi = Array.make nstates (1.0 /. float_of_int nstates) in
+  let nxt = Array.make nstates 0.0 in
   for _ = 1 to 300 do
-    let nxt = Hashtbl.create nstates in
-    List.iter (fun s -> Hashtbl.replace nxt s 0.0) state_list;
-    List.iter
-      (fun s ->
-        let ps = Hashtbl.find pi s in
-        for i = 0 to num_inputs - 1 do
-          let s' = Hashtbl.find next_of (s, i) in
-          Hashtbl.replace nxt s' (Hashtbl.find nxt s' +. (ps *. q_prob i))
-        done)
-      state_list;
-    List.iter
-      (fun s ->
-        Hashtbl.replace pi s
-          (0.5 *. (Hashtbl.find pi s +. Hashtbl.find nxt s)))
-      state_list
+    Array.fill nxt 0 nstates 0.0;
+    for k = 0 to nstates - 1 do
+      let ps = pi.(k) in
+      for i = 0 to num_inputs - 1 do
+        let k' = next_idx.((k * num_inputs) + i) in
+        nxt.(k') <- nxt.(k') +. (ps *. qp.(i))
+      done
+    done;
+    for k = 0 to nstates - 1 do
+      pi.(k) <- 0.5 *. (pi.(k) +. nxt.(k))
+    done
   done;
-  let total = List.fold_left (fun acc s -> acc +. Hashtbl.find pi s) 0.0 state_list in
-  List.iter (fun s -> Hashtbl.replace pi s (Hashtbl.find pi s /. total)) state_list;
+  let total = Array.fold_left ( +. ) 0.0 pi in
+  for k = 0 to nstates - 1 do
+    pi.(k) <- pi.(k) /. total
+  done;
   (* Expected toggles: over consecutive (s,i) -> (next(s,i), i') pairs. *)
   let size = Compiled.size comp in
   let activity_arr = Array.make size 0.0 in
   let ff = ref 0.0 in
-  List.iter
-    (fun s ->
-      let ps = Hashtbl.find pi s in
+  Array.iteri
+    (fun k s ->
+      let ps = pi.(k) in
       if ps > 1e-12 then
         for i = 0 to num_inputs - 1 do
-          let w1 = ps *. q_prob i in
+          let w1 = ps *. qp.(i) in
           if w1 > 1e-12 then begin
             let v1 = Hashtbl.find values_of (s, i) in
-            let s' = Hashtbl.find next_of (s, i) in
+            let s' = state_arr.(next_idx.((k * num_inputs) + i)) in
             ff := !ff +. (w1 *. float_of_int (popcount (s lxor s')));
             for i' = 0 to num_inputs - 1 do
-              let w = w1 *. q_prob i' in
+              let w = w1 *. qp.(i') in
               if w > 1e-12 then begin
                 let v2 = Hashtbl.find values_of (s', i') in
                 for x = 0 to size - 1 do
@@ -163,7 +173,7 @@ let steady_state ?(max_states = 4096) circuit ~input_bit_probs =
             done
           end
         done)
-    state_list;
+    state_arr;
   ignore regs;
   let activity = Hashtbl.create size in
   Array.iteri
@@ -172,8 +182,10 @@ let steady_state ?(max_states = 4096) circuit ~input_bit_probs =
   let swcap =
     Hashtbl.fold (fun n a acc -> acc +. (Network.cap net n *. a)) activity 0.0
   in
+  let state_probs = Hashtbl.create nstates in
+  Array.iteri (fun k s -> Hashtbl.replace state_probs s pi.(k)) state_arr;
   {
-    state_probs = pi;
+    state_probs;
     node_activity = activity;
     ff_toggle_rate = !ff;
     switched_capacitance = swcap;

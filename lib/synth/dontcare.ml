@@ -9,33 +9,6 @@ type policy =
   | For_power of float array
   | For_power_fanout of float array
 
-(* Global BDDs of all nodes, with node [n]'s function replaced by the free
-   variable [z] (used to detect observability). *)
-let global_with_free man net n z =
-  let bdds = Hashtbl.create 64 in
-  List.iteri (fun k i -> Hashtbl.replace bdds i (Bdd.var man k)) (Network.inputs net);
-  List.iter
-    (fun i ->
-      if not (Network.is_input net i) then
-        if i = n then Hashtbl.replace bdds i z
-        else begin
-          let fanins =
-            Array.of_list
-              (List.map (Hashtbl.find bdds) (Network.fanins net i))
-          in
-          let rec build = function
-            | Expr.Const b -> if b then Bdd.tru man else Bdd.fls man
-            | Expr.Var v -> fanins.(v)
-            | Expr.Not e -> Bdd.not_ man (build e)
-            | Expr.And es -> Bdd.and_list man (List.map build es)
-            | Expr.Or es -> Bdd.or_list man (List.map build es)
-            | Expr.Xor (a, b) -> Bdd.xor man (build a) (build b)
-          in
-          Hashtbl.replace bdds i (build (Network.func net i))
-        end)
-    (Network.topo_order net);
-  bdds
-
 let compute net n =
   if Network.is_input net n then invalid_arg "Dontcare.compute: input node";
   let fanins = Network.fanins net n in
@@ -59,24 +32,20 @@ let compute net n =
   in
   let sdc = Bdd.not_ man (Bdd.exists man pis consistency) in
   (* Observability: outputs as functions of x and z. *)
-  let free = global_with_free man net n (Bdd.var man zvar) in
+  let free = Network.global_bdds_with_free net man ~node:n ~free_var:zvar in
   let odc_global =
     List.fold_left
       (fun acc (_, o) ->
-        let fo = Hashtbl.find free o in
-        let sens =
-          Bdd.xor man (Bdd.restrict man fo zvar true)
-            (Bdd.restrict man fo zvar false)
-        in
+        let sens = Bdd.boolean_difference man (Hashtbl.find free o) zvar in
         Bdd.and_ man acc (Bdd.not_ man sens))
       (Bdd.tru man) (Network.outputs net)
   in
   (* y is a local ODC iff every x consistent with y is globally
-     unobservable. *)
+     unobservable; the fused relational product skips the intermediate
+     consistency∧observable conjunction. *)
   let odc_local =
     Bdd.not_ man
-      (Bdd.exists man pis
-         (Bdd.and_ man consistency (Bdd.not_ man odc_global)))
+      (Bdd.and_exists man pis consistency (Bdd.not_ man odc_global))
   in
   let dc_bdd = Bdd.or_ man sdc odc_local in
   let tt_of bdd =

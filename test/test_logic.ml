@@ -135,8 +135,9 @@ let test_bdd_size_support () =
   let m = Bdd.manager () in
   let f = Bdd.of_expr m Expr.(var 0 ^^^ (var 2 ^^^ var 4)) in
   Alcotest.(check (list int)) "support" [ 0; 2; 4 ] (Bdd.support f);
-  (* Without complement edges a 3-input xor chain needs 1 + 2 + 2 nodes. *)
-  Alcotest.(check int) "xor chain size" 5 (Bdd.size f)
+  (* With complement edges an n-input xor chain is one node per variable:
+     each node's branches reach the same subfunction in opposite phase. *)
+  Alcotest.(check int) "xor chain size" 3 (Bdd.size f)
 
 let test_bdd_fold_paths_cover () =
   let m = Bdd.manager () in
