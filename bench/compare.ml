@@ -50,9 +50,7 @@ let () =
   List.iter
     (fun (name, b) ->
       match List.assoc_opt name fresh with
-      | None ->
-        incr failures;
-        Printf.printf "%-36s %14.1f %14s   MISSING\n" name b "-"
+      | None -> ()
       | Some f ->
         let ratio = f /. b in
         let flag =
@@ -65,13 +63,40 @@ let () =
         in
         Printf.printf "%-36s %14.1f %14.1f %8.2fx%s\n" name b f ratio flag)
     base;
-  List.iter
-    (fun (name, _) ->
-      if not (List.mem_assoc name base) then
-        Printf.printf "%-36s (new entry, no baseline)\n" name)
-    fresh;
+  (* Entries present on only one side are reported explicitly: an entry
+     added by this change is informational, an entry that disappeared from
+     the fresh run means a benchmark was dropped or failed to produce an
+     estimate, and that fails the gate just like a regression. *)
+  let removed =
+    List.filter (fun (name, _) -> not (List.mem_assoc name fresh)) base
+  in
+  let added =
+    List.filter (fun (name, _) -> not (List.mem_assoc name base)) fresh
+  in
+  if added <> [] then begin
+    print_newline ();
+    List.iter
+      (fun (name, f) ->
+        Printf.printf "%-36s %14s %14.1f   ADDED (no baseline)\n" name "-" f)
+      added
+  end;
+  if removed <> [] then begin
+    print_newline ();
+    List.iter
+      (fun (name, b) ->
+        incr failures;
+        Printf.printf "%-36s %14.1f %14s   REMOVED\n" name b "-")
+      removed;
+    Printf.printf
+      "%d baseline entr%s missing from the fresh run: benchmarks must not \
+       silently disappear.\n"
+      (List.length removed)
+      (if List.length removed = 1 then "y" else "ies")
+  end;
   if !failures > 0 then begin
-    Printf.printf "\n%d benchmark(s) regressed beyond %.0f%% of baseline.\n"
+    Printf.printf
+      "\n%d benchmark(s) regressed beyond %.0f%% of baseline or went \
+       missing.\n"
       !failures ((threshold -. 1.0) *. 100.0);
     exit 1
   end

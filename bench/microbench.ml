@@ -12,14 +12,31 @@ let bdd_build =
          let man = Bdd.manager () in
          ignore (Network.output_bdd net man "out7")))
 
+let cmp3_tt =
+  Truth_table.of_fun 6 (fun code ->
+      let a = code land 7 and b = code lsr 3 in
+      a > b)
+
 let cover_minimize =
-  let tt =
-    Truth_table.of_fun 6 (fun code ->
-        let a = code land 7 and b = code lsr 3 in
-        a > b)
-  in
   Test.make ~name:"cover_minimize_cmp3"
-    (Staged.stage (fun () -> ignore (Cover.minimize (Cover.of_truth_table tt))))
+    (Staged.stage (fun () ->
+         ignore (Cover.minimize (Cover.of_truth_table cmp3_tt))))
+
+(* The unate-recursive complement on the raw minterm cover — the kernel
+   under REDUCE and the ODC covers, tracked separately from the full
+   espresso loop. *)
+let cover_complement =
+  let f = Cover.of_truth_table cmp3_tt in
+  Test.make ~name:"cover_complement_cmp3"
+    (Staged.stage (fun () -> ignore (Cover.complement f)))
+
+(* Whole FSM synthesis path: truth tables -> dc-aware two-level minimize
+   per next-state/output bit -> network construction. *)
+let fsm_synth =
+  let stg = Gen_fsm.modulo_counter ~modulus:12 in
+  let enc = Encode.binary ~num_states:12 in
+  Test.make ~name:"fsm_synth_mod12"
+    (Staged.stage (fun () -> ignore (Fsm_synth.synthesize stg enc)))
 
 (* Canonical event-sim entry: [Event_sim.run] compiles then simulates, the
    cost a one-shot caller pays. *)
@@ -103,9 +120,9 @@ let streaming_kernel =
          ignore (Machine.run m program)))
 
 let tests =
-  [ bdd_build; cover_minimize; event_sim; event_sim_reference;
-    required_times_1k; list_scheduling; iss_run; encoding_search; odc_guard;
-    seq_chain; streaming_kernel ]
+  [ bdd_build; cover_minimize; cover_complement; fsm_synth; event_sim;
+    event_sim_reference; required_times_1k; list_scheduling; iss_run;
+    encoding_search; odc_guard; seq_chain; streaming_kernel ]
 
 (* Machine-readable mirror of the stdout table: name -> ns/run, one JSON
    object, so the perf trajectory is diffable across commits. *)

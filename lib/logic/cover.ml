@@ -1,4 +1,271 @@
-type t = { n : int; cubes : Cube.t list }
+(* Two-level covers on a packed struct-of-arrays matrix.
+
+   A cover is a flat [int array] of [count] rows, [nw] words per row, in
+   Cube's positional-cube encoding (01 = Zero, 10 = One, 11 = Free, 31
+   variables per word, tail pairs 00).  Cube-vs-cube and cube-vs-matrix
+   steps are word-parallel bitwise kernels; the unate-recursive paradigm
+   (tautology, complement, and everything built on them) runs over row-index
+   subsets with per-column pos/neg counts and per-row literal counts
+   maintained incrementally down the recursion instead of recounted at every
+   level.  {!Cover_reference} is the retained pre-packed implementation;
+   [test/test_cover.ml] checks this module against it differentially. *)
+
+type t = {
+  n : int;          (* variables *)
+  nw : int;         (* words per row *)
+  count : int;      (* cubes *)
+  data : int array; (* count * nw words, row-major; never mutated once a
+                       cover value is returned *)
+}
+
+let vars_per_word = 31
+let nwords n = (n + vars_per_word - 1) / vars_per_word
+let lo_mask = 0x1555555555555555
+let free_pattern k = (1 lsl (2 * k)) - 1
+let word_arity n i = min vars_per_word (n - (i * vars_per_word))
+let lo_mask_at n i = lo_mask land free_pattern (word_arity n i)
+
+let popcount x =
+  let x = x - ((x lsr 1) land 0x1555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (x * 0x0101010101010101) lsr 56
+
+(* Growable row matrix used while building result covers. *)
+module Rowbuf = struct
+  type b = { nw : int; mutable data : int array; mutable count : int }
+
+  let create nw = { nw; data = Array.make (max 1 (16 * max nw 1)) 0; count = 0 }
+
+  let ensure b =
+    let need = (b.count + 1) * b.nw in
+    if need > Array.length b.data then begin
+      let d = Array.make (max (2 * need) 16) 0 in
+      Array.blit b.data 0 d 0 (b.count * b.nw);
+      b.data <- d
+    end
+
+  let push_slice b src off =
+    ensure b;
+    Array.blit src off b.data (b.count * b.nw) b.nw;
+    b.count <- b.count + 1
+
+  let push_map b f =
+    ensure b;
+    let base = b.count * b.nw in
+    for i = 0 to b.nw - 1 do
+      b.data.(base + i) <- f i
+    done;
+    b.count <- b.count + 1
+
+  let contents b = Array.sub b.data 0 (b.count * b.nw)
+end
+
+(* Iterate the bound literals of the row starting at [off]: calls
+   [f v is_positive] for each bound variable.  Tail pairs are 00 so the
+   per-word scan self-terminates. *)
+let iter_lits_off nw data off f =
+  for i = 0 to nw - 1 do
+    let base = i * vars_per_word in
+    let w = ref data.(off + i) in
+    let j = ref 0 in
+    while !w <> 0 do
+      (match !w land 3 with
+      | 1 -> f (base + !j) false
+      | 2 -> f (base + !j) true
+      | _ -> ());
+      w := !w lsr 2;
+      incr j
+    done
+  done
+
+let pair_at nw data r v =
+  (data.((r * nw) + (v / vars_per_word)) lsr (2 * (v mod vars_per_word))) land 3
+
+let set_pair_off data off v l =
+  let i = off + (v / vars_per_word) and sh = 2 * (v mod vars_per_word) in
+  data.(i) <- data.(i) land lnot (3 lsl sh) lor (l lsl sh)
+
+(* [b ⊆ a] on row slices: every pair of b inside a's. *)
+let slice_contains nw a offa b offb =
+  let ok = ref true in
+  for i = 0 to nw - 1 do
+    if b.(offb + i) land lnot a.(offa + i) <> 0 then ok := false
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Unate-recursive kernel.
+
+   State for one tautology/complement run over a row matrix.  Live rows are
+   passed down as index arrays; [pos]/[neg] always hold, for every still-
+   active column, the literal counts over the live rows (entries of retired
+   columns go stale and are never read); [lits.(r)] is row [r]'s bound count
+   over active columns.  Branching mutates the counts and undoes the
+   mutation on the way back up, so no level ever recounts the matrix. *)
+
+type urp = {
+  un : int;
+  unw : int;
+  udata : int array;
+  upos : int array;
+  uneg : int array;
+  ulits : int array;
+  uactive : bool array;
+}
+
+let urp_create n nw data ~count live =
+  let rows = Array.length data / max nw 1 in
+  let pos = Array.make (max n 1) 0 and neg = Array.make (max n 1) 0 in
+  let lits = Array.make (max (max rows count) 1) 0 in
+  Array.iter
+    (fun r ->
+      let l = ref 0 in
+      iter_lits_off nw data (r * nw) (fun v one ->
+          incr l;
+          if one then pos.(v) <- pos.(v) + 1 else neg.(v) <- neg.(v) + 1);
+      lits.(r) <- !l)
+    live;
+  { un = n; unw = nw; udata = data; upos = pos; uneg = neg; ulits = lits;
+    uactive = Array.make (max n 1) true }
+
+let urp_pair st r v = pair_at st.unw st.udata r v
+
+(* Cofactor the live set by [v := b]: drop conflicting rows (retiring their
+   counts), retire column [v], and return the surviving rows.  [urp_leave]
+   reverses every mutation. *)
+let urp_enter st live v b =
+  let opp = if b then 1 else 2 in
+  let bnd = if b then 2 else 1 in
+  let nk = ref 0 in
+  Array.iter (fun r -> if urp_pair st r v <> opp then incr nk) live;
+  let kept = Array.make !nk 0 in
+  let k = ref 0 in
+  Array.iter
+    (fun r ->
+      if urp_pair st r v = opp then
+        iter_lits_off st.unw st.udata (r * st.unw) (fun u one ->
+            if one then st.upos.(u) <- st.upos.(u) - 1
+            else st.uneg.(u) <- st.uneg.(u) - 1)
+      else begin
+        kept.(!k) <- r;
+        incr k;
+        if urp_pair st r v = bnd then st.ulits.(r) <- st.ulits.(r) - 1
+      end)
+    live;
+  st.uactive.(v) <- false;
+  kept
+
+let urp_leave st live v b kept =
+  let opp = if b then 1 else 2 in
+  let bnd = if b then 2 else 1 in
+  Array.iter
+    (fun r -> if urp_pair st r v = bnd then st.ulits.(r) <- st.ulits.(r) + 1)
+    kept;
+  st.uactive.(v) <- true;
+  Array.iter
+    (fun r ->
+      if urp_pair st r v = opp then
+        iter_lits_off st.unw st.udata (r * st.unw) (fun u one ->
+            if one then st.upos.(u) <- st.upos.(u) + 1
+            else st.uneg.(u) <- st.uneg.(u) + 1))
+    live
+
+(* Tautology: a live row bound nowhere is the universal cube; a unate
+   non-universal cover is never a tautology; otherwise split on the most
+   binate column (same scoring and tie-break as the reference). *)
+let rec urp_taut st live =
+  if Array.length live = 0 then false
+  else if Array.exists (fun r -> st.ulits.(r) = 0) live then true
+  else begin
+    let best = ref (-1) and best_score = ref (-1) in
+    for v = 0 to st.un - 1 do
+      if st.uactive.(v) && st.upos.(v) > 0 && st.uneg.(v) > 0 then begin
+        let s = min st.upos.(v) st.uneg.(v) in
+        if s > !best_score then begin
+          best := v;
+          best_score := s
+        end
+      end
+    done;
+    if !best < 0 then false
+    else
+      urp_taut_branch st live !best false && urp_taut_branch st live !best true
+  end
+
+and urp_taut_branch st live v b =
+  let kept = urp_enter st live v b in
+  let res = urp_taut st kept in
+  urp_leave st live v b kept;
+  res
+
+(* Complement: walk the same recursion keeping the branch literals in
+   [path]; an empty leaf contributes the path cube, a tautologous leaf
+   contributes nothing.  Variable scoring and the true-before-false
+   emission order replicate the reference exactly, so the two engines
+   produce identical cube lists. *)
+let rec urp_comp st live path emit =
+  if Array.length live = 0 then emit path
+  else if Array.exists (fun r -> st.ulits.(r) = 0) live then ()
+  else if Array.length live = 1 then begin
+    (* Single-cube leaf: complement by De Morgan over the still-active
+       bound literals instead of recursing one level per literal.  The
+       loop mirrors the recursion's branch order (true before false), so
+       the emitted cubes and their order are unchanged. *)
+    let r = live.(0) in
+    let lits = ref [] in
+    iter_lits_off st.unw st.udata (r * st.unw) (fun v one ->
+        if st.uactive.(v) then lits := (v, one) :: !lits);
+    let lits = Array.of_list (List.rev !lits) in
+    let rec demorgan i =
+      if i < Array.length lits then begin
+        let v, one = lits.(i) in
+        if one then begin
+          set_pair_off path 0 v 2;
+          demorgan (i + 1);
+          set_pair_off path 0 v 1;
+          emit path
+        end
+        else begin
+          set_pair_off path 0 v 2;
+          emit path;
+          set_pair_off path 0 v 1;
+          demorgan (i + 1)
+        end;
+        set_pair_off path 0 v 3
+      end
+    in
+    demorgan 0
+  end
+  else begin
+    let best = ref (-1) and best_score = ref (-1) in
+    for v = 0 to st.un - 1 do
+      if st.uactive.(v) then begin
+        let p = st.upos.(v) and q = st.uneg.(v) in
+        let bound = p + q in
+        if bound > 0 then begin
+          let s = if p > 0 && q > 0 then (min p q * 1000) + bound else bound in
+          if s > !best_score then begin
+            best := v;
+            best_score := s
+          end
+        end
+      end
+    done;
+    let v = !best in
+    set_pair_off path 0 v 2;
+    let kept = urp_enter st live v true in
+    urp_comp st kept path emit;
+    urp_leave st live v true kept;
+    set_pair_off path 0 v 1;
+    let kept = urp_enter st live v false in
+    urp_comp st kept path emit;
+    urp_leave st live v false kept;
+    set_pair_off path 0 v 3
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Construction and accessors. *)
 
 let of_cubes n cubes =
   List.iter
@@ -6,219 +273,420 @@ let of_cubes n cubes =
       if Cube.num_vars c <> n then
         invalid_arg "Cover.of_cubes: cube arity mismatch")
     cubes;
-  { n; cubes }
+  let nw = nwords n in
+  let count = List.length cubes in
+  let data = Array.make (max 1 (count * nw)) 0 in
+  List.iteri
+    (fun r c -> Array.blit (Cube.unsafe_words c) 0 data (r * nw) nw)
+    cubes;
+  { n; nw; count; data }
 
-let empty n = { n; cubes = [] }
-let universe n = { n; cubes = [ Cube.full n ] }
+let empty n = { n; nw = nwords n; count = 0; data = [||] }
+
+let universe n =
+  let nw = nwords n in
+  { n; nw; count = 1;
+    data = Array.init (max 1 nw) (fun i ->
+        if i < nw then free_pattern (word_arity n i) else 0) }
 
 let of_truth_table tt =
   let n = Truth_table.num_vars tt in
-  let cubes = ref [] in
-  for code = Truth_table.num_minterms tt - 1 downto 0 do
-    if Truth_table.get tt code then cubes := Cube.of_minterm code ~n :: !cubes
+  let nw = nwords n in
+  let buf = Rowbuf.create nw in
+  for code = 0 to Truth_table.num_minterms tt - 1 do
+    if Truth_table.get tt code then
+      Rowbuf.push_map buf (fun i -> Cube.unsafe_assign_word n i (code lsr (i * vars_per_word)))
   done;
-  { n; cubes = !cubes }
+  { n; nw; count = buf.Rowbuf.count; data = Rowbuf.contents buf }
 
 let of_bdd n man bdd =
   let cubes =
     Bdd.fold_paths man bdd ~init:[] ~f:(fun acc path ->
         Cube.of_lits path ~n :: acc)
   in
-  { n; cubes = List.rev cubes }
+  of_cubes n (List.rev cubes)
 
 let num_vars t = t.n
-let cubes t = t.cubes
-let cube_count t = List.length t.cubes
+let cube_count t = t.count
+
+let cubes t =
+  List.init t.count (fun r ->
+      Cube.unsafe_of_words t.n (Array.sub t.data (r * t.nw) t.nw))
+
+(* Bound count of a row: n minus the number of 11 pairs. *)
+let row_lits t r =
+  let off = r * t.nw in
+  let free = ref 0 in
+  for i = 0 to t.nw - 1 do
+    let w = t.data.(off + i) in
+    free := !free + popcount (w land (w lsr 1) land lo_mask)
+  done;
+  t.n - !free
 
 let literal_count t =
-  List.fold_left (fun acc c -> acc + Cube.literal_count c) 0 t.cubes
+  let acc = ref 0 in
+  for r = 0 to t.count - 1 do
+    acc := !acc + row_lits t r
+  done;
+  !acc
 
-let eval t env = List.exists (fun c -> Cube.eval c env) t.cubes
+(* Row satisfied by a packed full assignment iff the assignment cube is
+   inside the row. *)
+let row_sat t aw r =
+  let off = r * t.nw in
+  let ok = ref true in
+  for i = 0 to t.nw - 1 do
+    if aw.(i) land lnot t.data.(off + i) <> 0 then ok := false
+  done;
+  !ok
 
-let covers_minterm t code = List.exists (fun c -> Cube.covers_minterm c code) t.cubes
+let eval t env =
+  let aw =
+    Array.init t.nw (fun i ->
+        let k = word_arity t.n i in
+        let bits = ref 0 in
+        for j = 0 to k - 1 do
+          if env ((i * vars_per_word) + j) then bits := !bits lor (1 lsl j)
+        done;
+        Cube.unsafe_assign_word t.n i !bits)
+  in
+  let rec go r = r < t.count && (row_sat t aw r || go (r + 1)) in
+  go 0
 
-let to_expr t = Expr.or_list (List.map Cube.to_expr t.cubes)
+let covers_minterm t code =
+  let aw =
+    Array.init t.nw (fun i ->
+        Cube.unsafe_assign_word t.n i (code lsr (i * vars_per_word)))
+  in
+  let rec go r = r < t.count && (row_sat t aw r || go (r + 1)) in
+  go 0
+
+let to_expr t = Expr.or_list (List.map Cube.to_expr (cubes t))
 
 let to_truth_table t = Truth_table.of_fun t.n (covers_minterm t)
 
 let cofactor t v b =
-  { t with cubes = List.filter_map (fun c -> Cube.cofactor c v b) t.cubes }
+  let opp = if b then 1 else 2 in
+  let buf = Rowbuf.create t.nw in
+  for r = 0 to t.count - 1 do
+    if pair_at t.nw t.data r v <> opp then begin
+      Rowbuf.push_slice buf t.data (r * t.nw);
+      set_pair_off buf.Rowbuf.data ((buf.Rowbuf.count - 1) * t.nw) v 3
+    end
+  done;
+  { t with count = buf.Rowbuf.count; data = Rowbuf.contents buf }
+
+(* Pair mask with 11 at every variable bound in the cube words [cw]. *)
+let bound_mask n nw cw =
+  Array.init nw (fun i ->
+      let w = cw.(i) in
+      let bound_lo = lo_mask_at n i land lnot (w land (w lsr 1)) in
+      bound_lo lor (bound_lo lsl 1))
+
+(* Rows of [rows] compatible with cube [cw], with [cw]'s bound variables
+   freed — the generalized-Shannon cofactor as a fresh matrix. *)
+let cofactor_rows_by_cube n nw data rows cw =
+  let bm = bound_mask n nw cw in
+  let buf = Rowbuf.create nw in
+  Array.iter
+    (fun r ->
+      let off = r * nw in
+      let ok = ref true in
+      for i = 0 to nw - 1 do
+        let x = data.(off + i) land cw.(i) in
+        if (x lor (x lsr 1)) land lo_mask <> lo_mask_at n i then ok := false
+      done;
+      if !ok then Rowbuf.push_map buf (fun i -> data.(off + i) lor bm.(i)))
+    rows;
+  buf
 
 let cube_cofactor t c =
-  let lits = Cube.literals c in
-  List.fold_left (fun acc (v, b) -> cofactor acc v b) t lits
+  let buf =
+    cofactor_rows_by_cube t.n t.nw t.data
+      (Array.init t.count (fun i -> i))
+      (Cube.unsafe_words c)
+  in
+  { t with count = buf.Rowbuf.count; data = Rowbuf.contents buf }
 
-(* Unate-recursive-paradigm tautology check.  Select the most binate
-   variable; a cover with no binate variable is a tautology iff it contains
-   the universal cube (a unate cover without the full cube misses the
-   minterm opposing every bound literal). *)
-let rec tautology t =
-  if List.exists (fun c -> Cube.literal_count c = 0) t.cubes then true
-  else if t.cubes = [] then false
-  else begin
-    let pos = Array.make t.n 0 and neg = Array.make t.n 0 in
-    List.iter
-      (fun c ->
-        for v = 0 to t.n - 1 do
-          match Cube.lit c v with
-          | Cube.One -> pos.(v) <- pos.(v) + 1
-          | Cube.Zero -> neg.(v) <- neg.(v) + 1
-          | Cube.Free -> ()
-        done)
-      t.cubes;
-    let best = ref (-1) and best_score = ref (-1) in
-    for v = 0 to t.n - 1 do
-      if pos.(v) > 0 && neg.(v) > 0 then begin
-        let score = min pos.(v) neg.(v) in
-        if score > !best_score then begin
-          best := v;
-          best_score := score
-        end
-      end
-    done;
-    if !best < 0 then
-      (* Unate cover without the universal cube: not a tautology.  (The
-         minterm that negates one bound literal per cube is uncovered.) *)
-      false
-    else
-      let v = !best in
-      tautology (cofactor t v false) && tautology (cofactor t v true)
-  end
+let tautology t =
+  let live = Array.init t.count (fun i -> i) in
+  let st = urp_create t.n t.nw t.data ~count:t.count live in
+  urp_taut st live
 
-let cube_contained c f = tautology (cube_cofactor f c)
+(* Containment of cube [cw] in the rows [rows] of [data]:
+   tautology of the cube cofactor. *)
+let cube_contained_rows n nw data rows cw =
+  let buf = cofactor_rows_by_cube n nw data rows cw in
+  let count = buf.Rowbuf.count in
+  let cof = buf.Rowbuf.data in
+  let live = Array.init count (fun i -> i) in
+  let st = urp_create n nw cof ~count live in
+  urp_taut st live
 
-let contained f g = List.for_all (fun c -> cube_contained c g) f.cubes
+let cube_contained c f =
+  cube_contained_rows f.n f.nw f.data
+    (Array.init f.count (fun i -> i))
+    (Cube.unsafe_words c)
+
+let contained f g =
+  let grows = Array.init g.count (fun i -> i) in
+  let rec go r =
+    r >= f.count
+    || (cube_contained_rows g.n g.nw g.data grows
+          (Array.sub f.data (r * f.nw) f.nw)
+       && go (r + 1))
+  in
+  go 0
 
 let equivalent f g = contained f g && contained g f
 
-let union a b = { a with cubes = a.cubes @ b.cubes }
+let union a b =
+  if a.n <> b.n then invalid_arg "Cover.union: arity mismatch";
+  let data = Array.make (max 1 ((a.count + b.count) * a.nw)) 0 in
+  Array.blit a.data 0 data 0 (a.count * a.nw);
+  Array.blit b.data 0 data (a.count * a.nw) (b.count * b.nw);
+  { a with count = a.count + b.count; data }
 
-(* Shannon-recursive complement.  At a unate leaf the cover is either a
-   tautology (complement empty) or, lacking the universal cube, we recurse
-   on any bound variable; termination: each recursion eliminates one
-   variable occurrence. *)
-let rec complement t =
-  if List.exists (fun c -> Cube.literal_count c = 0) t.cubes then empty t.n
-  else if t.cubes = [] then universe t.n
-  else begin
-    (* Prefer the most binate variable, else any bound one. *)
-    let pos = Array.make t.n 0 and neg = Array.make t.n 0 in
-    List.iter
-      (fun c ->
-        for v = 0 to t.n - 1 do
-          match Cube.lit c v with
-          | Cube.One -> pos.(v) <- pos.(v) + 1
-          | Cube.Zero -> neg.(v) <- neg.(v) + 1
-          | Cube.Free -> ()
-        done)
-      t.cubes;
-    let best = ref (-1) and best_score = ref (-1) in
-    for v = 0 to t.n - 1 do
-      let bound = pos.(v) + neg.(v) in
-      if bound > 0 then begin
-        let score =
-          if pos.(v) > 0 && neg.(v) > 0 then (min pos.(v) neg.(v) * 1000) + bound
-          else bound
-        in
-        if score > !best_score then begin
-          best := v;
-          best_score := score
-        end
-      end
-    done;
-    let v = !best in
-    let c1 = complement (cofactor t v true) in
-    let c0 = complement (cofactor t v false) in
-    let with_lit b g =
-      List.map (fun c -> Cube.set_lit c v (if b then Cube.One else Cube.Zero))
-        g.cubes
-    in
-    { t with cubes = with_lit true c1 @ with_lit false c0 }
-  end
+let complement t =
+  let live = Array.init t.count (fun i -> i) in
+  let st = urp_create t.n t.nw t.data ~count:t.count live in
+  let buf = Rowbuf.create t.nw in
+  let path =
+    Array.init (max 1 t.nw) (fun i ->
+        if i < t.nw then free_pattern (word_arity t.n i) else 0)
+  in
+  urp_comp st live path (fun p -> Rowbuf.push_slice buf p 0);
+  { t with count = buf.Rowbuf.count; data = Rowbuf.contents buf }
 
 let expand t ~dc =
   let valid = union t dc in
-  let expand_cube c =
-    let rec try_vars c v =
-      if v >= t.n then c
-      else
-        match Cube.lit c v with
-        | Cube.Free -> try_vars c (v + 1)
-        | Cube.One | Cube.Zero ->
-          let freed = Cube.set_lit c v Cube.Free in
-          if cube_contained freed valid then try_vars freed (v + 1)
-          else try_vars c (v + 1)
+  (* OFF-set as a blocking matrix, computed once: a candidate cube stays
+     inside on-set ∪ dc iff it intersects no OFF cube, which turns every
+     probe from a recursive tautology check into a word-parallel scan. *)
+  let off = complement valid in
+  (* true iff [cube] intersects no OFF row *)
+  let feasible cube =
+    let rec go r =
+      r >= off.count
+      ||
+      let o = r * off.nw in
+      let hit_empty = ref false in
+      for i = 0 to off.nw - 1 do
+        let x = cube.(i) land off.data.(o + i) in
+        if (x lor (x lsr 1)) land lo_mask <> lo_mask_at t.n i then
+          hit_empty := true
+      done;
+      !hit_empty && go (r + 1)
     in
-    try_vars c 0
+    go 0
   in
-  let expanded = List.map expand_cube t.cubes in
-  (* Single-cube containment cleanup: keep a cube only if no kept cube
-     already contains it. *)
-  let kept =
-    List.fold_left
-      (fun kept c ->
-        if List.exists (fun k -> Cube.contains k c) kept then kept
-        else c :: kept)
-      [] expanded
-  in
-  { t with cubes = List.rev kept }
+  (* Column literal counts over on-set ∪ dc, driving the probe order. *)
+  let vpos = Array.make (max 1 t.n) 0 and vneg = Array.make (max 1 t.n) 0 in
+  for r = 0 to valid.count - 1 do
+    iter_lits_off valid.nw valid.data (r * valid.nw) (fun v one ->
+        if one then vpos.(v) <- vpos.(v) + 1 else vneg.(v) <- vneg.(v) + 1)
+  done;
+  let out = Rowbuf.create t.nw in
+  let cur = Array.make (max 1 t.nw) 0 in
+  let freed = Array.make (max 1 t.nw) 0 in
+  for r = 0 to t.count - 1 do
+    let roff = r * t.nw in
+    (* A cube already inside an earlier expanded prime can only re-derive
+       a cube the cleanup below would drop; skip the work entirely. *)
+    let covered = ref false in
+    for k = 0 to out.Rowbuf.count - 1 do
+      if
+        (not !covered)
+        && slice_contains t.nw out.Rowbuf.data (k * t.nw) t.data roff
+      then covered := true
+    done;
+    if not !covered then begin
+      Array.blit t.data roff cur 0 t.nw;
+      (* Probe bound variables in order of how much of the cover can absorb
+         the expanded region: fewest same-literal cubes first (a literal
+         shared by many cubes guards a region few other cubes cover). *)
+      let lits = ref [] in
+      iter_lits_off t.nw cur 0 (fun v one ->
+          let same = if one then vpos.(v) else vneg.(v) in
+          lits := (same, v, one) :: !lits);
+      let ordered = List.sort compare (List.rev !lits) in
+      List.iter
+        (fun (_, v, _) ->
+          Array.blit cur 0 freed 0 t.nw;
+          set_pair_off freed 0 v 3;
+          if feasible freed then Array.blit freed 0 cur 0 t.nw)
+        ordered;
+      Rowbuf.push_slice out cur 0
+    end
+  done;
+  (* Single-cube containment cleanup, first expanded cube wins (as the
+     reference). *)
+  let kept = Rowbuf.create t.nw in
+  for r = 0 to out.Rowbuf.count - 1 do
+    let off = r * t.nw in
+    let dominated = ref false in
+    for k = 0 to kept.Rowbuf.count - 1 do
+      if
+        (not !dominated)
+        && slice_contains t.nw kept.Rowbuf.data (k * t.nw) out.Rowbuf.data off
+      then dominated := true
+    done;
+    if not !dominated then Rowbuf.push_slice kept out.Rowbuf.data off
+  done;
+  { t with count = kept.Rowbuf.count; data = Rowbuf.contents kept }
+
+(* Rows of [t] followed by rows of [dc] in one matrix. *)
+let with_dc_matrix t ~dc =
+  let total = t.count + dc.count in
+  let data = Array.make (max 1 (total * t.nw)) 0 in
+  Array.blit t.data 0 data 0 (t.count * t.nw);
+  Array.blit dc.data 0 data (t.count * t.nw) (dc.count * t.nw);
+  (total, data)
 
 let irredundant t ~dc =
-  let rec go kept = function
-    | [] -> List.rev kept
-    | c :: rest ->
-      let others = { t with cubes = List.rev_append kept rest @ dc.cubes } in
-      if cube_contained c others then go kept rest else go (c :: kept) rest
-  in
-  { t with cubes = go [] t.cubes }
+  if t.count = 0 then t
+  else begin
+    let total, data = with_dc_matrix t ~dc in
+    let alive = Array.make total true in
+    for r = 0 to t.count - 1 do
+      let others = ref [] in
+      for j = total - 1 downto 0 do
+        if j <> r && alive.(j) then others := j :: !others
+      done;
+      if
+        cube_contained_rows t.n t.nw data
+          (Array.of_list !others)
+          (Array.sub data (r * t.nw) t.nw)
+      then alive.(r) <- false
+    done;
+    let buf = Rowbuf.create t.nw in
+    for r = 0 to t.count - 1 do
+      if alive.(r) then Rowbuf.push_slice buf data (r * t.nw)
+    done;
+    { t with count = buf.Rowbuf.count; data = Rowbuf.contents buf }
+  end
 
 (* REDUCE: shrink cube c to c ∩ SCC(complement((F \ c ∪ D) cofactored by
-   c)) — the smallest cube that still covers what only c covers. *)
+   c)) — the smallest cube still covering what only c covers.  The
+   supercube of the complement is folded directly out of the recursion's
+   emitted paths; no complement cover is materialized. *)
 let reduce t ~dc =
-  let rec go done_ = function
-    | [] -> { t with cubes = List.rev done_ }
-    | c :: rest ->
-      let others = { t with cubes = List.rev_append done_ rest @ dc.cubes } in
-      let g = cube_cofactor others c in
-      let h = complement g in
-      let shrunk =
-        match h.cubes with
-        | [] ->
-          (* Everything c covers is covered elsewhere; keep c as is —
-             IRREDUNDANT is the pass that deletes cubes. *)
-          c
-        | first :: more ->
-          let scc = List.fold_left Cube.supercube first more in
-          (match Cube.intersect c scc with
-          | Some c' -> c'
-          | None -> c)
+  if t.count = 0 then t
+  else begin
+    let total, data = with_dc_matrix t ~dc in
+    let cw = Array.make (max 1 t.nw) 0 in
+    let scc = Array.make (max 1 t.nw) 0 in
+    for r = 0 to t.count - 1 do
+      Array.blit data (r * t.nw) cw 0 t.nw;
+      let others = Array.make (total - 1) 0 in
+      let k = ref 0 in
+      for j = 0 to total - 1 do
+        if j <> r then begin
+          others.(!k) <- j;
+          incr k
+        end
+      done;
+      let buf = cofactor_rows_by_cube t.n t.nw data others cw in
+      let count = buf.Rowbuf.count in
+      let live = Array.init count (fun i -> i) in
+      let st = urp_create t.n t.nw buf.Rowbuf.data ~count live in
+      Array.fill scc 0 (max 1 t.nw) 0;
+      let any = ref false in
+      let path =
+        Array.init (max 1 t.nw) (fun i ->
+            if i < t.nw then free_pattern (word_arity t.n i) else 0)
       in
-      go (shrunk :: done_) rest
-  in
-  go [] t.cubes
+      urp_comp st live path (fun p ->
+          any := true;
+          for i = 0 to t.nw - 1 do
+            scc.(i) <- scc.(i) lor p.(i)
+          done);
+      if !any then begin
+        (* c ∩ scc; on a conflict keep c (IRREDUNDANT deletes cubes, not
+           REDUCE). *)
+        let ok = ref true in
+        for i = 0 to t.nw - 1 do
+          let x = cw.(i) land scc.(i) in
+          if (x lor (x lsr 1)) land lo_mask <> lo_mask_at t.n i then
+            ok := false
+        done;
+        if !ok then
+          for i = 0 to t.nw - 1 do
+            data.((r * t.nw) + i) <- cw.(i) land scc.(i)
+          done
+      end
+    done;
+    { t with data = Array.sub data 0 (max 1 (t.count * t.nw)) }
+  end
 
 let cost t = (cube_count t, literal_count t)
 
+(* Essential-cube test (Brayton et al.): c is essential iff it is not
+   covered by the other cubes plus the don't-cares plus their distance-1
+   consensus terms against c.  Essential cubes can be frozen: no other
+   choice of primes covers their private minterms. *)
+let partition_essential t ~dc =
+  let total, data = with_dc_matrix t ~dc in
+  let ess = Rowbuf.create t.nw and rest = Rowbuf.create t.nw in
+  let cw = Array.make (max 1 t.nw) 0 in
+  for r = 0 to t.count - 1 do
+    Array.blit data (r * t.nw) cw 0 t.nw;
+    let h = Rowbuf.create t.nw in
+    for j = 0 to total - 1 do
+      if j <> r then begin
+        let off = j * t.nw in
+        Rowbuf.push_slice h data off;
+        (* distance-1 ⇒ one consensus term: AND elsewhere, Free at the
+           conflicting variable. *)
+        let d = ref 0 in
+        for i = 0 to t.nw - 1 do
+          let x = cw.(i) land data.(off + i) in
+          d := !d + popcount (lo_mask_at t.n i land lnot (x lor (x lsr 1)))
+        done;
+        if !d = 1 then
+          Rowbuf.push_map h (fun i ->
+              let x = cw.(i) land data.(off + i) in
+              let e = lo_mask_at t.n i land lnot (x lor (x lsr 1)) in
+              x lor e lor (e lsl 1))
+      end
+    done;
+    let hcount = h.Rowbuf.count in
+    let essential =
+      not
+        (cube_contained_rows t.n t.nw h.Rowbuf.data
+           (Array.init hcount (fun i -> i))
+           cw)
+    in
+    Rowbuf.push_slice (if essential then ess else rest) data (r * t.nw)
+  done;
+  ( { t with count = ess.Rowbuf.count; data = Rowbuf.contents ess },
+    { t with count = rest.Rowbuf.count; data = Rowbuf.contents rest } )
+
 let minimize ?dc t =
   let dc = match dc with None -> empty t.n | Some d -> d in
-  let pass t = irredundant (expand t ~dc) ~dc in
+  let pass ~dc t = irredundant (expand t ~dc) ~dc in
+  let first = pass ~dc t in
+  (* Freeze the essential cubes: they appear in every solution, so move
+     them into the don't-care set and iterate only over the rest. *)
+  let ess, rest = partition_essential first ~dc in
+  let dc = union dc ess in
   let rec fix t guard =
     if guard = 0 then t
     else begin
-      let t' = pass (reduce (pass t) ~dc) in
+      let t' = pass ~dc (reduce (pass ~dc t) ~dc) in
       if cost t' < cost t then fix t' (guard - 1) else t
     end
   in
-  let first = pass t in
-  fix first 10
+  union ess (fix rest 10)
 
 let weighted_literal_cost weight t =
-  List.fold_left
-    (fun acc c ->
-      List.fold_left (fun acc (v, _) -> acc +. weight v) acc (Cube.literals c))
-    0.0 t.cubes
+  let acc = ref 0.0 in
+  for r = 0 to t.count - 1 do
+    iter_lits_off t.nw t.data (r * t.nw) (fun v _ -> acc := !acc +. weight v)
+  done;
+  !acc
 
 let pp ppf t =
   Format.pp_open_vbox ppf 0;
-  List.iter (fun c -> Format.fprintf ppf "%a@," Cube.pp c) t.cubes;
+  List.iter (fun c -> Format.fprintf ppf "%a@," Cube.pp c) (cubes t);
   Format.pp_close_box ppf ()

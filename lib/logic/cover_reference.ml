@@ -1,0 +1,224 @@
+type t = { n : int; cubes : Cube_reference.t list }
+
+let of_cubes n cubes =
+  List.iter
+    (fun c ->
+      if Cube_reference.num_vars c <> n then
+        invalid_arg "Cover.of_cubes: cube arity mismatch")
+    cubes;
+  { n; cubes }
+
+let empty n = { n; cubes = [] }
+let universe n = { n; cubes = [ Cube_reference.full n ] }
+
+let of_truth_table tt =
+  let n = Truth_table.num_vars tt in
+  let cubes = ref [] in
+  for code = Truth_table.num_minterms tt - 1 downto 0 do
+    if Truth_table.get tt code then cubes := Cube_reference.of_minterm code ~n :: !cubes
+  done;
+  { n; cubes = !cubes }
+
+let of_bdd n man bdd =
+  let cubes =
+    Bdd.fold_paths man bdd ~init:[] ~f:(fun acc path ->
+        Cube_reference.of_lits path ~n :: acc)
+  in
+  { n; cubes = List.rev cubes }
+
+let num_vars t = t.n
+let cubes t = t.cubes
+let cube_count t = List.length t.cubes
+
+let literal_count t =
+  List.fold_left (fun acc c -> acc + Cube_reference.literal_count c) 0 t.cubes
+
+let eval t env = List.exists (fun c -> Cube_reference.eval c env) t.cubes
+
+let covers_minterm t code = List.exists (fun c -> Cube_reference.covers_minterm c code) t.cubes
+
+let to_expr t = Expr.or_list (List.map Cube_reference.to_expr t.cubes)
+
+let to_truth_table t = Truth_table.of_fun t.n (covers_minterm t)
+
+let cofactor t v b =
+  { t with cubes = List.filter_map (fun c -> Cube_reference.cofactor c v b) t.cubes }
+
+let cube_cofactor t c =
+  let lits = Cube_reference.literals c in
+  List.fold_left (fun acc (v, b) -> cofactor acc v b) t lits
+
+(* Unate-recursive-paradigm tautology check.  Select the most binate
+   variable; a cover with no binate variable is a tautology iff it contains
+   the universal cube (a unate cover without the full cube misses the
+   minterm opposing every bound literal). *)
+let rec tautology t =
+  if List.exists (fun c -> Cube_reference.literal_count c = 0) t.cubes then true
+  else if t.cubes = [] then false
+  else begin
+    let pos = Array.make t.n 0 and neg = Array.make t.n 0 in
+    List.iter
+      (fun c ->
+        for v = 0 to t.n - 1 do
+          match Cube_reference.lit c v with
+          | Cube_reference.One -> pos.(v) <- pos.(v) + 1
+          | Cube_reference.Zero -> neg.(v) <- neg.(v) + 1
+          | Cube_reference.Free -> ()
+        done)
+      t.cubes;
+    let best = ref (-1) and best_score = ref (-1) in
+    for v = 0 to t.n - 1 do
+      if pos.(v) > 0 && neg.(v) > 0 then begin
+        let score = min pos.(v) neg.(v) in
+        if score > !best_score then begin
+          best := v;
+          best_score := score
+        end
+      end
+    done;
+    if !best < 0 then
+      (* Unate cover without the universal cube: not a tautology.  (The
+         minterm that negates one bound literal per cube is uncovered.) *)
+      false
+    else
+      let v = !best in
+      tautology (cofactor t v false) && tautology (cofactor t v true)
+  end
+
+let cube_contained c f = tautology (cube_cofactor f c)
+
+let contained f g = List.for_all (fun c -> cube_contained c g) f.cubes
+
+let equivalent f g = contained f g && contained g f
+
+let union a b = { a with cubes = a.cubes @ b.cubes }
+
+(* Shannon-recursive complement.  At a unate leaf the cover is either a
+   tautology (complement empty) or, lacking the universal cube, we recurse
+   on any bound variable; termination: each recursion eliminates one
+   variable occurrence. *)
+let rec complement t =
+  if List.exists (fun c -> Cube_reference.literal_count c = 0) t.cubes then empty t.n
+  else if t.cubes = [] then universe t.n
+  else begin
+    (* Prefer the most binate variable, else any bound one. *)
+    let pos = Array.make t.n 0 and neg = Array.make t.n 0 in
+    List.iter
+      (fun c ->
+        for v = 0 to t.n - 1 do
+          match Cube_reference.lit c v with
+          | Cube_reference.One -> pos.(v) <- pos.(v) + 1
+          | Cube_reference.Zero -> neg.(v) <- neg.(v) + 1
+          | Cube_reference.Free -> ()
+        done)
+      t.cubes;
+    let best = ref (-1) and best_score = ref (-1) in
+    for v = 0 to t.n - 1 do
+      let bound = pos.(v) + neg.(v) in
+      if bound > 0 then begin
+        let score =
+          if pos.(v) > 0 && neg.(v) > 0 then (min pos.(v) neg.(v) * 1000) + bound
+          else bound
+        in
+        if score > !best_score then begin
+          best := v;
+          best_score := score
+        end
+      end
+    done;
+    let v = !best in
+    let c1 = complement (cofactor t v true) in
+    let c0 = complement (cofactor t v false) in
+    let with_lit b g =
+      List.map (fun c -> Cube_reference.set_lit c v (if b then Cube_reference.One else Cube_reference.Zero))
+        g.cubes
+    in
+    { t with cubes = with_lit true c1 @ with_lit false c0 }
+  end
+
+let expand t ~dc =
+  let valid = union t dc in
+  let expand_cube c =
+    let rec try_vars c v =
+      if v >= t.n then c
+      else
+        match Cube_reference.lit c v with
+        | Cube_reference.Free -> try_vars c (v + 1)
+        | Cube_reference.One | Cube_reference.Zero ->
+          let freed = Cube_reference.set_lit c v Cube_reference.Free in
+          if cube_contained freed valid then try_vars freed (v + 1)
+          else try_vars c (v + 1)
+    in
+    try_vars c 0
+  in
+  let expanded = List.map expand_cube t.cubes in
+  (* Single-cube containment cleanup: keep a cube only if no kept cube
+     already contains it. *)
+  let kept =
+    List.fold_left
+      (fun kept c ->
+        if List.exists (fun k -> Cube_reference.contains k c) kept then kept
+        else c :: kept)
+      [] expanded
+  in
+  { t with cubes = List.rev kept }
+
+let irredundant t ~dc =
+  let rec go kept = function
+    | [] -> List.rev kept
+    | c :: rest ->
+      let others = { t with cubes = List.rev_append kept rest @ dc.cubes } in
+      if cube_contained c others then go kept rest else go (c :: kept) rest
+  in
+  { t with cubes = go [] t.cubes }
+
+(* REDUCE: shrink cube c to c ∩ SCC(complement((F \ c ∪ D) cofactored by
+   c)) — the smallest cube that still covers what only c covers. *)
+let reduce t ~dc =
+  let rec go done_ = function
+    | [] -> { t with cubes = List.rev done_ }
+    | c :: rest ->
+      let others = { t with cubes = List.rev_append done_ rest @ dc.cubes } in
+      let g = cube_cofactor others c in
+      let h = complement g in
+      let shrunk =
+        match h.cubes with
+        | [] ->
+          (* Everything c covers is covered elsewhere; keep c as is —
+             IRREDUNDANT is the pass that deletes cubes. *)
+          c
+        | first :: more ->
+          let scc = List.fold_left Cube_reference.supercube first more in
+          (match Cube_reference.intersect c scc with
+          | Some c' -> c'
+          | None -> c)
+      in
+      go (shrunk :: done_) rest
+  in
+  go [] t.cubes
+
+let cost t = (cube_count t, literal_count t)
+
+let minimize ?dc t =
+  let dc = match dc with None -> empty t.n | Some d -> d in
+  let pass t = irredundant (expand t ~dc) ~dc in
+  let rec fix t guard =
+    if guard = 0 then t
+    else begin
+      let t' = pass (reduce (pass t) ~dc) in
+      if cost t' < cost t then fix t' (guard - 1) else t
+    end
+  in
+  let first = pass t in
+  fix first 10
+
+let weighted_literal_cost weight t =
+  List.fold_left
+    (fun acc c ->
+      List.fold_left (fun acc (v, _) -> acc +. weight v) acc (Cube_reference.literals c))
+    0.0 t.cubes
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  List.iter (fun c -> Format.fprintf ppf "%a@," Cube_reference.pp c) t.cubes;
+  Format.pp_close_box ppf ()

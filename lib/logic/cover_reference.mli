@@ -1,21 +1,14 @@
-(** Two-level covers (sums of cubes) with an espresso-style minimizer.
+(** Reference cover implementation (pre-packed-engine), retained verbatim as
+    the differential oracle for {!Cover}.
 
-    This is the substrate for power-aware two-level synthesis: don't-care
-    optimization (§III.A.1) chooses, among the implementations permitted by
-    the don't-care set, one whose cubes have low switching cost; state
-    encoding (§III.C.1) synthesizes next-state logic through this module.
-
-    Representation: a packed struct-of-arrays matrix — one flat [int array],
-    two bits per variable per cube row ({!Cube}'s positional-cube encoding) —
-    so containment, cofactoring and intersection are word-parallel bitwise
-    kernels, and the unate-recursive steps (tautology, complement) maintain
-    their per-column pos/neg literal counts incrementally down the recursion.
-    {!Cover_reference} is the retained pre-packed implementation, used as a
-    differential oracle by [test/test_cover.ml]. *)
+    Cube-list representation with per-variable recounting in the
+    unate-recursive steps, exactly as shipped before the word-parallel
+    rewrite; [test/test_cover.ml] checks the packed engine against this
+    module on randomized inputs. *)
 
 type t
 
-val of_cubes : int -> Cube.t list -> t
+val of_cubes : int -> Cube_reference.t list -> t
 (** Cover over [n] variables.  Raises [Invalid_argument] if a cube has the
     wrong arity. *)
 
@@ -32,7 +25,7 @@ val of_bdd : int -> Bdd.man -> Bdd.t -> t
 (** Disjoint cover from the BDD's 1-paths. *)
 
 val num_vars : t -> int
-val cubes : t -> Cube.t list
+val cubes : t -> Cube_reference.t list
 val cube_count : t -> int
 val literal_count : t -> int
 
@@ -46,13 +39,13 @@ val to_truth_table : t -> Truth_table.t
 val cofactor : t -> int -> bool -> t
 (** Shannon cofactor. *)
 
-val cube_cofactor : t -> Cube.t -> t
+val cube_cofactor : t -> Cube_reference.t -> t
 (** Cofactor with respect to a cube (generalized Shannon). *)
 
 val tautology : t -> bool
 (** Unate-recursive tautology check: does the cover contain every minterm? *)
 
-val cube_contained : Cube.t -> t -> bool
+val cube_contained : Cube_reference.t -> t -> bool
 (** [cube_contained c f]: every minterm of [c] is covered by [f]
     (via [tautology (cube_cofactor f c)]). *)
 
@@ -70,10 +63,7 @@ val complement : t -> t
 val expand : t -> dc:t -> t
 (** Espresso EXPAND: greedily free literals of each cube while the cube stays
     inside on-set ∪ don't-care set, then drop cubes contained in earlier
-    expanded ones.  Feasibility is tested against the complement (OFF-set)
-    computed once per call, cubes already inside an earlier expanded prime
-    are skipped, and literals are probed in column-count order (fewest
-    same-literal cubes first) rather than fixed 0..n-1 order. *)
+    expanded ones. *)
 
 val irredundant : t -> dc:t -> t
 (** Espresso IRREDUNDANT: remove cubes covered by the rest of the cover plus
@@ -86,11 +76,7 @@ val reduce : t -> dc:t -> t
 
 val minimize : ?dc:t -> t -> t
 (** EXPAND / IRREDUNDANT / REDUCE iterated until the (cube, literal) cost
-    stops improving — the espresso loop.  After the first pass, essential
-    cubes (not covered by the other cubes, the don't-cares and their
-    distance-1 consensus terms) are frozen into the don't-care set and the
-    loop iterates only over the rest; they are restored, first, in the
-    result. *)
+    stops improving — the espresso loop. *)
 
 val weighted_literal_cost : (int -> float) -> t -> float
 (** Sum over cubes and bound literals of a per-variable weight — the

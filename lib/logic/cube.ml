@@ -1,126 +1,168 @@
+(* Positional-cube notation, packed two bits per variable into machine
+   words (espresso's representation): Zero = 01, One = 10, Free = 11.
+   A valid cube never holds 00 in an in-range pair (00 = empty), and all
+   pairs past [n] are kept at 00 so whole-word compares and popcounts need
+   no masking.  31 variables per 63-bit OCaml int. *)
+
 type lit = Zero | One | Free
 
-type t = lit array
-(* Index = variable. *)
+type t = { n : int; w : int array }
+(* [w] is immutable after construction. *)
+
+let vars_per_word = 31
+let nwords n = (n + vars_per_word - 1) / vars_per_word
+
+(* All in-range pairs set to 11 for the [k] variables of one word. *)
+let free_pattern k = (1 lsl (2 * k)) - 1
+
+(* Number of variables carried by word [i] of an [n]-variable cube. *)
+let word_arity n i = min vars_per_word (n - (i * vars_per_word))
+
+(* 01 repeated on the low bit of each of the 31 pairs. *)
+let lo_mask = 0x1555555555555555
+
+(* Low-bit mask restricted to the in-range pairs of word [i]. *)
+let lo_mask_at n i = lo_mask land free_pattern (word_arity n i)
+
+(* Popcount for values < 2^62 (OCaml ints are 63-bit, so the literal
+   0x5555... does not fit; the 62-bit truncations below do). *)
+let popcount x =
+  let x = x - ((x lsr 1) land 0x1555555555555555) in
+  let x = (x land 0x3333333333333333) + ((x lsr 2) land 0x3333333333333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F0F0F0F0F in
+  (x * 0x0101010101010101) lsr 56
+
+(* Spread the low 31 bits of [x] to the even bit positions 0,2,...,60
+   (Morton interleave with zero). *)
+let spread x =
+  let x = (x lor (x lsl 16)) land 0x00007FFF0000FFFF in
+  let x = (x lor (x lsl 8)) land 0x00FF00FF00FF00FF in
+  let x = (x lor (x lsl 4)) land 0x0F0F0F0F0F0F0F0F in
+  let x = (x lor (x lsl 2)) land 0x3333333333333333 in
+  (x lor (x lsl 1)) land 0x1555555555555555
+
+(* Word [i] of the fully-specified cube whose word-local assignment bits
+   are [bits]: 10 where the bit is 1, 01 where it is 0, over the in-range
+   pairs. *)
+let assign_word n i bits =
+  let lo = lo_mask_at n i in
+  let s = spread bits land lo in
+  (s lsl 1) lor (lo lxor s)
+
+let minterm_word n code i = assign_word n i (code lsr (i * vars_per_word))
 
 let full n =
   if n < 0 then invalid_arg "Cube.full: negative arity";
-  Array.make n Free
+  { n; w = Array.init (nwords n) (fun i -> free_pattern (word_arity n i)) }
+
+let enc = function Zero -> 1 | One -> 2 | Free -> 3
+
+let set_pair w v l =
+  let i = v / vars_per_word and sh = 2 * (v mod vars_per_word) in
+  w.(i) <- w.(i) land lnot (3 lsl sh) lor (enc l lsl sh)
+
+let get_pair c v =
+  (c.w.(v / vars_per_word) lsr (2 * (v mod vars_per_word))) land 3
 
 let of_lits lits ~n =
   let c = full n in
   List.iter
     (fun (v, b) ->
       if v < 0 || v >= n then invalid_arg "Cube.of_lits: variable out of range";
-      let l = if b then One else Zero in
-      (match c.(v) with
-      | Free -> ()
-      | old when old = l -> ()
-      | Zero | One -> invalid_arg "Cube.of_lits: conflicting literals");
-      c.(v) <- l)
+      let l = if b then 2 else 1 in
+      let old = get_pair c v in
+      if old <> 3 && old <> l then
+        invalid_arg "Cube.of_lits: conflicting literals";
+      set_pair c.w v (if b then One else Zero))
     lits;
   c
 
 let of_minterm code ~n =
-  Array.init n (fun v -> if code land (1 lsl v) <> 0 then One else Zero)
+  { n; w = Array.init (nwords n) (minterm_word n code) }
 
-let num_vars = Array.length
+let num_vars c = c.n
 
-let lit c v = c.(v)
+let lit c v =
+  match get_pair c v with 1 -> Zero | 2 -> One | _ -> Free
 
 let set_lit c v l =
-  let c' = Array.copy c in
-  c'.(v) <- l;
-  c'
+  let w = Array.copy c.w in
+  set_pair w v l;
+  { c with w }
 
 let literals c =
   let acc = ref [] in
-  for v = Array.length c - 1 downto 0 do
-    match c.(v) with
-    | One -> acc := (v, true) :: !acc
-    | Zero -> acc := (v, false) :: !acc
-    | Free -> ()
+  for v = c.n - 1 downto 0 do
+    match get_pair c v with
+    | 1 -> acc := (v, false) :: !acc
+    | 2 -> acc := (v, true) :: !acc
+    | _ -> ()
   done;
   !acc
 
+(* Free variables have both pair bits set; valid cubes have no 00 pairs,
+   so bound count = n - #{pairs = 11}. *)
 let literal_count c =
-  Array.fold_left (fun n l -> match l with Free -> n | Zero | One -> n + 1) 0 c
+  let free = ref 0 in
+  for i = 0 to Array.length c.w - 1 do
+    let w = c.w.(i) in
+    free := !free + popcount (w land (w lsr 1) land lo_mask)
+  done;
+  c.n - !free
+
+(* [a] contains [b] iff every pair of [b] is a subset of [a]'s:
+   b & ~a = 0.  Tail pairs are 00 in both, so ~a's tail ones are harmless. *)
+let contains a b =
+  let ok = ref true in
+  for i = 0 to Array.length a.w - 1 do
+    if b.w.(i) land lnot a.w.(i) <> 0 then ok := false
+  done;
+  !ok
 
 let covers_minterm c code =
   let ok = ref true in
-  Array.iteri
-    (fun v l ->
-      let bit = code land (1 lsl v) <> 0 in
-      match l with
-      | Free -> ()
-      | One -> if not bit then ok := false
-      | Zero -> if bit then ok := false)
-    c;
+  for i = 0 to Array.length c.w - 1 do
+    if minterm_word c.n code i land lnot c.w.(i) <> 0 then ok := false
+  done;
   !ok
 
-let contains a b =
-  (* a contains b iff every bound literal of a is bound identically in b. *)
-  let ok = ref true in
-  Array.iteri
-    (fun v l ->
-      match l, b.(v) with
-      | Free, _ -> ()
-      | One, One | Zero, Zero -> ()
-      | (One | Zero), (Free | One | Zero) -> ok := false)
-    a;
-  !ok
-
+(* Pairwise AND; the result is a cube unless some in-range pair emptied. *)
 let intersect a b =
-  let n = Array.length a in
-  let c = Array.make n Free in
-  let rec go v =
-    if v >= n then Some c
-    else
-      match a.(v), b.(v) with
-      | Free, l | l, Free ->
-        c.(v) <- l;
-        go (v + 1)
-      | One, One ->
-        c.(v) <- One;
-        go (v + 1)
-      | Zero, Zero ->
-        c.(v) <- Zero;
-        go (v + 1)
-      | One, Zero | Zero, One -> None
-  in
-  go 0
+  let m = Array.length a.w in
+  let w = Array.make m 0 in
+  let ok = ref true in
+  for i = 0 to m - 1 do
+    let x = a.w.(i) land b.w.(i) in
+    w.(i) <- x;
+    if (x lor (x lsr 1)) land lo_mask <> lo_mask_at a.n i then ok := false
+  done;
+  if !ok then Some { a with w } else None
 
+(* Pairwise OR: One|One = One, Zero|Zero = Zero, anything mixed = Free. *)
 let supercube a b =
-  Array.init (Array.length a) (fun v ->
-      match a.(v), b.(v) with
-      | One, One -> One
-      | Zero, Zero -> Zero
-      | Free, _ | _, Free | One, Zero | Zero, One -> Free)
+  { a with w = Array.init (Array.length a.w) (fun i -> a.w.(i) lor b.w.(i)) }
 
 let distance a b =
   let d = ref 0 in
-  Array.iteri
-    (fun v l ->
-      match l, b.(v) with
-      | One, Zero | Zero, One -> incr d
-      | (One | Zero | Free), (One | Zero | Free) -> ())
-    a;
+  for i = 0 to Array.length a.w - 1 do
+    let x = a.w.(i) land b.w.(i) in
+    d := !d + popcount (lo_mask_at a.n i land lnot (x lor (x lsr 1)))
+  done;
   !d
 
 let cofactor c v b =
-  match c.(v), b with
-  | One, false | Zero, true -> None
-  | (One | Zero | Free), (true | false) -> Some (set_lit c v Free)
+  match get_pair c v, b with
+  | 2, false | 1, true -> None
+  | _, _ -> Some (set_lit c v Free)
 
 let eval c env =
   let ok = ref true in
-  Array.iteri
-    (fun v l ->
-      match l with
-      | Free -> ()
-      | One -> if not (env v) then ok := false
-      | Zero -> if env v then ok := false)
-    c;
+  for v = 0 to c.n - 1 do
+    match get_pair c v with
+    | 1 -> if env v then ok := false
+    | 2 -> if not (env v) then ok := false
+    | _ -> ()
+  done;
   !ok
 
 let to_expr c =
@@ -129,12 +171,39 @@ let to_expr c =
        (fun (v, b) -> if b then Expr.var v else Expr.not_ (Expr.var v))
        (literals c))
 
-let equal = ( = )
-let compare = Stdlib.compare
+let equal a b =
+  a.n = b.n
+  &&
+  let ok = ref true in
+  for i = 0 to Array.length a.w - 1 do
+    if a.w.(i) <> b.w.(i) then ok := false
+  done;
+  !ok
+
+let compare a b =
+  let c = Stdlib.compare a.n b.n in
+  if c <> 0 then c
+  else begin
+    let r = ref 0 and i = ref 0 in
+    let m = Array.length a.w in
+    while !r = 0 && !i < m do
+      r := Stdlib.compare a.w.(!i) b.w.(!i);
+      incr i
+    done;
+    !r
+  end
 
 let pp ppf c =
-  Array.iter
-    (fun l ->
-      Format.pp_print_char ppf
-        (match l with One -> '1' | Zero -> '0' | Free -> '-'))
-    c
+  for v = 0 to c.n - 1 do
+    Format.pp_print_char ppf
+      (match get_pair c v with 1 -> '0' | 2 -> '1' | _ -> '-')
+  done
+
+(**/**)
+
+(* Internal interface for Cover's struct-of-arrays matrix: cubes move in
+   and out of the matrix as raw word slices. *)
+
+let unsafe_words c = c.w
+let unsafe_of_words n w = { n; w }
+let unsafe_assign_word = assign_word

@@ -1,0 +1,140 @@
+type lit = Zero | One | Free
+
+type t = lit array
+(* Index = variable. *)
+
+let full n =
+  if n < 0 then invalid_arg "Cube.full: negative arity";
+  Array.make n Free
+
+let of_lits lits ~n =
+  let c = full n in
+  List.iter
+    (fun (v, b) ->
+      if v < 0 || v >= n then invalid_arg "Cube.of_lits: variable out of range";
+      let l = if b then One else Zero in
+      (match c.(v) with
+      | Free -> ()
+      | old when old = l -> ()
+      | Zero | One -> invalid_arg "Cube.of_lits: conflicting literals");
+      c.(v) <- l)
+    lits;
+  c
+
+let of_minterm code ~n =
+  Array.init n (fun v -> if code land (1 lsl v) <> 0 then One else Zero)
+
+let num_vars = Array.length
+
+let lit c v = c.(v)
+
+let set_lit c v l =
+  let c' = Array.copy c in
+  c'.(v) <- l;
+  c'
+
+let literals c =
+  let acc = ref [] in
+  for v = Array.length c - 1 downto 0 do
+    match c.(v) with
+    | One -> acc := (v, true) :: !acc
+    | Zero -> acc := (v, false) :: !acc
+    | Free -> ()
+  done;
+  !acc
+
+let literal_count c =
+  Array.fold_left (fun n l -> match l with Free -> n | Zero | One -> n + 1) 0 c
+
+let covers_minterm c code =
+  let ok = ref true in
+  Array.iteri
+    (fun v l ->
+      let bit = code land (1 lsl v) <> 0 in
+      match l with
+      | Free -> ()
+      | One -> if not bit then ok := false
+      | Zero -> if bit then ok := false)
+    c;
+  !ok
+
+let contains a b =
+  (* a contains b iff every bound literal of a is bound identically in b. *)
+  let ok = ref true in
+  Array.iteri
+    (fun v l ->
+      match l, b.(v) with
+      | Free, _ -> ()
+      | One, One | Zero, Zero -> ()
+      | (One | Zero), (Free | One | Zero) -> ok := false)
+    a;
+  !ok
+
+let intersect a b =
+  let n = Array.length a in
+  let c = Array.make n Free in
+  let rec go v =
+    if v >= n then Some c
+    else
+      match a.(v), b.(v) with
+      | Free, l | l, Free ->
+        c.(v) <- l;
+        go (v + 1)
+      | One, One ->
+        c.(v) <- One;
+        go (v + 1)
+      | Zero, Zero ->
+        c.(v) <- Zero;
+        go (v + 1)
+      | One, Zero | Zero, One -> None
+  in
+  go 0
+
+let supercube a b =
+  Array.init (Array.length a) (fun v ->
+      match a.(v), b.(v) with
+      | One, One -> One
+      | Zero, Zero -> Zero
+      | Free, _ | _, Free | One, Zero | Zero, One -> Free)
+
+let distance a b =
+  let d = ref 0 in
+  Array.iteri
+    (fun v l ->
+      match l, b.(v) with
+      | One, Zero | Zero, One -> incr d
+      | (One | Zero | Free), (One | Zero | Free) -> ())
+    a;
+  !d
+
+let cofactor c v b =
+  match c.(v), b with
+  | One, false | Zero, true -> None
+  | (One | Zero | Free), (true | false) -> Some (set_lit c v Free)
+
+let eval c env =
+  let ok = ref true in
+  Array.iteri
+    (fun v l ->
+      match l with
+      | Free -> ()
+      | One -> if not (env v) then ok := false
+      | Zero -> if env v then ok := false)
+    c;
+  !ok
+
+let to_expr c =
+  Expr.and_list
+    (List.map
+       (fun (v, b) -> if b then Expr.var v else Expr.not_ (Expr.var v))
+       (literals c))
+
+let equal = ( = )
+let compare = Stdlib.compare
+
+let pp ppf c =
+  Array.iter
+    (fun l ->
+      Format.pp_print_char ppf
+        (match l with One -> '1' | Zero -> '0' | Free -> '-'))
+    c

@@ -1,14 +1,9 @@
-(** Cubes (product terms) over a fixed variable count.
+(** Reference cube implementation (pre-packed-engine), retained verbatim as
+    the differential oracle for {!Cube}.
 
-    A cube assigns each variable one of [Zero] (negative literal), [One]
-    (positive literal) or [Free] (absent).  Cubes are the atoms of two-level
-    covers ({!Cover}) and of the algebraic factoring in [Lp_synth.Factor].
-
-    Representation: espresso-style positional-cube notation, two bits per
-    variable (01 = Zero, 10 = One, 11 = Free) packed 31 variables per word,
-    so containment / intersection / distance are a handful of word-parallel
-    bitwise operations.  {!Cube_reference} is the retained pre-packed
-    implementation used as a differential oracle. *)
+    One [lit array] per cube, one variant match per variable per operation.
+    Slow but obviously correct; [test/test_cover.ml] checks the packed
+    engine against this module on randomized inputs. *)
 
 type lit = Zero | One | Free
 
@@ -60,26 +55,7 @@ val eval : t -> (int -> bool) -> bool
 val to_expr : t -> Expr.t
 
 val equal : t -> t -> bool
-(** Word-level equality (no polymorphic compare). *)
-
 val compare : t -> t -> int
-(** Total order by arity, then lexicographic on the packed words.  Word-level;
-    the order differs from the old [Stdlib.compare] on [lit array] but is
-    equally arbitrary. *)
 
 val pp : Format.formatter -> t -> unit
 (** Positional notation, e.g. ["1-0"] for x0 . x2'. *)
-
-(**/**)
-
-(** Internal packed-word interface for {!Cover}'s struct-of-arrays matrix.
-    The words encode two bits per variable as documented above; callers must
-    not mutate the returned array or pass words with non-zero tail pairs. *)
-
-val unsafe_words : t -> int array
-val unsafe_of_words : int -> int array -> t
-
-val unsafe_assign_word : int -> int -> int -> int
-(** [unsafe_assign_word n i bits] is word [i] of the fully-specified cube
-    over [n] variables whose word-local variable values are the low bits of
-    [bits] (bit [j] = variable [i*31 + j]). *)

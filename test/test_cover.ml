@@ -1,0 +1,263 @@
+(* Differential tests: packed Cube/Cover engine vs the retained
+   Cube_reference/Cover_reference oracles, plus truth-table round trips.
+
+   Randomness comes from Lowpower.Rng with fixed seeds, so every assertion
+   (including "minimize cost never worse than the reference") is
+   reproducible: a pass here is a pass everywhere. *)
+
+let rng_seed = 0x5EED
+
+(* ---- generators ------------------------------------------------------- *)
+
+(* A cube spec is a (var, polarity) list; building a packed and a reference
+   cube from the same spec keeps the two engines' inputs identical. *)
+let random_cube_spec rng n =
+  let lits = ref [] in
+  for v = 0 to n - 1 do
+    match Lowpower.Rng.int rng 5 with
+    | 0 | 1 -> lits := (v, true) :: !lits
+    | 2 | 3 -> lits := (v, false) :: !lits
+    | _ -> ()
+  done;
+  List.rev !lits
+
+let random_cover_specs rng n max_cubes =
+  let k = Lowpower.Rng.int rng (max_cubes + 1) in
+  List.init k (fun _ -> random_cube_spec rng n)
+
+let packed_of_specs n specs =
+  Cover.of_cubes n (List.map (fun s -> Cube.of_lits s ~n) specs)
+
+let ref_of_specs n specs =
+  Cover_reference.of_cubes n
+    (List.map (fun s -> Cube_reference.of_lits s ~n) specs)
+
+let ref_tt c = Cover_reference.to_truth_table c
+let tt c = Cover.to_truth_table c
+
+let tt_subset a b =
+  (* a ⊆ b as minterm sets *)
+  let n = Truth_table.num_minterms a in
+  let ok = ref true in
+  for code = 0 to n - 1 do
+    if Truth_table.get a code && not (Truth_table.get b code) then ok := false
+  done;
+  !ok
+
+let tt_union a b =
+  Truth_table.of_fun (Truth_table.num_vars a) (fun code ->
+      Truth_table.get a code || Truth_table.get b code)
+
+(* ---- cube-level differential (crosses the 31-variable word boundary) --- *)
+
+let test_cube_differential () =
+  let rng = Lowpower.Rng.create rng_seed in
+  for case = 1 to 300 do
+    let n =
+      (* force word-boundary arities into the mix *)
+      match case mod 6 with
+      | 0 -> 31
+      | 1 -> 32
+      | 2 -> 62
+      | 3 -> 63
+      | _ -> 1 + Lowpower.Rng.int rng 70
+    in
+    let sa = random_cube_spec rng n and sb = random_cube_spec rng n in
+    let a = Cube.of_lits sa ~n and b = Cube.of_lits sb ~n in
+    let ra = Cube_reference.of_lits sa ~n
+    and rb = Cube_reference.of_lits sb ~n in
+    Alcotest.(check (list (pair int bool)))
+      "literals" (Cube_reference.literals ra) (Cube.literals a);
+    Alcotest.(check int)
+      "literal_count" (Cube_reference.literal_count ra) (Cube.literal_count a);
+    Alcotest.(check bool)
+      "contains" (Cube_reference.contains ra rb) (Cube.contains a b);
+    Alcotest.(check int)
+      "distance" (Cube_reference.distance ra rb) (Cube.distance a b);
+    Alcotest.(check (option (list (pair int bool))))
+      "intersect"
+      (Option.map Cube_reference.literals (Cube_reference.intersect ra rb))
+      (Option.map Cube.literals (Cube.intersect a b));
+    Alcotest.(check (list (pair int bool)))
+      "supercube"
+      (Cube_reference.literals (Cube_reference.supercube ra rb))
+      (Cube.literals (Cube.supercube a b));
+    let v = Lowpower.Rng.int rng n and bit = Lowpower.Rng.bool rng in
+    Alcotest.(check (option (list (pair int bool))))
+      "cofactor"
+      (Option.map Cube_reference.literals (Cube_reference.cofactor ra v bit))
+      (Option.map Cube.literals (Cube.cofactor a v bit));
+    let env_bits = Array.init n (fun _ -> Lowpower.Rng.bool rng) in
+    let env v = env_bits.(v) in
+    Alcotest.(check bool)
+      "eval" (Cube_reference.eval ra env) (Cube.eval a env);
+    if n <= 16 then begin
+      let code = Lowpower.Rng.int rng (1 lsl n) in
+      Alcotest.(check bool)
+        "covers_minterm"
+        (Cube_reference.covers_minterm ra code)
+        (Cube.covers_minterm a code);
+      let ma = Cube.of_minterm code ~n in
+      Alcotest.(check (list (pair int bool)))
+        "of_minterm"
+        (Cube_reference.literals (Cube_reference.of_minterm code ~n))
+        (Cube.literals ma)
+    end;
+    (* word-level equality/compare consistency *)
+    let a' = Cube.of_lits sa ~n in
+    Alcotest.(check bool) "equal same spec" true (Cube.equal a a');
+    Alcotest.(check int) "compare same spec" 0 (Cube.compare a a');
+    Alcotest.(check bool)
+      "equal vs compare" (Cube.equal a b)
+      (Cube.compare a b = 0);
+    Alcotest.(check bool)
+      "compare antisym" (Cube.compare a b > 0)
+      (Cube.compare b a < 0)
+  done
+
+(* ---- cover-level differential ------------------------------------------ *)
+
+let test_cover_differential () =
+  let rng = Lowpower.Rng.create (rng_seed + 1) in
+  for _case = 1 to 220 do
+    let n = 1 + Lowpower.Rng.int rng 12 in
+    let specs = random_cover_specs rng n 16 in
+    let dc_specs = random_cover_specs rng n 4 in
+    let f = packed_of_specs n specs and fr = ref_of_specs n specs in
+    let dc = packed_of_specs n dc_specs
+    and dcr = ref_of_specs n dc_specs in
+    let ftt = tt f in
+    (* construction: both engines describe the same function *)
+    Alcotest.(check bool) "to_truth_table" true (Truth_table.equal ftt (ref_tt fr));
+    (* tautology: identical verdicts *)
+    Alcotest.(check bool)
+      "tautology" (Cover_reference.tautology fr) (Cover.tautology f);
+    (* complement: the packed engine replicates the reference's variable
+       selection and emission order, so the cube lists are identical *)
+    let comp = Cover.complement f and compr = Cover_reference.complement fr in
+    Alcotest.(check (list (list (pair int bool))))
+      "complement cubes identical"
+      (List.map Cube_reference.literals (Cover_reference.cubes compr))
+      (List.map Cube.literals (Cover.cubes comp));
+    (* expand: may pick different primes than the reference, but must still
+       cover the on-set and stay inside on ∪ dc *)
+    let care_tt = tt_union ftt (tt dc) in
+    let e = Cover.expand f ~dc in
+    Alcotest.(check bool) "expand covers on-set" true (tt_subset ftt (tt e));
+    Alcotest.(check bool) "expand within on∪dc" true (tt_subset (tt e) care_tt);
+    (* irredundant: function preserved modulo dc *)
+    let irr = Cover.irredundant f ~dc in
+    Alcotest.(check bool)
+      "irredundant covers on-set minus dc" true
+      (tt_subset ftt (tt_union (tt irr) (tt dc)));
+    Alcotest.(check bool)
+      "irredundant within f" true (tt_subset (tt irr) ftt);
+    (* reduce: cube-wise shrink, function preserved modulo dc *)
+    let red = Cover.reduce f ~dc in
+    Alcotest.(check bool)
+      "reduce covers on-set minus dc" true
+      (tt_subset ftt (tt_union (tt red) (tt dc)));
+    Alcotest.(check bool) "reduce within f" true (tt_subset (tt red) ftt);
+    (* containment predicates agree with the truth-table oracle *)
+    let g_specs = random_cover_specs rng n 6 in
+    let g = packed_of_specs n g_specs in
+    Alcotest.(check bool)
+      "contained oracle" (tt_subset ftt (tt g)) (Cover.contained f g);
+    Alcotest.(check bool)
+      "equivalent oracle"
+      (Truth_table.equal ftt (tt g))
+      (Cover.equivalent f g);
+    (* minimize: valid w.r.t. dc, and cost never worse than the reference *)
+    let m = Cover.minimize ~dc f in
+    let mr = Cover_reference.minimize ~dc:dcr fr in
+    let mtt = tt m in
+    Alcotest.(check bool)
+      "minimize covers on-set minus dc" true
+      (tt_subset ftt (tt_union mtt (tt dc)));
+    Alcotest.(check bool) "minimize within on∪dc" true (tt_subset mtt care_tt);
+    let cost c = (Cover.cube_count c, Cover.literal_count c) in
+    let cost_r c =
+      (Cover_reference.cube_count c, Cover_reference.literal_count c)
+    in
+    if Stdlib.compare (cost m) (cost_r mr) > 0 then
+      Alcotest.failf "minimize cost (%d,%d) worse than reference (%d,%d)"
+        (fst (cost m)) (snd (cost m)) (fst (cost_r mr)) (snd (cost_r mr))
+  done
+
+(* ---- truth-table round trips ------------------------------------------- *)
+
+let test_truth_table_roundtrip () =
+  let rng = Lowpower.Rng.create (rng_seed + 2) in
+  for _case = 1 to 60 do
+    let n = 1 + Lowpower.Rng.int rng 8 in
+    let ttbl =
+      Truth_table.of_fun n (fun _ -> Lowpower.Rng.bool rng)
+    in
+    Alcotest.(check bool)
+      "of_truth_table/to_truth_table" true
+      (Truth_table.equal ttbl (Cover.to_truth_table (Cover.of_truth_table ttbl)));
+    let m = Cover.minimize (Cover.of_truth_table ttbl) in
+    Alcotest.(check bool)
+      "minimize preserves the function" true
+      (Truth_table.equal ttbl (Cover.to_truth_table m))
+  done
+
+(* ---- dc-respect: minimize output stays inside on ∪ dc and the chosen
+   dc assignments actually help ----------------------------------------- *)
+
+let test_minimize_dc_respected () =
+  let rng = Lowpower.Rng.create (rng_seed + 3) in
+  for _case = 1 to 60 do
+    let n = 2 + Lowpower.Rng.int rng 7 in
+    let on_tt = Truth_table.of_fun n (fun _ -> Lowpower.Rng.bernoulli rng 0.3) in
+    let dc_tt =
+      Truth_table.of_fun n (fun code ->
+          (not (Truth_table.get on_tt code)) && Lowpower.Rng.bernoulli rng 0.3)
+    in
+    let f = Cover.of_truth_table on_tt in
+    let dc = Cover.of_truth_table dc_tt in
+    let m = Cover.minimize ~dc f in
+    let mtt = Cover.to_truth_table m in
+    let ok = ref true in
+    for code = 0 to Truth_table.num_minterms on_tt - 1 do
+      let got = Truth_table.get mtt code in
+      if Truth_table.get on_tt code then begin
+        if not got then ok := false
+      end
+      else if not (Truth_table.get dc_tt code) then if got then ok := false
+    done;
+    Alcotest.(check bool) "on covered, off avoided, dc free" true !ok
+  done
+
+(* ---- essential-prime freezing keeps the espresso loop sound ------------ *)
+
+let test_minimize_idempotent_cost () =
+  let rng = Lowpower.Rng.create (rng_seed + 4) in
+  for _case = 1 to 40 do
+    let n = 2 + Lowpower.Rng.int rng 8 in
+    let specs = random_cover_specs rng n 12 in
+    let f = packed_of_specs n specs in
+    let m = Cover.minimize f in
+    let m2 = Cover.minimize m in
+    let cost c = (Cover.cube_count c, Cover.literal_count c) in
+    Alcotest.(check bool)
+      "re-minimizing never costs more" true
+      (Stdlib.compare (cost m2) (cost m) <= 0);
+    Alcotest.(check bool)
+      "re-minimize preserves function" true
+      (Truth_table.equal (Cover.to_truth_table m) (Cover.to_truth_table m2))
+  done
+
+let suite =
+  [
+    Alcotest.test_case "cube ops vs reference (multi-word)" `Quick
+      test_cube_differential;
+    Alcotest.test_case "cover ops vs reference (randomized)" `Quick
+      test_cover_differential;
+    Alcotest.test_case "truth-table round trips" `Quick
+      test_truth_table_roundtrip;
+    Alcotest.test_case "minimize respects ~dc" `Quick
+      test_minimize_dc_respected;
+    Alcotest.test_case "re-minimize stable" `Quick
+      test_minimize_idempotent_cost;
+  ]

@@ -247,7 +247,7 @@ let test_cube_intersect_supercube () =
     Alcotest.(check int) "intersection lits" 2 (Cube.literal_count c));
   let a' = Cube.of_lits [ (0, true) ] ~n:3 in
   let b' = Cube.of_lits [ (0, false) ] ~n:3 in
-  Alcotest.(check bool) "conflict" true (Cube.intersect a' b' = None);
+  Alcotest.(check bool) "conflict" true (Option.is_none (Cube.intersect a' b'));
   Alcotest.(check int) "distance" 1 (Cube.distance a' b');
   Alcotest.(check int) "supercube free" 0
     (Cube.literal_count (Cube.supercube a' b'))
@@ -257,7 +257,7 @@ let test_cube_cofactor () =
   (match Cube.cofactor c 0 true with
   | None -> Alcotest.fail "compatible cofactor"
   | Some c' -> Alcotest.(check int) "freed" 1 (Cube.literal_count c'));
-  Alcotest.(check bool) "conflicting cofactor" true (Cube.cofactor c 0 false = None)
+  Alcotest.(check bool) "conflicting cofactor" true (Option.is_none (Cube.cofactor c 0 false))
 
 (* --- Cover --- *)
 

@@ -3,6 +3,7 @@ let () =
     [
       ("core", Test_core.suite);
       ("logic", Test_logic.suite);
+      ("cover_packed", Test_cover.suite);
       ("bdd", Test_bdd.suite);
       ("network", Test_network.suite);
       ("estimate", Test_estimate.suite);
