@@ -56,7 +56,8 @@ let () =
         let flag =
           if ratio > threshold then begin
             incr failures;
-            "  REGRESSED"
+            Printf.sprintf "  REGRESSED (>%.0f%% over baseline)"
+              ((threshold -. 1.0) *. 100.0)
           end
           else if ratio < 1.0 /. threshold then "  improved"
           else ""

@@ -119,10 +119,42 @@ let streaming_kernel =
          Kernels.load_fir_inputs m layout ~coeffs ~xs;
          ignore (Machine.run m program)))
 
+(* CDCL solver on a dense UNSAT instance: PHP(8,7) forces real conflict
+   analysis and restarts, unlike the shallow propagation-only CEC cases. *)
+let sat_pigeon =
+  Test.make ~name:"sat_pigeon_8"
+    (Staged.stage (fun () ->
+         let s = Solver.create () in
+         let p =
+           Array.init 8 (fun _ ->
+               Array.init 7 (fun _ -> Solver.pos (Solver.new_var s)))
+         in
+         for i = 0 to 7 do
+           Solver.add_clause s (Array.to_list p.(i))
+         done;
+         for h = 0 to 6 do
+           for i = 0 to 7 do
+             for j = i + 1 to 7 do
+               Solver.add_clause s
+                 [ Solver.negate p.(i).(h); Solver.negate p.(j).(h) ]
+             done
+           done
+         done;
+         assert (Solver.solve s = Solver.Unsat)))
+
+(* Full equivalence check (random-sim filter + incremental miter SAT)
+   between the 8-bit ripple adder and its NAND2/INV factored form. *)
+let cec_adder_vs_factored =
+  let net = (Circuits.ripple_adder 8).Circuits.net in
+  let factored = Subject.decompose net in
+  Test.make ~name:"cec_adder8_vs_factored"
+    (Staged.stage (fun () -> assert (Cec.check net factored = Cec.Equivalent)))
+
 let tests =
   [ bdd_build; cover_minimize; cover_complement; fsm_synth; event_sim;
     event_sim_reference; required_times_1k; list_scheduling; iss_run;
-    encoding_search; odc_guard; seq_chain; streaming_kernel ]
+    encoding_search; odc_guard; seq_chain; streaming_kernel; sat_pigeon;
+    cec_adder_vs_factored ]
 
 (* Machine-readable mirror of the stdout table: name -> ns/run, one JSON
    object, so the perf trajectory is diffable across commits. *)

@@ -234,6 +234,59 @@ let guard_cmd =
   Cmd.v (Cmd.info "guard" ~doc:"Guarded evaluation on a mux-selected block")
     Term.(const guard_run $ width_arg 6 $ duty $ seed_arg)
 
+(* --- check --- *)
+
+let check_run circuit_a circuit_b width seed mutate =
+  let a = build_circuit circuit_a width seed in
+  let b = build_circuit circuit_b width seed in
+  let b =
+    match mutate with
+    | None -> b
+    | Some k ->
+      let logic =
+        List.filter (fun i -> not (Network.is_input b i)) (Network.topo_order b)
+      in
+      (match List.nth_opt logic k with
+      | None -> failwith (Printf.sprintf "--mutate %d: only %d logic nodes" k
+                            (List.length logic))
+      | Some n ->
+        Network.replace_func b n
+          (Expr.not_ (Network.func b n))
+          (Network.fanins b n);
+        Printf.printf "mutated node %d of %s (function inverted)\n" k circuit_b;
+        b)
+  in
+  match Cec.check a b with
+  | Cec.Equivalent ->
+    Printf.printf "EQUIVALENT: %s and %s agree on all %d outputs\n" circuit_a
+      circuit_b
+      (List.length (Network.outputs a))
+  | Cec.Counterexample vec ->
+    let pp = String.concat "" (List.map (fun b -> if b then "1" else "0")
+                                 (Array.to_list vec)) in
+    Printf.printf "NOT EQUIVALENT: counterexample inputs %s\n" pp;
+    Printf.printf "replay through event simulator confirms: %b\n"
+      (Cec.replay a b vec);
+    exit 1
+
+let check_cmd =
+  let pos_circuit n name =
+    Arg.(value & pos n string "adder"
+         & info [] ~docv:name
+             ~doc:"Circuit: adder, csel, multiplier, comparator, random.")
+  in
+  let mutate =
+    Arg.(value & opt (some int) None
+         & info [ "mutate" ] ~docv:"K"
+             ~doc:"Invert the $(docv)-th logic node of the second circuit \
+                   before checking (demonstrates a counterexample).")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Combinational equivalence check (random simulation + SAT miter)")
+    Term.(const check_run $ pos_circuit 0 "A" $ pos_circuit 1 "B" $ width_arg 6
+          $ seed_arg $ mutate)
+
 (* --- seqestimate --- *)
 
 let seqestimate_run bits duty =
@@ -273,4 +326,4 @@ let () =
        (Cmd.group
           (Cmd.info "lowpower_cli" ~doc)
           [ analyze_cmd; map_cmd; encode_cmd; precompute_cmd; businvert_cmd;
-            compile_cmd; guard_cmd; seqestimate_cmd ]))
+            compile_cmd; guard_cmd; check_cmd; seqestimate_cmd ]))

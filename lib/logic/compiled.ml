@@ -11,6 +11,7 @@ type t = {
   delay : float array;
   cap : float array;
   eval_fn : (bool array -> bool) array;
+  funcs : Expr.t array; (* local function per logic node; Const false at inputs *)
   outs : (string * int) array;
 }
 
@@ -91,12 +92,17 @@ let of_network net =
         else compile_expr fanin.(x) (Network.func net i))
       ids
   in
+  let funcs =
+    Array.mapi
+      (fun x i -> if is_input.(x) then Expr.fls else Network.func net i)
+      ids
+  in
   let outs =
     Array.of_list
       (List.map (fun (nm, i) -> (nm, idx_of.(i))) (Network.outputs net))
   in
   { size; ids; idx_of; is_input; input_idx; topo; topo_pos; fanin; fanout;
-    delay; cap; eval_fn; outs }
+    delay; cap; eval_fn; funcs; outs }
 
 let size c = c.size
 let num_inputs c = Array.length c.input_idx
@@ -117,6 +123,10 @@ let delay c x = c.delay.(x)
 let cap c x = c.cap.(x)
 let outputs c = c.outs
 let eval_node c x values = c.eval_fn.(x) values
+
+let local_func c x =
+  if c.is_input.(x) then invalid_arg "Compiled.local_func: input node"
+  else c.funcs.(x)
 
 let eval_into c input_values values =
   if Array.length input_values <> Array.length c.input_idx then

@@ -52,6 +52,12 @@ val outputs : t -> (string * int) array
 val eval_node : t -> int -> bool array -> bool
 (** Re-evaluate one logic node's function against a value plane. *)
 
+val local_func : t -> int -> Expr.t
+(** The snapshot of a logic node's local function (variable [i] is the
+    node's [i]-th fanin, as in {!Network.func}) — what CNF encoding walks
+    instead of the compiled closures.  Raises [Invalid_argument] on an
+    input node. *)
+
 val eval : t -> bool array -> bool array
 (** Zero-delay evaluation; returns a fresh value plane indexed by compact
     index.  Raises [Invalid_argument] on input-arity mismatch. *)

@@ -1,0 +1,192 @@
+type outcome =
+  | Equivalent
+  | Counterexample of bool array
+
+let output_names net =
+  List.sort compare (List.map fst (Network.outputs net))
+
+let validate a b =
+  if List.length (Network.inputs a) <> List.length (Network.inputs b) then
+    invalid_arg "Cec: input counts differ";
+  if output_names a <> output_names b then
+    invalid_arg "Cec: output name sets differ"
+
+(* ------------------------------------------------------------------ *)
+(* Word-parallel simulation (63 vectors per pass)                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec word_eval_expr fanins e =
+  match e with
+  | Expr.Const true -> -1
+  | Expr.Const false -> 0
+  | Expr.Var v -> fanins.(v)
+  | Expr.Not e -> lnot (word_eval_expr fanins e)
+  | Expr.And es ->
+    List.fold_left (fun acc e -> acc land word_eval_expr fanins e) (-1) es
+  | Expr.Or es ->
+    List.fold_left (fun acc e -> acc lor word_eval_expr fanins e) 0 es
+  | Expr.Xor (x, y) -> word_eval_expr fanins x lxor word_eval_expr fanins y
+
+(* Value word of every node under per-input words. *)
+let word_eval net words =
+  let tbl = Hashtbl.create 256 in
+  List.iteri (fun k i -> Hashtbl.replace tbl i words.(k)) (Network.inputs net);
+  List.iter
+    (fun i ->
+      if not (Network.is_input net i) then begin
+        let fanins =
+          Array.of_list
+            (List.map (fun j -> Hashtbl.find tbl j) (Network.fanins net i))
+        in
+        Hashtbl.replace tbl i (word_eval_expr fanins (Network.func net i))
+      end)
+    (Network.topo_order net);
+  tbl
+
+(* ------------------------------------------------------------------ *)
+(* Miter construction                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Instantiate a copy of [net] inside [target], its input [k] driven by
+   [input_of k]; returns the image of each original node. *)
+let embed target input_of net =
+  let image = Hashtbl.create 256 in
+  List.iteri (fun k i -> Hashtbl.replace image i (input_of k)) (Network.inputs net);
+  List.iter
+    (fun i ->
+      if not (Network.is_input net i) then begin
+        let fanins =
+          List.map (fun j -> Hashtbl.find image j) (Network.fanins net i)
+        in
+        Hashtbl.replace image i (Network.add_node target (Network.func net i) fanins)
+      end)
+    (Network.topo_order net);
+  fun i -> Hashtbl.find image i
+
+let rec or_tree net = function
+  | [] -> Network.add_node ~name:"miter" net Expr.fls []
+  | [ x ] -> x
+  | xs ->
+    let rec pair = function
+      | a :: b :: rest ->
+        Network.add_node net Expr.(var 0 ||| var 1) [ a; b ] :: pair rest
+      | rest -> rest
+    in
+    or_tree net (pair xs)
+
+let miter a b =
+  validate a b;
+  let n = List.length (Network.inputs a) in
+  let t = Network.create () in
+  let ins = Array.init n (fun _ -> Network.add_input t) in
+  let ia = embed t (fun k -> ins.(k)) a in
+  let ib = embed t (fun k -> ins.(k)) b in
+  let outs_b = Network.outputs b in
+  let diffs =
+    List.map
+      (fun nm ->
+        let oa = ia (List.assoc nm (Network.outputs a)) in
+        let ob = ib (List.assoc nm outs_b) in
+        Network.add_node t Expr.(var 0 ^^^ var 1) [ oa; ob ])
+      (output_names a)
+  in
+  Network.set_output t "miter" (or_tree t diffs);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Counterexample replay through the event simulator                  *)
+(* ------------------------------------------------------------------ *)
+
+let replay a b vec =
+  let m = miter a b in
+  let n = List.length (Network.inputs m) in
+  let base = Array.make n false in
+  let base_value = List.assoc "miter" (Network.eval_outputs m base) in
+  let r = Event_sim.run m Event_sim.Unit_delay [ base; vec ] in
+  let miter_id = List.assoc "miter" (Network.outputs m) in
+  let toggles =
+    Option.value (Hashtbl.find_opt r.Event_sim.functional miter_id) ~default:0
+  in
+  (* Settled value on [vec] = value on [base], flipped once per settled
+     transition of the single cycle simulated. *)
+  if toggles land 1 = 1 then not base_value else base_value
+
+(* ------------------------------------------------------------------ *)
+(* The check                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let confirmed a b vec =
+  if replay a b vec then Counterexample vec
+  else failwith "Cec.check: counterexample failed Event_sim replay"
+
+let check ?(rounds = 4) ?(seed = 1) a b =
+  validate a b;
+  let n = List.length (Network.inputs a) in
+  let names = output_names a in
+  let outs_a = Network.outputs a and outs_b = Network.outputs b in
+  let rng = Lowpower.Rng.create seed in
+  (* Simulation filter: find a disagreeing output pair cheaply. *)
+  let sim_cex = ref None in
+  let round = ref 0 in
+  while !sim_cex = None && !round < rounds do
+    incr round;
+    let words =
+      Array.init n (fun _ ->
+          Int64.to_int (Lowpower.Rng.bits64 rng) land max_int)
+    in
+    let ta = word_eval a words and tb = word_eval b words in
+    List.iter
+      (fun nm ->
+        if !sim_cex = None then begin
+          let wa = Hashtbl.find ta (List.assoc nm outs_a) in
+          let wb = Hashtbl.find tb (List.assoc nm outs_b) in
+          if wa <> wb then begin
+            let bit = ref 0 in
+            let d = wa lxor wb in
+            while (d lsr !bit) land 1 = 0 do
+              incr bit
+            done;
+            sim_cex :=
+              Some (Array.init n (fun k -> (words.(k) lsr !bit) land 1 = 1))
+          end
+        end)
+      names
+  done;
+  match !sim_cex with
+  | Some vec -> confirmed a b vec
+  | None ->
+    (* Candidate-equivalent outputs: discharge each with one incremental
+       SAT call over a shared encoding. *)
+    let s = Solver.create () in
+    let env_a = Cnf.add_network s a in
+    let env_b = Cnf.add_network ~inputs:env_a.Cnf.inputs s b in
+    let rec go = function
+      | [] -> Equivalent
+      | nm :: rest ->
+        let la = Cnf.lit_of_output env_a nm in
+        let lb = Cnf.lit_of_output env_b nm in
+        let m =
+          Cnf.lit_of_expr s
+            ~leaf:(fun v -> if v = 0 then la else lb)
+            Expr.(var 0 ^^^ var 1)
+        in
+        (match Solver.solve ~assumptions:[ m ] s with
+        | Solver.Unsat -> go rest
+        | Solver.Sat ->
+          let vec =
+            Array.map (fun l -> Solver.lit_true s l) env_a.Cnf.inputs
+          in
+          confirmed a b vec)
+    in
+    go names
+
+let satisfiable net name =
+  (match List.assoc_opt name (Network.outputs net) with
+  | Some _ -> ()
+  | None -> invalid_arg "Cec.satisfiable: unknown output");
+  let s = Solver.create () in
+  let env = Cnf.add_network s net in
+  let l = Cnf.lit_of_output env name in
+  match Solver.solve ~assumptions:[ l ] s with
+  | Solver.Unsat -> None
+  | Solver.Sat -> Some (Array.map (fun l -> Solver.lit_true s l) env.Cnf.inputs)

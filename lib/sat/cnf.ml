@@ -1,0 +1,91 @@
+type env = {
+  net : Network.t;
+  inputs : Solver.lit array;
+  nodes : (Network.id, Solver.lit) Hashtbl.t;
+}
+
+(* One fresh definition variable per operator node; the returned literal
+   is constrained equivalent to the subtree.  Negation is free (literal
+   complement), so NOT chains add no variables or clauses. *)
+let rec lit_of_expr s ~leaf e =
+  match e with
+  | Expr.Const true -> Solver.true_lit s
+  | Expr.Const false -> Solver.negate (Solver.true_lit s)
+  | Expr.Var v -> leaf v
+  | Expr.Not e -> Solver.negate (lit_of_expr s ~leaf e)
+  | Expr.And [] -> Solver.true_lit s
+  | Expr.And [ e ] -> lit_of_expr s ~leaf e
+  | Expr.And es ->
+    let ls = List.map (lit_of_expr s ~leaf) es in
+    let y = Solver.pos (Solver.new_var s) in
+    List.iter (fun l -> Solver.add_clause s [ Solver.negate y; l ]) ls;
+    Solver.add_clause s (y :: List.map Solver.negate ls);
+    y
+  | Expr.Or [] -> Solver.negate (Solver.true_lit s)
+  | Expr.Or [ e ] -> lit_of_expr s ~leaf e
+  | Expr.Or es ->
+    let ls = List.map (lit_of_expr s ~leaf) es in
+    let y = Solver.pos (Solver.new_var s) in
+    List.iter (fun l -> Solver.add_clause s [ y; Solver.negate l ]) ls;
+    Solver.add_clause s (Solver.negate y :: ls);
+    y
+  | Expr.Xor (a, b) ->
+    let la = lit_of_expr s ~leaf a and lb = lit_of_expr s ~leaf b in
+    let y = Solver.pos (Solver.new_var s) in
+    let ny = Solver.negate y
+    and na = Solver.negate la
+    and nb = Solver.negate lb in
+    Solver.add_clause s [ ny; la; lb ];
+    Solver.add_clause s [ ny; na; nb ];
+    Solver.add_clause s [ y; na; lb ];
+    Solver.add_clause s [ y; la; nb ];
+    y
+
+let fresh_inputs s n = Array.init n (fun _ -> Solver.pos (Solver.new_var s))
+
+let input_lits ?inputs s n =
+  match inputs with
+  | None -> fresh_inputs s n
+  | Some arr ->
+    if Array.length arr <> n then
+      invalid_arg "Cnf: input literal count mismatch";
+    arr
+
+let add_network ?inputs s net =
+  let ins = Network.inputs net in
+  let input_arr = input_lits ?inputs s (List.length ins) in
+  let nodes = Hashtbl.create 256 in
+  List.iteri (fun k i -> Hashtbl.replace nodes i input_arr.(k)) ins;
+  List.iter
+    (fun i ->
+      if not (Network.is_input net i) then begin
+        let fanins =
+          Array.of_list
+            (List.map (fun j -> Hashtbl.find nodes j) (Network.fanins net i))
+        in
+        let l = lit_of_expr s ~leaf:(fun v -> fanins.(v)) (Network.func net i) in
+        Hashtbl.replace nodes i l
+      end)
+    (Network.topo_order net);
+  { net; inputs = input_arr; nodes }
+
+let add_compiled ?inputs s c =
+  let input_arr = input_lits ?inputs s (Compiled.num_inputs c) in
+  let lits = Array.make (Compiled.size c) 0 in
+  Array.iteri (fun k x -> lits.(x) <- input_arr.(k)) (Compiled.inputs c);
+  Array.iter
+    (fun x ->
+      if not (Compiled.is_input c x) then begin
+        let fanins = Compiled.fanins c x in
+        lits.(x) <-
+          lit_of_expr s
+            ~leaf:(fun v -> lits.(fanins.(v)))
+            (Compiled.local_func c x)
+      end)
+    (Compiled.topo c);
+  lits
+
+let lit_of_node env i = Hashtbl.find env.nodes i
+
+let lit_of_output env name =
+  lit_of_node env (List.assoc name (Network.outputs env.net))

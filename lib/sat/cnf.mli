@@ -1,0 +1,36 @@
+(** Tseitin CNF encoding of expressions and Boolean networks.
+
+    Every logic node gets one solver literal equivalent to its function
+    over the fanin literals, with auxiliary variables for the internal
+    operators — linear in the network size, no SOP blow-up.  Encoding two
+    networks into one solver over {e shared} input literals (the
+    [?inputs] argument) is the miter construction {!Cec} builds on. *)
+
+type env = {
+  net : Network.t;
+  inputs : Solver.lit array;  (** literal of each primary input, by position *)
+  nodes : (Network.id, Solver.lit) Hashtbl.t;
+}
+
+val lit_of_expr :
+  Solver.t -> leaf:(int -> Solver.lit) -> Expr.t -> Solver.lit
+(** Encode one expression; [leaf v] supplies the literal of variable [v].
+    Returns a literal constrained (by the added clauses) to equal the
+    expression's value. *)
+
+val add_network :
+  ?inputs:Solver.lit array -> Solver.t -> Network.t -> env
+(** Encode every node of a network.  Fresh input variables are allocated
+    unless [inputs] supplies existing literals (length must match the
+    input count; raises [Invalid_argument] otherwise). *)
+
+val add_compiled :
+  ?inputs:Solver.lit array -> Solver.t -> Compiled.t -> Solver.lit array
+(** Encode a compiled snapshot; returns the literal of every node by
+    compact index ({!Compiled.local_func} supplies the node functions). *)
+
+val lit_of_node : env -> Network.id -> Solver.lit
+(** Raises [Not_found] on an id absent from the encoded network. *)
+
+val lit_of_output : env -> string -> Solver.lit
+(** Raises [Not_found] on an unknown output name. *)

@@ -1,0 +1,591 @@
+(* MiniSat-style CDCL over flat int arrays.
+
+   Data layout, in the spirit of the compiled simulation core:
+   - clauses are slices of one int arena: [size; lit0; lit1; ...], a
+     clause reference is the offset of its size slot, and the two watched
+     literals are always at offsets +1/+2;
+   - watch lists are growable int vectors indexed by literal;
+   - the trail, decision levels, reasons and VSIDS activities are plain
+     arrays indexed by variable.
+
+   Why the solver does not reuse {!Int_heap}: branching needs an
+   {e indexed} max-heap — activities are floats that change while a
+   variable sits in the heap (every conflict bumps ~a dozen of them), so
+   the heap must locate a member in O(1) and sift it up in place, and
+   variables re-enter on backtracking.  [Int_heap] is the opposite
+   specialization: anonymous int keys, duplicates allowed, no membership
+   or reposition, which is exactly right for event queues and wrong here.
+   The [Order] heap below is the decrease-key-aware sibling. *)
+
+type lit = int
+
+let pos v = 2 * v
+let neg v = (2 * v) + 1
+let negate l = l lxor 1
+let var_of l = l lsr 1
+let is_pos l = l land 1 = 0
+
+(* Growable int vector (watch lists). *)
+module Vec = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = [||]; n = 0 }
+
+  let push v x =
+    if v.n = Array.length v.a then begin
+      let a = Array.make (max 4 (2 * v.n)) 0 in
+      Array.blit v.a 0 a 0 v.n;
+      v.a <- a
+    end;
+    v.a.(v.n) <- x;
+    v.n <- v.n + 1
+end
+
+type t = {
+  (* Per-variable state.  Arrays are sized to [cap] and grown by
+     doubling; [nvars] is the live prefix. *)
+  mutable nvars : int;
+  mutable assigns : int array; (* -1 unassigned, 0 false, 1 true *)
+  mutable level : int array;
+  mutable reason : int array; (* clause ref, or -1 for decisions *)
+  mutable activity : float array;
+  mutable phase : bool array; (* saved polarity for decisions *)
+  mutable seen : bool array; (* conflict-analysis scratch *)
+  (* Indexed binary max-heap on activity. *)
+  mutable heap : int array;
+  mutable heap_pos : int array; (* -1 when not in heap *)
+  mutable heap_size : int;
+  mutable var_inc : float;
+  (* Assignment trail. *)
+  mutable trail : int array; (* literals in assignment order *)
+  mutable trail_size : int;
+  mutable trail_lim : int array; (* trail size at each decision level *)
+  mutable trail_lim_size : int;
+  mutable qhead : int;
+  (* Clause arena and watches. *)
+  mutable arena : int array;
+  mutable arena_size : int;
+  mutable watches : Vec.t array; (* indexed by literal *)
+  mutable ok : bool;
+  mutable true_var : int;
+  mutable model : bool array;
+  (* Counters. *)
+  mutable n_clauses : int;
+  mutable n_learned : int;
+  mutable n_learned_lits : int;
+  mutable n_decisions : int;
+  mutable n_propagations : int;
+  mutable n_conflicts : int;
+  mutable n_restarts : int;
+}
+
+let create () =
+  {
+    nvars = 0;
+    assigns = Array.make 16 (-1);
+    level = Array.make 16 0;
+    reason = Array.make 16 (-1);
+    activity = Array.make 16 0.0;
+    phase = Array.make 16 false;
+    seen = Array.make 16 false;
+    heap = Array.make 16 0;
+    heap_pos = Array.make 16 (-1);
+    heap_size = 0;
+    var_inc = 1.0;
+    trail = Array.make 16 0;
+    trail_size = 0;
+    trail_lim = Array.make 17 0;
+    trail_lim_size = 0;
+    qhead = 0;
+    arena = Array.make 256 0;
+    arena_size = 0;
+    watches = Array.init 32 (fun _ -> Vec.create ());
+    ok = true;
+    true_var = -1;
+    model = [||];
+    n_clauses = 0;
+    n_learned = 0;
+    n_learned_lits = 0;
+    n_decisions = 0;
+    n_propagations = 0;
+    n_conflicts = 0;
+    n_restarts = 0;
+  }
+
+let num_vars s = s.nvars
+let ok s = s.ok
+
+(* ------------------------------------------------------------------ *)
+(* Activity order: indexed max-heap                                   *)
+(* ------------------------------------------------------------------ *)
+
+let heap_swap s i j =
+  let a = s.heap.(i) and b = s.heap.(j) in
+  s.heap.(i) <- b;
+  s.heap.(j) <- a;
+  s.heap_pos.(b) <- i;
+  s.heap_pos.(a) <- j
+
+let rec sift_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if s.activity.(s.heap.(i)) > s.activity.(s.heap.(p)) then begin
+      heap_swap s i p;
+      sift_up s p
+    end
+  end
+
+let rec sift_down s i =
+  let l = (2 * i) + 1 in
+  if l < s.heap_size then begin
+    let r = l + 1 in
+    let c =
+      if r < s.heap_size && s.activity.(s.heap.(r)) > s.activity.(s.heap.(l))
+      then r
+      else l
+    in
+    if s.activity.(s.heap.(c)) > s.activity.(s.heap.(i)) then begin
+      heap_swap s i c;
+      sift_down s c
+    end
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    let i = s.heap_size in
+    s.heap.(i) <- v;
+    s.heap_pos.(v) <- i;
+    s.heap_size <- s.heap_size + 1;
+    sift_up s i
+  end
+
+let heap_pop s =
+  let v = s.heap.(0) in
+  s.heap_size <- s.heap_size - 1;
+  s.heap_pos.(v) <- -1;
+  if s.heap_size > 0 then begin
+    let w = s.heap.(s.heap_size) in
+    s.heap.(0) <- w;
+    s.heap_pos.(w) <- 0;
+    sift_down s 0
+  end;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Variables                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let grow_to s cap0 =
+  let old = Array.length s.assigns in
+  if cap0 > old then begin
+    let cap = max cap0 (2 * old) in
+    let extend a def =
+      let b = Array.make cap def in
+      Array.blit a 0 b 0 old;
+      b
+    in
+    s.assigns <- extend s.assigns (-1);
+    s.level <- extend s.level 0;
+    s.reason <- extend s.reason (-1);
+    s.activity <- extend s.activity 0.0;
+    s.phase <- extend s.phase false;
+    s.seen <- extend s.seen false;
+    s.heap <- extend s.heap 0;
+    s.heap_pos <- extend s.heap_pos (-1);
+    s.trail <- extend s.trail 0;
+    let lim = Array.make (cap + 1) 0 in
+    Array.blit s.trail_lim 0 lim 0 (old + 1);
+    s.trail_lim <- lim;
+    let ws = Array.init (2 * cap) (fun _ -> Vec.create ()) in
+    Array.blit s.watches 0 ws 0 (2 * old);
+    s.watches <- ws
+  end
+
+let new_var s =
+  let v = s.nvars in
+  grow_to s (v + 1);
+  s.nvars <- v + 1;
+  heap_insert s v;
+  v
+
+let lit_value s l =
+  let a = s.assigns.(l lsr 1) in
+  if a < 0 then -1 else a lxor (l land 1)
+
+let decision_level s = s.trail_lim_size
+
+(* ------------------------------------------------------------------ *)
+(* Trail                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let enqueue s l reason =
+  let v = l lsr 1 in
+  s.assigns.(v) <- (l land 1) lxor 1;
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  s.trail.(s.trail_size) <- l;
+  s.trail_size <- s.trail_size + 1
+
+let new_decision_level s =
+  s.trail_lim.(s.trail_lim_size) <- s.trail_size;
+  s.trail_lim_size <- s.trail_lim_size + 1
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = s.trail_lim.(lvl) in
+    for k = s.trail_size - 1 downto bound do
+      let l = s.trail.(k) in
+      let v = l lsr 1 in
+      s.phase.(v) <- s.assigns.(v) = 1;
+      s.assigns.(v) <- -1;
+      heap_insert s v
+    done;
+    s.trail_size <- bound;
+    s.qhead <- bound;
+    s.trail_lim_size <- lvl
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Clause arena                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let arena_reserve s extra =
+  let need = s.arena_size + extra in
+  if need > Array.length s.arena then begin
+    let a = Array.make (max need (2 * Array.length s.arena)) 0 in
+    Array.blit s.arena 0 a 0 s.arena_size;
+    s.arena <- a
+  end
+
+(* Store a clause of >= 2 literals; watches the first two. *)
+let store_clause s lits =
+  let size = Array.length lits in
+  arena_reserve s (size + 1);
+  let cr = s.arena_size in
+  s.arena.(cr) <- size;
+  Array.iteri (fun k l -> s.arena.(cr + 1 + k) <- l) lits;
+  s.arena_size <- cr + size + 1;
+  Vec.push s.watches.(lits.(0)) cr;
+  Vec.push s.watches.(lits.(1)) cr;
+  cr
+
+(* ------------------------------------------------------------------ *)
+(* Propagation: two watched literals                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Returns the conflicting clause ref, or -1. *)
+let propagate s =
+  let conflict = ref (-1) in
+  while !conflict < 0 && s.qhead < s.trail_size do
+    let p = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    s.n_propagations <- s.n_propagations + 1;
+    let false_lit = p lxor 1 in
+    let ws = s.watches.(false_lit) in
+    let i = ref 0 and j = ref 0 in
+    let n = ws.Vec.n in
+    while !i < n do
+      let cr = ws.Vec.a.(!i) in
+      incr i;
+      let arena = s.arena in
+      (* Normalize: the false literal sits at offset +2. *)
+      if arena.(cr + 1) = false_lit then begin
+        arena.(cr + 1) <- arena.(cr + 2);
+        arena.(cr + 2) <- false_lit
+      end;
+      let first = arena.(cr + 1) in
+      if lit_value s first = 1 then begin
+        (* Clause already satisfied; keep the watch. *)
+        ws.Vec.a.(!j) <- cr;
+        incr j
+      end
+      else begin
+        (* Look for a non-false replacement watch. *)
+        let size = arena.(cr) in
+        let k = ref 3 in
+        while !k <= size && lit_value s arena.(cr + !k) = 0 do
+          incr k
+        done;
+        if !k <= size then begin
+          (* Move the watch to the replacement literal. *)
+          arena.(cr + 2) <- arena.(cr + !k);
+          arena.(cr + !k) <- false_lit;
+          Vec.push s.watches.(arena.(cr + 2)) cr
+        end
+        else begin
+          (* Unit or conflicting; the watch stays. *)
+          ws.Vec.a.(!j) <- cr;
+          incr j;
+          if lit_value s first = 0 then begin
+            conflict := cr;
+            s.qhead <- s.trail_size;
+            (* Copy the remaining watches back before bailing out. *)
+            while !i < n do
+              ws.Vec.a.(!j) <- ws.Vec.a.(!i);
+              incr i;
+              incr j
+            done
+          end
+          else enqueue s first cr
+        end
+      end
+    done;
+    ws.Vec.n <- !j
+  done;
+  !conflict
+
+(* ------------------------------------------------------------------ *)
+(* VSIDS                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rescale_activity s =
+  for v = 0 to s.nvars - 1 do
+    s.activity.(v) <- s.activity.(v) *. 1e-100
+  done;
+  s.var_inc <- s.var_inc *. 1e-100
+
+let bump_var s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then rescale_activity s;
+  if s.heap_pos.(v) >= 0 then sift_up s s.heap_pos.(v)
+
+let decay_activity s = s.var_inc <- s.var_inc /. 0.95
+
+(* ------------------------------------------------------------------ *)
+(* Conflict analysis: first UIP                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Returns (learnt clause, backtrack level); learnt.(0) is the asserting
+   literal. *)
+let analyze s confl =
+  let tail = ref [] in
+  let path_count = ref 0 in
+  let p = ref (-1) in
+  let index = ref s.trail_size in
+  let cr = ref confl in
+  let break_ = ref false in
+  while not !break_ do
+    let size = s.arena.(!cr) in
+    for k = 1 to size do
+      let q = s.arena.(!cr + k) in
+      if q <> !p then begin
+        let v = q lsr 1 in
+        if (not s.seen.(v)) && s.level.(v) > 0 then begin
+          s.seen.(v) <- true;
+          bump_var s v;
+          if s.level.(v) >= decision_level s then incr path_count
+          else tail := q :: !tail
+        end
+      end
+    done;
+    (* Walk back to the most recent literal that contributed. *)
+    decr index;
+    while not s.seen.(s.trail.(!index) lsr 1) do
+      decr index
+    done;
+    p := s.trail.(!index);
+    let v = !p lsr 1 in
+    s.seen.(v) <- false;
+    decr path_count;
+    if !path_count = 0 then break_ := true else cr := s.reason.(v)
+  done;
+  let tail = !tail in
+  List.iter (fun q -> s.seen.(q lsr 1) <- false) tail;
+  let bt =
+    List.fold_left (fun acc q -> max acc s.level.(q lsr 1)) 0 tail
+  in
+  let learnt = Array.of_list (negate !p :: tail) in
+  (* Position a literal of the backtrack level at index 1 so it can be
+     watched (the watch invariant needs the two watches to be the last
+     literals to become false). *)
+  if Array.length learnt > 1 then begin
+    let best = ref 1 in
+    for k = 2 to Array.length learnt - 1 do
+      if s.level.(learnt.(k) lsr 1) > s.level.(learnt.(!best) lsr 1) then
+        best := k
+    done;
+    let tmp = learnt.(1) in
+    learnt.(1) <- learnt.(!best);
+    learnt.(!best) <- tmp
+  end;
+  (learnt, bt)
+
+(* ------------------------------------------------------------------ *)
+(* Problem construction                                               *)
+(* ------------------------------------------------------------------ *)
+
+let add_clause s lits =
+  List.iter
+    (fun l ->
+      if l < 0 || l lsr 1 >= s.nvars then
+        invalid_arg "Solver.add_clause: literal of an unallocated variable")
+    lits;
+  cancel_until s 0;
+  if s.ok then begin
+    let lits = List.sort_uniq compare lits in
+    let tautology =
+      List.exists (fun l -> is_pos l && List.mem (negate l) lits) lits
+    in
+    let satisfied = List.exists (fun l -> lit_value s l = 1) lits in
+    if not (tautology || satisfied) then begin
+      let lits = List.filter (fun l -> lit_value s l <> 0) lits in
+      match lits with
+      | [] -> s.ok <- false
+      | [ l ] ->
+        enqueue s l (-1);
+        if propagate s >= 0 then s.ok <- false
+      | _ ->
+        ignore (store_clause s (Array.of_list lits));
+        s.n_clauses <- s.n_clauses + 1
+    end
+  end
+
+let true_lit s =
+  if s.true_var < 0 then begin
+    let v = new_var s in
+    s.true_var <- v;
+    add_clause s [ pos v ]
+  end;
+  pos s.true_var
+
+(* ------------------------------------------------------------------ *)
+(* Search                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+let luby i =
+  let size = ref 1 and seq = ref 0 in
+  while !size < i + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref i in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  1 lsl !seq
+
+type outcome = Sat | Unsat
+
+let pick_branch_var s =
+  let v = ref (-1) in
+  while !v < 0 && s.heap_size > 0 do
+    let w = heap_pop s in
+    if s.assigns.(w) < 0 then v := w
+  done;
+  !v
+
+let save_model s =
+  s.model <- Array.init s.nvars (fun v -> s.assigns.(v) = 1)
+
+let solve ?(assumptions = []) s =
+  cancel_until s 0;
+  if s.ok && propagate s >= 0 then s.ok <- false;
+  if not s.ok then Unsat
+  else begin
+    let assumptions = Array.of_list assumptions in
+    Array.iter
+      (fun l ->
+        if l < 0 || l lsr 1 >= s.nvars then
+          invalid_arg "Solver.solve: assumption on an unallocated variable")
+      assumptions;
+    let result = ref None in
+    let restart_count = ref 0 in
+    while !result = None do
+      (* One restart window. *)
+      let budget = 64 * luby !restart_count in
+      incr restart_count;
+      let conflicts_here = ref 0 in
+      let window_done = ref false in
+      while not !window_done do
+        let confl = propagate s in
+        if confl >= 0 then begin
+          s.n_conflicts <- s.n_conflicts + 1;
+          incr conflicts_here;
+          if decision_level s = 0 then begin
+            s.ok <- false;
+            result := Some Unsat;
+            window_done := true
+          end
+          else begin
+            let learnt, bt = analyze s confl in
+            cancel_until s bt;
+            s.n_learned <- s.n_learned + 1;
+            s.n_learned_lits <- s.n_learned_lits + Array.length learnt;
+            if Array.length learnt = 1 then begin
+              enqueue s learnt.(0) (-1)
+              (* Level-0 fact; the outer propagate will extend it. *)
+            end
+            else begin
+              let cr = store_clause s learnt in
+              enqueue s learnt.(0) cr
+            end;
+            decay_activity s;
+            if !conflicts_here >= budget then begin
+              (* Restart: replay assumptions from scratch. *)
+              s.n_restarts <- s.n_restarts + 1;
+              cancel_until s 0;
+              window_done := true
+            end
+          end
+        end
+        else if decision_level s < Array.length assumptions then begin
+          (* Re-establish the next assumption. *)
+          let l = assumptions.(decision_level s) in
+          match lit_value s l with
+          | 1 -> new_decision_level s (* already implied; placeholder level *)
+          | 0 ->
+            result := Some Unsat;
+            window_done := true
+          | _ ->
+            new_decision_level s;
+            enqueue s l (-1)
+        end
+        else begin
+          match pick_branch_var s with
+          | -1 ->
+            save_model s;
+            result := Some Sat;
+            window_done := true
+          | v ->
+            s.n_decisions <- s.n_decisions + 1;
+            new_decision_level s;
+            enqueue s (if s.phase.(v) then pos v else neg v) (-1)
+        end
+      done
+    done;
+    cancel_until s 0;
+    match !result with Some r -> r | None -> assert false
+  end
+
+let value s v = v < Array.length s.model && s.model.(v)
+let lit_true s l = value s (l lsr 1) <> (l land 1 = 1)
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  vars : int;
+  clauses : int;
+  learned_clauses : int;
+  learned_literals : int;
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+}
+
+let stats s =
+  {
+    vars = s.nvars;
+    clauses = s.n_clauses;
+    learned_clauses = s.n_learned;
+    learned_literals = s.n_learned_lits;
+    decisions = s.n_decisions;
+    propagations = s.n_propagations;
+    conflicts = s.n_conflicts;
+    restarts = s.n_restarts;
+  }

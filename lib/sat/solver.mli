@@ -1,0 +1,103 @@
+(** Conflict-driven clause-learning SAT solver.
+
+    The decision procedure behind miter-based equivalence checking
+    ({!Cec}) and the [~verify] safety net on the synthesis passes.  Where
+    the BDD engine represents a function canonically (and blows up on
+    multiplier- and comparator-shaped functions), the solver answers one
+    existence question per query and scales with the proof, not with the
+    function — the standard division of labor in combinational
+    verification flows.
+
+    The implementation follows the MiniSat recipe on the repo's flat-array
+    idiom (see {!Compiled}/{!Event_heap}): clauses live end-to-end in one
+    int arena, two-watched-literal propagation walks int watch lists,
+    first-UIP conflict analysis learns one asserting clause per conflict,
+    VSIDS-style activity drives decisions through an indexed binary heap,
+    and restarts follow the Luby sequence.  Solving is incremental: keep
+    adding clauses and re-solving, and pass {e assumptions} to query the
+    same clause database under different temporary hypotheses (the miter
+    loop solves one output pair per assumption without re-encoding).
+
+    Literal encoding: variable [v] as a positive literal is [2v], negated
+    is [2v+1] — the same positional-cube packing used by {!Cube}. *)
+
+type t
+(** Mutable solver state: clause arena, watch lists, trail, activity
+    heap. *)
+
+type lit = int
+
+(** {1 Literals} *)
+
+val pos : int -> lit
+(** Positive literal of a variable. *)
+
+val neg : int -> lit
+(** Negative literal of a variable. *)
+
+val negate : lit -> lit
+val var_of : lit -> int
+
+val is_pos : lit -> bool
+
+(** {1 Problem construction} *)
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable; returns its index. *)
+
+val num_vars : t -> int
+
+val true_lit : t -> lit
+(** A literal constrained true (allocated lazily, once per solver) —
+    the constant used when encoding [Expr.Const]. *)
+
+val add_clause : t -> lit list -> unit
+(** Add a disjunction over existing variables.  Duplicate literals are
+    merged, tautologies dropped, and literals already false at level 0
+    removed; an empty (or emptied) clause makes the solver permanently
+    unsatisfiable ({!ok} becomes false).  Raises [Invalid_argument] on a
+    literal of an unallocated variable. *)
+
+val ok : t -> bool
+(** [false] once the clause database is unsatisfiable regardless of
+    assumptions (an empty clause was derived at level 0). *)
+
+(** {1 Solving} *)
+
+type outcome = Sat | Unsat
+
+val solve : ?assumptions:lit list -> t -> outcome
+(** Decide the clause database under the given assumptions (default
+    none).  [Unsat] with assumptions means no model extends them; the
+    clause database itself stays usable, and subsequent [solve] calls
+    with other assumptions see all clauses learned so far. *)
+
+val value : t -> int -> bool
+(** Model value of a variable after a [Sat] answer (snapshotted, so it
+    survives later [add_clause]/[solve] calls).  Meaningless after
+    [Unsat]. *)
+
+val lit_true : t -> lit -> bool
+(** Model value of a literal after [Sat]. *)
+
+(** {1 Statistics} *)
+
+type stats = {
+  vars : int;
+  clauses : int;            (** problem clauses currently stored *)
+  learned_clauses : int;    (** clauses learned from conflicts *)
+  learned_literals : int;   (** total literals across learned clauses *)
+  decisions : int;
+  propagations : int;
+  conflicts : int;
+  restarts : int;
+}
+
+val stats : t -> stats
+(** Internal-consistency counters in the style of {!Bdd.stats}: every
+    learned clause is an implicate of the database (the solver checks the
+    asserting property on each one), so [conflicts = learned clauses +
+    level-0 refutations] and monotone counter growth double as a cheap
+    DRAT-style audit trail for tests. *)

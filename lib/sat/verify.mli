@@ -1,0 +1,34 @@
+(** Verification dispatch for the synthesis and sequential passes.
+
+    Every network-rewriting pass offers a [?verify] argument of this
+    [mode] type; the pass builds its proof obligation (behavioural
+    equivalence of the network before/after, or unsatisfiability of a
+    violation output) and hands it here.  [`Sat] discharges through
+    {!Cec} (random simulation + CDCL), [`Bdd] through the symbolic
+    engine, [`Off] skips the check.
+
+    The session default comes from the [LOWPOWER_VERIFY] environment
+    variable ("sat", "bdd", anything else or unset means off), so a CI
+    run can force verification across the whole test suite without
+    touching call sites. *)
+
+type mode = [ `Bdd | `Sat | `Off ]
+
+exception Failed of string
+(** A proof obligation did not hold.  The message names the pass and,
+    when available, shows the counterexample input vector. *)
+
+val default : unit -> mode
+(** The mode selected by [LOWPOWER_VERIFY] (read per call, so tests may
+    set it mid-process). *)
+
+val equivalent : ?mode:mode -> pass:string -> Network.t -> Network.t -> unit
+(** [equivalent ~pass before after] checks that the two networks compute
+    the same function on every equally-named output.  Raises {!Failed}
+    naming [pass] on a mismatch; does nothing under [`Off]. *)
+
+val never_true : ?mode:mode -> pass:string -> Network.t -> string -> unit
+(** [never_true ~pass net out] checks that the named output is the
+    constant-false function — the shape of the guard/precompute safety
+    obligations.  Raises {!Failed} naming [pass] if some input vector
+    drives it to 1. *)

@@ -75,8 +75,64 @@ let mffc net root =
   done;
   cone
 
-let apply net0 ~root ~guard =
+(* Proof obligation for [apply]: freezing the MFFC can corrupt only the
+   root's value (every cone path ends there), and a wrong Boolean is a
+   flipped one — so the guarded design is equivalent to the plain network
+   iff  guard AND (some output changes when root is flipped)  is
+   unsatisfiable.  This network computes that conjunction as the output
+   ["__guard_violation"]: the root's transitive fanout is duplicated with
+   the root image inverted, outputs are compared pairwise, and the
+   disjunction of the differences is ANDed with the guard. *)
+let obligation net0 ~root ~guard =
+  let t = Network.copy net0 in
+  let flip =
+    Network.add_node ~name:"root_flip" t (Expr.not_ (Expr.var 0)) [ root ]
+  in
+  let image = Hashtbl.create 16 in
+  Hashtbl.replace image root flip;
+  List.iter
+    (fun i ->
+      if (not (Network.is_input t i)) && i <> root then begin
+        let fanins = Network.fanins t i in
+        if List.exists (Hashtbl.mem image) fanins then begin
+          let fanins' =
+            List.map
+              (fun f -> Option.value (Hashtbl.find_opt image f) ~default:f)
+              fanins
+          in
+          Hashtbl.replace image i (Network.add_node t (Network.func t i) fanins')
+        end
+      end)
+    (Network.topo_order net0);
+  let diffs =
+    List.filter_map
+      (fun (_, o) ->
+        Option.map
+          (fun o' -> Network.add_node t Expr.(var 0 ^^^ var 1) [ o; o' ])
+          (Hashtbl.find_opt image o))
+      (Network.outputs net0)
+  in
+  let any_diff =
+    match diffs with
+    | [] -> Network.add_node t Expr.fls []
+    | [ d ] -> d
+    | ds ->
+      Network.add_node t (Expr.or_list (List.mapi (fun i _ -> Expr.var i) ds)) ds
+  in
+  let guard_node = build_over_inputs t guard in
+  let violation =
+    Network.add_node t Expr.(var 0 &&& var 1) [ guard_node; any_diff ]
+  in
+  Network.set_output t "__guard_violation" violation;
+  t
+
+let apply ?verify net0 ~root ~guard =
   if Network.is_input net0 root then invalid_arg "Guard.apply: input root";
+  (let mode = match verify with Some m -> m | None -> Verify.default () in
+   if mode <> `Off then
+     Verify.never_true ~mode ~pass:"Guard.apply"
+       (obligation net0 ~root ~guard)
+       "__guard_violation");
   let net = Network.copy net0 in
   let guard_node = build_over_inputs net guard in
   let pass =
@@ -123,11 +179,11 @@ let apply net0 ~root ~guard =
     guard_literals = Expr.literal_count guard;
   }
 
-let auto net ~root =
+let auto ?verify net ~root =
   let odc = observability_condition net root in
   match odc with
   | Expr.Const false -> None
-  | guard -> Some (apply net ~root ~guard)
+  | guard -> Some (apply ?verify net ~root ~guard)
 
 let equivalent g net ~stimulus =
   let stats = Seq_circuit.simulate g.circuit stimulus in

@@ -27,7 +27,9 @@ type guarded = {
   guard_literals : int;         (** cost of the guarding logic *)
 }
 
-val apply : Network.t -> root:Network.id -> guard:Expr.t -> guarded
+val apply :
+  ?verify:Verify.mode -> Network.t -> root:Network.id -> guard:Expr.t
+  -> guarded
 (** Build the guarded design: transparent latches on the boundary of
     [root]'s maximum fanout-free cone (the whole subcircuit that feeds
     only [root]), passing when [guard] is false — so the entire cone stops
@@ -38,9 +40,14 @@ val apply : Network.t -> root:Network.id -> guard:Expr.t -> guarded
     {!observability_condition}).  The guard logic reads the raw primary
     inputs, never the latched copies, so freezing a cone that shares
     support with the guard is safe.  Raises [Invalid_argument] if [root]
-    is an input node. *)
+    is an input node.
 
-val auto : Network.t -> root:Network.id -> guarded option
+    [verify] (default {!Verify.default}) discharges the safety obligation
+    — guard AND (an output changes when the root is flipped) is
+    unsatisfiable — and raises {!Verify.Failed} when [guard] does not
+    imply the root's ODC. *)
+
+val auto : ?verify:Verify.mode -> Network.t -> root:Network.id -> guarded option
 (** {!apply} with the exact ODC as guard; [None] when the ODC is constant
     false (the node is always observable — nothing to gain). *)
 

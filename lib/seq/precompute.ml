@@ -50,10 +50,36 @@ let with_input_registers net0 =
   in
   (net, orig_inputs, raw)
 
-let build net0 ~output ~keep ?(ff_clock_cap = 2.0) () =
+(* Proof obligation for [build]: the predictors must really determine the
+   output — [g1 implies f] and [g0 implies not f] — or the mux correction
+   [g1 OR (NOT g0 AND f)] is wrong in frozen cycles.  The violation
+   output materializes [(g1 AND NOT f) OR (g0 AND f)] next to the original
+   combinational block. *)
+let obligation net0 ~output ~keep =
+  let g1, g0 = predictors net0 ~output ~keep in
+  let t = Network.copy net0 in
+  let add_pred name expr =
+    Network.add_node ~name t expr keep
+  in
+  let g1n = add_pred "g1_oblig" g1 and g0n = add_pred "g0_oblig" g0 in
+  let f_node = List.assoc output (Network.outputs t) in
+  let violation =
+    Network.add_node ~name:"__precompute_violation" t
+      Expr.((var 0 &&& not_ (var 2)) ||| (var 1 &&& var 2))
+      [ g1n; g0n; f_node ]
+  in
+  Network.set_output t "__precompute_violation" violation;
+  t
+
+let build ?verify net0 ~output ~keep ?(ff_clock_cap = 2.0) () =
   (match List.assoc_opt output (Network.outputs net0) with
   | Some _ -> ()
   | None -> invalid_arg "Precompute.build: unknown output");
+  (let mode = match verify with Some m -> m | None -> Verify.default () in
+   if mode <> `Off then
+     Verify.never_true ~mode ~pass:"Precompute.build"
+       (obligation net0 ~output ~keep)
+       "__precompute_violation");
   let keep_pos = List.map (Network.input_index net0) keep in
   (* Plain registered design. *)
   let plain =

@@ -32,13 +32,16 @@ type architecture = {
 }
 
 val build :
-  Network.t -> output:string -> keep:Network.id list
+  ?verify:Verify.mode -> Network.t -> output:string -> keep:Network.id list
   -> ?ff_clock_cap:float -> unit -> architecture
 (** Wrap a combinational block into the two competing sequential designs.
     In the precomputed design the output is corrected with a multiplexer:
     [g1 OR (NOT g0 AND f)] evaluated on registered values, which equals [f]
     whenever the R2 registers were loaded and equals the prediction when
-    they were frozen — the Fig. 1 argument. *)
+    they were frozen — the Fig. 1 argument.  [verify] (default
+    {!Verify.default}) discharges the predictor obligations — [g1] forces
+    the output to 1 and [g0] to 0 on every input vector — and raises
+    {!Verify.Failed} otherwise. *)
 
 val equivalent :
   architecture -> stimulus:Stimulus.t -> bool

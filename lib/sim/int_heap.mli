@@ -3,7 +3,17 @@
     The integer-time specialization of {!Event_heap}: under the unit-delay
     model the simulator packs [(time, node)] into [time * size + node], so
     heap order on the packed key is exactly the event order, with one
-    unboxed comparison per step.  Duplicates are allowed. *)
+    unboxed comparison per step.  Duplicates are allowed.
+
+    Keys here are anonymous: there is no membership test, no handle to an
+    enqueued key, and therefore no way to reposition one when its priority
+    changes — push/pop is all event scheduling needs.  The SAT solver's
+    VSIDS branching heap ([Solver] in [lp_sat]) has the opposite profile:
+    it is a {e max}-heap of variable indices whose float activities are
+    bumped while enqueued, requiring an index-to-position map and in-place
+    sift on every bump.  Grafting that onto this structure would tax the
+    simulator's hot path with bookkeeping it never uses, so the solver
+    carries its own indexed heap instead of reusing this one. *)
 
 type t
 

@@ -74,11 +74,18 @@ let pad ?(budget = max_int) ?(buffer_cap = 0.5) ~keep net0 =
     gaps;
   (net, !inserted)
 
-let balance ?budget ?buffer_cap net =
-  pad ?budget ?buffer_cap ~keep:(fun _ -> true) net
+(* Buffers are identity nodes, so padding cannot change any output
+   function; [?verify] re-proves that independently. *)
+let checked ?verify net0 (net, inserted) =
+  let mode = match verify with Some m -> m | None -> Verify.default () in
+  if mode <> `Off then Verify.equivalent ~mode ~pass:"Balance" net0 net;
+  (net, inserted)
 
-let selective net ~threshold =
-  pad ~keep:(fun gap -> gap > threshold) net
+let balance ?verify ?budget ?buffer_cap net =
+  checked ?verify net (pad ?budget ?buffer_cap ~keep:(fun _ -> true) net)
 
-let pad_selective ?buffer_cap net ~threshold =
-  pad ?buffer_cap ~keep:(fun gap -> gap > threshold) net
+let selective ?verify net ~threshold =
+  checked ?verify net (pad ~keep:(fun gap -> gap > threshold) net)
+
+let pad_selective ?verify ?buffer_cap net ~threshold =
+  checked ?verify net (pad ?buffer_cap ~keep:(fun gap -> gap > threshold) net)

@@ -11,7 +11,9 @@ val imbalance : Network.t -> int
 (** Sum over logic nodes and fanin pairs of level differences — 0 iff the
     network is perfectly balanced under the unit-delay model. *)
 
-val balance : ?budget:int -> ?buffer_cap:float -> Network.t -> Network.t * int
+val balance :
+  ?verify:Verify.mode -> ?budget:int -> ?buffer_cap:float -> Network.t
+  -> Network.t * int
 (** A copy of the network with buffers (identity nodes of delay 1 and
     capacitance [buffer_cap], default 0.5) inserted so that, wherever the
     buffer budget allows, all fanins of every gate arrive at the same
@@ -19,14 +21,16 @@ val balance : ?budget:int -> ?buffer_cap:float -> Network.t -> Network.t * int
     down; [budget] (default unlimited) caps the number of buffers.
     Returns the new network and the number of buffers inserted.
     The critical path level is never increased (buffers only pad slack
-    edges). *)
+    edges).  [verify] (default {!Verify.default}) re-proves input/output
+    equivalence and raises {!Verify.Failed} on a mismatch. *)
 
 val selective :
-  Network.t -> threshold:int -> Network.t * int
+  ?verify:Verify.mode -> Network.t -> threshold:int -> Network.t * int
 (** Budget-free variant of [balance] that only pads fanin pairs whose level
     difference exceeds [threshold] — the "reduce rather than eliminate"
     policy the survey describes. *)
 
 val pad_selective :
-  ?buffer_cap:float -> Network.t -> threshold:int -> Network.t * int
+  ?verify:Verify.mode -> ?buffer_cap:float -> Network.t -> threshold:int
+  -> Network.t * int
 (** {!selective} with an explicit buffer capacitance. *)

@@ -114,7 +114,7 @@ let fanout_cost net n cand ~input_probs =
       acc +. (Network.cap net i *. 2.0 *. p *. (1.0 -. p)))
     fanout 0.0
 
-let optimize_node net policy n =
+let optimize_node_unchecked net policy n =
   if Network.is_input net n || List.length (Network.fanins net n) > 16 then
     false
   else begin
@@ -207,10 +207,27 @@ let optimize_node net policy n =
       else false
   end
 
-let optimize net policy =
-  List.fold_left
-    (fun changed i ->
-      if Network.is_input net i then changed
-      else if optimize_node net policy i then changed + 1
-      else changed)
-    0 (Network.topo_order net)
+(* The don't-care computation guarantees equivalence by construction; the
+   [?verify] argument re-proves it independently (miter + SAT, or BDDs),
+   the safety net for bugs in the DC machinery itself. *)
+let checked ?verify ~pass net run =
+  let mode = match verify with Some m -> m | None -> Verify.default () in
+  let before = if mode = `Off then None else Some (Network.copy net) in
+  let result = run () in
+  (match before with
+  | Some b -> Verify.equivalent ~mode ~pass b net
+  | None -> ());
+  result
+
+let optimize_node ?verify net policy n =
+  checked ?verify ~pass:"Dontcare.optimize_node" net (fun () ->
+      optimize_node_unchecked net policy n)
+
+let optimize ?verify net policy =
+  checked ?verify ~pass:"Dontcare.optimize" net (fun () ->
+      List.fold_left
+        (fun changed i ->
+          if Network.is_input net i then changed
+          else if optimize_node_unchecked net policy i then changed + 1
+          else changed)
+        0 (Network.topo_order net))

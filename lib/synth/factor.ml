@@ -151,7 +151,7 @@ let sop_probability prob f =
   let man = Bdd.manager () in
   Bdd.probability man prob (Bdd.of_expr man (expr_of_sop f))
 
-let extract ?(max_new = 50) cost ~nvars functions =
+let extract_unchecked ?(max_new = 50) cost ~nvars functions =
   let weights = Hashtbl.create 16 and probs = Hashtbl.create 16 in
   (match cost with
   | Literals -> ()
@@ -306,3 +306,15 @@ let to_network ext =
       Network.set_output net nm id)
     ext.functions;
   net
+
+(* Algebraic division is behaviour-preserving by construction; [?verify]
+   re-proves it by comparing the factored system against the flat original
+   functions as Boolean networks. *)
+let extract ?verify ?max_new cost ~nvars functions =
+  let ext = extract_unchecked ?max_new cost ~nvars functions in
+  let mode = match verify with Some m -> m | None -> Verify.default () in
+  if mode <> `Off then begin
+    let reference = to_network { functions; defs = []; nvars } in
+    Verify.equivalent ~mode ~pass:"Factor.extract" reference (to_network ext)
+  end;
+  ext

@@ -60,10 +60,15 @@ type extraction = {
   nvars : int;                     (** total variables incl. new ones *)
 }
 
-val extract : ?max_new:int -> cost -> nvars:int -> (string * sop) list -> extraction
+val extract :
+  ?verify:Verify.mode -> ?max_new:int -> cost -> nvars:int
+  -> (string * sop) list -> extraction
 (** Iteratively extract the single best kernel (greatest cost saving) across
     all functions, introducing one new variable per round, until no
-    extraction saves cost or [max_new] (default 50) new signals exist. *)
+    extraction saves cost or [max_new] (default 50) new signals exist.
+    [verify] (default {!Verify.default}) checks the factored system against
+    the flat originals (as networks, via {!to_network}) and raises
+    {!Verify.Failed} on a mismatch. *)
 
 val total_cost : cost -> extraction -> float
 (** Cost of the factored system: all rewritten functions plus all

@@ -67,7 +67,7 @@ let matches net fanout_count node cell =
       Array.init cell.Techlib.arity (fun k -> List.assoc k bindings))
     all
 
-let map ?(cells = Techlib.default) subject objective =
+let map_unchecked ?(cells = Techlib.default) subject objective =
   if not (Subject.is_subject_graph subject) then
     invalid_arg "Mapper.map: not a NAND2/INV subject graph";
   let fanout_tbl = Hashtbl.create 256 in
@@ -193,6 +193,14 @@ let map ?(cells = Techlib.default) subject objective =
   { subject; choice; net; signal }
 
 let netlist m = m.net
+
+(* Cell patterns are matched structurally, so the cover computes the same
+   functions by construction; [?verify] re-proves subject ~ netlist. *)
+let map ?verify ?cells subject objective =
+  let m = map_unchecked ?cells subject objective in
+  let mode = match verify with Some md -> md | None -> Verify.default () in
+  if mode <> `Off then Verify.equivalent ~mode ~pass:"Mapper.map" subject m.net;
+  m
 
 let instances m =
   let tbl = Hashtbl.create 16 in

@@ -21,12 +21,16 @@ type objective =
 
 type mapping
 
-val map : ?cells:Techlib.cell list -> Network.t -> objective -> mapping
+val map :
+  ?verify:Verify.mode -> ?cells:Techlib.cell list -> Network.t -> objective
+  -> mapping
 (** Cover a subject graph (see {!Subject.decompose}); the default library is
     {!Techlib.default}.  Raises [Invalid_argument] if the network is not a
     subject graph or if some node cannot be matched by any cell (the default
     library always matches INV and NAND2, so this means an empty or
-    inadequate custom library). *)
+    inadequate custom library).  [verify] (default {!Verify.default})
+    re-proves that the mapped netlist still computes the subject graph's
+    outputs and raises {!Verify.Failed} otherwise. *)
 
 val netlist : mapping -> Network.t
 (** The mapped network: one logic node per chosen cell instance, with

@@ -85,10 +85,14 @@ let test_guard_freezes_whole_cone () =
 
 let test_wrong_guard_breaks_equivalence () =
   (* Failure injection: guard with a condition that is NOT inside the ODC
-     and observe the mismatch — documents why the ODC matters. *)
+     and observe the mismatch — documents why the ODC matters.  Verification
+     is forced off to let the broken design be built at all (the SAT/BDD
+     obligation would reject it up front, which test_sat covers). *)
   let net, _ = mux_net () in
   let _, eq_root = roots net in
-  let bogus = Guard.apply net ~root:eq_root ~guard:(Expr.not_ (Expr.var 0)) in
+  let bogus =
+    Guard.apply ~verify:`Off net ~root:eq_root ~guard:(Expr.not_ (Expr.var 0))
+  in
   let stim = Stimulus.random (rng ()) ~width:9 ~length:500 () in
   Alcotest.(check bool) "non-ODC guard breaks the circuit" false
     (Guard.equivalent bogus net ~stimulus:stim)

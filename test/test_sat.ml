@@ -1,0 +1,395 @@
+(* Tests for lp_sat: the CDCL solver, Tseitin encoding, miter-based
+   equivalence checking, and the [~verify] safety net on the passes. *)
+
+open Test_util
+
+(* --- solver --- *)
+
+let test_solver_basic () =
+  let s = Solver.create () in
+  let a = Solver.pos (Solver.new_var s) in
+  let b = Solver.pos (Solver.new_var s) in
+  Solver.add_clause s [ a; b ];
+  Solver.add_clause s [ Solver.negate a; b ];
+  Solver.add_clause s [ a; Solver.negate b ];
+  (match Solver.solve s with
+  | Solver.Sat ->
+    Alcotest.(check bool) "a" true (Solver.lit_true s a);
+    Alcotest.(check bool) "b" true (Solver.lit_true s b)
+  | Solver.Unsat -> Alcotest.fail "satisfiable instance refuted");
+  (* Incremental: close the last corner. *)
+  Solver.add_clause s [ Solver.negate a; Solver.negate b ];
+  Alcotest.(check bool) "now unsat" true (Solver.solve s = Solver.Unsat);
+  Alcotest.(check bool) "ok false after level-0 refutation" false (Solver.ok s)
+
+let test_solver_implication_chain () =
+  (* x0 -> x1 -> ... -> x49, assume x0, refute under ~x49. *)
+  let s = Solver.create () in
+  let v = Array.init 50 (fun _ -> Solver.new_var s) in
+  for i = 0 to 48 do
+    Solver.add_clause s [ Solver.neg v.(i); Solver.pos v.(i + 1) ]
+  done;
+  Alcotest.(check bool) "chain sat" true
+    (Solver.solve ~assumptions:[ Solver.pos v.(0) ] s = Solver.Sat);
+  Alcotest.(check bool) "x49 forced" true (Solver.value s v.(49));
+  Alcotest.(check bool) "contradicting assumptions" true
+    (Solver.solve ~assumptions:[ Solver.pos v.(0); Solver.neg v.(49) ] s
+    = Solver.Unsat);
+  Alcotest.(check bool) "database still usable" true (Solver.ok s);
+  Alcotest.(check bool) "sat again without assumptions" true
+    (Solver.solve s = Solver.Sat)
+
+let php s pigeons holes =
+  (* Pigeonhole principle: [pigeons] into [holes]; unsat iff pigeons > holes. *)
+  let p =
+    Array.init pigeons (fun _ ->
+        Array.init holes (fun _ -> Solver.pos (Solver.new_var s)))
+  in
+  for i = 0 to pigeons - 1 do
+    Solver.add_clause s (Array.to_list p.(i))
+  done;
+  for h = 0 to holes - 1 do
+    for i = 0 to pigeons - 1 do
+      for j = i + 1 to pigeons - 1 do
+        Solver.add_clause s [ Solver.negate p.(i).(h); Solver.negate p.(j).(h) ]
+      done
+    done
+  done
+
+let test_solver_pigeonhole () =
+  let s = Solver.create () in
+  php s 5 4;
+  Alcotest.(check bool) "PHP(5,4) unsat" true (Solver.solve s = Solver.Unsat);
+  let st = Solver.stats s in
+  Alcotest.(check int) "vars" 20 st.Solver.vars;
+  Alcotest.(check bool) "learned from conflicts" true
+    (st.Solver.conflicts > 0 && st.Solver.learned_clauses > 0);
+  Alcotest.(check bool) "decisions counted" true (st.Solver.decisions > 0);
+  let s = Solver.create () in
+  php s 4 4;
+  Alcotest.(check bool) "PHP(4,4) sat" true (Solver.solve s = Solver.Sat)
+
+(* Differential: random 3-SAT instances against brute force. *)
+let gen_3sat =
+  QCheck2.Gen.(
+    map2
+      (fun seed nclauses -> (seed, 8 + nclauses))
+      (int_bound 100_000) (int_bound 40))
+
+let random_clauses seed nvars nclauses =
+  let r = Lowpower.Rng.create seed in
+  List.init nclauses (fun _ ->
+      List.init 3 (fun _ ->
+          let v = Lowpower.Rng.int r nvars in
+          if Lowpower.Rng.bool r then Solver.pos v else Solver.neg v))
+
+let brute_force_sat nvars clauses =
+  let lit_true code l =
+    let v = Solver.var_of l in
+    let bit = code land (1 lsl v) <> 0 in
+    if Solver.is_pos l then bit else not bit
+  in
+  let rec go code =
+    code < 1 lsl nvars
+    && (List.for_all (List.exists (lit_true code)) clauses || go (code + 1))
+  in
+  go 0
+
+let prop_solver_vs_brute_force =
+  prop ~count:150 "random 3-SAT agrees with brute force" gen_3sat
+    (fun (seed, nclauses) ->
+      let nvars = 8 in
+      let clauses = random_clauses seed nvars nclauses in
+      let s = Solver.create () in
+      for _ = 1 to nvars do ignore (Solver.new_var s) done;
+      List.iter (Solver.add_clause s) clauses;
+      match Solver.solve s with
+      | Solver.Unsat -> not (brute_force_sat nvars clauses)
+      | Solver.Sat ->
+        (* The reported model must satisfy every clause. *)
+        List.for_all (List.exists (Solver.lit_true s)) clauses)
+
+(* --- cnf --- *)
+
+let gen_network =
+  QCheck2.Gen.(
+    map2
+      (fun seed gates ->
+        ( seed,
+          Gen_comb.random
+            (Lowpower.Rng.create seed)
+            {
+              Gen_comb.num_inputs = 6;
+              num_gates = 8 + gates;
+              max_fanin = 3;
+              output_fraction = 0.2;
+            } ))
+      (int_bound 10_000) (int_bound 20))
+
+let prop_cnf_matches_eval =
+  prop ~count:60 "Tseitin encoding agrees with network evaluation" gen_network
+    (fun (seed, net) ->
+      let s = Solver.create () in
+      let env = Cnf.add_network s net in
+      let r = Lowpower.Rng.create (seed + 17) in
+      List.for_all
+        (fun _ ->
+          let n = Array.length env.Cnf.inputs in
+          let vec = Array.init n (fun _ -> Lowpower.Rng.bool r) in
+          let assumptions =
+            List.init n (fun k ->
+                if vec.(k) then env.Cnf.inputs.(k)
+                else Solver.negate env.Cnf.inputs.(k))
+          in
+          Solver.solve ~assumptions s = Solver.Sat
+          && List.for_all
+               (fun (nm, b) ->
+                 Solver.lit_true s (Cnf.lit_of_output env nm) = b)
+               (Network.eval_outputs net vec))
+        (List.init 8 Fun.id))
+
+let prop_cnf_compiled_matches_network =
+  prop ~count:40 "compiled encoding equals network encoding" gen_network
+    (fun (_, net) ->
+      let s = Solver.create () in
+      let env = Cnf.add_network s net in
+      let c = Compiled.of_network net in
+      let lits = Cnf.add_compiled ~inputs:env.Cnf.inputs s c in
+      (* Same node, two encodings: their XOR must be unsatisfiable. *)
+      List.for_all
+        (fun (nm, o) ->
+          let la = Cnf.lit_of_output env nm in
+          let lb = lits.(Compiled.index_of_id c o) in
+          let m =
+            Cnf.lit_of_expr s
+              ~leaf:(fun v -> if v = 0 then la else lb)
+              Expr.(var 0 ^^^ var 1)
+          in
+          Solver.solve ~assumptions:[ m ] s = Solver.Unsat)
+        (Network.outputs net))
+
+(* --- cec --- *)
+
+let test_cec_adder_chain () =
+  (* Acceptance: 8-bit adder through Dontcare + Balance + decomposition
+     stays equivalent, proven by SAT. *)
+  let orig = (Circuits.ripple_adder 8).Circuits.net in
+  let net = Network.copy orig in
+  ignore (Dontcare.optimize ~verify:`Off net Dontcare.For_area);
+  let net, _ = Balance.balance ~verify:`Off net in
+  let net = Subject.decompose net in
+  match Cec.check orig net with
+  | Cec.Equivalent -> ()
+  | Cec.Counterexample _ -> Alcotest.fail "synthesis chain changed the adder"
+
+let test_cec_factor_roundtrip () =
+  (* Factoring the two-level adder SOPs and rebuilding the network is an
+     equivalence the extractor's own ~verify:`Sat discharges. *)
+  let nvars = 6 in
+  let adder = (Circuits.ripple_adder 3).Circuits.net in
+  let man = Bdd.manager ~order:(Array.init nvars Fun.id) () in
+  let functions =
+    List.map
+      (fun (nm, _) ->
+        let cover =
+          Cover.of_bdd nvars man (Network.output_bdd adder man nm)
+        in
+        (nm, Factor.sop_of_expr (Cover.to_expr (Cover.minimize cover))))
+      (Network.outputs adder)
+  in
+  let ext = Factor.extract ~verify:`Sat Factor.Literals ~nvars functions in
+  Alcotest.(check bool) "extraction verified and non-trivial" true
+    (ext.Factor.nvars >= nvars)
+
+let test_cec_precomputed_comparator () =
+  (* The paper's Fig. 1: comparator corrected by MSB predictors equals the
+     plain comparator — combinationally, g1 OR (NOT g0 AND f) = f. *)
+  let width = 6 in
+  let dp = Circuits.comparator width in
+  let net = dp.Circuits.net in
+  let keep =
+    [ List.nth dp.Circuits.a_bits (width - 1);
+      List.nth dp.Circuits.b_bits (width - 1) ]
+  in
+  let g1, g0 = Precompute.predictors net ~output:"out0" ~keep in
+  let corrected = Network.copy net in
+  let g1n = Network.add_node corrected g1 keep in
+  let g0n = Network.add_node corrected g0 keep in
+  let f = List.assoc "out0" (Network.outputs corrected) in
+  let mux =
+    Network.add_node corrected
+      Expr.(var 0 ||| (not_ (var 1) &&& var 2))
+      [ g1n; g0n; f ]
+  in
+  Network.set_output corrected "out0" mux;
+  match Cec.check net corrected with
+  | Cec.Equivalent -> ()
+  | Cec.Counterexample _ -> Alcotest.fail "mux correction differs from plain"
+
+let test_cec_mutant_counterexample () =
+  (* Acceptance: a deliberately wrong gate yields a counterexample that
+     provably disagrees, replayed through the event simulator. *)
+  let a = (Circuits.ripple_adder 8).Circuits.net in
+  let b = Network.copy a in
+  let victim =
+    List.find (fun i -> not (Network.is_input b i)) (List.rev (Network.topo_order b))
+  in
+  Network.replace_func b victim
+    (Expr.not_ (Network.func b victim))
+    (Network.fanins b victim);
+  match Cec.check a b with
+  | Cec.Equivalent -> Alcotest.fail "mutant not caught"
+  | Cec.Counterexample vec ->
+    Alcotest.(check bool) "replay confirms disagreement" true
+      (Cec.replay a b vec);
+    Alcotest.(check bool) "direct evaluation disagrees" true
+      (List.sort compare (Network.eval_outputs a vec)
+      <> List.sort compare (Network.eval_outputs b vec))
+
+let test_cec_validation () =
+  let a = (Circuits.ripple_adder 2).Circuits.net in
+  let b = (Circuits.ripple_adder 4).Circuits.net in
+  expect_invalid_arg "input count mismatch" (fun () -> Cec.check a b);
+  let c = (Circuits.comparator 2).Circuits.net in
+  expect_invalid_arg "output name mismatch" (fun () -> Cec.check a c)
+
+let test_cec_satisfiable () =
+  let net = (Circuits.ripple_adder 4).Circuits.net in
+  let m = Cec.miter net net in
+  Alcotest.(check bool) "self-miter constant false" true
+    (Cec.satisfiable m "miter" = None);
+  (match Cec.satisfiable net "out0" with
+  | Some vec ->
+    Alcotest.(check bool) "witness drives out0" true
+      (List.assoc "out0" (Network.eval_outputs net vec))
+  | None -> Alcotest.fail "adder sum bit is not constant false");
+  expect_invalid_arg "unknown output" (fun () ->
+      ignore (Cec.satisfiable net "nope"))
+
+(* --- verify wiring --- *)
+
+let test_verify_modes_on_passes () =
+  let net = (Circuits.ripple_adder 4).Circuits.net in
+  List.iter
+    (fun mode ->
+      let n = Network.copy net in
+      ignore (Dontcare.optimize ~verify:mode n Dontcare.For_area);
+      ignore (Balance.balance ~verify:mode n);
+      ignore (Mapper.map ~verify:mode (Subject.decompose n) Mapper.Area))
+    [ `Sat; `Bdd; `Off ]
+
+let test_verify_guard_rejects_bad_guard () =
+  (* out = a AND b: the gate is always observable, so guarding it with the
+     constant-true condition must be rejected by verification. *)
+  let net = Network.create () in
+  let a = Network.add_input net and b = Network.add_input net in
+  let g = Network.add_node net Expr.(var 0 &&& var 1) [ a; b ] in
+  let o = Network.add_node net (Expr.var 0) [ g ] in
+  Network.set_output net "o" o;
+  (match Guard.apply ~verify:`Sat net ~root:g ~guard:Expr.tru with
+  | _ -> Alcotest.fail "observable root accepted under guard = true"
+  | exception Verify.Failed _ -> ());
+  (* The constant-false guard never freezes anything: always safe. *)
+  ignore (Guard.apply ~verify:`Sat net ~root:g ~guard:Expr.fls)
+
+let test_verify_guard_accepts_odc_guard () =
+  let net, _sel = Circuits.mux_compare 4 in
+  let z = List.assoc "z" (Network.outputs net) in
+  let root =
+    match Network.fanins net z with
+    | [ _; _; e ] -> e
+    | _ -> Alcotest.fail "unexpected mux shape"
+  in
+  match Guard.auto ~verify:`Sat net ~root with
+  | Some g -> Alcotest.(check bool) "latches inserted" true (g.Guard.latch_count > 0)
+  | None -> Alcotest.fail "mux-selected block has no ODC"
+
+let test_verify_precompute () =
+  let dp = Circuits.comparator 5 in
+  let keep =
+    [ List.nth dp.Circuits.a_bits 4; List.nth dp.Circuits.b_bits 4 ]
+  in
+  ignore (Precompute.build ~verify:`Sat dp.Circuits.net ~output:"out0" ~keep ())
+
+(* Satellite: on random networks, SAT-based CEC agrees with the BDD oracle
+   whenever the BDDs stay under a node cap (they always do at this size). *)
+let prop_cec_agrees_with_bdd =
+  prop ~count:150 "Cec.check agrees with BDD equivalence on random nets"
+    QCheck2.Gen.(
+      map2
+        (fun seed gates ->
+          ( seed,
+            Gen_comb.random
+              (Lowpower.Rng.create seed)
+              {
+                Gen_comb.num_inputs = 6;
+                num_gates = 8 + gates;
+                max_fanin = 3;
+                output_fraction = 0.25;
+              } ))
+        (int_bound 100_000) (int_bound 16))
+    (fun (seed, net) ->
+      let r = Lowpower.Rng.create (seed + 23) in
+      (* A pass that preserves behaviour... *)
+      let derived = Network.copy net in
+      ignore (Dontcare.optimize ~verify:`Off derived Dontcare.For_area);
+      let derived, _ = Balance.balance ~verify:`Off derived in
+      (* ...every fourth round sabotaged to exercise the inequivalent
+         branch (a mutation may still be behaviour-preserving if it hits
+         dead or redundant logic — the BDD oracle is the referee). *)
+      if Lowpower.Rng.int r 4 = 0 then begin
+        let logic =
+          List.filter
+            (fun i -> not (Network.is_input derived i))
+            (Network.node_ids derived)
+        in
+        let victim = List.nth logic (Lowpower.Rng.int r (List.length logic)) in
+        Network.replace_func derived victim
+          (Expr.not_ (Network.func derived victim))
+          (Network.fanins derived victim)
+      end;
+      let cec_equal =
+        match Cec.check ~seed:(seed + 31) net derived with
+        | Cec.Equivalent -> true
+        | Cec.Counterexample vec ->
+          (* A counterexample must be genuine regardless of the oracle. *)
+          if
+            List.sort compare (Network.eval_outputs net vec)
+            = List.sort compare (Network.eval_outputs derived vec)
+          then Alcotest.fail "Cec returned a bogus counterexample"
+          else false
+      in
+      let bdd_equal =
+        let man = Bdd.manager () in
+        let res =
+          List.for_all
+            (fun (nm, _) ->
+              Bdd.equal
+                (Network.output_bdd net man nm)
+                (Network.output_bdd derived man nm))
+            (Network.outputs net)
+        in
+        if Bdd.node_count man > 200_000 then None else Some res
+      in
+      match bdd_equal with None -> true | Some b -> b = cec_equal)
+
+let suite =
+  [
+    quick "solver basic + incremental" test_solver_basic;
+    quick "solver implication chain under assumptions" test_solver_implication_chain;
+    quick "solver pigeonhole + stats" test_solver_pigeonhole;
+    prop_solver_vs_brute_force;
+    prop_cnf_matches_eval;
+    prop_cnf_compiled_matches_network;
+    quick "cec adder8 synthesis chain" test_cec_adder_chain;
+    quick "cec factored adder SOPs" test_cec_factor_roundtrip;
+    quick "cec precomputed comparator vs plain" test_cec_precomputed_comparator;
+    quick "cec mutant counterexample replays" test_cec_mutant_counterexample;
+    quick "cec interface validation" test_cec_validation;
+    quick "cec satisfiable" test_cec_satisfiable;
+    quick "verify modes run on passes" test_verify_modes_on_passes;
+    quick "verify rejects unsound guard" test_verify_guard_rejects_bad_guard;
+    quick "verify accepts ODC guard" test_verify_guard_accepts_odc_guard;
+    quick "verify precompute obligations" test_verify_precompute;
+    prop_cec_agrees_with_bdd;
+  ]

@@ -110,6 +110,82 @@ let test_event_sim_energy_positive () =
   Alcotest.(check bool) "energy positive" true
     (Event_sim.energy Lowpower.Power_model.default_params net r > 0.0)
 
+(* --- heap edge cases (Int_heap / Event_heap directly) --- *)
+
+let test_int_heap_empty_pop () =
+  let h = Int_heap.create () in
+  Alcotest.(check bool) "empty" true (Int_heap.is_empty h);
+  expect_invalid_arg "min_elt on empty" (fun () -> ignore (Int_heap.min_elt h));
+  expect_invalid_arg "remove_min on empty" (fun () -> Int_heap.remove_min h);
+  Int_heap.push h 7;
+  Int_heap.remove_min h;
+  expect_invalid_arg "empty again" (fun () -> ignore (Int_heap.min_elt h))
+
+let test_int_heap_duplicates () =
+  let h = Int_heap.create ~capacity:2 () in
+  List.iter (Int_heap.push h) [ 5; 3; 5; 3; 5 ];
+  Alcotest.(check int) "all five kept" 5 (Int_heap.size h);
+  let drained = ref [] in
+  while not (Int_heap.is_empty h) do
+    drained := Int_heap.min_elt h :: !drained;
+    Int_heap.remove_min h
+  done;
+  Alcotest.(check (list int)) "dups preserved in order" [ 3; 3; 5; 5; 5 ]
+    (List.rev !drained)
+
+let test_int_heap_monotone_drain () =
+  let r = rng () in
+  let h = Int_heap.create () in
+  let keys = List.init 500 (fun _ -> Lowpower.Rng.int r 1000) in
+  List.iter (Int_heap.push h) keys;
+  let drained = ref [] in
+  while not (Int_heap.is_empty h) do
+    drained := Int_heap.min_elt h :: !drained;
+    Int_heap.remove_min h
+  done;
+  Alcotest.(check (list int)) "drain = sort" (List.sort compare keys)
+    (List.rev !drained);
+  Alcotest.(check bool) "clear leaves empty" true
+    (Int_heap.clear h; Int_heap.is_empty h)
+
+let test_event_heap_empty_pop () =
+  let h = Event_heap.create () in
+  expect_invalid_arg "min_time on empty" (fun () -> ignore (Event_heap.min_time h));
+  expect_invalid_arg "remove_min on empty" (fun () -> Event_heap.remove_min h);
+  Alcotest.(check bool) "pop on empty" true (Event_heap.pop h = None)
+
+let test_event_heap_ties_break_on_node () =
+  let h = Event_heap.create () in
+  List.iter (fun (t, n) -> Event_heap.push h t n)
+    [ (2.0, 9); (1.0, 4); (2.0, 1); (1.0, 4); (1.0, 2) ];
+  let drained = ref [] in
+  let rec go () =
+    match Event_heap.pop h with
+    | None -> ()
+    | Some ev -> drained := ev :: !drained; go ()
+  in
+  go ();
+  Alcotest.(check bool) "time order, node tiebreak, dups kept" true
+    (List.rev !drained = [ (1.0, 2); (1.0, 4); (1.0, 4); (2.0, 1); (2.0, 9) ])
+
+let test_event_heap_monotone_drain () =
+  let r = rng () in
+  let h = Event_heap.create ~capacity:1 () in
+  let evs =
+    List.init 400 (fun _ ->
+        (float_of_int (Lowpower.Rng.int r 50), Lowpower.Rng.int r 64))
+  in
+  List.iter (fun (t, n) -> Event_heap.push h t n) evs;
+  let drained = ref [] in
+  let rec go () =
+    match Event_heap.pop h with
+    | None -> ()
+    | Some ev -> drained := ev :: !drained; go ()
+  in
+  go ();
+  Alcotest.(check bool) "drain = lexicographic sort" true
+    (List.rev !drained = List.sort compare evs)
+
 let suite =
   [
     quick "stimulus shapes" test_stimulus_shapes;
@@ -124,4 +200,10 @@ let suite =
     quick "balanced tree does not glitch" test_event_sim_balanced_tree_no_glitch;
     quick "event sim validation" test_event_sim_validation;
     quick "event sim energy" test_event_sim_energy_positive;
+    quick "int heap empty pop" test_int_heap_empty_pop;
+    quick "int heap duplicate keys" test_int_heap_duplicates;
+    quick "int heap monotone drain" test_int_heap_monotone_drain;
+    quick "event heap empty pop" test_event_heap_empty_pop;
+    quick "event heap tie break" test_event_heap_ties_break_on_node;
+    quick "event heap monotone drain" test_event_heap_monotone_drain;
   ]
