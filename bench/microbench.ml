@@ -119,6 +119,50 @@ let streaming_kernel =
          Kernels.load_fir_inputs m layout ~coeffs ~xs;
          ignore (Machine.run m program)))
 
+(* Monte-Carlo signal probability on the 4-bit array multiplier, 4096
+   vectors: the scalar one-vector-per-pass loop vs the bit-plane engine
+   (63 vectors per word, popcount counting, bernoulli_word input draws). *)
+let prob_sim_scalar =
+  let net = (Circuits.array_multiplier 4).Circuits.net in
+  let input_probs = Probability.uniform_inputs net in
+  Test.make ~name:"prob_simulated_mult4_4k"
+    (Staged.stage (fun () ->
+         ignore
+           (Probability.simulated ~packed:false net
+              ~rng:(Lowpower.Rng.create 11) ~input_probs ~vectors:4096)))
+
+let prob_sim_bitsim =
+  let net = (Circuits.array_multiplier 4).Circuits.net in
+  let input_probs = Probability.uniform_inputs net in
+  Test.make ~name:"prob_simulated_mult4_4k_bitsim"
+    (Staged.stage (fun () ->
+         ignore
+           (Probability.simulated ~packed:true net
+              ~rng:(Lowpower.Rng.create 11) ~input_probs ~vectors:4096)))
+
+(* Sequential power simulation of the synthesized 16-state counter over 1k
+   cycles: the zero-delay combinational transition counting is the packed
+   vs event-driven split; the serial register loop is common to both. *)
+let seq_sim_workload () =
+  let stg = Gen_fsm.counter ~bits:4 in
+  let synth = Fsm_synth.synthesize stg (Encode.binary ~num_states:16) in
+  let stim =
+    Stimulus.random (Lowpower.Rng.create 13) ~width:1 ~length:1000 ()
+  in
+  (synth.Fsm_synth.circuit, stim)
+
+let seq_sim_scalar =
+  let circuit, stim = seq_sim_workload () in
+  Test.make ~name:"seq_sim_counter16_1k"
+    (Staged.stage (fun () ->
+         ignore (Seq_circuit.simulate ~packed:false circuit stim)))
+
+let seq_sim_bitsim =
+  let circuit, stim = seq_sim_workload () in
+  Test.make ~name:"seq_sim_counter16_1k_bitsim"
+    (Staged.stage (fun () ->
+         ignore (Seq_circuit.simulate ~packed:true circuit stim)))
+
 (* CDCL solver on a dense UNSAT instance: PHP(8,7) forces real conflict
    analysis and restarts, unlike the shallow propagation-only CEC cases. *)
 let sat_pigeon =
@@ -153,8 +197,9 @@ let cec_adder_vs_factored =
 let tests =
   [ bdd_build; cover_minimize; cover_complement; fsm_synth; event_sim;
     event_sim_reference; required_times_1k; list_scheduling; iss_run;
-    encoding_search; odc_guard; seq_chain; streaming_kernel; sat_pigeon;
-    cec_adder_vs_factored ]
+    encoding_search; odc_guard; seq_chain; streaming_kernel;
+    prob_sim_scalar; prob_sim_bitsim; seq_sim_scalar; seq_sim_bitsim;
+    sat_pigeon; cec_adder_vs_factored ]
 
 (* Machine-readable mirror of the stdout table: name -> ns/run, one JSON
    object, so the perf trajectory is diffable across commits. *)

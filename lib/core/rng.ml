@@ -17,6 +17,17 @@ let split t =
   let seed = bits64 t in
   { state = mix64 seed }
 
+let stream t k =
+  if k < 0 then invalid_arg "Rng.stream: negative index";
+  (* Pure derivation: jump the SplitMix counter k+1 steps ahead of the
+     parent's current position and re-seed through mix64 twice (as [split]
+     does), without advancing the parent.  Distinct [k] land on distinct
+     counter values, so the streams are as independent as [split]'s. *)
+  let seed =
+    mix64 (Int64.add t.state (Int64.mul (Int64.of_int (k + 1)) golden_gamma))
+  in
+  { state = mix64 seed }
+
 let copy t = { state = t.state }
 
 let int t bound =
@@ -33,6 +44,42 @@ let float t bound =
 let bool t = Int64.logand (bits64 t) 1L = 1L
 
 let bernoulli t p = float t 1.0 < p
+
+let word_bits = 63
+
+let bernoulli_word t p =
+  if p <= 0.0 then 0
+  else if p >= 1.0 then -1 (* all 63 lanes set *)
+  else if p = 0.5 then Int64.to_int (bits64 t)
+  else begin
+    (* 63 parallel comparisons U < p, one binary digit of p per draw, most
+       significant digit first.  A lane is decided as soon as its uniform
+       bit differs from p's digit, so in expectation ~log2 63 + 2 draws
+       decide every lane — far cheaper than 63 scalar [bernoulli] calls and
+       free of per-lane float arithmetic. *)
+    let result = ref 0 in
+    let undecided = ref (-1) in
+    let frac = ref p in
+    let k = ref 0 in
+    while !undecided <> 0 && !k < 53 do
+      incr k;
+      let f2 = !frac *. 2.0 in
+      let digit = f2 >= 1.0 in
+      frac := (if digit then f2 -. 1.0 else f2);
+      let w = Int64.to_int (bits64 t) in
+      if digit then begin
+        (* U-bit 0 under digit 1 decides true; U-bit 1 stays tied. *)
+        result := !result lor (!undecided land lnot w);
+        undecided := !undecided land w
+      end
+      else
+        (* U-bit 1 under digit 0 decides false; U-bit 0 stays tied. *)
+        undecided := !undecided land lnot w
+    done;
+    (* Lanes still tied after 53 digits have U = p to double precision;
+       U < p is then false, matching [bernoulli]'s strict comparison. *)
+    !result
+  end
 
 let pick t arr =
   if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";

@@ -18,6 +18,15 @@ val split : t -> t
     parent's subsequent output.  Used to hand sub-streams to subsystems
     without coupling their consumption order. *)
 
+val stream : t -> int -> t
+(** [stream t k] derives the [k]-th of a family of independent generators
+    {e without} advancing [t]: equal [(t, k)] always give the same stream,
+    and distinct [k] give independent streams.  This is the sharding
+    primitive for block-parallel simulation — each word block draws from
+    its own stream, so results are identical whether blocks are processed
+    sequentially or across domains.  Raises [Invalid_argument] if
+    [k < 0]. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state; both copies then produce the same
     stream. *)
@@ -37,6 +46,18 @@ val bool : t -> bool
 
 val bernoulli : t -> float -> bool
 (** [bernoulli t p] is [true] with probability [p]. *)
+
+val word_bits : int
+(** Number of independent Boolean lanes packed into one [int] word by
+    {!bernoulli_word} — 63, the full width of a native OCaml int. *)
+
+val bernoulli_word : t -> float -> int
+(** [bernoulli_word t p] draws {!word_bits} independent Bernoulli([p])
+    samples at once, one per bit (bit [l] is lane [l]).  Exact to double
+    precision in [p], and for most [p] it costs only a handful of raw
+    64-bit draws for all 63 lanes (one draw when [p = 0.5]).  The number of
+    draws consumed is data-dependent; use {!stream}/{!split} when
+    surrounding code needs a consumption-independent state. *)
 
 val pick : t -> 'a array -> 'a
 (** Uniformly random element of a non-empty array.

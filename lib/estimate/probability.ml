@@ -45,9 +45,17 @@ let approximate net ~input_probs =
     (Network.topo_order net);
   probs
 
-let simulated net ~rng ~input_probs ~vectors =
-  check_probs net input_probs;
-  let c = Compiled.of_network net in
+let counts_to_probs c counts denom =
+  let probs = Hashtbl.create (Compiled.size c) in
+  Array.iteri
+    (fun x ct ->
+      Hashtbl.replace probs
+        (Compiled.id_of_index c x)
+        (float_of_int ct /. float_of_int denom))
+    counts;
+  probs
+
+let simulated_scalar c ~rng ~input_probs ~vectors =
   let n = Compiled.size c in
   let arity = Array.length input_probs in
   let counts = Array.make n 0 in
@@ -62,13 +70,123 @@ let simulated net ~rng ~input_probs ~vectors =
       if plane.(x) then counts.(x) <- counts.(x) + 1
     done
   done;
-  let probs = Hashtbl.create n in
-  Array.iteri
-    (fun x ct ->
-      Hashtbl.replace probs
-        (Compiled.id_of_index c x)
-        (float_of_int ct /. float_of_int vectors))
-    counts;
-  probs
+  counts
+
+(* Word blocks are drawn from per-block [Rng.stream]s and merged with
+   integer addition, so the result is identical whether the blocks run
+   sequentially or sharded across domains. *)
+let packed_counts b ~base ~input_probs ~vectors =
+  let n = Bitsim.size b in
+  let arity = Array.length input_probs in
+  let w = Bitsim.vectors_per_word in
+  let blocks = (vectors + w - 1) / w in
+  let count_range counts lo hi =
+    let words = Array.make arity 0 in
+    let plane = Array.make n 0 in
+    for blk = lo to hi - 1 do
+      let rng = Lowpower.Rng.stream base blk in
+      for k = 0 to arity - 1 do
+        words.(k) <- Lowpower.Rng.bernoulli_word rng input_probs.(k)
+      done;
+      Bitsim.eval_into b words plane;
+      let mask = Bitsim.lane_mask (min w (vectors - (blk * w))) in
+      for x = 0 to n - 1 do
+        counts.(x) <- counts.(x) + Bitsim.popcount (plane.(x) land mask)
+      done
+    done
+  in
+  let ndom =
+    (* Domain spawns cost ~10s of microseconds each: only worth it for
+       block counts where each domain gets substantial work. *)
+    if blocks < 256 then 1
+    else min (min (Domain.recommended_domain_count ()) 8) (blocks / 64)
+  in
+  if ndom <= 1 then begin
+    let counts = Array.make n 0 in
+    count_range counts 0 blocks;
+    counts
+  end
+  else begin
+    let bound i = i * blocks / ndom in
+    let workers =
+      List.init (ndom - 1) (fun i ->
+          Domain.spawn (fun () ->
+              let counts = Array.make n 0 in
+              count_range counts (bound (i + 1)) (bound (i + 2));
+              counts))
+    in
+    let counts = Array.make n 0 in
+    count_range counts 0 (bound 1);
+    List.iter
+      (fun d ->
+        let part = Domain.join d in
+        for x = 0 to n - 1 do
+          counts.(x) <- counts.(x) + part.(x)
+        done)
+      workers;
+    counts
+  end
+
+let simulated ?packed net ~rng ~input_probs ~vectors =
+  check_probs net input_probs;
+  if vectors <= 0 then invalid_arg "Probability.simulated: vectors <= 0";
+  let c = Compiled.of_network net in
+  let use_packed =
+    match packed with Some b -> b | None -> Bitsim.enabled ()
+  in
+  let counts =
+    if use_packed then
+      (* [split] advances the caller's generator once; the packed path then
+         draws from pure per-block streams off that snapshot. *)
+      packed_counts (Bitsim.of_compiled c) ~base:(Lowpower.Rng.split rng)
+        ~input_probs ~vectors
+    else simulated_scalar c ~rng ~input_probs ~vectors
+  in
+  counts_to_probs c counts vectors
+
+let empirical ?packed net stream =
+  let length = List.length stream in
+  if length = 0 then invalid_arg "Probability.empirical: empty stream";
+  let arity = List.length (Network.inputs net) in
+  List.iter
+    (fun vec ->
+      if Array.length vec <> arity then
+        invalid_arg "Probability.empirical: vector arity mismatch")
+    stream;
+  let c = Compiled.of_network net in
+  let n = Compiled.size c in
+  let use_packed =
+    match packed with Some b -> b | None -> Bitsim.enabled ()
+  in
+  let counts =
+    if use_packed then begin
+      let b = Bitsim.of_compiled c in
+      let counts = Array.make n 0 in
+      let plane = Array.make n 0 in
+      let w = Bitsim.vectors_per_word in
+      Array.iteri
+        (fun blk words ->
+          Bitsim.eval_into b words plane;
+          let mask = Bitsim.lane_mask (min w (length - (blk * w))) in
+          for x = 0 to n - 1 do
+            counts.(x) <- counts.(x) + Bitsim.popcount (plane.(x) land mask)
+          done)
+        (Stimulus.pack stream);
+      counts
+    end
+    else begin
+      let counts = Array.make n 0 in
+      let plane = Array.make n false in
+      List.iter
+        (fun vec ->
+          Compiled.eval_into c vec plane;
+          for x = 0 to n - 1 do
+            if plane.(x) then counts.(x) <- counts.(x) + 1
+          done)
+        stream;
+      counts
+    end
+  in
+  counts_to_probs c counts length
 
 let uniform_inputs net = Array.make (List.length (Network.inputs net)) 0.5

@@ -23,11 +23,29 @@ val approximate : Network.t -> input_probs:float array -> t
     from its local function assuming its fanins are independent. *)
 
 val simulated :
-  Network.t -> rng:Lowpower.Rng.t -> input_probs:float array -> vectors:int -> t
+  ?packed:bool -> Network.t -> rng:Lowpower.Rng.t -> input_probs:float array
+  -> vectors:int -> t
 (** Monte-Carlo estimate from random functional simulation — the reference
-    that exact estimation must agree with (used in tests).  Compiles the
-    network once ({!Compiled.of_network}) and evaluates flat value planes,
-    so per-vector cost is linear with no per-node allocation. *)
+    that exact estimation must agree with (used in tests).
+
+    By default ([packed] unset and [LOWPOWER_BITSIM] not ["off"]) the
+    network is compiled to the word-parallel engine ([Bitsim]): input
+    planes are drawn 63 vectors at a time ([Rng.bernoulli_word], one
+    independent [Rng.stream] per word block) and one-counts come from SWAR
+    popcounts.  Large runs shard word blocks across OCaml domains; the
+    per-block streams make the estimate independent of the sharding.
+    [~packed:false] forces the scalar path: one [Compiled.eval_into] per
+    vector.  The two paths draw different (equally valid) random planes,
+    so their estimates agree statistically, not bit-for-bit; on a {e fixed}
+    injected stream use {!empirical}, where packed and scalar counts are
+    exactly equal.  Raises [Invalid_argument] if [vectors <= 0]. *)
+
+val empirical : ?packed:bool -> Network.t -> Stimulus.t -> t
+(** Per-node one-fraction over a given vector stream (the injected-plane
+    form of {!simulated}; complements [Stimulus.empirical_probs], which
+    covers inputs only).  [packed] defaults like {!simulated}; both paths
+    return exactly equal counts.  Raises [Invalid_argument] on an empty
+    stream or arity mismatch. *)
 
 val uniform_inputs : Network.t -> float array
 (** All-0.5 input probability vector of the right arity. *)

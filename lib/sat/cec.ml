@@ -12,38 +12,6 @@ let validate a b =
     invalid_arg "Cec: output name sets differ"
 
 (* ------------------------------------------------------------------ *)
-(* Word-parallel simulation (63 vectors per pass)                     *)
-(* ------------------------------------------------------------------ *)
-
-let rec word_eval_expr fanins e =
-  match e with
-  | Expr.Const true -> -1
-  | Expr.Const false -> 0
-  | Expr.Var v -> fanins.(v)
-  | Expr.Not e -> lnot (word_eval_expr fanins e)
-  | Expr.And es ->
-    List.fold_left (fun acc e -> acc land word_eval_expr fanins e) (-1) es
-  | Expr.Or es ->
-    List.fold_left (fun acc e -> acc lor word_eval_expr fanins e) 0 es
-  | Expr.Xor (x, y) -> word_eval_expr fanins x lxor word_eval_expr fanins y
-
-(* Value word of every node under per-input words. *)
-let word_eval net words =
-  let tbl = Hashtbl.create 256 in
-  List.iteri (fun k i -> Hashtbl.replace tbl i words.(k)) (Network.inputs net);
-  List.iter
-    (fun i ->
-      if not (Network.is_input net i) then begin
-        let fanins =
-          Array.of_list
-            (List.map (fun j -> Hashtbl.find tbl j) (Network.fanins net i))
-        in
-        Hashtbl.replace tbl i (word_eval_expr fanins (Network.func net i))
-      end)
-    (Network.topo_order net);
-  tbl
-
-(* ------------------------------------------------------------------ *)
 (* Miter construction                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -119,27 +87,38 @@ let confirmed a b vec =
   if replay a b vec then Counterexample vec
   else failwith "Cec.check: counterexample failed Event_sim replay"
 
+let output_index bs nm =
+  let outs = Compiled.outputs (Bitsim.compiled bs) in
+  let idx = ref (-1) in
+  Array.iter (fun (nm', x) -> if nm' = nm then idx := x) outs;
+  assert (!idx >= 0);
+  !idx
+
 let check ?(rounds = 4) ?(seed = 1) a b =
   validate a b;
   let n = List.length (Network.inputs a) in
   let names = output_names a in
-  let outs_a = Network.outputs a and outs_b = Network.outputs b in
   let rng = Lowpower.Rng.create seed in
-  (* Simulation filter: find a disagreeing output pair cheaply. *)
+  (* Simulation filter: find a disagreeing output pair cheaply — the shared
+     word-parallel engine, 63 random vectors per round over flat planes. *)
+  let ba = Bitsim.of_network a and bb = Bitsim.of_network b in
+  let pa = Array.make (Bitsim.size ba) 0 in
+  let pb = Array.make (Bitsim.size bb) 0 in
+  let words = Array.make n 0 in
   let sim_cex = ref None in
   let round = ref 0 in
   while !sim_cex = None && !round < rounds do
     incr round;
-    let words =
-      Array.init n (fun _ ->
-          Int64.to_int (Lowpower.Rng.bits64 rng) land max_int)
-    in
-    let ta = word_eval a words and tb = word_eval b words in
+    for k = 0 to n - 1 do
+      words.(k) <- Lowpower.Rng.bernoulli_word rng 0.5
+    done;
+    Bitsim.eval_into ba words pa;
+    Bitsim.eval_into bb words pb;
     List.iter
       (fun nm ->
         if !sim_cex = None then begin
-          let wa = Hashtbl.find ta (List.assoc nm outs_a) in
-          let wb = Hashtbl.find tb (List.assoc nm outs_b) in
+          let wa = pa.(output_index ba nm) in
+          let wb = pb.(output_index bb nm) in
           if wa <> wb then begin
             let bit = ref 0 in
             let d = wa lxor wb in

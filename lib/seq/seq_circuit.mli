@@ -53,9 +53,17 @@ val total_energy : stats -> float
     [1/2 V^2] for joules). *)
 
 val simulate :
-  ?delay_model:Event_sim.delay_model -> t -> Stimulus.t -> stats
+  ?delay_model:Event_sim.delay_model -> ?packed:bool -> t -> Stimulus.t
+  -> stats
 (** Clock the circuit through the stimulus (one vector of primary-input
     values per cycle; arity = [free_inputs]).  Default delay model is
     [Zero_delay]; pass [Unit_delay]/[Node_delays] to include glitch power in
-    [comb_energy].  Raises [Invalid_argument] on arity mismatch or empty
+    [comb_energy].
+
+    Under [Zero_delay] the combinational transition counting behind
+    [comb_energy] runs on the word-parallel engine ([Bitsim], 63 cycles per
+    machine word) unless [~packed:false] is passed or [LOWPOWER_BITSIM=off]
+    forces the event-driven scalar path; the two paths produce
+    bit-identical stats.  Delay models with glitching always use
+    [Event_sim].  Raises [Invalid_argument] on arity mismatch or empty
     stimulus. *)

@@ -36,6 +36,41 @@ let walking_ones ~width ~length =
 
 let concat = List.concat
 
+let word_bits = 63
+
+let pack stream =
+  match stream with
+  | [] -> [||]
+  | first :: _ ->
+    let vecs = Array.of_list stream in
+    let width = Array.length first in
+    let n = Array.length vecs in
+    let blocks = (n + word_bits - 1) / word_bits in
+    Array.init blocks (fun b ->
+        let base = b * word_bits in
+        let lanes = min word_bits (n - base) in
+        Array.init width (fun k ->
+            let w = ref 0 in
+            for l = 0 to lanes - 1 do
+              if vecs.(base + l).(k) then w := !w lor (1 lsl l)
+            done;
+            !w))
+
+let unpack ~width ~length blocks =
+  if length < 0 then invalid_arg "Stimulus.unpack: negative length";
+  let needed = (length + word_bits - 1) / word_bits in
+  if Array.length blocks < needed then
+    invalid_arg "Stimulus.unpack: fewer blocks than length requires";
+  Array.iter
+    (fun words ->
+      if Array.length words <> width then
+        invalid_arg "Stimulus.unpack: block width mismatch")
+    blocks;
+  List.init length (fun t ->
+      let words = blocks.(t / word_bits) in
+      let lane = t mod word_bits in
+      Array.init width (fun k -> (words.(k) lsr lane) land 1 = 1))
+
 let transitions stream =
   let rec go acc = function
     | a :: (b :: _ as rest) ->

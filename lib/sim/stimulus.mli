@@ -38,6 +38,18 @@ val walking_ones : width:int -> length:int -> t
 
 val concat : t list -> t
 
+val pack : t -> int array array
+(** Bit-plane packing for the word-parallel engine ([Bitsim]): vector [t]
+    becomes lane [t mod 63] of block [t / 63], so [(pack s).(b).(k)] is the
+    word of input [k] over vectors [63 b .. 63 b + 62].  Lanes past the end
+    of the stream in the final block are 0.  [pack [] = [||]]. *)
+
+val unpack : width:int -> length:int -> int array array -> t
+(** Inverse of {!pack}: rebuild [length] vectors of [width] bits from
+    bit-plane blocks.  [unpack ~width ~length (pack s) = s] whenever [s]
+    has that width and length.  Raises [Invalid_argument] if too few
+    blocks are supplied or a block's width disagrees. *)
+
 val transitions : t -> int
 (** Total bit transitions between consecutive vectors (the raw bus-activity
     measure). *)

@@ -1,0 +1,405 @@
+(* Differential tests for the word-parallel bit-plane engine: packed
+   evaluation against the scalar compiled evaluator on injected planes,
+   packed transition counting against the event simulator, the packed
+   Monte-Carlo estimators against their scalar oracles, and the SWAR /
+   RNG / packing primitives against naive implementations. *)
+
+open Test_util
+
+let gen_network =
+  QCheck2.Gen.(
+    map2
+      (fun seed gates ->
+        ( seed,
+          Gen_comb.random
+            (Lowpower.Rng.create seed)
+            {
+              Gen_comb.num_inputs = 6;
+              num_gates = 8 + gates;
+              max_fanin = 3;
+              output_fraction = 0.2;
+            } ))
+      (int_bound 10_000) (int_bound 20))
+
+(* ---- SWAR primitives ------------------------------------------------- *)
+
+let naive_popcount x =
+  let c = ref 0 in
+  for l = 0 to 62 do
+    if (x lsr l) land 1 = 1 then incr c
+  done;
+  !c
+
+let test_popcount_edges () =
+  Alcotest.(check int) "zero" 0 (Bitsim.popcount 0);
+  Alcotest.(check int) "all 63 lanes" 63 (Bitsim.popcount (-1));
+  Alcotest.(check int) "sign bit alone" 1 (Bitsim.popcount min_int);
+  Alcotest.(check int) "max_int" 62 (Bitsim.popcount max_int);
+  Alcotest.(check int) "one" 1 (Bitsim.popcount 1)
+
+let prop_popcount_matches_naive =
+  prop ~count:500 "SWAR popcount equals the bit loop"
+    QCheck2.Gen.(int)
+    (fun x -> Bitsim.popcount x = naive_popcount x)
+
+let test_lane_mask () =
+  Alcotest.(check int) "empty" 0 (Bitsim.lane_mask 0);
+  Alcotest.(check int) "one lane" 1 (Bitsim.lane_mask 1);
+  Alcotest.(check int) "full word" (-1) (Bitsim.lane_mask 63);
+  Alcotest.(check int) "clamped" (-1) (Bitsim.lane_mask 99);
+  Alcotest.(check int) "62 lanes" max_int (Bitsim.lane_mask 62)
+
+(* ---- Rng.bernoulli_word / Rng.stream --------------------------------- *)
+
+let test_bernoulli_word_reproducible () =
+  let a = Lowpower.Rng.create 42 and b = Lowpower.Rng.create 42 in
+  let wa = List.init 50 (fun _ -> Lowpower.Rng.bernoulli_word a 0.3) in
+  let wb = List.init 50 (fun _ -> Lowpower.Rng.bernoulli_word b 0.3) in
+  Alcotest.(check (list int)) "equal seeds, equal words" wa wb;
+  (* p = 0.5 is one raw draw: the same word [bits64] would produce. *)
+  let c = Lowpower.Rng.create 7 in
+  let d = Lowpower.Rng.copy c in
+  Alcotest.(check int) "p=0.5 is a raw draw"
+    (Int64.to_int (Lowpower.Rng.bits64 d))
+    (Lowpower.Rng.bernoulli_word c 0.5)
+
+let test_bernoulli_word_degenerate () =
+  let r = rng () in
+  Alcotest.(check int) "p=0 all clear" 0 (Lowpower.Rng.bernoulli_word r 0.0);
+  Alcotest.(check int) "p=1 all set" (-1) (Lowpower.Rng.bernoulli_word r 1.0)
+
+let test_bernoulli_word_bias () =
+  let r = rng () in
+  List.iter
+    (fun p ->
+      let words = 4_000 in
+      let ones = ref 0 in
+      for _ = 1 to words do
+        ones := !ones + Bitsim.popcount (Lowpower.Rng.bernoulli_word r p)
+      done;
+      let n = float_of_int (words * Lowpower.Rng.word_bits) in
+      let mean = float_of_int !ones /. n in
+      (* ~250k samples: 6 sigma is under 0.006 for every p tested. *)
+      if Float.abs (mean -. p) > 0.007 then
+        Alcotest.failf "bias at p=%g: measured %g" p mean)
+    [ 0.5; 0.3; 0.125; 0.9; 0.01 ]
+
+let test_bernoulli_word_lane_independence () =
+  (* Adjacent lanes must be uncorrelated: the fraction of words whose
+     lanes l and l+1 are both 1 should be ~p^2, not ~p. *)
+  let r = rng () in
+  let p = 0.3 in
+  let words = 20_000 in
+  let both = ref 0 in
+  for _ = 1 to words do
+    let w = Lowpower.Rng.bernoulli_word r p in
+    both := !both + Bitsim.popcount (w land (w lsr 1) land Bitsim.lane_mask 62)
+  done;
+  let rate = float_of_int !both /. float_of_int (words * 62) in
+  if Float.abs (rate -. (p *. p)) > 0.01 then
+    Alcotest.failf "adjacent-lane correlation: joint rate %g, want ~%g" rate
+      (p *. p)
+
+let test_stream_deterministic_and_pure () =
+  let t = Lowpower.Rng.create 99 in
+  let before = Lowpower.Rng.copy t in
+  let s3 = Lowpower.Rng.stream t 3 in
+  let s3' = Lowpower.Rng.stream t 3 in
+  let s4 = Lowpower.Rng.stream t 4 in
+  Alcotest.(check int64) "same index, same stream"
+    (Lowpower.Rng.bits64 s3) (Lowpower.Rng.bits64 s3');
+  Alcotest.(check bool) "distinct indices differ" true
+    (Lowpower.Rng.bits64 s3 <> Lowpower.Rng.bits64 s4);
+  Alcotest.(check int64) "parent state untouched"
+    (Lowpower.Rng.bits64 before) (Lowpower.Rng.bits64 t);
+  expect_invalid_arg "negative index" (fun () -> Lowpower.Rng.stream t (-1))
+
+(* ---- Stimulus.pack / unpack ------------------------------------------ *)
+
+let prop_pack_roundtrip =
+  prop ~count:200 "unpack inverts pack across the word boundary"
+    QCheck2.Gen.(triple (int_bound 10_000) (1 -- 8) (1 -- 200))
+    (fun (seed, width, length) ->
+      let stim =
+        Stimulus.random (Lowpower.Rng.create seed) ~width ~length ()
+      in
+      Stimulus.unpack ~width ~length (Stimulus.pack stim) = stim)
+
+let test_pack_boundaries () =
+  List.iter
+    (fun length ->
+      let stim =
+        Stimulus.random (Lowpower.Rng.create length) ~width:3 ~length ()
+      in
+      let blocks = Stimulus.pack stim in
+      Alcotest.(check int)
+        (Printf.sprintf "block count at length %d" length)
+        ((length + 62) / 63)
+        (Array.length blocks);
+      Alcotest.(check bool)
+        (Printf.sprintf "round trip at length %d" length)
+        true
+        (Stimulus.unpack ~width:3 ~length blocks = stim))
+    [ 1; 62; 63; 64; 126; 127 ];
+  Alcotest.(check int) "empty stream packs to nothing" 0
+    (Array.length (Stimulus.pack []));
+  expect_invalid_arg "too few blocks" (fun () ->
+      Stimulus.unpack ~width:3 ~length:64
+        (Stimulus.pack (Stimulus.counter ~width:3 ~length:63)))
+
+(* ---- packed vs scalar evaluation on injected planes ------------------ *)
+
+let prop_bitsim_matches_compiled =
+  prop ~count:160 "Bitsim lanes equal Compiled.eval on injected planes"
+    QCheck2.Gen.(pair gen_network (int_bound 10_000))
+    (fun ((_, net), stim_seed) ->
+      let comp = Compiled.of_network net in
+      let b = Bitsim.of_compiled comp in
+      let n = Compiled.size comp in
+      let width = List.length (Network.inputs net) in
+      (* 70 vectors: the second block exercises a partial final word. *)
+      let stim =
+        Stimulus.random (Lowpower.Rng.create (stim_seed + 1)) ~width
+          ~length:70 ()
+      in
+      let vecs = Array.of_list stim in
+      let blocks = Stimulus.pack stim in
+      let ok = ref true in
+      Array.iteri
+        (fun blk words ->
+          let plane = Bitsim.eval b words in
+          let lanes = min 63 (Array.length vecs - (blk * 63)) in
+          for l = 0 to lanes - 1 do
+            let scalar = Compiled.eval comp vecs.((blk * 63) + l) in
+            for x = 0 to n - 1 do
+              if ((plane.(x) lsr l) land 1 = 1) <> scalar.(x) then ok := false
+            done
+          done)
+        blocks;
+      !ok)
+
+let prop_count_transitions_matches_event_sim =
+  prop ~count:160 "packed transition counts equal zero-delay Event_sim"
+    QCheck2.Gen.(pair gen_network (int_bound 10_000))
+    (fun ((_, net), stim_seed) ->
+      let comp = Compiled.of_network net in
+      let stim =
+        Stimulus.random
+          (Lowpower.Rng.create (stim_seed + 5))
+          ~width:(List.length (Network.inputs net))
+          ~length:(65 + (stim_seed mod 70))
+          ()
+      in
+      let counts =
+        Bitsim.count_transitions (Bitsim.of_compiled comp) stim
+      in
+      let sim = Event_sim.run_compiled comp Event_sim.Zero_delay stim in
+      List.for_all
+        (fun i ->
+          counts.(Compiled.index_of_id comp i)
+          = Option.value
+              (Hashtbl.find_opt sim.Event_sim.total i)
+              ~default:0)
+        (Network.node_ids net))
+
+let prop_empirical_packed_equals_scalar =
+  prop ~count:160 "Probability.empirical: packed and scalar counts equal"
+    QCheck2.Gen.(pair gen_network (int_bound 10_000))
+    (fun ((_, net), stim_seed) ->
+      let stim =
+        Stimulus.random
+          (Lowpower.Rng.create (stim_seed + 9))
+          ~width:(List.length (Network.inputs net))
+          ~length:(1 + (stim_seed mod 130))
+          ()
+      in
+      let p = Probability.empirical ~packed:true net stim in
+      let s = Probability.empirical ~packed:false net stim in
+      List.for_all
+        (fun i -> Hashtbl.find p i = Hashtbl.find s i)
+        (Network.node_ids net))
+
+(* ---- packed Monte-Carlo estimators ----------------------------------- *)
+
+let test_simulated_packed_matches_exact () =
+  let net = (Circuits.comparator 4).Circuits.net in
+  let input_probs = [| 0.5; 0.3; 0.7; 0.5; 0.2; 0.5; 0.5; 0.8 |] in
+  let e = Probability.exact net ~input_probs in
+  let s =
+    Probability.simulated ~packed:true net ~rng:(rng ()) ~input_probs
+      ~vectors:40_000
+  in
+  Hashtbl.iter
+    (fun i p ->
+      check_close_rel ~eps:0.12 "packed monte carlo agrees with exact"
+        (max p 0.02)
+        (max (Hashtbl.find s i) 0.02))
+    e
+
+let test_simulated_packed_vs_scalar_statistical () =
+  (* Independently seeded runs of the two engines agree within Monte-Carlo
+     tolerance (they draw different, equally valid planes). *)
+  let net = (Circuits.comparator 4).Circuits.net in
+  let input_probs = Probability.uniform_inputs net in
+  let p =
+    Probability.simulated ~packed:true net
+      ~rng:(Lowpower.Rng.create 1) ~input_probs ~vectors:30_000
+  in
+  let s =
+    Probability.simulated ~packed:false net
+      ~rng:(Lowpower.Rng.create 2) ~input_probs ~vectors:30_000
+  in
+  Hashtbl.iter
+    (fun i a ->
+      check_close_rel ~eps:0.12 "packed vs scalar statistics"
+        (max a 0.02)
+        (max (Hashtbl.find s i) 0.02))
+    p
+
+let test_simulated_packed_reproducible () =
+  let net = (Circuits.comparator 4).Circuits.net in
+  let input_probs = Probability.uniform_inputs net in
+  let run seed =
+    Probability.simulated ~packed:true net
+      ~rng:(Lowpower.Rng.create seed) ~input_probs ~vectors:5_000
+  in
+  let a = run 3 and b = run 3 in
+  Hashtbl.iter
+    (fun i p -> check_close "same seed, same estimate" p (Hashtbl.find b i))
+    a
+
+let test_simulated_domain_sharding_deterministic () =
+  (* 40k vectors crosses the domain-sharding threshold (256 blocks); the
+     per-block streams must make the sharded result equal a small run's
+     prefix-free but identically seeded estimate recomputed sharded or
+     not — easiest check: two identical large runs agree exactly. *)
+  let net = (Circuits.comparator 4).Circuits.net in
+  let input_probs = Probability.uniform_inputs net in
+  let run () =
+    Probability.simulated ~packed:true net
+      ~rng:(Lowpower.Rng.create 17) ~input_probs ~vectors:40_000
+  in
+  let a = run () and b = run () in
+  Hashtbl.iter
+    (fun i p -> check_close "sharded run deterministic" p (Hashtbl.find b i))
+    a
+
+(* ---- sequential stats: packed vs event-driven ------------------------ *)
+
+let same_stats (a : Seq_circuit.stats) (b : Seq_circuit.stats) =
+  a.Seq_circuit.cycles = b.Seq_circuit.cycles
+  && a.Seq_circuit.comb_energy = b.Seq_circuit.comb_energy
+  && a.Seq_circuit.clock_energy = b.Seq_circuit.clock_energy
+  && a.Seq_circuit.ff_input_toggles = b.Seq_circuit.ff_input_toggles
+  && a.Seq_circuit.ff_output_toggles = b.Seq_circuit.ff_output_toggles
+  && a.Seq_circuit.gated_cycles = b.Seq_circuit.gated_cycles
+  && a.Seq_circuit.outputs = b.Seq_circuit.outputs
+
+let prop_seq_sim_packed_equals_scalar =
+  prop ~count:40
+    "Seq_circuit.simulate zero-delay stats identical packed vs scalar"
+    QCheck2.Gen.(pair (int_bound 10_000) (2 -- 4))
+    (fun (seed, bits) ->
+      let stg = Gen_fsm.counter ~bits in
+      let synth =
+        Fsm_synth.synthesize stg (Encode.binary ~num_states:(1 lsl bits))
+      in
+      let stim =
+        Stimulus.random
+          (Lowpower.Rng.create (seed + 11))
+          ~width:1
+          ~length:(64 + (seed mod 80))
+          ()
+      in
+      let a =
+        Seq_circuit.simulate ~packed:true synth.Fsm_synth.circuit stim
+      in
+      let b =
+        Seq_circuit.simulate ~packed:false synth.Fsm_synth.circuit stim
+      in
+      same_stats a b)
+
+let test_seq_sim_packed_with_enables () =
+  (* A register with a load-enable: gated cycles and clock energy must be
+     untouched by the packed transition counting. *)
+  let net = Network.create () in
+  let d_in = Network.add_input net in
+  let en = Network.add_input net in
+  let q = Network.add_input net in
+  let d = Network.add_node net Expr.(var 0 ^^^ var 1) [ d_in; q ] in
+  Network.set_output net "z" d;
+  let c =
+    Seq_circuit.create net
+      [ { Seq_circuit.d; q; enable = Some en; init = false; clock_cap = 1.5 } ]
+  in
+  let stim =
+    Stimulus.random (Lowpower.Rng.create 23) ~width:2 ~length:100 ()
+  in
+  let a = Seq_circuit.simulate ~packed:true c stim in
+  let b = Seq_circuit.simulate ~packed:false c stim in
+  Alcotest.(check bool) "stats identical" true (same_stats a b);
+  Alcotest.(check bool) "some cycles gated" true
+    (a.Seq_circuit.gated_cycles > 0)
+
+(* ---- word-parallel FSM verification ---------------------------------- *)
+
+let test_verify_packed_accepts_correct () =
+  List.iter
+    (fun stg ->
+      let bits = Encode.binary ~num_states:(Stg.num_states stg) in
+      let synth = Fsm_synth.synthesize stg bits in
+      Alcotest.(check bool) "packed verify accepts" true
+        (Fsm_synth.verify ~packed:true synth stg ~rng:(rng ()) ~cycles:100);
+      Alcotest.(check bool) "scalar verify accepts" true
+        (Fsm_synth.verify ~packed:false synth stg ~rng:(rng ()) ~cycles:100))
+    [
+      Gen_fsm.counter ~bits:3;
+      Gen_fsm.modulo_counter ~modulus:12;
+      Gen_fsm.sequence_detector ~pattern:[ true; false; true ];
+    ]
+
+let test_verify_packed_rejects_mutant () =
+  let stg = Gen_fsm.counter ~bits:3 in
+  let synth = Fsm_synth.synthesize stg (Encode.binary ~num_states:8) in
+  let net = Seq_circuit.network synth.Fsm_synth.circuit in
+  (* Flip one output bit's function. *)
+  let _, out_id = List.hd synth.Fsm_synth.output_nodes in
+  Network.replace_func net out_id
+    (Expr.not_ (Network.func net out_id))
+    (Network.fanins net out_id);
+  Alcotest.(check bool) "packed verify rejects" false
+    (Fsm_synth.verify ~packed:true synth stg ~rng:(rng ()) ~cycles:100);
+  Alcotest.(check bool) "scalar verify rejects" false
+    (Fsm_synth.verify ~packed:false synth stg ~rng:(rng ()) ~cycles:100)
+
+let suite =
+  [
+    quick "popcount edge cases" test_popcount_edges;
+    prop_popcount_matches_naive;
+    quick "lane masks" test_lane_mask;
+    quick "bernoulli_word reproducible" test_bernoulli_word_reproducible;
+    quick "bernoulli_word degenerate probabilities"
+      test_bernoulli_word_degenerate;
+    quick "bernoulli_word bias" test_bernoulli_word_bias;
+    quick "bernoulli_word lane independence"
+      test_bernoulli_word_lane_independence;
+    quick "Rng.stream deterministic and pure"
+      test_stream_deterministic_and_pure;
+    prop_pack_roundtrip;
+    quick "pack/unpack word boundaries" test_pack_boundaries;
+    prop_bitsim_matches_compiled;
+    prop_count_transitions_matches_event_sim;
+    prop_empirical_packed_equals_scalar;
+    quick "packed simulated matches exact probabilities"
+      test_simulated_packed_matches_exact;
+    quick "packed vs scalar simulated statistics"
+      test_simulated_packed_vs_scalar_statistical;
+    quick "packed simulated reproducible" test_simulated_packed_reproducible;
+    quick "domain-sharded simulated deterministic"
+      test_simulated_domain_sharding_deterministic;
+    prop_seq_sim_packed_equals_scalar;
+    quick "seq sim with enables identical packed vs scalar"
+      test_seq_sim_packed_with_enables;
+    quick "packed verify accepts correct FSMs" test_verify_packed_accepts_correct;
+    quick "packed verify rejects a mutant" test_verify_packed_rejects_mutant;
+  ]

@@ -8,6 +8,7 @@ let () =
       ("network", Test_network.suite);
       ("estimate", Test_estimate.suite);
       ("sim", Test_sim.suite);
+      ("bitsim", Test_bitsim.suite);
       ("sat", Test_sat.suite);
       ("compiled", Test_compiled.suite);
       ("circuit", Test_circuit.suite);
