@@ -74,11 +74,43 @@ let () =
   let added =
     List.filter (fun (name, _) -> not (List.mem_assoc name base)) fresh
   in
+  (* An added entry has no baseline, but often has a sibling measured in
+     the same fresh run — the [_reference]/[_incremental]/... variant of
+     the same workload — whose ratio is the number the new entry exists to
+     demonstrate.  Report it instead of printing the entry contextless. *)
+  let sibling_of name =
+    let suffixes = [ "_reference"; "_incremental"; "_bitsim"; "_portfolio" ] in
+    let strip s suf =
+      let ls = String.length s and lf = String.length suf in
+      if ls > lf && String.sub s (ls - lf) lf = suf then
+        Some (String.sub s 0 (ls - lf))
+      else None
+    in
+    let candidates =
+      List.filter_map (fun suf -> strip name suf) suffixes
+      @ List.map (fun suf -> name ^ suf) suffixes
+    in
+    List.find_map
+      (fun c -> Option.map (fun v -> (c, v)) (List.assoc_opt c fresh))
+      candidates
+  in
   if added <> [] then begin
     print_newline ();
     List.iter
       (fun (name, f) ->
-        Printf.printf "%-36s %14s %14.1f   ADDED (no baseline)\n" name "-" f)
+        match sibling_of name with
+        | Some (snm, sv) ->
+          let r = f /. sv in
+          (* Sub-percent ratios are the headline of incremental variants;
+             two decimals would print them as 0.00x. *)
+          let rs =
+            if r < 0.01 then Printf.sprintf "%.4fx" r
+            else Printf.sprintf "%.2fx" r
+          in
+          Printf.printf "%-36s %14s %14.1f   ADDED (%s of sibling %s)\n"
+            name "-" f rs snm
+        | None ->
+          Printf.printf "%-36s %14s %14.1f   ADDED (no baseline)\n" name "-" f)
       added
   end;
   if removed <> [] then begin

@@ -236,7 +236,22 @@ let guard_cmd =
 
 (* --- check --- *)
 
-let check_run circuit_a circuit_b width seed mutate =
+let print_solver_stats (st : Solver.stats) =
+  Printf.printf
+    "solver: %d conflicts, %d restarts, %d decisions, %d propagations\n"
+    st.Solver.conflicts st.Solver.restarts st.Solver.decisions
+    st.Solver.propagations;
+  Printf.printf
+    "learned: %d clauses live (%d literals), %d reductions dropped %d\n"
+    st.Solver.learned_clauses st.Solver.learned_literals
+    st.Solver.db_reductions st.Solver.removed_learned;
+  Printf.printf
+    "preprocessing: %d vars eliminated, %d clauses subsumed, %d strengthened, \
+     %d literals minimized\n"
+    st.Solver.eliminated_vars st.Solver.subsumed_clauses
+    st.Solver.strengthened_clauses st.Solver.minimized_literals
+
+let check_run circuit_a circuit_b width seed mutate portfolio =
   let a = build_circuit circuit_a width seed in
   let b = build_circuit circuit_b width seed in
   let b =
@@ -256,17 +271,25 @@ let check_run circuit_a circuit_b width seed mutate =
         Printf.printf "mutated node %d of %s (function inverted)\n" k circuit_b;
         b)
   in
-  match Cec.check a b with
+  let stats = ref None in
+  let verdict =
+    Cec.check ?portfolio ~on_stats:(fun st -> stats := Some st) a b
+  in
+  match verdict with
   | Cec.Equivalent ->
     Printf.printf "EQUIVALENT: %s and %s agree on all %d outputs\n" circuit_a
       circuit_b
-      (List.length (Network.outputs a))
+      (List.length (Network.outputs a));
+    (match !stats with
+    | Some st -> print_solver_stats st
+    | None -> print_endline "solver: not reached (simulation filter decided)")
   | Cec.Counterexample vec ->
     let pp = String.concat "" (List.map (fun b -> if b then "1" else "0")
                                  (Array.to_list vec)) in
     Printf.printf "NOT EQUIVALENT: counterexample inputs %s\n" pp;
     Printf.printf "replay through event simulator confirms: %b\n"
       (Cec.replay a b vec);
+    Option.iter print_solver_stats !stats;
     exit 1
 
 let check_cmd =
@@ -281,11 +304,17 @@ let check_cmd =
              ~doc:"Invert the $(docv)-th logic node of the second circuit \
                    before checking (demonstrates a counterexample).")
   in
+  let portfolio =
+    Arg.(value & opt (some int) None
+         & info [ "portfolio" ] ~docv:"N"
+             ~doc:"Race $(docv) diversified solvers on the SAT phase \
+                   (default: LOWPOWER_SAT_PORTFOLIO, else sequential).")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Combinational equivalence check (random simulation + SAT miter)")
     Term.(const check_run $ pos_circuit 0 "A" $ pos_circuit 1 "B" $ width_arg 6
-          $ seed_arg $ mutate)
+          $ seed_arg $ mutate $ portfolio)
 
 (* --- seqestimate --- *)
 

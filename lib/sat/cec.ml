@@ -11,6 +11,22 @@ let validate a b =
   if output_names a <> output_names b then
     invalid_arg "Cec: output name sets differ"
 
+let portfolio_default () =
+  match Sys.getenv_opt "LOWPOWER_SAT_PORTFOLIO" with
+  | Some v -> ( match int_of_string_opt v with Some n when n > 1 -> n | _ -> 1)
+  | None -> 1
+
+(* Lane diversification for {!Solver.solve_portfolio}: lane 0 is the
+   stock configuration (so a 1-lane portfolio is the sequential solver),
+   later lanes vary seed, phase polarity and random branching. *)
+let lane_solver k =
+  if k = 0 then Solver.create ()
+  else
+    Solver.create ~seed:k
+      ~phase:(match k mod 3 with 1 -> `True | 2 -> `Random | _ -> `False)
+      ~random_branch:(if k >= 3 then 0.02 else 0.0)
+      ()
+
 (* ------------------------------------------------------------------ *)
 (* Miter construction                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -94,8 +110,31 @@ let output_index bs nm =
   assert (!idx >= 0);
   !idx
 
-let check ?(rounds = 4) ?(seed = 1) a b =
+(* Encode both operands over shared inputs plus one XOR miter literal per
+   matched output pair.  The allocation order is deterministic, so every
+   portfolio lane running this produces identical literal numbering — the
+   property that lets one assumption list address all lanes. *)
+let encode_miters s a b =
+  let env_a = Cnf.add_network s a in
+  let env_b = Cnf.add_network ~inputs:env_a.Cnf.inputs s b in
+  let miters =
+    List.map
+      (fun nm ->
+        let la = Cnf.lit_of_output env_a nm in
+        let lb = Cnf.lit_of_output env_b nm in
+        ( nm,
+          Cnf.lit_of_expr s
+            ~leaf:(fun v -> if v = 0 then la else lb)
+            Expr.(var 0 ^^^ var 1) ))
+      (output_names a)
+  in
+  (env_a, miters)
+
+let check ?(rounds = 4) ?(seed = 1) ?portfolio ?on_stats a b =
   validate a b;
+  let lanes =
+    match portfolio with Some n -> max 1 n | None -> portfolio_default ()
+  in
   let n = List.length (Network.inputs a) in
   let names = output_names a in
   let rng = Lowpower.Rng.create seed in
@@ -133,39 +172,225 @@ let check ?(rounds = 4) ?(seed = 1) a b =
   done;
   match !sim_cex with
   | Some vec -> confirmed a b vec
+  | None when lanes > 1 ->
+    (* Portfolio: one race deciding the disjunction of all output miters.
+       Lane 0 reuses the probe encoding below; identical (deterministic)
+       literal numbering across lanes makes the shared assumption valid
+       everywhere. *)
+    let encode_full s =
+      let env_a, miters = encode_miters s a b in
+      let ms = Array.of_list (List.map snd miters) in
+      let any =
+        Cnf.lit_of_expr s
+          ~leaf:(fun v -> ms.(v))
+          (Expr.or_list (Array.to_list (Array.mapi (fun i _ -> Expr.var i) ms)))
+      in
+      (env_a, any)
+    in
+    let probe = Solver.create () in
+    let env_a, any = encode_full probe in
+    let build k =
+      if k = 0 then probe
+      else begin
+        let s = lane_solver k in
+        ignore (encode_full s : Cnf.env * Solver.lit);
+        s
+      end
+    in
+    let verdict, winner = Solver.solve_portfolio ~assumptions:[ any ] lanes build in
+    Option.iter (fun f -> f (Solver.stats winner)) on_stats;
+    (match verdict with
+    | Solver.Unsat -> Equivalent
+    | Solver.Sat ->
+      let vec =
+        Array.map (fun l -> Solver.lit_true winner l) env_a.Cnf.inputs
+      in
+      confirmed a b vec)
   | None ->
     (* Candidate-equivalent outputs: discharge each with one incremental
        SAT call over a shared encoding. *)
     let s = Solver.create () in
-    let env_a = Cnf.add_network s a in
-    let env_b = Cnf.add_network ~inputs:env_a.Cnf.inputs s b in
+    let env_a, miters = encode_miters s a b in
+    let finish r =
+      Option.iter (fun f -> f (Solver.stats s)) on_stats;
+      r
+    in
     let rec go = function
-      | [] -> Equivalent
-      | nm :: rest ->
-        let la = Cnf.lit_of_output env_a nm in
-        let lb = Cnf.lit_of_output env_b nm in
-        let m =
-          Cnf.lit_of_expr s
-            ~leaf:(fun v -> if v = 0 then la else lb)
-            Expr.(var 0 ^^^ var 1)
-        in
-        (match Solver.solve ~assumptions:[ m ] s with
+      | [] -> finish Equivalent
+      | (_, m) :: rest -> (
+        match Solver.solve ~assumptions:[ m ] s with
         | Solver.Unsat -> go rest
         | Solver.Sat ->
           let vec =
             Array.map (fun l -> Solver.lit_true s l) env_a.Cnf.inputs
           in
-          confirmed a b vec)
+          finish (confirmed a b vec))
     in
-    go names
+    go miters
 
-let satisfiable net name =
+let satisfiable ?portfolio ?on_stats net name =
   (match List.assoc_opt name (Network.outputs net) with
   | Some _ -> ()
   | None -> invalid_arg "Cec.satisfiable: unknown output");
+  let lanes =
+    match portfolio with Some n -> max 1 n | None -> portfolio_default ()
+  in
+  let probe = Solver.create () in
+  let env = Cnf.add_network probe net in
+  let l = Cnf.lit_of_output env name in
+  let build k =
+    if k = 0 then probe
+    else begin
+      let s = lane_solver k in
+      ignore (Cnf.add_network s net : Cnf.env);
+      s
+    end
+  in
+  let verdict, winner = Solver.solve_portfolio ~assumptions:[ l ] lanes build in
+  Option.iter (fun f -> f (Solver.stats winner)) on_stats;
+  match verdict with
+  | Solver.Unsat -> None
+  | Solver.Sat ->
+    Some (Array.map (fun l -> Solver.lit_true winner l) env.Cnf.inputs)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental sessions                                               *)
+(* ------------------------------------------------------------------ *)
+
+type session = {
+  base : Network.t;
+  s : Solver.t;
+  env : Cnf.env;
+  mutable retired : int;  (* activation literals retired since last simplify *)
+}
+
+let session net =
   let s = Solver.create () in
   let env = Cnf.add_network s net in
-  let l = Cnf.lit_of_output env name in
-  match Solver.solve ~assumptions:[ l ] s with
-  | Solver.Unsat -> None
-  | Solver.Sat -> Some (Array.map (fun l -> Solver.lit_true s l) env.Cnf.inputs)
+  { base = net; s; env; retired = 0 }
+
+let session_stats sess = Solver.stats sess.s
+
+let retire sess act =
+  Solver.add_clause sess.s [ Solver.negate act ];
+  sess.retired <- sess.retired + 1;
+  if sess.retired >= 8 then begin
+    Solver.simplify sess.s;
+    sess.retired <- 0
+  end
+
+let fresh_activation sess =
+  let act = Solver.pos (Solver.new_var sess.s) in
+  Solver.freeze sess.s (Solver.var_of act);
+  act
+
+(* A proof-obligation network built by [Network.copy base] plus added
+   nodes shares the base's node ids; encode only the suffix, checking
+   that every shared id really is unchanged so a session is never applied
+   to an unrelated network. *)
+let extend_base sess ob act =
+  if Network.inputs ob <> Network.inputs sess.base then
+    invalid_arg "Cec.session: obligation inputs differ from session base";
+  let overlay = Hashtbl.create 64 in
+  let lit_of i =
+    match Hashtbl.find_opt overlay i with
+    | Some l -> l
+    | None -> Cnf.lit_of_node sess.env i
+  in
+  List.iter
+    (fun i ->
+      if Network.mem sess.base i then begin
+        if
+          (not (Network.is_input ob i))
+          && (Network.func ob i <> Network.func sess.base i
+             || Network.fanins ob i <> Network.fanins sess.base i)
+        then
+          invalid_arg "Cec.session: obligation does not extend session base"
+      end
+      else begin
+        let fanins = Array.of_list (List.map lit_of (Network.fanins ob i)) in
+        let l =
+          Cnf.lit_of_expr ~activation:act sess.s
+            ~leaf:(fun v -> fanins.(v))
+            (Network.func ob i)
+        in
+        Hashtbl.replace overlay i l
+      end)
+    (Network.topo_order ob);
+  lit_of
+
+let session_never_true sess ob out =
+  let o =
+    match List.assoc_opt out (Network.outputs ob) with
+    | Some o -> o
+    | None -> invalid_arg "Cec.session_never_true: unknown output"
+  in
+  let act = fresh_activation sess in
+  let lit_of = extend_base sess ob act in
+  let l = lit_of o in
+  let verdict = Solver.solve ~assumptions:[ act; l ] sess.s in
+  let r =
+    match verdict with
+    | Solver.Unsat -> None
+    | Solver.Sat ->
+      let vec =
+        Array.map (fun l -> Solver.lit_true sess.s l) sess.env.Cnf.inputs
+      in
+      if List.assoc out (Network.eval_outputs ob vec) then Some vec
+      else failwith "Cec.session_never_true: witness failed network replay"
+  in
+  retire sess act;
+  r
+
+type handle = {
+  h_net : Network.t;
+  h_act : Solver.lit;
+  h_miters : (string * Solver.lit) list;
+  mutable h_retired : bool;
+}
+
+let session_encode sess other =
+  validate sess.base other;
+  let act = fresh_activation sess in
+  let env_o =
+    Cnf.add_network ~inputs:sess.env.Cnf.inputs ~activation:act sess.s other
+  in
+  let miters =
+    List.map
+      (fun nm ->
+        let la = Cnf.lit_of_output sess.env nm in
+        let lb = Cnf.lit_of_output env_o nm in
+        ( nm,
+          Cnf.lit_of_expr ~activation:act sess.s
+            ~leaf:(fun v -> if v = 0 then la else lb)
+            Expr.(var 0 ^^^ var 1) ))
+      (output_names sess.base)
+  in
+  { h_net = other; h_act = act; h_miters = miters; h_retired = false }
+
+let session_recheck sess h =
+  if h.h_retired then invalid_arg "Cec.session_recheck: handle retired";
+  let rec go = function
+    | [] -> Equivalent
+    | (_, m) :: rest -> (
+      match Solver.solve ~assumptions:[ h.h_act; m ] sess.s with
+      | Solver.Unsat -> go rest
+      | Solver.Sat ->
+        let vec =
+          Array.map (fun l -> Solver.lit_true sess.s l) sess.env.Cnf.inputs
+        in
+        confirmed sess.base h.h_net vec)
+  in
+  go h.h_miters
+
+let session_retire sess h =
+  if not h.h_retired then begin
+    h.h_retired <- true;
+    retire sess h.h_act
+  end
+
+let session_check sess other =
+  let h = session_encode sess other in
+  let r = session_recheck sess h in
+  session_retire sess h;
+  r

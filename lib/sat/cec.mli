@@ -12,7 +12,20 @@
 
     A reported counterexample is always replayed through {!Event_sim}
     (on the miter network) before being returned, so the answer is
-    confirmed by an independent evaluator. *)
+    confirmed by an independent evaluator.
+
+    Two throughput mechanisms sit on top of the one-shot check.
+    {e Sessions} ({!session}) keep one live solver holding the Tseitin
+    encoding of a base network and discharge a stream of obligations
+    against it — each obligation encodes only its suffix, guarded by an
+    activation literal that is assumed during its check and retired (unit
+    negated, then reclaimed by {!Solver.simplify}) afterwards, so learned
+    clauses accumulate across obligations instead of being rebuilt.
+    {e Portfolios} race [N] diversified solvers on one hard query via
+    {!Solver.solve_portfolio}; the lane count defaults to the
+    [LOWPOWER_SAT_PORTFOLIO] environment variable (unset or [<= 1] means
+    sequential).  The one-shot path is the oracle the session path is
+    property-tested against. *)
 
 type outcome =
   | Equivalent
@@ -20,12 +33,23 @@ type outcome =
       (** An input vector (by input position) on which some output pair
           disagrees; confirmed by {!replay}. *)
 
-val check : ?rounds:int -> ?seed:int -> Network.t -> Network.t -> outcome
+val check :
+  ?rounds:int ->
+  ?seed:int ->
+  ?portfolio:int ->
+  ?on_stats:(Solver.stats -> unit) ->
+  Network.t ->
+  Network.t ->
+  outcome
 (** [check a b] decides whether every equally-named output computes the
     same function of the primary inputs.  [rounds] (default 4) sets the
     number of 63-vector random simulation passes; [seed] their stream.
-    Raises [Invalid_argument] if the input counts or output name sets
-    differ. *)
+    [portfolio] (default: [LOWPOWER_SAT_PORTFOLIO]) races that many
+    diversified solvers on the combined miter disjunction instead of
+    solving per-output incrementally.  [on_stats] receives the (winning)
+    solver's counters when the SAT phase ran — the simulation filter
+    short-circuits it.  Raises [Invalid_argument] if the input counts or
+    output name sets differ. *)
 
 val miter : Network.t -> Network.t -> Network.t
 (** The combined network: both operands instantiated over shared fresh
@@ -41,7 +65,66 @@ val replay : Network.t -> Network.t -> bool array -> bool
     yields the miter value on [vec].  [true] means the networks really
     disagree on [vec]. *)
 
-val satisfiable : Network.t -> string -> bool array option
+val satisfiable :
+  ?portfolio:int ->
+  ?on_stats:(Solver.stats -> unit) ->
+  Network.t ->
+  string ->
+  bool array option
 (** [satisfiable net out] is an input vector driving the named output to
     1, or [None] if the output is constant false — the discharge engine
-    for the never-true proof obligations of {!Verify}. *)
+    for the never-true proof obligations of {!Verify}.  [portfolio] and
+    [on_stats] as in {!check}. *)
+
+(** {1 Incremental sessions} *)
+
+type session
+(** One live solver holding the Tseitin encoding of a base network, plus
+    the retirement bookkeeping for per-obligation activation literals. *)
+
+val session : Network.t -> session
+(** Encode the base network once.  Obligations checked against the
+    session reuse its input literals, node literals and every clause
+    learned by earlier checks. *)
+
+val session_never_true : session -> Network.t -> string -> bool array option
+(** [session_never_true sess ob out]: decide whether the named output of
+    [ob] — a network built by [Network.copy base] plus added nodes, as
+    the {!Guard}/{!Precompute} obligation builders produce — can be
+    driven to 1.  Only the suffix of [ob] (nodes absent from the base) is
+    encoded, under a fresh activation literal retired after the check.
+    Returns the witness vector, or [None] when the output is constant
+    false.  Raises [Invalid_argument] when [ob] does not structurally
+    extend the session's base (shared node ids must carry identical
+    functions and fanins), and [Failure] if a SAT witness fails replay
+    through {!Network.eval_outputs}. *)
+
+val session_check : session -> Network.t -> outcome
+(** [session_check sess other]: per-output miter check of [other] against
+    the session's base over shared input literals, one assumption-guarded
+    SAT call per output — no simulation pre-filter, no re-encoding of the
+    base.  [other]'s encoding is activation-guarded and retired after the
+    verdict.  Counterexamples are replay-confirmed as in {!check}.
+    Raises [Invalid_argument] as {!check}. *)
+
+type handle
+(** An operand network encoded into a session but not yet retired, so its
+    per-output checks can be re-discharged without re-encoding. *)
+
+val session_encode : session -> Network.t -> handle
+(** Encode an operand (shared inputs, activation-guarded, per-output
+    miter literals) without solving.  Raises [Invalid_argument] as
+    {!check}. *)
+
+val session_recheck : session -> handle -> outcome
+(** Discharge every per-output miter of the handle — assumption solves
+    only; after the first call, later calls ride entirely on retained
+    learned clauses.  Raises [Invalid_argument] on a retired handle. *)
+
+val session_retire : session -> handle -> unit
+(** Permanently retire the handle's encoding (unit-negate its activation
+    literal; the clauses are reclaimed by a periodic
+    {!Solver.simplify}).  Idempotent. *)
+
+val session_stats : session -> Solver.stats
+(** Counters of the session's live solver. *)

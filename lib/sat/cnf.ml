@@ -4,41 +4,51 @@ type env = {
   nodes : (Network.id, Solver.lit) Hashtbl.t;
 }
 
+(* Every emitted clause optionally carries a negated activation literal,
+   so a whole encoding can later be retired with the unit clause [¬act]
+   (and physically deleted by {!Solver.simplify}) — the mechanism behind
+   the incremental CEC sessions in {!Cec}. *)
+let clause ?activation s lits =
+  match activation with
+  | None -> Solver.add_clause s lits
+  | Some act -> Solver.add_clause s (Solver.negate act :: lits)
+
 (* One fresh definition variable per operator node; the returned literal
    is constrained equivalent to the subtree.  Negation is free (literal
    complement), so NOT chains add no variables or clauses. *)
-let rec lit_of_expr s ~leaf e =
+let rec lit_of_expr ?activation s ~leaf e =
   match e with
   | Expr.Const true -> Solver.true_lit s
   | Expr.Const false -> Solver.negate (Solver.true_lit s)
   | Expr.Var v -> leaf v
-  | Expr.Not e -> Solver.negate (lit_of_expr s ~leaf e)
+  | Expr.Not e -> Solver.negate (lit_of_expr ?activation s ~leaf e)
   | Expr.And [] -> Solver.true_lit s
-  | Expr.And [ e ] -> lit_of_expr s ~leaf e
+  | Expr.And [ e ] -> lit_of_expr ?activation s ~leaf e
   | Expr.And es ->
-    let ls = List.map (lit_of_expr s ~leaf) es in
+    let ls = List.map (lit_of_expr ?activation s ~leaf) es in
     let y = Solver.pos (Solver.new_var s) in
-    List.iter (fun l -> Solver.add_clause s [ Solver.negate y; l ]) ls;
-    Solver.add_clause s (y :: List.map Solver.negate ls);
+    List.iter (fun l -> clause ?activation s [ Solver.negate y; l ]) ls;
+    clause ?activation s (y :: List.map Solver.negate ls);
     y
   | Expr.Or [] -> Solver.negate (Solver.true_lit s)
-  | Expr.Or [ e ] -> lit_of_expr s ~leaf e
+  | Expr.Or [ e ] -> lit_of_expr ?activation s ~leaf e
   | Expr.Or es ->
-    let ls = List.map (lit_of_expr s ~leaf) es in
+    let ls = List.map (lit_of_expr ?activation s ~leaf) es in
     let y = Solver.pos (Solver.new_var s) in
-    List.iter (fun l -> Solver.add_clause s [ y; Solver.negate l ]) ls;
-    Solver.add_clause s (Solver.negate y :: ls);
+    List.iter (fun l -> clause ?activation s [ y; Solver.negate l ]) ls;
+    clause ?activation s (Solver.negate y :: ls);
     y
   | Expr.Xor (a, b) ->
-    let la = lit_of_expr s ~leaf a and lb = lit_of_expr s ~leaf b in
+    let la = lit_of_expr ?activation s ~leaf a
+    and lb = lit_of_expr ?activation s ~leaf b in
     let y = Solver.pos (Solver.new_var s) in
     let ny = Solver.negate y
     and na = Solver.negate la
     and nb = Solver.negate lb in
-    Solver.add_clause s [ ny; la; lb ];
-    Solver.add_clause s [ ny; na; nb ];
-    Solver.add_clause s [ y; na; lb ];
-    Solver.add_clause s [ y; la; nb ];
+    clause ?activation s [ ny; la; lb ];
+    clause ?activation s [ ny; na; nb ];
+    clause ?activation s [ y; na; lb ];
+    clause ?activation s [ y; la; nb ];
     y
 
 let fresh_inputs s n = Array.init n (fun _ -> Solver.pos (Solver.new_var s))
@@ -51,7 +61,12 @@ let input_lits ?inputs s n =
       invalid_arg "Cnf: input literal count mismatch";
     arr
 
-let add_network ?inputs s net =
+let freeze_boundary ?activation s input_arr out_lits =
+  Array.iter (fun l -> Solver.freeze s (Solver.var_of l)) input_arr;
+  List.iter (fun l -> Solver.freeze s (Solver.var_of l)) out_lits;
+  Option.iter (fun act -> Solver.freeze s (Solver.var_of act)) activation
+
+let add_network ?inputs ?activation s net =
   let ins = Network.inputs net in
   let input_arr = input_lits ?inputs s (List.length ins) in
   let nodes = Hashtbl.create 256 in
@@ -63,13 +78,19 @@ let add_network ?inputs s net =
           Array.of_list
             (List.map (fun j -> Hashtbl.find nodes j) (Network.fanins net i))
         in
-        let l = lit_of_expr s ~leaf:(fun v -> fanins.(v)) (Network.func net i) in
+        let l =
+          lit_of_expr ?activation s
+            ~leaf:(fun v -> fanins.(v))
+            (Network.func net i)
+        in
         Hashtbl.replace nodes i l
       end)
     (Network.topo_order net);
+  freeze_boundary ?activation s input_arr
+    (List.map (fun (_, o) -> Hashtbl.find nodes o) (Network.outputs net));
   { net; inputs = input_arr; nodes }
 
-let add_compiled ?inputs s c =
+let add_compiled ?inputs ?activation s c =
   let input_arr = input_lits ?inputs s (Compiled.num_inputs c) in
   let lits = Array.make (Compiled.size c) 0 in
   Array.iteri (fun k x -> lits.(x) <- input_arr.(k)) (Compiled.inputs c);
@@ -78,11 +99,13 @@ let add_compiled ?inputs s c =
       if not (Compiled.is_input c x) then begin
         let fanins = Compiled.fanins c x in
         lits.(x) <-
-          lit_of_expr s
+          lit_of_expr ?activation s
             ~leaf:(fun v -> lits.(fanins.(v)))
             (Compiled.local_func c x)
       end)
     (Compiled.topo c);
+  freeze_boundary ?activation s input_arr
+    (Array.to_list (Array.map (fun (_, x) -> lits.(x)) (Compiled.outputs c)));
   lits
 
 let lit_of_node env i = Hashtbl.find env.nodes i

@@ -13,19 +13,31 @@
     int arena, two-watched-literal propagation walks int watch lists,
     first-UIP conflict analysis learns one asserting clause per conflict,
     VSIDS-style activity drives decisions through an indexed binary heap,
-    and restarts follow the Luby sequence.  Solving is incremental: keep
-    adding clauses and re-solving, and pass {e assumptions} to query the
-    same clause database under different temporary hypotheses (the miter
-    loop solves one output pair per assumption without re-encoding).
+    and restarts follow the Luby sequence.  On top of that base ride the
+    modern-solver upgrades: learned-clause minimization, LBD (glue)
+    tracking with periodic clause-DB reduction, chronological (partial)
+    backtracking, and SatELite-style preprocessing (subsumption,
+    self-subsumption strengthening, bounded variable elimination) with
+    on-demand re-introduction so incremental use stays sound.
+
+    Solving is incremental: keep adding clauses and re-solving, and pass
+    {e assumptions} to query the same clause database under different
+    temporary hypotheses (the miter loop solves one output pair per
+    assumption without re-encoding, keeping every learned clause).
 
     Literal encoding: variable [v] as a positive literal is [2v], negated
     is [2v+1] — the same positional-cube packing used by {!Cube}. *)
 
 type t
 (** Mutable solver state: clause arena, watch lists, trail, activity
-    heap. *)
+    heap, elimination store. *)
 
 type lit = int
+
+exception Interrupted
+(** Raised out of {!solve} when the {!set_interrupt} hook fires (used by
+    the {!solve_portfolio} cancellation flag).  The solver is left at
+    decision level 0 and remains usable. *)
 
 (** {1 Literals} *)
 
@@ -42,7 +54,26 @@ val is_pos : lit -> bool
 
 (** {1 Problem construction} *)
 
-val create : unit -> t
+type phase_init = [ `False | `True | `Random ]
+(** Initial decision polarity: always-false (MiniSat default),
+    always-true, or per-decision random — the main portfolio
+    diversification knob besides the seed. *)
+
+val create :
+  ?seed:int ->
+  ?phase:phase_init ->
+  ?random_branch:float ->
+  ?chrono:int ->
+  ?preprocessing:bool ->
+  unit ->
+  t
+(** [seed] perturbs the RNG used by [`Random] phases and random
+    branching.  [random_branch] is the probability (default [0.0]) that
+    a decision picks a random heap variable instead of the most active
+    one.  [chrono] is the chronological-backtracking threshold (default
+    [100]): a backjump longer than this unwinds a single level instead;
+    [max_int] disables the heuristic.  [preprocessing] (default [true])
+    runs the SatELite pass once, at the first [solve]. *)
 
 val new_var : t -> int
 (** Allocate a fresh variable; returns its index. *)
@@ -57,8 +88,16 @@ val add_clause : t -> lit list -> unit
 (** Add a disjunction over existing variables.  Duplicate literals are
     merged, tautologies dropped, and literals already false at level 0
     removed; an empty (or emptied) clause makes the solver permanently
-    unsatisfiable ({!ok} becomes false).  Raises [Invalid_argument] on a
-    literal of an unallocated variable. *)
+    unsatisfiable ({!ok} becomes false).  A clause over a variable the
+    preprocessor eliminated transparently restores that variable first.
+    Raises [Invalid_argument] on a literal of an unallocated variable. *)
+
+val freeze : t -> int -> unit
+(** Exempt a variable from preprocessing elimination.  Call on every
+    variable that later clauses, assumptions or model queries will
+    mention — the CNF encoders freeze primary inputs, outputs and
+    activation literals.  Raises [Invalid_argument] on an unallocated
+    variable. *)
 
 val ok : t -> bool
 (** [false] once the clause database is unsatisfiable regardless of
@@ -82,6 +121,36 @@ val value : t -> int -> bool
 val lit_true : t -> lit -> bool
 (** Model value of a literal after [Sat]. *)
 
+(** {1 Maintenance} *)
+
+val simplify : t -> unit
+(** Purge clauses satisfied at level 0 (e.g. obligations retired by a
+    unit-negated activation literal), strip falsified literals, and
+    compact the clause arena.  Incremental sessions call this
+    periodically so retired obligations stop costing propagation time. *)
+
+val preprocess : t -> unit
+(** Run the SatELite pass (subsumption, self-subsumption, bounded
+    variable elimination) explicitly.  Normally runs automatically on
+    the first [solve]; exposed for tests and benchmarks. *)
+
+val set_interrupt : t -> (unit -> bool) -> unit
+(** Install a cancellation hook, polled every few thousand conflicts and
+    at restart boundaries; when it returns [true], [solve] raises
+    {!Interrupted}. *)
+
+(** {1 Portfolio} *)
+
+val solve_portfolio :
+  ?assumptions:lit list -> int -> (int -> t) -> outcome * t
+(** [solve_portfolio n build] races [n] solvers built by [build 0] …
+    [build n-1] (lane 0 on the calling domain, the rest on fresh
+    {!Domain}s); the first verdict wins and cancels the other lanes via
+    a shared atomic flag.  Returns the verdict and the winning lane's
+    solver, for models and {!stats}.  [build] should diversify lanes
+    through {!create}'s [seed]/[phase]/[random_branch] knobs and must
+    build independent solvers — lanes share nothing. *)
+
 (** {1 Statistics} *)
 
 type stats = {
@@ -93,11 +162,16 @@ type stats = {
   propagations : int;
   conflicts : int;
   restarts : int;
+  eliminated_vars : int;    (** variables removed by preprocessing *)
+  subsumed_clauses : int;   (** clauses deleted by subsumption *)
+  strengthened_clauses : int; (** self-subsumption strengthenings *)
+  minimized_literals : int; (** literals dropped by clause minimization *)
+  db_reductions : int;      (** clause-DB reduction passes *)
+  removed_learned : int;    (** learned clauses deleted by reduction *)
 }
 
 val stats : t -> stats
 (** Internal-consistency counters in the style of {!Bdd.stats}: every
     learned clause is an implicate of the database (the solver checks the
-    asserting property on each one), so [conflicts = learned clauses +
-    level-0 refutations] and monotone counter growth double as a cheap
-    DRAT-style audit trail for tests. *)
+    asserting property on each one), so monotone counter growth doubles
+    as a cheap DRAT-style audit trail for tests. *)

@@ -8,6 +8,20 @@ let default () : mode =
   | Some "bdd" -> `Bdd
   | _ -> `Off
 
+let resolve = function Some m -> m | None -> default ()
+
+type session = { base : Network.t; mutable cec : Cec.session option }
+
+let session net = { base = net; cec = None }
+
+let cec_session sess =
+  match sess.cec with
+  | Some c -> c
+  | None ->
+    let c = Cec.session sess.base in
+    sess.cec <- Some c;
+    c
+
 let vec_to_string vec =
   String.init (Array.length vec) (fun i -> if vec.(i) then '1' else '0')
 
@@ -25,7 +39,7 @@ let assignment_to_vec n asgn =
   vec
 
 let equivalent ?mode ~pass before after =
-  match (match mode with Some m -> m | None -> default ()) with
+  match resolve mode with
   | `Off -> ()
   | `Sat -> (
     match Cec.check before after with
@@ -48,11 +62,16 @@ let equivalent ?mode ~pass before after =
             cex)
       (Network.outputs before)
 
-let never_true ?mode ~pass net out =
-  match (match mode with Some m -> m | None -> default ()) with
+let never_true ?mode ?session ~pass net out =
+  match resolve mode with
   | `Off -> ()
   | `Sat -> (
-    match Cec.satisfiable net out with
+    let witness =
+      match session with
+      | Some sess -> Cec.session_never_true (cec_session sess) net out
+      | None -> Cec.satisfiable net out
+    in
+    match witness with
     | None -> ()
     | Some vec -> fail pass ("obligation output " ^ out ^ " is satisfiable") (Some vec))
   | `Bdd ->

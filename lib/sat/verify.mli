@@ -22,13 +22,32 @@ val default : unit -> mode
 (** The mode selected by [LOWPOWER_VERIFY] (read per call, so tests may
     set it mid-process). *)
 
+val resolve : mode option -> mode
+(** [resolve m] is the explicit mode when given, else {!default} — the
+    shared dispatch every [?verify]-taking pass funnels through. *)
+
+type session
+(** Amortization handle for a stream of obligations over one base
+    network: under [`Sat] the obligations share one live {!Cec.session}
+    (created lazily at the first discharged check, so a session costs
+    nothing under [`Off] or [`Bdd]). *)
+
+val session : Network.t -> session
+(** A verification session rooted at the given network.  Pass it as
+    [?session] to the [?verify]-taking passes that build obligations by
+    extending a copy of this exact network ({!Guard.apply},
+    {!Precompute.build}). *)
+
 val equivalent : ?mode:mode -> pass:string -> Network.t -> Network.t -> unit
 (** [equivalent ~pass before after] checks that the two networks compute
     the same function on every equally-named output.  Raises {!Failed}
     naming [pass] on a mismatch; does nothing under [`Off]. *)
 
-val never_true : ?mode:mode -> pass:string -> Network.t -> string -> unit
+val never_true :
+  ?mode:mode -> ?session:session -> pass:string -> Network.t -> string -> unit
 (** [never_true ~pass net out] checks that the named output is the
     constant-false function — the shape of the guard/precompute safety
-    obligations.  Raises {!Failed} naming [pass] if some input vector
-    drives it to 1. *)
+    obligations.  With [session] (and mode [`Sat]) the obligation is
+    discharged incrementally through {!Cec.session_never_true}; [net]
+    must then extend the session's base network.  Raises {!Failed}
+    naming [pass] if some input vector drives it to 1. *)

@@ -77,7 +77,7 @@ let pad ?(budget = max_int) ?(buffer_cap = 0.5) ~keep net0 =
 (* Buffers are identity nodes, so padding cannot change any output
    function; [?verify] re-proves that independently. *)
 let checked ?verify net0 (net, inserted) =
-  let mode = match verify with Some m -> m | None -> Verify.default () in
+  let mode = Verify.resolve verify in
   if mode <> `Off then Verify.equivalent ~mode ~pass:"Balance" net0 net;
   (net, inserted)
 

@@ -211,7 +211,7 @@ let optimize_node_unchecked net policy n =
    [?verify] argument re-proves it independently (miter + SAT, or BDDs),
    the safety net for bugs in the DC machinery itself. *)
 let checked ?verify ~pass net run =
-  let mode = match verify with Some m -> m | None -> Verify.default () in
+  let mode = Verify.resolve verify in
   let before = if mode = `Off then None else Some (Network.copy net) in
   let result = run () in
   (match before with

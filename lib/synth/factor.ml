@@ -312,7 +312,7 @@ let to_network ext =
    functions as Boolean networks. *)
 let extract ?verify ?max_new cost ~nvars functions =
   let ext = extract_unchecked ?max_new cost ~nvars functions in
-  let mode = match verify with Some m -> m | None -> Verify.default () in
+  let mode = Verify.resolve verify in
   if mode <> `Off then begin
     let reference = to_network { functions; defs = []; nvars } in
     Verify.equivalent ~mode ~pass:"Factor.extract" reference (to_network ext)

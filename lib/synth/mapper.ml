@@ -198,7 +198,7 @@ let netlist m = m.net
    functions by construction; [?verify] re-proves subject ~ netlist. *)
 let map ?verify ?cells subject objective =
   let m = map_unchecked ?cells subject objective in
-  let mode = match verify with Some md -> md | None -> Verify.default () in
+  let mode = Verify.resolve verify in
   if mode <> `Off then Verify.equivalent ~mode ~pass:"Mapper.map" subject m.net;
   m
 

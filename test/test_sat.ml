@@ -311,6 +311,333 @@ let test_verify_precompute () =
   in
   ignore (Precompute.build ~verify:`Sat dp.Circuits.net ~output:"out0" ~keep ())
 
+(* --- modern-solver upgrades --- *)
+
+let test_preprocessing_counters () =
+  (* Equivalence chain x0 <-> x1 <-> ... <-> x19 with only the endpoints
+     frozen: bounded variable elimination must remove interior variables,
+     and the extended model must still respect the chain. *)
+  let s = Solver.create () in
+  let v = Array.init 20 (fun _ -> Solver.new_var s) in
+  for i = 0 to 18 do
+    Solver.add_clause s [ Solver.neg v.(i); Solver.pos v.(i + 1) ];
+    Solver.add_clause s [ Solver.pos v.(i); Solver.neg v.(i + 1) ]
+  done;
+  Solver.freeze s v.(0);
+  Solver.freeze s v.(19);
+  Alcotest.(check bool) "chain sat" true
+    (Solver.solve ~assumptions:[ Solver.pos v.(0) ] s = Solver.Sat);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "interior variables eliminated" true
+    (st.Solver.eliminated_vars > 0);
+  Alcotest.(check bool) "extended model respects the chain" true
+    (Array.for_all (fun x -> Solver.value s x) v);
+  (* A later clause on an eliminated variable transparently restores it. *)
+  Solver.add_clause s [ Solver.neg v.(10) ];
+  Alcotest.(check bool) "unsat after pinning an interior var low" true
+    (Solver.solve ~assumptions:[ Solver.pos v.(0) ] s = Solver.Unsat);
+  Alcotest.(check bool) "sat with the chain driven low" true
+    (Solver.solve ~assumptions:[ Solver.neg v.(0) ] s = Solver.Sat)
+
+let test_subsumption_counters () =
+  let s = Solver.create () in
+  let a = Solver.new_var s
+  and b = Solver.new_var s
+  and c = Solver.new_var s
+  and d = Solver.new_var s in
+  List.iter (Solver.freeze s) [ a; b; c; d ];
+  (* [a b] subsumes [a b c]; [a b] self-subsumes [~a b d] down to [b d]. *)
+  Solver.add_clause s [ Solver.pos a; Solver.pos b ];
+  Solver.add_clause s [ Solver.pos a; Solver.pos b; Solver.pos c ];
+  Solver.add_clause s [ Solver.neg a; Solver.pos b; Solver.pos d ];
+  Solver.preprocess s;
+  let st = Solver.stats s in
+  Alcotest.(check bool) "subsumption fired" true (st.Solver.subsumed_clauses > 0);
+  Alcotest.(check bool) "self-subsumption fired" true
+    (st.Solver.strengthened_clauses > 0);
+  Alcotest.(check bool) "still satisfiable" true (Solver.solve s = Solver.Sat)
+
+let test_clause_db_reduction () =
+  (* PHP(8,7) generates thousands of conflicts: the LBD-driven reduction
+     must fire and actually delete learned clauses. *)
+  let s = Solver.create () in
+  php s 8 7;
+  Alcotest.(check bool) "PHP(8,7) unsat" true (Solver.solve s = Solver.Unsat);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "reductions ran" true (st.Solver.db_reductions > 0);
+  Alcotest.(check bool) "learned clauses deleted" true
+    (st.Solver.removed_learned > 0);
+  Alcotest.(check bool) "restarts happened" true (st.Solver.restarts > 0)
+
+(* Satellite: N sequential solve-under-assumptions calls on one solver
+   agree with N fresh one-shot solvers, across interleaved SAT/UNSAT
+   verdicts, while the clause database (and its learned clauses) persists. *)
+let prop_incremental_vs_oneshot =
+  prop ~count:100 "incremental assumptions agree with fresh one-shot solvers"
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      let r = Lowpower.Rng.create (seed + 3) in
+      let nvars = 7 in
+      let s = Solver.create ~seed () in
+      for _ = 1 to nvars do ignore (Solver.new_var s) done;
+      let clauses = ref [] in
+      let prev_conflicts = ref 0 in
+      List.for_all
+        (fun _round ->
+          List.iter
+            (fun c ->
+              clauses := c :: !clauses;
+              Solver.add_clause s c)
+            (List.init
+               (1 + Lowpower.Rng.int r 5)
+               (fun _ ->
+                 List.init 3 (fun _ ->
+                     let v = Lowpower.Rng.int r nvars in
+                     if Lowpower.Rng.bool r then Solver.pos v else Solver.neg v)));
+          let assumptions =
+            List.init (Lowpower.Rng.int r 3) (fun _ ->
+                let v = Lowpower.Rng.int r nvars in
+                if Lowpower.Rng.bool r then Solver.pos v else Solver.neg v)
+          in
+          let incr = Solver.solve ~assumptions s in
+          let fresh = Solver.create () in
+          for _ = 1 to nvars do ignore (Solver.new_var fresh) done;
+          List.iter (Solver.add_clause fresh) !clauses;
+          let oneshot = Solver.solve ~assumptions fresh in
+          let st = Solver.stats s in
+          let monotone = st.Solver.conflicts >= !prev_conflicts in
+          prev_conflicts := st.Solver.conflicts;
+          incr = oneshot && monotone
+          &&
+          match incr with
+          | Solver.Unsat -> true
+          | Solver.Sat ->
+            List.for_all (Solver.lit_true s) assumptions
+            && List.for_all (List.exists (Solver.lit_true s)) !clauses)
+        (List.init 6 Fun.id))
+
+let test_solve_portfolio () =
+  let build_php pigeons holes k =
+    let s =
+      Solver.create ~seed:k
+        ~phase:(match k mod 3 with 1 -> `True | 2 -> `Random | _ -> `False)
+        ()
+    in
+    php s pigeons holes;
+    s
+  in
+  (* UNSAT race: every lane must agree, whichever wins. *)
+  let verdict, winner = Solver.solve_portfolio 3 (build_php 6 5) in
+  Alcotest.(check bool) "portfolio PHP(6,5) unsat" true (verdict = Solver.Unsat);
+  Alcotest.(check bool) "winner reports conflicts" true
+    ((Solver.stats winner).Solver.conflicts > 0);
+  (* SAT race: the winning lane's model must be genuine. *)
+  let verdict, winner = Solver.solve_portfolio 3 (build_php 5 5) in
+  Alcotest.(check bool) "portfolio PHP(5,5) sat" true (verdict = Solver.Sat);
+  Alcotest.(check bool) "winner model places every pigeon" true
+    (List.for_all
+       (fun i ->
+         List.exists (fun h -> Solver.value winner ((i * 5) + h)) [ 0; 1; 2; 3; 4 ])
+       [ 0; 1; 2; 3; 4 ]);
+  (* Assumptions address every lane (deterministic variable numbering). *)
+  let verdict, _ =
+    Solver.solve_portfolio ~assumptions:[ Solver.neg 0; Solver.neg 1 ] 2
+      (build_php 2 2)
+  in
+  Alcotest.(check bool) "portfolio under assumptions" true
+    (verdict = Solver.Unsat)
+
+let test_cec_portfolio_matches_sequential () =
+  let a = (Circuits.ripple_adder 6).Circuits.net in
+  let b = Network.copy a in
+  ignore (Dontcare.optimize ~verify:`Off b Dontcare.For_area);
+  let b, _ = Balance.balance ~verify:`Off b in
+  let stats_seen = ref false in
+  (match Cec.check ~portfolio:2 ~on_stats:(fun _ -> stats_seen := true) a b with
+  | Cec.Equivalent -> ()
+  | Cec.Counterexample _ -> Alcotest.fail "portfolio refuted an equivalence");
+  Alcotest.(check bool) "on_stats delivered" true !stats_seen;
+  let m = Network.copy a in
+  let victim =
+    List.find (fun i -> not (Network.is_input m i)) (List.rev (Network.topo_order m))
+  in
+  Network.replace_func m victim
+    (Expr.not_ (Network.func m victim))
+    (Network.fanins m victim);
+  match Cec.check ~rounds:0 ~portfolio:2 a m with
+  | Cec.Equivalent -> Alcotest.fail "portfolio missed a mutant"
+  | Cec.Counterexample vec ->
+    Alcotest.(check bool) "portfolio counterexample replays" true
+      (Cec.replay a m vec)
+
+(* --- incremental sessions --- *)
+
+let test_cec_session_basic () =
+  let base = (Circuits.ripple_adder 8).Circuits.net in
+  let sess = Cec.session base in
+  (* Equivalence against a synthesized derivative, twice: the second call
+     rides on the first call's learned clauses in the same solver. *)
+  let derived = Network.copy base in
+  ignore (Dontcare.optimize ~verify:`Off derived Dontcare.For_area);
+  let derived, _ = Balance.balance ~verify:`Off derived in
+  (match Cec.session_check sess derived with
+  | Cec.Equivalent -> ()
+  | Cec.Counterexample _ -> Alcotest.fail "session refuted an equivalence");
+  let c1 = (Cec.session_stats sess).Solver.conflicts in
+  (match Cec.session_check sess (Network.copy base) with
+  | Cec.Equivalent -> ()
+  | Cec.Counterexample _ -> Alcotest.fail "session refuted a copy");
+  Alcotest.(check bool) "one live solver accumulates work" true
+    ((Cec.session_stats sess).Solver.conflicts >= c1);
+  (* A mutant still yields a replay-confirmed counterexample. *)
+  let m = Network.copy base in
+  let victim =
+    List.find (fun i -> not (Network.is_input m i)) (List.rev (Network.topo_order m))
+  in
+  Network.replace_func m victim
+    (Expr.not_ (Network.func m victim))
+    (Network.fanins m victim);
+  (match Cec.session_check sess m with
+  | Cec.Equivalent -> Alcotest.fail "session missed a mutant"
+  | Cec.Counterexample vec ->
+    Alcotest.(check bool) "session counterexample is genuine" true
+      (List.sort compare (Network.eval_outputs base vec)
+      <> List.sort compare (Network.eval_outputs m vec)));
+  (* And the session is not poisoned by the retired mutant check. *)
+  (match Cec.session_check sess (Network.copy base) with
+  | Cec.Equivalent -> ()
+  | Cec.Counterexample _ -> Alcotest.fail "retired obligation leaked");
+  (* Handles: encode once, recheck repeatedly, retire explicitly. *)
+  let h = Cec.session_encode sess derived in
+  Alcotest.(check bool) "recheck #1" true
+    (Cec.session_recheck sess h = Cec.Equivalent);
+  Alcotest.(check bool) "recheck #2 (warm)" true
+    (Cec.session_recheck sess h = Cec.Equivalent);
+  Cec.session_retire sess h;
+  Cec.session_retire sess h;
+  expect_invalid_arg "recheck after retire" (fun () ->
+      Cec.session_recheck sess h)
+
+let test_cec_session_never_true () =
+  let net, _sel = Circuits.mux_compare 4 in
+  let z = List.assoc "z" (Network.outputs net) in
+  let root =
+    match Network.fanins net z with
+    | [ _; _; e ] -> e
+    | _ -> Alcotest.fail "unexpected mux shape"
+  in
+  let sess = Cec.session net in
+  let odc = Guard.observability_condition net root in
+  (* The sound obligation (guard = exact ODC) is unsatisfiable; the unsound
+     one (guard = true on an observable root) has a witness — both against
+     the same live solver, and both agreeing with the one-shot engine. *)
+  let sound = Guard.obligation net ~root ~guard:odc in
+  Alcotest.(check bool) "ODC obligation unsat in session" true
+    (Cec.session_never_true sess sound "__guard_violation" = None);
+  Alcotest.(check bool) "one-shot agrees (unsat)" true
+    (Cec.satisfiable sound "__guard_violation" = None);
+  let unsound = Guard.obligation net ~root ~guard:Expr.tru in
+  (match Cec.session_never_true sess unsound "__guard_violation" with
+  | Some vec ->
+    Alcotest.(check bool) "witness drives the violation output" true
+      (List.assoc "__guard_violation" (Network.eval_outputs unsound vec))
+  | None -> Alcotest.fail "session missed the unsound guard");
+  Alcotest.(check bool) "one-shot agrees (sat)" true
+    (Cec.satisfiable unsound "__guard_violation" <> None);
+  (* An obligation over a foreign network is rejected, not mis-answered. *)
+  let foreign =
+    Guard.obligation
+      (fst (Circuits.mux_compare 5))
+      ~root:
+        (let n, _ = Circuits.mux_compare 5 in
+         List.assoc "z" (Network.outputs n))
+      ~guard:Expr.tru
+  in
+  expect_invalid_arg "foreign obligation rejected" (fun () ->
+      Cec.session_never_true sess foreign "__guard_violation")
+
+let test_verify_session_on_passes () =
+  (* Guard.apply and Precompute.build accept a shared Verify.session: a
+     sweep of obligations over one base network discharges through one
+     incremental solver, with identical accept/reject behaviour. *)
+  let net, _sel = Circuits.mux_compare 4 in
+  let z = List.assoc "z" (Network.outputs net) in
+  let root =
+    match Network.fanins net z with
+    | [ _; _; e ] -> e
+    | _ -> Alcotest.fail "unexpected mux shape"
+  in
+  let session = Verify.session net in
+  ignore (Guard.auto ~verify:`Sat ~session net ~root);
+  (match Guard.apply ~verify:`Sat ~session net ~root ~guard:Expr.tru with
+  | _ -> Alcotest.fail "session accepted an unsound guard"
+  | exception Verify.Failed _ -> ());
+  ignore (Guard.apply ~verify:`Sat ~session net ~root ~guard:Expr.fls);
+  let dp = Circuits.comparator 5 in
+  let keep =
+    [ List.nth dp.Circuits.a_bits 4; List.nth dp.Circuits.b_bits 4 ]
+  in
+  let psession = Verify.session dp.Circuits.net in
+  ignore
+    (Precompute.build ~verify:`Sat ~session:psession dp.Circuits.net
+       ~output:"out0" ~keep ());
+  ignore
+    (Precompute.build ~verify:`Sat ~session:psession dp.Circuits.net
+       ~output:"out0"
+       ~keep:[ List.nth dp.Circuits.a_bits 4 ]
+       ())
+
+(* Acceptance: incremental sessions and the one-shot oracle return
+   identical verdicts across 150+ random synthesized nets. *)
+let prop_session_agrees_with_oneshot =
+  prop ~count:150 "Cec session verdicts equal one-shot verdicts"
+    QCheck2.Gen.(
+      map2
+        (fun seed gates ->
+          ( seed,
+            Gen_comb.random
+              (Lowpower.Rng.create seed)
+              {
+                Gen_comb.num_inputs = 6;
+                num_gates = 8 + gates;
+                max_fanin = 3;
+                output_fraction = 0.25;
+              } ))
+        (int_bound 100_000) (int_bound 16))
+    (fun (seed, net) ->
+      let r = Lowpower.Rng.create (seed + 41) in
+      let derived = Network.copy net in
+      ignore (Dontcare.optimize ~verify:`Off derived Dontcare.For_area);
+      let derived, _ = Balance.balance ~verify:`Off derived in
+      if Lowpower.Rng.int r 3 = 0 then begin
+        let logic =
+          List.filter
+            (fun i -> not (Network.is_input derived i))
+            (Network.node_ids derived)
+        in
+        let victim = List.nth logic (Lowpower.Rng.int r (List.length logic)) in
+        Network.replace_func derived victim
+          (Expr.not_ (Network.func derived victim))
+          (Network.fanins derived victim)
+      end;
+      let oneshot =
+        match Cec.check ~seed:(seed + 31) net derived with
+        | Cec.Equivalent -> true
+        | Cec.Counterexample _ -> false
+      in
+      let sess = Cec.session net in
+      let incremental =
+        match Cec.session_check sess derived with
+        | Cec.Equivalent -> true
+        | Cec.Counterexample vec ->
+          if
+            List.sort compare (Network.eval_outputs net vec)
+            = List.sort compare (Network.eval_outputs derived vec)
+          then Alcotest.fail "session returned a bogus counterexample"
+          else false
+      in
+      incremental = oneshot)
+
 (* Satellite: on random networks, SAT-based CEC agrees with the BDD oracle
    whenever the BDDs stay under a node cap (they always do at this size). *)
 let prop_cec_agrees_with_bdd =
@@ -391,5 +718,15 @@ let suite =
     quick "verify rejects unsound guard" test_verify_guard_rejects_bad_guard;
     quick "verify accepts ODC guard" test_verify_guard_accepts_odc_guard;
     quick "verify precompute obligations" test_verify_precompute;
+    quick "preprocessing eliminates and extends models" test_preprocessing_counters;
+    quick "subsumption and self-subsumption counters" test_subsumption_counters;
+    quick "LBD clause-db reduction fires" test_clause_db_reduction;
+    prop_incremental_vs_oneshot;
+    quick "solve_portfolio races and agrees" test_solve_portfolio;
+    quick "cec portfolio matches sequential" test_cec_portfolio_matches_sequential;
+    quick "cec session basic lifecycle" test_cec_session_basic;
+    quick "cec session never-true obligations" test_cec_session_never_true;
+    quick "verify sessions on guard/precompute" test_verify_session_on_passes;
+    prop_session_agrees_with_oneshot;
     prop_cec_agrees_with_bdd;
   ]
