@@ -4,7 +4,21 @@
    Usage: compare.exe FRESH BASELINE
 
    The files are in the flat one-number-per-key format [Microbench.write_json]
-   emits, so a full JSON parser is unnecessary. *)
+   emits, so a full JSON parser is unnecessary.
+
+   Provenance of the committed artifacts: both BENCH.json and the
+   bench_output.txt transcript at the repo root are produced by one full
+   harness run from the repo root,
+
+     dune exec bench/main.exe > bench_output.txt
+
+   which regenerates every experiment table and then the microbenchmarks
+   (main.exe with no arguments runs both; BENCH.json is written to the
+   process working directory).  Re-run that command and commit both files
+   together whenever benchmarks are added or the perf baseline moves —
+   a stale transcript misdescribes the committed BENCH.json.  CI's
+   @bench-check alias runs `main.exe microbench` only and diffs the fresh
+   BENCH.json against the committed one with this program. *)
 
 let threshold = 1.25
 
@@ -79,7 +93,9 @@ let () =
      the same workload — whose ratio is the number the new entry exists to
      demonstrate.  Report it instead of printing the entry contextless. *)
   let sibling_of name =
-    let suffixes = [ "_reference"; "_incremental"; "_bitsim"; "_portfolio" ] in
+    let suffixes =
+      [ "_reference"; "_incremental"; "_bitsim"; "_portfolio"; "_serial" ]
+    in
     let strip s suf =
       let ls = String.length s and lf = String.length suf in
       if ls > lf && String.sub s (ls - lf) lf = suf then

@@ -348,6 +348,172 @@ let seqestimate_cmd =
        ~doc:"Exact sequential power estimation vs the white-noise assumption")
     Term.(const seqestimate_run $ bits $ duty)
 
+(* --- tournament --- *)
+
+let tournament_run circuit width seed trace_length =
+  let net = build_circuit circuit width seed in
+  let trace =
+    if trace_length > 0 then
+      Some
+        (Stimulus.random (Lowpower.Rng.create seed)
+           ~width:(List.length (Network.inputs net))
+           ~length:trace_length ())
+    else None
+  in
+  let p = Tournament.run ~name:circuit ?trace net in
+  Printf.printf "tournament on %s (width %d, %s scoring)\n" circuit width
+    (if trace = None then "estimated" else "measured");
+  List.iter
+    (fun c ->
+      let verdict =
+        match c.Tournament.c_verdict with
+        | Tournament.Verified -> "verified"
+        | Tournament.Refuted _ -> "REFUTED"
+        | Tournament.Failed m -> "failed: " ^ m
+      in
+      Printf.printf "  %-16s %10.3f cap  %4d lits  %s\n" c.Tournament.c_strategy
+        c.Tournament.score c.Tournament.literals verdict)
+    p.Tournament.candidates;
+  Printf.printf "champion: %s (%.3f vs source %.3f, margin %.3f)\n"
+    p.Tournament.champion p.Tournament.champion_score p.Tournament.source_score
+    p.Tournament.margin;
+  print_solver_stats p.Tournament.sat
+
+let tournament_cmd =
+  let trace_length =
+    Arg.(value & opt int 0
+         & info [ "trace-length" ] ~docv:"N"
+             ~doc:"Score by measured toggles over an $(docv)-cycle random \
+                   trace instead of estimated activity.")
+  in
+  Cmd.v
+    (Cmd.info "tournament"
+       ~doc:"Race synthesis strategies; promote a SAT-verified champion")
+    Term.(const tournament_run $ circuit_arg $ width_arg 5 $ seed_arg
+          $ trace_length)
+
+(* --- batch --- *)
+
+(* Job-list lines: "<kind> <int>" with kind one of estimate / tournament /
+   verify / map / fsm; the int seeds a random circuit (fsm: state bits).
+   '#' starts a comment.  Without --jobs, a seeded mixed workload is
+   generated. *)
+let parse_jobs path =
+  let ic = open_in path in
+  let jobs = ref [] in
+  let line_no = ref 0 in
+  (try
+     while true do
+       incr line_no;
+       let line = input_line ic in
+       let line =
+         match String.index_opt line '#' with
+         | Some k -> String.sub line 0 k
+         | None -> line
+       in
+       match String.split_on_char ' ' (String.trim line)
+             |> List.filter (fun s -> s <> "")
+       with
+       | [] -> ()
+       | [ kind; arg ] ->
+         let seed =
+           match int_of_string_opt arg with
+           | Some s -> s
+           | None ->
+             failwith (Printf.sprintf "%s:%d: bad integer %S" path !line_no arg)
+         in
+         let label = Printf.sprintf "%s-%s-%d" kind arg !line_no in
+         let r = Lowpower.Rng.create seed in
+         let net () = Gen_comb.random r Gen_comb.default_shape in
+         let job =
+           match kind with
+           | "estimate" ->
+             let net = net () in
+             Batch.Estimate
+               { label; net;
+                 input_probs =
+                   Array.make (List.length (Network.inputs net)) 0.5 }
+           | "tournament" -> Batch.Synthesize { label; net = net (); trace = None }
+           | "verify" ->
+             let left = net () in
+             Batch.Verify
+               { label; left; right = Subject.decompose (Network.copy left) }
+           | "map" -> Batch.Map { label; net = net (); power = true }
+           | "fsm" ->
+             Batch.Encode_fsm
+               { label; stg = Gen_fsm.counter ~bits:(max 2 (min 4 seed)) }
+           | other ->
+             failwith (Printf.sprintf "%s:%d: unknown job kind %S" path
+                         !line_no other)
+         in
+         jobs := job :: !jobs
+       | _ -> failwith (Printf.sprintf "%s:%d: expected '<kind> <int>'" path
+                          !line_no)
+     done
+   with End_of_file -> close_in ic);
+  Array.of_list (List.rev !jobs)
+
+let batch_run jobs_file n seed domains verbose =
+  let jobs =
+    match jobs_file with
+    | Some path -> parse_jobs path
+    | None -> Batch.mixed_workload ~seed ~n ()
+  in
+  let report = Batch.run ?domains jobs in
+  if verbose then
+    Array.iter
+      (fun (label, outcome) ->
+        Printf.printf "  %-10s %s\n" label (Batch.summarize outcome))
+      report.Batch.results;
+  let p = report.Batch.pool in
+  Printf.printf "jobs: %d in %.2f s (%.1f jobs/s) on %d domain(s)\n"
+    p.Pool.jobs report.Batch.wall_seconds report.Batch.jobs_per_second
+    p.Pool.domains;
+  Printf.printf "pool: %d steals moved %d jobs; per-worker %s\n" p.Pool.steals
+    p.Pool.stolen_jobs
+    (String.concat "/"
+       (Array.to_list (Array.map string_of_int p.Pool.executed)));
+  let m = report.Batch.memo in
+  let lookups = m.Memo.hits + m.Memo.misses in
+  Printf.printf
+    "cache: %d hits / %d lookups (%.1f%%), %d evictions, %d resident\n"
+    m.Memo.hits lookups
+    (if lookups = 0 then 0.0
+     else 100.0 *. float_of_int m.Memo.hits /. float_of_int lookups)
+    m.Memo.evictions m.Memo.entries;
+  Printf.printf "tournaments: %d (%d champions verified)\n"
+    report.Batch.tournaments report.Batch.champions_verified;
+  print_solver_stats report.Batch.sat
+
+let batch_cmd =
+  let jobs_file =
+    Arg.(value & opt (some file) None
+         & info [ "jobs" ] ~docv:"FILE"
+             ~doc:"Job list: lines of '<kind> <seed>' with kind estimate, \
+                   tournament, verify, map or fsm.  Default: a generated \
+                   mixed workload.")
+  in
+  let n =
+    Arg.(value & opt int 200
+         & info [ "n"; "count" ] ~docv:"N" ~doc:"Generated workload size.")
+  in
+  let batch_seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Workload PRNG seed.")
+  in
+  let domains =
+    Arg.(value & opt (some int) None
+         & info [ "domains" ] ~docv:"N"
+             ~doc:"Worker domains (default: LOWPOWER_SERVE_DOMAINS, else \
+                   the recommended domain count).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Print one line per job.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Multicore batch service: pool + content-hash cache + tournaments")
+    Term.(const batch_run $ jobs_file $ n $ batch_seed $ domains $ verbose)
+
 let () =
   let doc = "low-power VLSI optimization toolkit (DAC'95 survey reproduction)" in
   exit
@@ -355,4 +521,5 @@ let () =
        (Cmd.group
           (Cmd.info "lowpower_cli" ~doc)
           [ analyze_cmd; map_cmd; encode_cmd; precompute_cmd; businvert_cmd;
-            compile_cmd; guard_cmd; check_cmd; seqestimate_cmd ]))
+            compile_cmd; guard_cmd; check_cmd; seqestimate_cmd; tournament_cmd;
+            batch_cmd ]))

@@ -99,6 +99,17 @@ val output_bdd : t -> Bdd.man -> string -> Bdd.t
     transitive fanin cone, and installs the interleaved order on pristine
     managers as {!global_bdds} does. *)
 
+val structural_hash : t -> int
+(** Canonical 63-bit content hash of the network: input positions, local
+    functions, fanin wiring, output names and delay/cap annotations all
+    contribute; node {e ids} do not.  Rebuilding the same structure under a
+    different id assignment (or declaring outputs in a different order)
+    yields the same hash, and [structural_hash (copy t) = structural_hash t].
+    Any structural or annotation change — a flipped local function, a
+    rewired fanin, an edited delay or cap, a redirected or renamed output —
+    changes the hash (up to 63-bit collisions, which the content-addressed
+    caches in [lib/serve] rely on being negligible). *)
+
 (** {1 Metrics} *)
 
 val literal_count : t -> int

@@ -197,8 +197,12 @@ let check ?(rounds = 4) ?(seed = 1) ?portfolio ?on_stats a b =
         s
       end
     in
-    let verdict, winner = Solver.solve_portfolio ~assumptions:[ any ] lanes build in
-    Option.iter (fun f -> f (Solver.stats winner)) on_stats;
+    (* [on_stats] reports the lane aggregate — total race effort, not
+       just the winner's counters. *)
+    let verdict, winner =
+      Solver.solve_portfolio ~assumptions:[ any ] ?on_all_stats:on_stats
+        lanes build
+    in
     (match verdict with
     | Solver.Unsat -> Equivalent
     | Solver.Sat ->
@@ -246,8 +250,9 @@ let satisfiable ?portfolio ?on_stats net name =
       s
     end
   in
-  let verdict, winner = Solver.solve_portfolio ~assumptions:[ l ] lanes build in
-  Option.iter (fun f -> f (Solver.stats winner)) on_stats;
+  let verdict, winner =
+    Solver.solve_portfolio ~assumptions:[ l ] ?on_all_stats:on_stats lanes build
+  in
   match verdict with
   | Solver.Unsat -> None
   | Solver.Sat ->

@@ -46,10 +46,13 @@ val check :
     number of 63-vector random simulation passes; [seed] their stream.
     [portfolio] (default: [LOWPOWER_SAT_PORTFOLIO]) races that many
     diversified solvers on the combined miter disjunction instead of
-    solving per-output incrementally.  [on_stats] receives the (winning)
-    solver's counters when the SAT phase ran — the simulation filter
-    short-circuits it.  Raises [Invalid_argument] if the input counts or
-    output name sets differ. *)
+    solving per-output incrementally.  [on_stats] receives the solver
+    counters when the SAT phase ran — the simulation filter
+    short-circuits it.  On a portfolio race the counters are the
+    {!Solver.sum_stats} aggregate over every lane (total effort, not just
+    the winner's share), so batch drivers can account SAT work faithfully.
+    Raises [Invalid_argument] if the input counts or output name sets
+    differ. *)
 
 val miter : Network.t -> Network.t -> Network.t
 (** The combined network: both operands instantiated over shared fresh

@@ -1390,6 +1390,28 @@ let stats s =
     removed_learned = s.n_removed_learned;
   }
 
+let empty_stats =
+  { vars = 0; clauses = 0; learned_clauses = 0; learned_literals = 0;
+    decisions = 0; propagations = 0; conflicts = 0; restarts = 0;
+    eliminated_vars = 0; subsumed_clauses = 0; strengthened_clauses = 0;
+    minimized_literals = 0; db_reductions = 0; removed_learned = 0 }
+
+let sum_stats a b =
+  { vars = a.vars + b.vars;
+    clauses = a.clauses + b.clauses;
+    learned_clauses = a.learned_clauses + b.learned_clauses;
+    learned_literals = a.learned_literals + b.learned_literals;
+    decisions = a.decisions + b.decisions;
+    propagations = a.propagations + b.propagations;
+    conflicts = a.conflicts + b.conflicts;
+    restarts = a.restarts + b.restarts;
+    eliminated_vars = a.eliminated_vars + b.eliminated_vars;
+    subsumed_clauses = a.subsumed_clauses + b.subsumed_clauses;
+    strengthened_clauses = a.strengthened_clauses + b.strengthened_clauses;
+    minimized_literals = a.minimized_literals + b.minimized_literals;
+    db_reductions = a.db_reductions + b.db_reductions;
+    removed_learned = a.removed_learned + b.removed_learned }
+
 (* ------------------------------------------------------------------ *)
 (* Portfolio                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -1399,7 +1421,7 @@ let stats s =
    atomic flag.  [build k] must construct an independent solver for lane
    [k] (lane 0 should be the default configuration).  Returns the
    verdict plus the winning lane's solver (for models and stats). *)
-let solve_portfolio ?(assumptions = []) n build =
+let solve_portfolio ?(assumptions = []) ?on_all_stats n build =
   if n <= 0 then invalid_arg "Solver.solve_portfolio: n must be positive";
   let done_flag = Atomic.make false in
   let run k =
@@ -1408,18 +1430,26 @@ let solve_portfolio ?(assumptions = []) n build =
     match solve ~assumptions s with
     | r ->
       Atomic.set done_flag true;
-      Some (r, s)
-    | exception Interrupted -> None
+      (Some (r, s), stats s)
+    | exception Interrupted -> (None, stats s)
   in
-  if n = 1 then
-    match run 0 with Some r -> r | None -> assert false
-  else begin
-    let workers =
-      List.init (n - 1) (fun k -> Domain.spawn (fun () -> run (k + 1)))
-    in
-    let mine = run 0 in
-    let results = mine :: List.map Domain.join workers in
-    match List.find_map (fun r -> r) results with
-    | Some r -> r
-    | None -> assert false
-  end
+  let results =
+    if n = 1 then [ run 0 ]
+    else begin
+      let workers =
+        List.init (n - 1) (fun k -> Domain.spawn (fun () -> run (k + 1)))
+      in
+      let mine = run 0 in
+      mine :: List.map Domain.join workers
+    end
+  in
+  (* Cancelled lanes did real work too: the aggregate over every lane —
+     winner and losers alike — is the total search effort of the race,
+     the number a portfolio caller should account against the query. *)
+  Option.iter
+    (fun f ->
+      f (List.fold_left (fun acc (_, st) -> sum_stats acc st) empty_stats results))
+    on_all_stats;
+  match List.find_map fst results with
+  | Some r -> r
+  | None -> assert false

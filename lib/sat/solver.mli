@@ -139,18 +139,6 @@ val set_interrupt : t -> (unit -> bool) -> unit
     at restart boundaries; when it returns [true], [solve] raises
     {!Interrupted}. *)
 
-(** {1 Portfolio} *)
-
-val solve_portfolio :
-  ?assumptions:lit list -> int -> (int -> t) -> outcome * t
-(** [solve_portfolio n build] races [n] solvers built by [build 0] …
-    [build n-1] (lane 0 on the calling domain, the rest on fresh
-    {!Domain}s); the first verdict wins and cancels the other lanes via
-    a shared atomic flag.  Returns the verdict and the winning lane's
-    solver, for models and {!stats}.  [build] should diversify lanes
-    through {!create}'s [seed]/[phase]/[random_branch] knobs and must
-    build independent solvers — lanes share nothing. *)
-
 (** {1 Statistics} *)
 
 type stats = {
@@ -175,3 +163,28 @@ val stats : t -> stats
     learned clause is an implicate of the database (the solver checks the
     asserting property on each one), so monotone counter growth doubles
     as a cheap DRAT-style audit trail for tests. *)
+
+val empty_stats : stats
+(** All-zero counters — the unit of {!sum_stats}. *)
+
+val sum_stats : stats -> stats -> stats
+(** Field-wise sum: aggregate counters across portfolio lanes, session
+    solvers or whole job batches into one total-SAT-effort record. *)
+
+(** {1 Portfolio} *)
+
+val solve_portfolio :
+  ?assumptions:lit list -> ?on_all_stats:(stats -> unit) -> int
+  -> (int -> t) -> outcome * t
+(** [solve_portfolio n build] races [n] solvers built by [build 0] …
+    [build n-1] (lane 0 on the calling domain, the rest on fresh
+    {!Domain}s); the first verdict wins and cancels the other lanes via
+    a shared atomic flag.  Returns the verdict and the winning lane's
+    solver, for models and {!stats}.  [on_all_stats] receives the
+    {!sum_stats} aggregate over {e every} lane — winner and cancelled
+    losers alike — i.e. the total search effort the race consumed, which
+    is what tournament promotion records account per query (the winning
+    lane's own counters remain available through the returned solver).
+    [build] should diversify lanes through {!create}'s
+    [seed]/[phase]/[random_branch] knobs and must build independent
+    solvers — lanes share nothing. *)

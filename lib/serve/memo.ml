@@ -1,0 +1,184 @@
+(* Content-addressed cache: one hash table of 63-bit keys -> artifact
+   variants under a single mutex.  The lock covers table bookkeeping
+   only; artifact computation happens outside it, so a slow BDD cone on
+   one domain never blocks a compiled-form hit on another. *)
+
+(* Same SplitMix64-style finisher as Network.structural_hash (constants
+   truncated to OCaml's 63-bit int); kept local because keys mix
+   repo-level ingredients (kind tags, floats, packed cube words) the
+   network hash never sees. *)
+let mix z =
+  let z = (z * 0x1E3779B97F4A7C15) + 0x165667B19E3779F9 in
+  let z = (z lxor (z lsr 29)) * 0x2545F4914F6CDD1D in
+  let z = (z lxor (z lsr 31)) * 0x27D4EB2F165667C5 in
+  (z lxor (z lsr 30)) land max_int
+
+let combine h x = mix ((h * 0x100000001B3) lxor x)
+let combine_float h f = combine h (Int64.to_int (Int64.bits_of_float f) land max_int)
+
+type artifact =
+  | A_compiled of Compiled.t
+  | A_bitsim of Bitsim.t
+  | A_cone of (string * float) array
+  | A_cover of Cover.t
+  | A_cec of Cec.outcome
+
+type entry = { value : artifact; mutable last_use : int }
+
+type t = {
+  lock : Mutex.t;
+  tbl : (int, entry) Hashtbl.t;
+  capacity : int;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let create ?(capacity = 4096) () =
+  {
+    lock = Mutex.create ();
+    tbl = Hashtbl.create 256;
+    capacity = max 1 capacity;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let stats t =
+  Mutex.lock t.lock;
+  let s =
+    { hits = t.hits; misses = t.misses; evictions = t.evictions;
+      entries = Hashtbl.length t.tbl }
+  in
+  Mutex.unlock t.lock;
+  s
+
+(* Drop least-recently-used entries until 7/8 of capacity remain.  O(n
+   log n) on overflow only — with the 1/8 hysteresis that cost is
+   amortized over capacity/8 inserts. *)
+let evict_locked t =
+  let n = Hashtbl.length t.tbl in
+  let target = max 1 (t.capacity * 7 / 8) in
+  if n > target then begin
+    let arr = Array.make n (0, 0) in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun k e ->
+        arr.(!i) <- (e.last_use, k);
+        incr i)
+      t.tbl;
+    Array.sort compare arr;
+    let drop = n - target in
+    for j = 0 to drop - 1 do
+      Hashtbl.remove t.tbl (snd arr.(j))
+    done;
+    t.evictions <- t.evictions + drop
+  end
+
+let find t key =
+  Mutex.lock t.lock;
+  t.tick <- t.tick + 1;
+  let r =
+    match Hashtbl.find_opt t.tbl key with
+    | Some e ->
+      e.last_use <- t.tick;
+      t.hits <- t.hits + 1;
+      Some e.value
+    | None ->
+      t.misses <- t.misses + 1;
+      None
+  in
+  Mutex.unlock t.lock;
+  r
+
+let insert t key v =
+  Mutex.lock t.lock;
+  t.tick <- t.tick + 1;
+  (* Last writer wins on a duplicated concurrent miss — sound because
+     every cached computation is deterministic. *)
+  Hashtbl.replace t.tbl key { value = v; last_use = t.tick };
+  if Hashtbl.length t.tbl > t.capacity then evict_locked t;
+  Mutex.unlock t.lock
+
+let memoize t key compute =
+  match find t key with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    insert t key v;
+    v
+
+(* Kind tags keep the four artifact spaces disjoint even for identical
+   ingredient hashes. *)
+let k_compiled = 1
+and k_bitsim = 2
+and k_cone = 3
+and k_cover = 4
+and k_cec = 5
+
+let compiled t net =
+  let key = combine k_compiled (Network.structural_hash net) in
+  match memoize t key (fun () -> A_compiled (Compiled.of_network net)) with
+  | A_compiled c -> c
+  | _ -> assert false
+
+let bitsim t net =
+  let key = combine k_bitsim (Network.structural_hash net) in
+  match memoize t key (fun () -> A_bitsim (Bitsim.of_network net)) with
+  | A_bitsim b -> b
+  | _ -> assert false
+
+let cone_probabilities t net ~input_probs =
+  let num_inputs = List.length (Network.inputs net) in
+  if Array.length input_probs <> num_inputs then
+    invalid_arg "Memo.cone_probabilities: input_probs arity mismatch";
+  let key =
+    Array.fold_left combine_float
+      (combine k_cone (Network.structural_hash net))
+      input_probs
+  in
+  let compute () =
+    let man = Bdd.manager () in
+    let probs =
+      List.map
+        (fun (name, _) ->
+          let bdd = Network.output_bdd net man name in
+          (name, Bdd.probability man (fun v -> input_probs.(v)) bdd))
+        (Network.outputs net)
+    in
+    A_cone (Array.of_list probs)
+  in
+  match memoize t key compute with A_cone a -> a | _ -> assert false
+
+let hash_cover h c =
+  let h = combine h (Cover.num_vars c) in
+  List.fold_left
+    (fun h cube -> Array.fold_left combine h (Cube.unsafe_words cube))
+    h (Cover.cubes c)
+
+let minimize t ?dc f =
+  (match dc with
+  | Some d when Cover.num_vars d <> Cover.num_vars f ->
+    invalid_arg "Memo.minimize: dc variable count mismatch"
+  | _ -> ());
+  let key = hash_cover k_cover f in
+  let key = match dc with Some d -> hash_cover (combine key 7) d | None -> key in
+  match memoize t key (fun () -> A_cover (Cover.minimize ?dc f)) with
+  | A_cover c -> c
+  | _ -> assert false
+
+let cec_key a b =
+  combine
+    (combine k_cec (Network.structural_hash a))
+    (Network.structural_hash b)
+
+let check_with t a b prove =
+  match memoize t (cec_key a b) (fun () -> A_cec (prove ())) with
+  | A_cec o -> o
+  | _ -> assert false
+
+let check t a b = check_with t a b (fun () -> Cec.check a b)

@@ -1,0 +1,78 @@
+(** Content-addressed artifact cache shared across batch jobs.
+
+    Jobs in a mixed workload keep meeting the same circuit: an estimate
+    job compiles the network the tournament just raced, a verify job
+    re-proves a pair the previous batch already settled.  This store
+    caches the four expensive derived artifacts — compiled forms
+    ({!Compiled.t} and {!Bitsim.t}), BDD cone results (exact per-output
+    signal probabilities), espresso cover minimizations, and CEC
+    verdicts — keyed by {!Network.structural_hash} (plus an option
+    fingerprint: input probabilities, don't-care content, operand pair).
+
+    Keys are pure 63-bit content hashes; entries store no witness of the
+    original network, so two distinct networks colliding on the hash
+    would alias.  [Network.structural_hash]'s collision tests back the
+    usual content-addressed-store bet that 2^63 makes this negligible.
+
+    All entry points are domain-safe: lookups and insertions take one
+    mutex, but {e computation happens outside the lock}, so concurrent
+    misses on different keys never serialize (two domains missing on the
+    same key at once duplicate the work — both counted as misses — and
+    the insert is last-writer-wins, which is sound because every cached
+    computation is deterministic).  Cached values are immutable and safe
+    to share across domains.
+
+    A cache {e hit} returns the stored artifact, which is bit-identical
+    to what a cold recompute would produce (deterministic constructors);
+    the test suite checks this for all four artifact kinds. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 4096) bounds the entry count; overflowing inserts
+    evict least-recently-used entries down to 7/8 of capacity. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;  (** currently resident *)
+}
+
+val stats : t -> stats
+
+(** {1 Cached artifacts} *)
+
+val compiled : t -> Network.t -> Compiled.t
+(** The flat-array snapshot [Compiled.of_network]. *)
+
+val bitsim : t -> Network.t -> Bitsim.t
+(** The word-parallel engine over the {!compiled} snapshot (a hit on the
+    bitsim entry does not touch the compiled entry). *)
+
+val cone_probabilities :
+  t -> Network.t -> input_probs:float array -> (string * float) array
+(** Exact per-output signal probabilities by building each output's BDD
+    cone ([Network.output_bdd] + [Bdd.probability]), in output
+    declaration order.  The key fingerprints [input_probs], so the same
+    network under different input statistics occupies distinct entries.
+    Each miss builds a private manager — nothing BDD-managed is shared
+    across domains. *)
+
+val minimize : t -> ?dc:Cover.t -> Cover.t -> Cover.t
+(** [Cover.minimize ?dc f], keyed by the packed content of [f] (and [dc]
+    when present).  Raises [Invalid_argument] if [dc] is over a different
+    variable count. *)
+
+val check : t -> Network.t -> Network.t -> Cec.outcome
+(** [Cec.check a b], keyed by the ordered hash pair.  Counterexamples are
+    cached too — replaying a stored vector is as sound as replaying a
+    fresh one. *)
+
+val check_with :
+  t -> Network.t -> Network.t -> (unit -> Cec.outcome) -> Cec.outcome
+(** Like {!check} (same key), but a miss runs the supplied prover instead
+    of a fresh [Cec.check] — how {!Tournament} shares one incremental
+    {!Cec.session} across candidates while still hitting the cache when a
+    batch repeats a circuit.  The prover must decide the same question as
+    [Cec.check a b]. *)

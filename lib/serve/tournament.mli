@@ -1,0 +1,130 @@
+(** Optimization tournaments: race synthesis strategies, promote a
+    SAT-verified champion.
+
+    The survey's low-power passes (don't-care resimplification, two-level
+    re-minimization, activity-aware decomposition) each win on some
+    circuits and lose on others; a tournament makes the choice empirical
+    per circuit.  Every strategy transforms a private copy of the source
+    network, every surviving candidate is scored by estimated switched
+    capacitance (zero-delay activity from signal probabilities under the
+    independence estimate by default, measured
+    {!Bitsim.count_transitions} toggles when a [trace] is supplied), and
+    {e every} scored candidate is checked equivalent to
+    the source through one shared incremental {!Cec.session} — so a
+    promoted champion is always SAT-verified, and a strategy that
+    miscompiles is refuted with a counterexample instead of winning on a
+    bogus score.
+
+    The promotion record carries the full field (scores, margins,
+    verdicts) plus the aggregate SAT effort of the session — with
+    {!Solver.sum_stats} semantics, so portfolio-raced or multi-query
+    verification is accounted in total, not winning-lane-only. *)
+
+type strategy = {
+  s_name : string;
+  transform : Network.t -> Network.t;
+      (** Receives a private [Network.copy] of the source; may mutate it
+          in place and/or return a fresh network. *)
+}
+
+val default_strategies :
+  ?memo:Memo.t -> ?input_probs:float array -> Network.t -> strategy list
+(** The stock roster for a given source network: [source] (identity —
+    guarantees a verified candidate always exists), [cleanup],
+    [espresso] (per-node two-level re-minimization of every local
+    function with at most 8 fanins, through [memo] when given),
+    [dontcare-area], [dontcare-power] ({!Dontcare} policies; internal
+    re-verification off — the tournament SAT-checks the result),
+    [subject] and [subject-power] (NAND2/INV decomposition, plain and
+    activity-ordered).  [input_probs] (default all 0.5) feeds the
+    power-aware strategies and must match the source input count. *)
+
+type verdict =
+  | Verified  (** SAT-proved equivalent to the source *)
+  | Refuted of bool array
+      (** counterexample input vector, replay-confirmed by {!Cec} *)
+  | Failed of string  (** the strategy raised; exception text *)
+
+type candidate = {
+  c_strategy : string;
+  score : float;  (** estimated switched capacitance; [infinity] on [Failed] *)
+  literals : int;  (** {!Network.literal_count}; [0] on [Failed] *)
+  c_verdict : verdict;
+}
+
+type promotion = {
+  circuit : string;
+  champion : string;  (** strategy name; ties broken by roster order *)
+  champion_net : Network.t;
+  champion_score : float;
+  source_score : float;  (** the untransformed source, same estimator *)
+  margin : float;
+      (** runner-up score minus champion score over verified candidates;
+          [0.] when the champion is the only verified candidate *)
+  candidates : candidate list;  (** roster order, failures included *)
+  sat : Solver.stats;
+      (** session effort for all verification in this tournament *)
+}
+
+val run :
+  ?name:string ->
+  ?strategies:strategy list ->
+  ?input_probs:float array ->
+  ?trace:Stimulus.t ->
+  ?memo:Memo.t ->
+  Network.t ->
+  promotion
+(** Race the roster (default {!default_strategies}) on [net].  [name]
+    labels the promotion record (default ["circuit"]).  With [trace],
+    candidates are scored by capacitance-weighted toggle counts measured
+    over the vector stream (per cycle); otherwise by exact zero-delay
+    activity under [input_probs].  With [memo], bitsim engines, espresso
+    covers and CEC verdicts are served from / inserted into the shared
+    cache (a cached verdict skips the session query entirely).  The
+    source is never mutated.  Raises [Invalid_argument] if no strategy
+    produces a verified candidate (an all-refuted roster — impossible
+    with the default roster's [source] entry). *)
+
+(** {1 FSM encoding tournaments}
+
+    The sequential analogue: race state encodings for one STG.  There is
+    no combinational-equivalence reference between two encodings of the
+    same machine (the state spaces differ), so the champion here is
+    checked by {!Fsm_synth.verify}'s packed co-simulation against the
+    STG rather than by the CEC session — a weaker, randomized guarantee,
+    which the record reports as a plain [verified] flag. *)
+
+type fsm_candidate = {
+  encoding : string;
+  bits : int;
+  capacitance : float;
+      (** {!Seq_estimate.steady_state} switched capacitance;
+          [infinity] on failure *)
+  fsm_literals : int;
+  verified : bool;
+  error : string option;
+}
+
+type fsm_promotion = {
+  fsm : string;
+  fsm_champion : string;
+  champion_synth : Fsm_synth.t;
+  champion_capacitance : float;
+  fsm_margin : float;
+  encodings : fsm_candidate list;
+}
+
+val run_fsm :
+  ?encodings:(string * Encode.t) list ->
+  ?input_bit_probs:float array ->
+  ?verify_cycles:int ->
+  Stg.t ->
+  fsm_promotion
+(** Race encodings (default: [binary], [gray], [one-hot], [low-power])
+    for the STG: synthesize each, score by exact steady-state switched
+    capacitance under [input_bit_probs] (default all 0.5), co-simulate
+    each successful candidate for [verify_cycles] (default 256) cycles,
+    and promote the lowest-capacitance verified one.  Encodings whose
+    synthesis or analysis raises (e.g. one-hot overflowing the two-level
+    tabulation limit) are recorded as failed, not fatal.  Raises
+    [Invalid_argument] if every encoding fails. *)

@@ -20,6 +20,7 @@ let () =
       ("arch", Test_arch.suite);
       ("soft", Test_soft.suite);
       ("workloads", Test_workloads.suite);
+      ("serve", Test_serve.suite);
       ("integration", Test_integration.suite);
       ("surface", Test_surface.suite);
     ]

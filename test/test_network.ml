@@ -203,6 +203,99 @@ let test_width_validation () =
   expect_invalid_arg "too wide multiplier" (fun () ->
       Circuits.array_multiplier 16)
 
+(* --- structural hash --- *)
+
+let random_net seed =
+  Gen_comb.random (Lowpower.Rng.create seed)
+    { Gen_comb.num_inputs = 6; num_gates = 20; max_fanin = 3;
+      output_fraction = 0.25 }
+
+let test_structural_hash_copy_stable () =
+  for seed = 1 to 25 do
+    let net = random_net seed in
+    Alcotest.(check int)
+      (Printf.sprintf "copy preserves hash (seed %d)" seed)
+      (Network.structural_hash net)
+      (Network.structural_hash (Network.copy net))
+  done
+
+let test_structural_hash_order_insensitive () =
+  (* The same structure declared in two different node orders (hence with
+     different ids) must hash identically. *)
+  let forward () =
+    let net = Network.create () in
+    let a = Network.add_input ~name:"a" net in
+    let b = Network.add_input ~name:"b" net in
+    let g1 = Network.add_node net Expr.(var 0 &&& var 1) [ a; b ] in
+    let g2 = Network.add_node net Expr.(var 0 ||| var 1) [ a; b ] in
+    Network.set_output net "x" g1;
+    Network.set_output net "y" g2;
+    net
+  in
+  let reversed () =
+    let net = Network.create () in
+    let a = Network.add_input ~name:"a" net in
+    let b = Network.add_input ~name:"b" net in
+    let g2 = Network.add_node net Expr.(var 0 ||| var 1) [ a; b ] in
+    let g1 = Network.add_node net Expr.(var 0 &&& var 1) [ a; b ] in
+    Network.set_output net "y" g2;
+    Network.set_output net "x" g1;
+    net
+  in
+  Alcotest.(check int) "declaration order does not matter"
+    (Network.structural_hash (forward ()))
+    (Network.structural_hash (reversed ()))
+
+let test_structural_hash_distinct_nets () =
+  let tbl = Hashtbl.create 256 in
+  for seed = 1 to 200 do
+    Hashtbl.replace tbl (Network.structural_hash (random_net seed)) ()
+  done;
+  Alcotest.(check int) "200 random nets, 200 distinct hashes" 200
+    (Hashtbl.length tbl)
+
+let test_structural_hash_mutation_sensitive () =
+  (* 200+ random mutations across structure, annotations and output
+     bindings: every one must change the hash. *)
+  let r = rng () in
+  let collisions = ref 0 and trials = ref 0 in
+  for seed = 1 to 60 do
+    let base = random_net seed in
+    let h0 = Network.structural_hash base in
+    let logic =
+      List.filter (fun i -> not (Network.is_input base i))
+        (Network.topo_order base)
+    in
+    let mutations =
+      [
+        (fun net ->
+          let n = List.nth logic (Lowpower.Rng.int r (List.length logic)) in
+          Network.replace_func net n
+            (Expr.not_ (Network.func net n))
+            (Network.fanins net n));
+        (fun net ->
+          let n = List.nth logic (Lowpower.Rng.int r (List.length logic)) in
+          Network.set_cap net n (Network.cap net n +. 0.5));
+        (fun net ->
+          let n = List.nth logic (Lowpower.Rng.int r (List.length logic)) in
+          Network.set_delay net n (Network.delay net n +. 1.0));
+        (fun net ->
+          let name, _ = List.hd (Network.outputs net) in
+          let n = List.nth logic (Lowpower.Rng.int r (List.length logic)) in
+          Network.set_output net (name ^ "'") n);
+      ]
+    in
+    List.iter
+      (fun mutate ->
+        let net = Network.copy base in
+        mutate net;
+        incr trials;
+        if Network.structural_hash net = h0 then incr collisions)
+      mutations
+  done;
+  Alcotest.(check bool) "at least 200 mutations tried" true (!trials >= 200);
+  Alcotest.(check int) "no mutation collides" 0 !collisions
+
 let suite =
   [
     quick "network evaluation" test_network_eval;
@@ -227,4 +320,10 @@ let suite =
     quick "parity tree" test_parity_tree;
     quick "adder implementations agree" test_adders_agree;
     quick "width validation" test_width_validation;
+    quick "structural hash copy-stable" test_structural_hash_copy_stable;
+    quick "structural hash order-insensitive"
+      test_structural_hash_order_insensitive;
+    quick "structural hash distinct nets" test_structural_hash_distinct_nets;
+    quick "structural hash mutation-sensitive"
+      test_structural_hash_mutation_sensitive;
   ]

@@ -1,0 +1,366 @@
+(* Batch service: work-stealing pool, content-hash memo, tournaments. *)
+
+open Test_util
+
+let mk_net seed =
+  Gen_comb.random (Lowpower.Rng.create seed)
+    { Gen_comb.num_inputs = 6; num_gates = 18; max_fanin = 3;
+      output_fraction = 0.25 }
+
+(* --- Pool --- *)
+
+let test_pool_basic () =
+  let xs = Array.init 100 (fun i -> i) in
+  let expected = Array.map (fun i -> i * i) xs in
+  List.iter
+    (fun domains ->
+      let r, st = Pool.map ~domains (fun i -> i * i) xs in
+      Alcotest.(check (array int)) "results in job order" expected r;
+      Alcotest.(check int) "all jobs executed" 100
+        (Array.fold_left ( + ) 0 st.Pool.executed);
+      Alcotest.(check int) "jobs counted" 100 st.Pool.jobs)
+    [ 1; 2; 3 ]
+
+let test_pool_determinism () =
+  (* Heterogeneous job costs force stealing; results must not care. *)
+  let xs = Array.init 64 (fun i -> i) in
+  let job i =
+    let rounds = if i mod 7 = 0 then 20000 else 100 in
+    let acc = ref i in
+    for _ = 1 to rounds do
+      acc := (!acc * 31) + 1
+    done;
+    !acc
+  in
+  let serial, _ = Pool.map ~domains:1 job xs in
+  List.iter
+    (fun domains ->
+      let r, _ = Pool.map ~domains job xs in
+      Alcotest.(check (array int))
+        (Printf.sprintf "%d domains match serial" domains)
+        serial r)
+    [ 2; 4 ]
+
+let test_pool_clamp_and_empty () =
+  let r, st = Pool.map ~domains:8 (fun i -> i + 1) [| 1; 2 |] in
+  Alcotest.(check (array int)) "clamped still correct" [| 2; 3 |] r;
+  Alcotest.(check bool) "domains clamped to jobs" true (st.Pool.domains <= 2);
+  let r, st = Pool.map ~domains:3 (fun i -> i) [||] in
+  Alcotest.(check (array int)) "empty batch" [||] r;
+  Alcotest.(check int) "no jobs" 0 st.Pool.jobs
+
+let test_pool_streaming () =
+  let seen = Array.make 50 false in
+  let lock = Mutex.create () in
+  let _, _ =
+    Pool.map ~domains:2
+      ~on_result:(fun i r ->
+        Mutex.lock lock;
+        if r = 2 * i then seen.(i) <- true;
+        Mutex.unlock lock)
+      (fun i -> 2 * i)
+      (Array.init 50 (fun i -> i))
+  in
+  Alcotest.(check bool) "every result streamed with its index" true
+    (Array.for_all (fun b -> b) seen)
+
+exception Boom
+
+let test_pool_exception () =
+  match
+    Pool.map ~domains:2 (fun i -> if i = 17 then raise Boom else i)
+      (Array.init 40 (fun i -> i))
+  with
+  | _ -> Alcotest.fail "expected the job exception to propagate"
+  | exception Boom -> ()
+
+(* --- Memo --- *)
+
+let test_memo_compiled_bitsim () =
+  let m = Memo.create () in
+  let net = mk_net 11 in
+  let c1 = Memo.compiled m net in
+  let c2 = Memo.compiled m (Network.copy net) in
+  Alcotest.(check bool) "hit returns the identical artifact" true (c1 == c2);
+  (* Bit-identical to a cold recompute. *)
+  let cold = Compiled.of_network net in
+  let vec = Array.init (Compiled.num_inputs cold) (fun k -> k mod 2 = 0) in
+  Alcotest.(check (array bool)) "compiled hit = cold recompute"
+    (Compiled.eval cold vec) (Compiled.eval c1 vec);
+  let b1 = Memo.bitsim m net in
+  let b2 = Memo.bitsim m (Network.copy net) in
+  Alcotest.(check bool) "bitsim hit shared" true (b1 == b2);
+  let words = Array.init (Bitsim.num_inputs b1) (fun k -> (k * 0x9E37) lxor 5) in
+  Alcotest.(check (array int)) "bitsim hit = cold recompute"
+    (Bitsim.eval (Bitsim.of_network net) words)
+    (Bitsim.eval b1 words);
+  let s = Memo.stats m in
+  Alcotest.(check int) "two misses" 2 s.Memo.misses;
+  Alcotest.(check int) "two hits" 2 s.Memo.hits
+
+let test_memo_cone_probs () =
+  let m = Memo.create () in
+  let net = mk_net 12 in
+  let input_probs =
+    Array.init (List.length (Network.inputs net)) (fun k ->
+        0.1 +. (0.1 *. float_of_int k))
+  in
+  let warm = Memo.cone_probabilities m net ~input_probs in
+  let hit = Memo.cone_probabilities m (Network.copy net) ~input_probs in
+  Alcotest.(check bool) "cone hit shared" true (warm == hit);
+  (* Cold recompute through the public estimator must agree exactly. *)
+  Array.iter
+    (fun (name, p) ->
+      let man = Bdd.manager () in
+      let bdd = Network.output_bdd net man name in
+      check_close ("cone " ^ name) (Bdd.probability man (fun v -> input_probs.(v)) bdd) p)
+    warm;
+  (* Different statistics are a different key, not a stale hit. *)
+  let other =
+    Memo.cone_probabilities m net
+      ~input_probs:(Array.map (fun p -> 1.0 -. p) input_probs)
+  in
+  Alcotest.(check bool) "distinct fingerprint, distinct entry" true
+    (other != warm)
+
+let test_memo_minimize () =
+  let m = Memo.create () in
+  let tt = Truth_table.of_expr 4 Expr.(var 0 &&& var 1 ||| (var 2 &&& var 3)) in
+  let f = Cover.of_truth_table tt in
+  let r1 = Memo.minimize m f in
+  let r2 = Memo.minimize m f in
+  Alcotest.(check bool) "cover hit shared" true (r1 == r2);
+  let cold = Cover.minimize f in
+  Alcotest.(check bool) "cover hit = cold recompute (packed words)" true
+    (List.map Cube.unsafe_words (Cover.cubes r1)
+    = List.map Cube.unsafe_words (Cover.cubes cold));
+  expect_invalid_arg "dc arity mismatch" (fun () ->
+      Memo.minimize m ~dc:(Cover.empty 3) f)
+
+let test_memo_cec () =
+  let m = Memo.create () in
+  let net = mk_net 13 in
+  let decomposed = Subject.decompose (Network.copy net) in
+  let v1 = Memo.check m net decomposed in
+  let v2 = Memo.check m (Network.copy net) (Network.copy decomposed) in
+  Alcotest.(check bool) "verdict equivalent" true (v1 = Cec.Equivalent);
+  Alcotest.(check bool) "verdict hit = cold recompute" true
+    (v2 = Cec.check net decomposed);
+  let s = Memo.stats m in
+  Alcotest.(check int) "one cec miss" 1 s.Memo.misses;
+  Alcotest.(check int) "one cec hit" 1 s.Memo.hits
+
+let test_memo_eviction () =
+  let m = Memo.create ~capacity:4 () in
+  for seed = 1 to 12 do
+    ignore (Memo.compiled m (mk_net (100 + seed)))
+  done;
+  let s = Memo.stats m in
+  Alcotest.(check bool) "evictions happened" true (s.Memo.evictions > 0);
+  Alcotest.(check bool) "bounded residency" true (s.Memo.entries <= 4);
+  Alcotest.(check int) "all cold" 12 s.Memo.misses
+
+(* --- Tournament --- *)
+
+let test_tournament_champion_verified () =
+  let net = mk_net 21 in
+  let p = Tournament.run ~name:"t21" net in
+  let champ =
+    List.find
+      (fun c -> c.Tournament.c_strategy = p.Tournament.champion)
+      p.Tournament.candidates
+  in
+  Alcotest.(check bool) "champion verified" true
+    (champ.Tournament.c_verdict = Tournament.Verified);
+  Alcotest.(check bool) "margin nonnegative" true (p.Tournament.margin >= 0.0);
+  Alcotest.(check bool) "champion equivalent to source" true
+    (networks_equivalent net p.Tournament.champion_net);
+  Alcotest.(check bool) "sat effort recorded" true
+    (p.Tournament.sat.Solver.decisions >= 0
+    && p.Tournament.sat.Solver.vars > 0)
+
+let test_tournament_rejects_broken_strategy () =
+  let net = mk_net 22 in
+  let break_one n =
+    let id =
+      List.find (fun i -> not (Network.is_input n i)) (List.rev (Network.topo_order n))
+    in
+    Network.replace_func n id (Expr.not_ (Network.func n id)) (Network.fanins n id);
+    n
+  in
+  let roster =
+    [
+      { Tournament.s_name = "source"; transform = (fun n -> n) };
+      (* Miscompiles, and would win on score if promoted unverified. *)
+      {
+        Tournament.s_name = "evil";
+        transform =
+          (fun n ->
+            let n = break_one n in
+            List.iter (fun i -> Network.set_cap n i 0.0) (Network.node_ids n);
+            n);
+      };
+      {
+        Tournament.s_name = "crashy";
+        transform = (fun _ -> failwith "strategy exploded");
+      };
+    ]
+  in
+  let p = Tournament.run ~strategies:roster net in
+  Alcotest.(check string) "broken strategies never promoted" "source"
+    p.Tournament.champion;
+  let verdict name =
+    (List.find (fun c -> c.Tournament.c_strategy = name) p.Tournament.candidates)
+      .Tournament.c_verdict
+  in
+  (match verdict "evil" with
+  | Tournament.Refuted cex ->
+    Alcotest.(check bool) "counterexample replays" false
+      (Network.eval_outputs net cex
+      = Network.eval_outputs (break_one (Network.copy net)) cex)
+  | _ -> Alcotest.fail "evil strategy should be refuted with a witness");
+  match verdict "crashy" with
+  | Tournament.Failed _ -> ()
+  | _ -> Alcotest.fail "raising strategy should be recorded as Failed"
+
+let test_tournament_trace_scoring () =
+  let net = mk_net 23 in
+  let trace =
+    Stimulus.random (Lowpower.Rng.create 5)
+      ~width:(List.length (Network.inputs net))
+      ~length:189 ()
+  in
+  let p = Tournament.run ~trace net in
+  let champ =
+    List.find
+      (fun c -> c.Tournament.c_strategy = p.Tournament.champion)
+      p.Tournament.candidates
+  in
+  Alcotest.(check bool) "measured champion verified" true
+    (champ.Tournament.c_verdict = Tournament.Verified);
+  Alcotest.(check bool) "measured scores finite" true
+    (Float.is_finite p.Tournament.champion_score)
+
+let test_tournament_memo_transparent () =
+  (* Same tournament with and without a shared cache: identical verdicts
+     and scores (cache hits must be invisible). *)
+  let summary p =
+    List.map
+      (fun c ->
+        ( c.Tournament.c_strategy,
+          c.Tournament.score,
+          match c.Tournament.c_verdict with
+          | Tournament.Verified -> "v"
+          | Tournament.Refuted _ -> "r"
+          | Tournament.Failed _ -> "f" ))
+      p.Tournament.candidates
+  in
+  let net = mk_net 24 in
+  let memo = Memo.create () in
+  let cold = Tournament.run ~memo net in
+  let warm = Tournament.run ~memo net in
+  let plain = Tournament.run net in
+  Alcotest.(check bool) "memo-warm = memo-cold" true
+    (summary cold = summary warm);
+  Alcotest.(check bool) "memo = no memo" true (summary cold = summary plain);
+  Alcotest.(check string) "same champion" plain.Tournament.champion
+    warm.Tournament.champion;
+  Alcotest.(check bool) "warm run hit the cache" true
+    ((Memo.stats memo).Memo.hits > 0)
+
+let test_fsm_tournament () =
+  let stg = Gen_fsm.counter ~bits:3 in
+  let p = Tournament.run_fsm stg in
+  let champ =
+    List.find
+      (fun c -> c.Tournament.encoding = p.Tournament.fsm_champion)
+      p.Tournament.encodings
+  in
+  Alcotest.(check bool) "fsm champion co-sim verified" true
+    champ.Tournament.verified;
+  Alcotest.(check bool) "fsm margin nonnegative" true
+    (p.Tournament.fsm_margin >= 0.0);
+  Alcotest.(check int) "full roster recorded" 4
+    (List.length p.Tournament.encodings);
+  Alcotest.(check bool) "champion capacitance finite" true
+    (Float.is_finite p.Tournament.champion_capacitance)
+
+(* --- Batch --- *)
+
+let batch_digest report =
+  Array.to_list
+    (Array.map
+       (fun (label, o) -> label ^ " " ^ Batch.summarize o)
+       report.Batch.results)
+
+let test_batch_determinism () =
+  let jobs = Batch.mixed_workload ~seed:7 ~n:40 () in
+  let serial = Batch.run ~domains:1 jobs in
+  let parallel = Batch.run ~domains:3 jobs in
+  Alcotest.(check (list string)) "1 vs 3 domains identical results"
+    (batch_digest serial) (batch_digest parallel);
+  Alcotest.(check int) "tournaments all verified"
+    parallel.Batch.tournaments parallel.Batch.champions_verified
+
+let test_batch_memo_traffic () =
+  let jobs = Batch.mixed_workload ~seed:3 ~n:40 () in
+  let report = Batch.run ~domains:2 jobs in
+  Alcotest.(check bool) "duplicated circuits hit the cache" true
+    (report.Batch.memo.Memo.hits > 0);
+  Alcotest.(check bool) "sat effort aggregated over tournaments" true
+    (report.Batch.tournaments = 0
+    || report.Batch.sat.Solver.vars > 0);
+  Alcotest.(check int) "jobs preserved" 40 (Array.length report.Batch.results)
+
+(* --- Solver stats aggregation --- *)
+
+let test_sum_stats () =
+  let s = Solver.empty_stats in
+  Alcotest.(check int) "empty is zero" 0 s.Solver.conflicts;
+  let a = { s with Solver.decisions = 3; conflicts = 1; vars = 10 } in
+  let b = { s with Solver.decisions = 4; conflicts = 2; vars = 7 } in
+  let c = Solver.sum_stats a b in
+  Alcotest.(check int) "decisions add" 7 c.Solver.decisions;
+  Alcotest.(check int) "conflicts add" 3 c.Solver.conflicts;
+  Alcotest.(check int) "vars add" 17 c.Solver.vars;
+  Alcotest.(check bool) "empty is left unit" true (Solver.sum_stats s a = a)
+
+let test_portfolio_all_lanes_stats () =
+  (* A pigeonhole-style hard-enough instance so losing lanes do real
+     work: the aggregate must dominate the winner's own counters. *)
+  let net = mk_net 31 in
+  let other = Subject.decompose (Network.copy net) in
+  let agg = ref None in
+  (match Cec.check ~portfolio:2 ~on_stats:(fun s -> agg := Some s) net other with
+  | Cec.Equivalent -> ()
+  | Cec.Counterexample _ -> Alcotest.fail "decomposition must be equivalent");
+  match !agg with
+  | None -> Alcotest.fail "portfolio race should report aggregate stats"
+  | Some s ->
+    Alcotest.(check bool) "aggregate covers both lanes' encodings" true
+      (s.Solver.vars > 0);
+    Alcotest.(check bool) "counters nonnegative" true (s.Solver.decisions >= 0)
+
+let suite =
+  [
+    quick "pool basic map" test_pool_basic;
+    quick "pool determinism 1 vs N domains" test_pool_determinism;
+    quick "pool clamping and empty batch" test_pool_clamp_and_empty;
+    quick "pool result streaming" test_pool_streaming;
+    quick "pool exception propagation" test_pool_exception;
+    quick "memo compiled and bitsim" test_memo_compiled_bitsim;
+    quick "memo cone probabilities" test_memo_cone_probs;
+    quick "memo cover minimization" test_memo_minimize;
+    quick "memo cec verdicts" test_memo_cec;
+    quick "memo lru eviction" test_memo_eviction;
+    quick "tournament champion verified" test_tournament_champion_verified;
+    quick "tournament rejects broken strategy"
+      test_tournament_rejects_broken_strategy;
+    quick "tournament trace scoring" test_tournament_trace_scoring;
+    quick "tournament memo transparency" test_tournament_memo_transparent;
+    quick "fsm encoding tournament" test_fsm_tournament;
+    quick "batch determinism across domains" test_batch_determinism;
+    quick "batch memo traffic" test_batch_memo_traffic;
+    quick "solver stats aggregation" test_sum_stats;
+    quick "portfolio aggregate stats" test_portfolio_all_lanes_stats;
+  ]
