@@ -102,9 +102,24 @@ let () =
         Some (String.sub s 0 (ls - lf))
       else None
     in
+    (* Mid-name variants pair by swapping the marker in place:
+       sta_incremental_1k <-> sta_full_1k. *)
+    let swap_infix s a b =
+      let ls = String.length s and la = String.length a in
+      let rec find i =
+        if i + la > ls then None
+        else if String.sub s i la = a then
+          Some (String.sub s 0 i ^ b ^ String.sub s (i + la) (ls - i - la))
+        else find (i + 1)
+      in
+      find 0
+    in
     let candidates =
       List.filter_map (fun suf -> strip name suf) suffixes
       @ List.map (fun suf -> name ^ suf) suffixes
+      @ List.filter_map
+          (fun (a, b) -> swap_infix name a b)
+          [ ("_incremental", "_full"); ("_full", "_incremental") ]
     in
     List.find_map
       (fun c -> Option.map (fun v -> (c, v)) (List.assoc_opt c fresh))

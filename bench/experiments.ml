@@ -1130,6 +1130,55 @@ let e21_algorithm_selection () =
   T.note t "\"the choice of the algorithm used can impact the power cost since it determines the runtime complexity\" - automated here by comparing compiled kernels";
   T.print t
 
+let e22_dualvth () =
+  let t =
+    T.create
+      ~caption:
+        "E22 (II.B + leakage axis): slack-driven gate sizing and dual-Vth \
+         assignment on mapped netlists - per-iteration trajectory of the \
+         dualvth-opt loop (downsize / upsize / HVT-swap), timed by the \
+         incremental STA engine"
+      [ ("circuit", T.Left); ("iter", T.Right); ("down/up/hvt", T.Right);
+        ("worst slack", T.Right); ("sw cap", T.Right); ("leak uA", T.Right);
+        ("power uW", T.Right); ("hvt", T.Right) ]
+  in
+  let circuits =
+    [ ("ripple_adder_4", (Circuits.ripple_adder 4).Circuits.net);
+      ("mult_4", (Circuits.array_multiplier 4).Circuits.net) ]
+  in
+  List.iter
+    (fun (name, net) ->
+      let subj = Subject.decompose net in
+      let probs = Array.make (List.length (Network.inputs subj)) 0.5 in
+      let act = Activity.zero_delay subj ~input_probs:probs in
+      let m = Mapper.map ~verify:`Off subj (Mapper.Power act) in
+      let r = Dualvth.optimize_mapping m ~input_probs:probs in
+      let gates = List.length r.Dualvth.assignment in
+      List.iter
+        (fun (s : Dualvth.step) ->
+          T.add_row t
+            [ (if s.Dualvth.iteration = 0 then name else "");
+              string_of_int s.Dualvth.iteration;
+              Printf.sprintf "%d/%d/%d" s.Dualvth.downsized s.Dualvth.upsized
+                s.Dualvth.hvt_assigned;
+              T.cell_float ~decimals:3 s.Dualvth.worst_slack;
+              T.cell_float ~decimals:1 s.Dualvth.switched_cap;
+              T.cell_float ~decimals:4 (s.Dualvth.leakage *. 1e6);
+              T.cell_float ~decimals:1
+                (Lowpower.Power_model.total s.Dualvth.power *. 1e6);
+              Printf.sprintf "%d/%d" s.Dualvth.hvt_count gates ])
+        r.Dualvth.steps;
+      let st = r.Dualvth.sta in
+      T.note t
+        (Printf.sprintf
+           "%s: %d moves in %d STA updates (%d+%d incremental node visits, \
+            %d full passes); iteration 0 is the all-max-drive low-Vth start \
+            the constraint is taken from"
+           name r.Dualvth.moves st.Sta.updates st.Sta.arrival_visits
+           st.Sta.required_visits st.Sta.full_passes))
+    circuits;
+  T.print t
+
 let all =
   [ ("e1_power_breakdown", e1_power_breakdown);
     ("e2_reorder", e2_reorder);
@@ -1151,4 +1200,5 @@ let all =
     ("e18_guarded_evaluation", e18_guarded_evaluation);
     ("e19_sequential_estimation", e19_sequential_estimation);
     ("e20_ablations", e20_ablations);
-    ("e21_algorithm_selection", e21_algorithm_selection) ]
+    ("e21_algorithm_selection", e21_algorithm_selection);
+    ("e22_dualvth", e22_dualvth) ]

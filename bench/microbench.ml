@@ -71,6 +71,79 @@ let required_times_1k =
   Test.make ~name:"required_times_1k"
     (Staged.stage (fun () -> ignore (Network.slacks net ())))
 
+(* Incremental STA vs the whole-array oracle on the same 1k-gate
+   network.  Each run toggles the same 32 gates (spread through the
+   topological order) between two delays via [Sta.set_delay],
+   re-propagating arrivals and (materialized) requireds after each
+   edit.  The engine is built outside the timed region; the _full
+   sibling forces whole-array passes on every update, so the pair's
+   ratio is the changed-cone-vs-network factor the incremental engine
+   exists for. *)
+let sta_1k_workload mode =
+  let net =
+    Gen_comb.random (Lowpower.Rng.create 7)
+      { Gen_comb.num_inputs = 24; num_gates = 1000; max_fanin = 3;
+        output_fraction = 0.1 }
+  in
+  let g = Network.timing_graph net in
+  let delays = Array.make g.Sta.size 0.0 in
+  List.iter (fun i -> delays.(i) <- Network.delay net i) (Network.node_ids net);
+  let sta = Sta.create ~mode g delays in
+  ignore (Sta.required_array sta);
+  (* 32 edit sites: the first 32 non-source nodes at or after the middle
+     of the topological order — mid-cone gates whose forward and backward
+     cones are both a small fraction of the network, i.e. the localized
+     edits the sizing loop makes.  One bench invocation re-times all 32,
+     which keeps the per-run time well clear of timer/GC jitter — a
+     single incremental edit is ~1 µs, too small to measure stably
+     run-to-run.  (Spreading the sites across the whole order instead
+     would include near-input gates whose fanout cone is most of the
+     network, turning the incremental update into a full pass and
+     measuring cone size, not engine overhead.) *)
+  let topo = g.Sta.topo in
+  let sites =
+    let picked = ref [] and p = ref (Array.length topo / 2) in
+    while List.length !picked < 32 do
+      if not g.Sta.is_source.(topo.(!p)) then picked := topo.(!p) :: !picked;
+      incr p
+    done;
+    Array.of_list (List.rev !picked)
+  in
+  let d0 = Array.map (fun x -> Sta.delay sta x) sites in
+  let flip = ref false in
+  fun () ->
+    flip := not !flip;
+    Array.iteri
+      (fun i x -> Sta.set_delay sta x (if !flip then d0.(i) +. 0.5 else d0.(i)))
+      sites
+
+let sta_incremental_1k =
+  Test.make ~name:"sta_incremental_1k"
+    (Staged.stage (sta_1k_workload Sta.Incremental))
+
+let sta_full_1k =
+  Test.make ~name:"sta_full_1k" (Staged.stage (sta_1k_workload Sta.Full))
+
+(* The whole sizing + dual-Vth loop on the premapped 4-bit multiplier
+   (mapping and activity computed outside the timed region): hundreds
+   of trial moves per run, every one timed through the incremental
+   engine. *)
+let dualvth_opt_mult4 =
+  let net = (Circuits.array_multiplier 4).Circuits.net in
+  let subj = Subject.decompose net in
+  let probs = Array.make (List.length (Network.inputs subj)) 0.5 in
+  let act = Activity.zero_delay subj ~input_probs:probs in
+  let m = Mapper.map ~verify:`Off subj (Mapper.Power act) in
+  let mapped = Mapper.netlist m in
+  let gates = Mapper.choices m in
+  let activity =
+    Activity.zero_delay mapped
+      ~input_probs:(Array.make (List.length (Network.inputs mapped)) 0.5)
+  in
+  Test.make ~name:"dualvth_opt_mult4"
+    (Staged.stage (fun () ->
+         ignore (Dualvth.optimize mapped ~gates ~activity)))
+
 let list_scheduling =
   let dfg = Gen_dfg.ewf_like (Lowpower.Rng.create 2) ~ops:40 in
   let d = Schedule.uniform_delays dfg in
@@ -240,7 +313,8 @@ let sat_portfolio_pigeon_9 =
 
 let tests =
   [ bdd_build; cover_minimize; cover_complement; fsm_synth; event_sim;
-    event_sim_reference; required_times_1k; list_scheduling; iss_run;
+    event_sim_reference; required_times_1k; sta_full_1k; sta_incremental_1k;
+    dualvth_opt_mult4; list_scheduling; iss_run;
     encoding_search; odc_guard; seq_chain; streaming_kernel;
     prob_sim_scalar; prob_sim_bitsim; seq_sim_scalar; seq_sim_bitsim;
     sat_pigeon; cec_adder_vs_factored; cec_adder_vs_factored_incremental;

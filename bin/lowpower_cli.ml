@@ -392,6 +392,81 @@ let tournament_cmd =
     Term.(const tournament_run $ circuit_arg $ width_arg 5 $ seed_arg
           $ trace_length)
 
+(* --- size --- *)
+
+let size_run circuit width seed slack_factor leak_budget =
+  let net = build_circuit circuit width seed in
+  let subj = Subject.decompose net in
+  let input_probs = Probability.uniform_inputs subj in
+  let act = Activity.zero_delay subj ~input_probs in
+  let m = Mapper.map subj (Mapper.Power act) in
+  let leakage_budget =
+    (* --leak-budget is a fraction of the max-drive starting leakage. *)
+    match leak_budget with
+    | None -> None
+    | Some f ->
+      let probe = Dualvth.optimize_mapping m ~input_probs in
+      Some (f *. (Dualvth.initial_step probe).Dualvth.leakage)
+  in
+  let r =
+    Dualvth.optimize_mapping ?slack_factor ?leakage_budget m ~input_probs
+  in
+  let gates = List.length r.Dualvth.assignment in
+  Printf.printf "sizing %s (width %d): %d gates, required time %.2f\n" circuit
+    width gates r.Dualvth.required;
+  Printf.printf "  %4s %5s %4s %4s  %10s %9s %10s %9s %5s\n" "iter" "down"
+    "up" "hvt" "slack" "swcap" "leak uA" "power uW" "hvt%";
+  List.iter
+    (fun (s : Dualvth.step) ->
+      Printf.printf
+        "  %4d %5d %4d %4d  %10.3f %9.1f %10.4f %9.3f %5.1f\n"
+        s.Dualvth.iteration s.Dualvth.downsized s.Dualvth.upsized
+        s.Dualvth.hvt_assigned s.Dualvth.worst_slack s.Dualvth.switched_cap
+        (s.Dualvth.leakage *. 1e6)
+        (Lowpower.Power_model.total s.Dualvth.power *. 1e6)
+        (100.0 *. float_of_int s.Dualvth.hvt_count /. float_of_int gates))
+    r.Dualvth.steps;
+  let s0 = Dualvth.initial_step r and sf = Dualvth.final_step r in
+  let p0 = Lowpower.Power_model.total s0.Dualvth.power
+  and pf = Lowpower.Power_model.total sf.Dualvth.power in
+  Printf.printf
+    "total power %.3f -> %.3f uW (%.1f%% saved vs max-drive low-Vth); \
+     leakage %.4f -> %.4f uA (%.1fx)\n"
+    (p0 *. 1e6) (pf *. 1e6)
+    (100.0 *. (1.0 -. (pf /. p0)))
+    (s0.Dualvth.leakage *. 1e6)
+    (sf.Dualvth.leakage *. 1e6)
+    (if sf.Dualvth.leakage > 0.0 then s0.Dualvth.leakage /. sf.Dualvth.leakage
+     else infinity);
+  let st = r.Dualvth.sta in
+  Printf.printf
+    "moves: %d; STA: %d incremental updates (%d arrival + %d required \
+     visits), %d full passes\n"
+    r.Dualvth.moves st.Sta.updates st.Sta.arrival_visits
+    st.Sta.required_visits st.Sta.full_passes
+
+let size_cmd =
+  let slack_factor =
+    Arg.(value & opt (some float) None
+         & info [ "slack" ] ~docv:"F"
+             ~doc:"Required time as $(docv) x the max-drive critical delay \
+                   (default 1.0: the starting critical path is the \
+                   constraint).")
+  in
+  let leak_budget =
+    Arg.(value & opt (some float) None
+         & info [ "leak-budget" ] ~docv:"F"
+             ~doc:"Leakage budget as a fraction $(docv) of the max-drive \
+                   starting leakage; high-Vth swaps stop once met (default: \
+                   swap every gate the slack allows).")
+  in
+  Cmd.v
+    (Cmd.info "size"
+       ~doc:"Slack-driven gate sizing + dual-Vth assignment on a mapped \
+             netlist")
+    Term.(const size_run $ circuit_arg $ width_arg 4 $ seed_arg $ slack_factor
+          $ leak_budget)
+
 (* --- batch --- *)
 
 (* Job-list lines: "<kind> <int>" with kind one of estimate / tournament /
@@ -522,4 +597,4 @@ let () =
           (Cmd.info "lowpower_cli" ~doc)
           [ analyze_cmd; map_cmd; encode_cmd; precompute_cmd; businvert_cmd;
             compile_cmd; guard_cmd; check_cmd; seqestimate_cmd; tournament_cmd;
-            batch_cmd ]))
+            size_cmd; batch_cmd ]))

@@ -13,7 +13,22 @@ let default_params = {
   i_leak = 1.5e-6;        (* 1.5 uA chip leakage *)
 }
 
-let scale_voltage p v = { p with vdd = v; i_leak = p.i_leak *. (v /. p.vdd) }
+let subthreshold_slope = 0.1
+
+let vth_leakage_factor ?(slope = subthreshold_slope) ~delta_vth () =
+  10.0 ** (-.delta_vth /. slope)
+
+(* Subthreshold leakage is exponential in the effective threshold, and
+   the supply enters that exponent through drain-induced barrier
+   lowering: Vth_eff(V) = Vth0 - dibl * V, so
+   I(v) / I(vdd) = 10^(dibl * (v - vdd) / slope).  The previous
+   first-order [v /. vdd] linear scaling badly understated how much
+   leakage a lower supply buys back at low thresholds. *)
+let scale_voltage ?(dibl = 0.05) p v =
+  { p with
+    vdd = v;
+    i_leak =
+      p.i_leak *. (10.0 ** (dibl *. (v -. p.vdd) /. subthreshold_slope)) }
 
 type breakdown = {
   switching : float;
@@ -26,6 +41,10 @@ let total b = b.switching +. b.short_circuit +. b.leakage
 let switching_fraction b =
   let t = total b in
   if t = 0.0 then 0.0 else b.switching /. t
+
+let leakage_fraction b =
+  let t = total b in
+  if t = 0.0 then 0.0 else b.leakage /. t
 
 let power p ~capacitance ~activity =
   {

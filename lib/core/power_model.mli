@@ -22,9 +22,33 @@ val default_params : params
     short-circuit and leakage components small relative to switching power,
     as assumed throughout the paper. *)
 
-val scale_voltage : params -> float -> params
-(** [scale_voltage p v] is [p] with the supply set to [v]; leakage current is
-    scaled proportionally to the supply (a first-order approximation). *)
+val subthreshold_slope : float
+(** Inverse subthreshold slope, volts per decade of drain current (0.1 V:
+    each 100 mV of threshold reduction buys a 10x leakage increase).  The
+    constant behind both {!vth_leakage_factor} and the supply sensitivity
+    of {!scale_voltage}. *)
+
+val vth_leakage_factor : ?slope:float -> delta_vth:float -> unit -> float
+(** [vth_leakage_factor ~delta_vth ()] is the multiplicative change in
+    subthreshold leakage current from {e raising} the threshold voltage by
+    [delta_vth] volts: [10 ** (-delta_vth /. slope)].  This exponential
+    low-Vth sensitivity is the whole dual-Vth tradeoff: a 0.25 V higher
+    threshold cuts leakage ~300x while costing only the polynomial delay
+    increase of {!gate_delay}'s reduced overdrive — which is why high-Vth
+    variants go on non-critical gates ([Circuit.Dualvth]) where that delay
+    is free.  [slope] defaults to {!subthreshold_slope}. *)
+
+val scale_voltage : ?dibl:float -> params -> float -> params
+(** [scale_voltage p v] is [p] with the supply set to [v].  Leakage
+    current scales {e exponentially} with the supply, not linearly: the
+    supply acts on the effective threshold through drain-induced barrier
+    lowering ([Vth_eff = Vth0 - dibl * vdd], [dibl] defaults to 0.05
+    V/V), so [i_leak] is multiplied by
+    [10 ** (dibl * (v - p.vdd) /. subthreshold_slope)].  At the default
+    coefficients a 3.3 -> 1.5 V scaling cuts leakage ~8x, where the old
+    first-order [v /. vdd] rule claimed only 2.2x — the error grows with
+    how low the threshold (and thus how leaky the process) is, per the
+    exponential sensitivity documented at {!vth_leakage_factor}. *)
 
 type breakdown = {
   switching : float;      (** 1/2 C V^2 f N, W *)
@@ -39,6 +63,11 @@ val switching_fraction : breakdown -> float
 (** Fraction of total power due to the switching term.  The paper (citing
     Chandrakasan et al. [8]) states this exceeds 90% in well-designed
     circuits. *)
+
+val leakage_fraction : breakdown -> float
+(** Fraction of total power due to the leakage term — the axis the
+    dual-Vth optimizer trades against; negligible at the paper's 1995
+    operating point but first-class in every low-Vth follow-up. *)
 
 val power : params -> capacitance:float -> activity:float -> breakdown
 (** [power p ~capacitance ~activity] evaluates Eqn. 1 for a circuit whose

@@ -124,6 +124,21 @@ let cap c x = c.cap.(x)
 let outputs c = c.outs
 let eval_node c x values = c.eval_fn.(x) values
 
+let timing_graph c =
+  let seen = Array.make c.size false in
+  let sinks =
+    Array.to_list c.outs
+    |> List.filter_map (fun (_, x) ->
+           if seen.(x) then None
+           else begin
+             seen.(x) <- true;
+             Some x
+           end)
+    |> Array.of_list
+  in
+  { Sta.size = c.size; topo = c.topo; fanins = c.fanin;
+    fanouts = c.fanout; is_source = c.is_input; sinks }
+
 let local_func c x =
   if c.is_input.(x) then invalid_arg "Compiled.local_func: input node"
   else c.funcs.(x)

@@ -49,6 +49,14 @@ val cap : t -> int -> float
 
 val outputs : t -> (string * int) array
 
+val timing_graph : t -> Sta.graph
+(** Topology view for the {!Sta} incremental timing engine, indexed by
+    compact index (sinks deduplicated).  The graph aliases the
+    snapshot's own adjacency arrays — free to build, treat as
+    read-only.  Seed the engine with delays of the caller's choosing,
+    e.g. [Sta.create (timing_graph c) (Array.init (size c) (delay c))]
+    for the annotated delays. *)
+
 val eval_node : t -> int -> bool array -> bool
 (** Re-evaluate one logic node's function against a value plane. *)
 

@@ -10,6 +10,7 @@ type node = {
   mutable nfanins : id list;
   mutable ndelay : float;
   mutable ncap : float;
+  mutable nleak : float;
 }
 
 type t = {
@@ -25,17 +26,24 @@ type t = {
   (* Derived-structure caches, dropped on any structural edit. *)
   mutable levels_cache : (id, int) Hashtbl.t option;
   mutable topo_cache : id list option;
+  (* Topology snapshot lent to the Sta timing engine; additionally
+     dropped on [set_output], which changes the sink set without being a
+     structural edit.  Delay/cap/leak edits keep it valid: the graph
+     carries no annotations. *)
+  mutable graph_cache : Sta.graph option;
 }
 
 exception Cycle of id list
 
 let create () =
   { nodes = Hashtbl.create 64; ins = []; outs = []; next = 0;
-    rev = Hashtbl.create 64; levels_cache = None; topo_cache = None }
+    rev = Hashtbl.create 64; levels_cache = None; topo_cache = None;
+    graph_cache = None }
 
 let invalidate t =
   t.levels_cache <- None;
-  t.topo_cache <- None
+  t.topo_cache <- None;
+  t.graph_cache <- None
 
 let get t i =
   match Hashtbl.find_opt t.nodes i with
@@ -68,7 +76,7 @@ let add_input ?name t =
   in
   Hashtbl.add t.nodes i
     { nid = i; node_name; kind = Input; nfunc = Expr.fls; nfanins = [];
-      ndelay = 0.0; ncap = 1.0 };
+      ndelay = 0.0; ncap = 1.0; nleak = 0.0 };
   t.ins <- i :: t.ins;
   invalidate t;
   i
@@ -77,7 +85,7 @@ let check_func_arity f fanins =
   if Expr.max_var f >= List.length fanins then
     invalid_arg "Network: expression references variable beyond fanins"
 
-let add_node ?name ?(delay = 1.0) ?(cap = 1.0) t f fanins =
+let add_node ?name ?(delay = 1.0) ?(cap = 1.0) ?(leak = 0.0) t f fanins =
   List.iter (fun j -> ignore (get t j)) fanins;
   check_func_arity f fanins;
   let i = fresh t in
@@ -86,14 +94,15 @@ let add_node ?name ?(delay = 1.0) ?(cap = 1.0) t f fanins =
   in
   Hashtbl.add t.nodes i
     { nid = i; node_name; kind = Logic; nfunc = f; nfanins = fanins;
-      ndelay = delay; ncap = cap };
+      ndelay = delay; ncap = cap; nleak = leak };
   rev_add t fanins i;
   invalidate t;
   i
 
 let set_output t name i =
   ignore (get t i);
-  t.outs <- (name, i) :: List.remove_assoc name t.outs
+  t.outs <- (name, i) :: List.remove_assoc name t.outs;
+  t.graph_cache <- None
 
 let inputs t = List.rev t.ins
 let outputs t = List.rev t.outs
@@ -121,8 +130,13 @@ let fanouts t i =
 
 let delay t i = (get t i).ndelay
 let cap t i = (get t i).ncap
+let leak t i = (get t i).nleak
 let set_delay t i d = (get t i).ndelay <- d
 let set_cap t i c = (get t i).ncap <- c
+let set_leak t i l = (get t i).nleak <- l
+
+let total_leakage t =
+  Hashtbl.fold (fun _ n acc -> acc +. n.nleak) t.nodes 0.0
 
 let input_index t i =
   let rec find k = function
@@ -324,7 +338,8 @@ let structural_hash t =
     (fun k i ->
       let n = get t i in
       let h = h_combine (h_mix (29 + k)) (h_float n.ncap) in
-      Hashtbl.replace node_hash i (h_combine h (h_float n.ndelay)))
+      let h = h_combine h (h_float n.ndelay) in
+      Hashtbl.replace node_hash i (h_combine h (h_float n.nleak)))
     (inputs t);
   List.iter
     (fun i ->
@@ -336,7 +351,8 @@ let structural_hash t =
         let h = h_expr fh n.nfunc in
         let h = Array.fold_left h_combine (h_combine 31 h) fh in
         let h = h_combine h (h_float n.ndelay) in
-        Hashtbl.replace node_hash i (h_combine h (h_float n.ncap))
+        let h = h_combine h (h_float n.ncap) in
+        Hashtbl.replace node_hash i (h_combine h (h_float n.nleak))
       end)
     (topo_order t);
   (* Nodes and outputs are folded in commutatively (sum mod 2^62), so the
@@ -385,67 +401,71 @@ let levels t =
 
 let level t i = Hashtbl.find (levels t) i
 
-(* The timing traversals run over flat float arrays indexed by raw id
-   (ids are dense: always < t.next); the per-node hashtables the public
-   API promises are built in one final pass. *)
+(* The timing views are thin wrappers over the flat-array [Sta] engine:
+   the network lends it a [timing_graph] topology snapshot indexed by
+   raw id (ids are dense: always < t.next; ids freed by [sweep] are
+   simply absent from [topo] and never visited), and the per-node
+   hashtables the public API promises are built in one final pass over
+   the engine's arrays. *)
 
-let arrival_array t =
-  let at = Array.make t.next 0.0 in
-  List.iter
-    (fun i ->
-      let n = get t i in
-      match n.kind with
-      | Input -> at.(i) <- 0.0
-      | Logic ->
-        let latest =
-          List.fold_left
-            (fun d j -> let a = at.(j) in if a > d then a else d)
-            0.0 n.nfanins
-        in
-        at.(i) <- latest +. n.ndelay)
-    (topo_order t);
-  at
+let timing_graph t =
+  match t.graph_cache with
+  | Some g -> g
+  | None ->
+    let size = t.next in
+    let topo = Array.of_list (topo_order t) in
+    let fanins = Array.make size [||] in
+    let fanouts = Array.make size [||] in
+    let is_source = Array.make size false in
+    Array.iter
+      (fun i ->
+        let n = get t i in
+        (match n.kind with
+        | Input -> is_source.(i) <- true
+        | Logic -> fanins.(i) <- Array.of_list n.nfanins);
+        fanouts.(i) <-
+          Array.of_list
+            (Option.value (Hashtbl.find_opt t.rev i) ~default:[]))
+      topo;
+    let seen = Array.make size false in
+    let sinks =
+      List.filter_map
+        (fun (_, i) ->
+          if seen.(i) then None
+          else begin
+            seen.(i) <- true;
+            Some i
+          end)
+        (outputs t)
+      |> Array.of_list
+    in
+    let g = { Sta.size; topo; fanins; fanouts; is_source; sinks } in
+    t.graph_cache <- Some g;
+    g
+
+let timing ?mode ?required t =
+  let g = timing_graph t in
+  let delays = Array.make t.next 0.0 in
+  Hashtbl.iter (fun i n -> delays.(i) <- n.ndelay) t.nodes;
+  Sta.create ?mode ?required g delays
 
 let arrival_times t =
-  let at = arrival_array t in
+  let at = Sta.arrival_array (timing t) in
   let tbl = Hashtbl.create (Hashtbl.length t.nodes) in
   Hashtbl.iter (fun i _ -> Hashtbl.replace tbl i at.(i)) t.nodes;
   tbl
 
-let critical_delay t =
-  let at = arrival_array t in
-  List.fold_left (fun d (_, i) -> max d at.(i)) 0.0 (outputs t)
-
-let required_array t required =
-  let rt = Array.make t.next infinity in
-  let dl = Array.make t.next 0.0 in
-  Hashtbl.iter (fun i n -> dl.(i) <- n.ndelay) t.nodes;
-  let is_out = Array.make t.next false in
-  List.iter (fun (_, j) -> is_out.(j) <- true) t.outs;
-  List.iter
-    (fun i ->
-      let from_fanouts =
-        List.fold_left
-          (fun r j -> let v = rt.(j) -. dl.(j) in if v < r then v else r)
-          infinity
-          (Option.value (Hashtbl.find_opt t.rev i) ~default:[])
-      in
-      rt.(i) <-
-        (if is_out.(i) then min required from_fanouts else from_fanouts))
-    (List.rev (topo_order t));
-  rt
+let critical_delay t = Sta.critical_delay (timing t)
 
 let required_times t required =
-  let rt = required_array t required in
+  let rt = Sta.required_array (timing ~required t) in
   let tbl = Hashtbl.create (Hashtbl.length t.nodes) in
   Hashtbl.iter (fun i _ -> Hashtbl.replace tbl i rt.(i)) t.nodes;
   tbl
 
 let slacks t ?required () =
-  let required =
-    match required with Some r -> r | None -> critical_delay t
-  in
-  let at = arrival_array t and rt = required_array t required in
+  let s = timing ?required t in
+  let at = Sta.arrival_array s and rt = Sta.required_array s in
   let sl = Hashtbl.create (Hashtbl.length t.nodes) in
   Hashtbl.iter
     (fun i _ ->
@@ -506,7 +526,8 @@ let copy t =
   let nodes = Hashtbl.create (Hashtbl.length t.nodes) in
   Hashtbl.iter (fun i n -> Hashtbl.add nodes i { n with nid = n.nid }) t.nodes;
   { nodes; ins = t.ins; outs = t.outs; next = t.next;
-    rev = Hashtbl.copy t.rev; levels_cache = None; topo_cache = None }
+    rev = Hashtbl.copy t.rev; levels_cache = None; topo_cache = None;
+    graph_cache = None }
 
 let pp ppf t =
   Format.pp_open_vbox ppf 0;

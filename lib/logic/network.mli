@@ -23,9 +23,12 @@ val add_input : ?name:string -> t -> id
 (** Append a primary input.  Default name [x<k>] by input position. *)
 
 val add_node :
-  ?name:string -> ?delay:float -> ?cap:float -> t -> Expr.t -> id list -> id
+  ?name:string -> ?delay:float -> ?cap:float -> ?leak:float ->
+  t -> Expr.t -> id list -> id
 (** [add_node t f fanins] adds a logic node computing [f] over [fanins].
-    Default [delay] and [cap] are 1.0 (unit-delay, unit-capacitance model).
+    Default [delay] and [cap] are 1.0 (unit-delay, unit-capacitance model);
+    default [leak] (static leakage current, amperes) is 0.0 — only mapped
+    netlists carry real leakage, set from the chosen cell variant.
     Raises [Invalid_argument] if a fanin is unknown or the expression
     references a variable beyond the fanin list. *)
 
@@ -55,8 +58,12 @@ val fanouts : t -> id -> id list
 
 val delay : t -> id -> float
 val cap : t -> id -> float
+val leak : t -> id -> float
+(** Static leakage current of the node, amperes (0.0 unless annotated). *)
+
 val set_delay : t -> id -> float -> unit
 val set_cap : t -> id -> float -> unit
+val set_leak : t -> id -> float -> unit
 val input_index : t -> id -> int
 (** Position of an input node among the inputs.  Raises [Not_found]. *)
 
@@ -101,14 +108,15 @@ val output_bdd : t -> Bdd.man -> string -> Bdd.t
 
 val structural_hash : t -> int
 (** Canonical 63-bit content hash of the network: input positions, local
-    functions, fanin wiring, output names and delay/cap annotations all
-    contribute; node {e ids} do not.  Rebuilding the same structure under a
-    different id assignment (or declaring outputs in a different order)
-    yields the same hash, and [structural_hash (copy t) = structural_hash t].
+    functions, fanin wiring, output names and delay/cap/leak annotations
+    all contribute; node {e ids} do not.  Rebuilding the same structure
+    under a different id assignment (or declaring outputs in a different
+    order) yields the same hash, and
+    [structural_hash (copy t) = structural_hash t].
     Any structural or annotation change — a flipped local function, a
-    rewired fanin, an edited delay or cap, a redirected or renamed output —
-    changes the hash (up to 63-bit collisions, which the content-addressed
-    caches in [lib/serve] rely on being negligible). *)
+    rewired fanin, an edited delay, cap or leak, a redirected or renamed
+    output — changes the hash (up to 63-bit collisions, which the
+    content-addressed caches in [lib/serve] rely on being negligible). *)
 
 (** {1 Metrics} *)
 
@@ -120,6 +128,9 @@ val total_cap : t -> float
 (** Sum of node capacitances (inputs included: their cap models the input
     pin loading). *)
 
+val total_leakage : t -> float
+(** Sum of node leakage currents, amperes (0.0 on unannotated networks). *)
+
 val levels : t -> (id, int) Hashtbl.t
 (** Unit-delay logic depth of every node (inputs are level 0).  Cached
     until the next structural edit; treat the table as read-only. *)
@@ -127,6 +138,27 @@ val levels : t -> (id, int) Hashtbl.t
 val level : t -> id -> int
 (** Unit-delay logic depth (inputs are level 0).  Served from the
     {!levels} cache, so per-query cost is O(1) on an unmodified network. *)
+
+(** {1 Timing}
+
+    All timing views are thin wrappers over the flat-array {!Sta}
+    engine; the hashtable-returning functions below exist for API
+    stability and convenience.  Callers doing repeated delay edits (a
+    sizing loop) should hold the {!timing} engine directly and use
+    [Sta.set_delay] for O(changed cone) updates. *)
+
+val timing_graph : t -> Sta.graph
+(** Topology snapshot for the {!Sta} engine, indexed by raw node id
+    (dense: every index < an internal bound; ids freed by {!sweep} are
+    absent from the topo order and never visited).  Cached until the
+    next structural or output edit; treat as read-only. *)
+
+val timing : ?mode:Sta.mode -> ?required:float -> t -> Sta.t
+(** Fresh incremental timing engine over {!timing_graph} seeded with the
+    current per-node delays.  [required] defaults to the critical delay
+    (see {!Sta.create}).  Subsequent [Network.set_delay] edits are {e
+    not} reflected in an already-created engine — push them through
+    [Sta.set_delay] instead, and write back when done. *)
 
 val arrival_times : t -> (id, float) Hashtbl.t
 (** Longest-path arrival using per-node delays; inputs arrive at 0. *)
@@ -140,7 +172,8 @@ val required_times : t -> float -> (id, float) Hashtbl.t
 
 val slacks : t -> ?required:float -> unit -> (id, float) Hashtbl.t
 (** Per-node slack = required - arrival; default required time is the
-    critical delay (so critical nodes have zero slack). *)
+    critical delay (so critical nodes have zero slack).  Nodes on no
+    path to any output (infinite required) are omitted. *)
 
 (** {1 Editing} *)
 

@@ -22,6 +22,7 @@ type artifact =
   | A_cone of (string * float) array
   | A_cover of Cover.t
   | A_cec of Cec.outcome
+  | A_dualvth of Dualvth.result
 
 type entry = { value : artifact; mutable last_use : int }
 
@@ -112,13 +113,14 @@ let memoize t key compute =
     insert t key v;
     v
 
-(* Kind tags keep the four artifact spaces disjoint even for identical
+(* Kind tags keep the artifact spaces disjoint even for identical
    ingredient hashes. *)
 let k_compiled = 1
 and k_bitsim = 2
 and k_cone = 3
 and k_cover = 4
 and k_cec = 5
+and k_dualvth = 6
 
 let compiled t net =
   let key = combine k_compiled (Network.structural_hash net) in
@@ -169,6 +171,69 @@ let minimize t ?dc f =
   let key = match dc with Some d -> hash_cover (combine key 7) d | None -> key in
   match memoize t key (fun () -> A_cover (Cover.minimize ?dc f)) with
   | A_cover c -> c
+  | _ -> assert false
+
+let dualvth t ?config ?required ?slack_factor ?leakage_budget ?cells m
+    ~input_probs =
+  let cfg =
+    match config with Some c -> c | None -> Dualvth.default_config
+  in
+  let net = Mapper.netlist m in
+  (* structural_hash covers the mapped structure including its cell
+     annotations; the fingerprint adds every knob that changes the
+     optimization — the constraint, budget, activity inputs and config
+     coefficients.  Absent options hash as nan, which no present value
+     collides with. *)
+  let fopt = function Some f -> f | None -> nan in
+  let key = combine k_dualvth (Network.structural_hash net) in
+  let key = combine_float key (fopt required) in
+  let key = combine_float key (fopt slack_factor) in
+  let key = combine_float key (fopt leakage_budget) in
+  let key = Array.fold_left combine_float key input_probs in
+  let key =
+    List.fold_left combine_float key
+      [ cfg.Dualvth.params.Lowpower.Power_model.vdd;
+        cfg.Dualvth.params.Lowpower.Power_model.freq;
+        cfg.Dualvth.params.Lowpower.Power_model.qsc;
+        cfg.Dualvth.unit_cap; cfg.Dualvth.output_load;
+        cfg.Dualvth.drive_gain; cfg.Dualvth.gamma; cfg.Dualvth.epsilon;
+        cfg.Dualvth.tol ]
+  in
+  let key = combine key cfg.Dualvth.max_iterations in
+  let key =
+    combine key
+      (match cfg.Dualvth.start with Dualvth.Max_drive -> 0 | Dualvth.Asis -> 1)
+  in
+  let key =
+    List.fold_left
+      (fun k (_, (cl : Techlib.cell)) ->
+        match cells with
+        | Some _ -> k (* custom ladders are folded below *)
+        | None -> combine k (Hashtbl.hash cl.Techlib.cell_name))
+      key (Mapper.choices m)
+  in
+  let key =
+    match cells with
+    | None -> key
+    | Some cs ->
+      List.fold_left
+        (fun k (cl : Techlib.cell) ->
+          let k = combine k (Hashtbl.hash cl.Techlib.cell_name) in
+          let k = combine_float k cl.Techlib.drive in
+          combine_float k cl.Techlib.leak)
+        key cs
+  in
+  let compute () =
+    A_dualvth
+      (Dualvth.optimize_mapping ?config ?required ?slack_factor
+         ?leakage_budget ?cells m ~input_probs)
+  in
+  match memoize t key compute with
+  | A_dualvth r ->
+    (* The cached result's network must not be shared mutably across
+       callers; hand each one its own copy (ids are preserved, so the
+       assignment list stays valid). *)
+    { r with Dualvth.net = Network.copy r.Dualvth.net }
   | _ -> assert false
 
 let cec_key a b =

@@ -76,3 +76,22 @@ val check_with :
     {!Cec.session} across candidates while still hitting the cache when a
     batch repeats a circuit.  The prover must decide the same question as
     [Cec.check a b]. *)
+
+val dualvth :
+  t ->
+  ?config:Dualvth.config ->
+  ?required:float ->
+  ?slack_factor:float ->
+  ?leakage_budget:float ->
+  ?cells:Techlib.cell list ->
+  Mapper.mapping ->
+  input_probs:float array ->
+  Dualvth.result
+(** [Dualvth.optimize_mapping] on the mapping, keyed by the mapped
+    netlist's [structural_hash] plus a constraint fingerprint: the
+    required time / slack factor / leakage budget (absent options hash
+    distinctly), the input probabilities, every [config] coefficient and
+    the variant library.  On a hit the stored result is returned with a
+    {e copy} of its annotated network (ids preserved, so the assignment
+    list applies), leaving the cached entry immutable; note that on a
+    hit the argument mapping's own netlist is {e not} annotated. *)

@@ -82,13 +82,49 @@ let default_strategies ?memo ?input_probs net =
       s_name = "subject-power";
       transform = (fun n -> Subject.decompose_for_power n ~input_probs:probs);
     };
+    {
+      s_name = "dualvth";
+      transform =
+        (fun n ->
+          (* Map to cells, then size + assign Vth against the mapped
+             netlist's own critical delay.  Infeasible timing fails the
+             candidate — that is the feasibility gate before promotion;
+             the SAT check below covers function like everyone else. *)
+          let subj = Subject.decompose n in
+          let act = Activity.zero_delay subj ~input_probs:probs in
+          let m = Mapper.map ~verify:`Off subj (Mapper.Power act) in
+          let r =
+            match memo with
+            | Some mm -> Memo.dualvth mm m ~input_probs:probs
+            | None -> Dualvth.optimize_mapping m ~input_probs:probs
+          in
+          let ws = (Dualvth.final_step r).Dualvth.worst_slack in
+          if ws < -1e-9 then
+            failwith
+              (Printf.sprintf "dualvth: timing infeasible (worst slack %g)"
+                 ws);
+          r.Dualvth.net);
+    };
   ]
+
+(* Leakage enters every score as equivalent switched capacitance: a
+   score of S units means switching power 0.5 * unit_cap * S * V^2 * f
+   at the default operating point, so leakage watts (I * V) divide back
+   by that factor.  Networks without leak annotations — every strategy
+   except dualvth — contribute exactly 0 and score as before. *)
+let leak_units net =
+  let p = Lowpower.Power_model.default_params in
+  let unit_cap = 20.0e-15 in
+  Network.total_leakage net
+  /. (0.5 *. unit_cap *. p.Lowpower.Power_model.vdd
+      *. p.Lowpower.Power_model.freq)
 
 (* Capacitance-weighted toggles per cycle, measured over the trace.  The
    scalar path mirrors Bitsim.count_transitions (settled zero-delay
    values, initialization uncharged, input toggles counted) and is what
    the LOWPOWER_BITSIM=off configuration exercises. *)
 let measured_score ?memo net trace =
+  let leak = leak_units net in
   let cycles = List.length trace in
   let denom = float_of_int (max 1 (cycles - 1)) in
   if Bitsim.enabled () then begin
@@ -101,7 +137,7 @@ let measured_score ?memo net trace =
     Array.iteri
       (fun i k -> acc := !acc +. (Compiled.cap c i *. float_of_int k))
       counts;
-    !acc /. denom
+    (!acc /. denom) +. leak
   end
   else begin
     let c =
@@ -124,12 +160,12 @@ let measured_score ?memo net trace =
           done;
           Array.blit cur 0 prev 0 size)
         rest);
-    !acc /. denom
+    (!acc /. denom) +. leak
   end
 
 let estimated_score net ~input_probs =
   let act = Activity.zero_delay ~exact:false net ~input_probs in
-  Activity.switched_capacitance net act
+  Activity.switched_capacitance net act +. leak_units net
 
 let run ?(name = "circuit") ?strategies ?input_probs ?trace ?memo net =
   let probs =

@@ -2,14 +2,16 @@
     SAT-verified champion.
 
     The survey's low-power passes (don't-care resimplification, two-level
-    re-minimization, activity-aware decomposition) each win on some
-    circuits and lose on others; a tournament makes the choice empirical
-    per circuit.  Every strategy transforms a private copy of the source
-    network, every surviving candidate is scored by estimated switched
-    capacitance (zero-delay activity from signal probabilities under the
-    independence estimate by default, measured
-    {!Bitsim.count_transitions} toggles when a [trace] is supplied), and
-    {e every} scored candidate is checked equivalent to
+    re-minimization, activity-aware decomposition, sizing/dual-Vth) each
+    win on some circuits and lose on others; a tournament makes the
+    choice empirical per circuit.  Every strategy transforms a private
+    copy of the source network, every surviving candidate is scored by
+    estimated total power in switched-capacitance units — zero-delay
+    activity from signal probabilities under the independence estimate by
+    default, measured {!Bitsim.count_transitions} toggles when a [trace]
+    is supplied, in either case plus the net's annotated leakage
+    converted to equivalent capacitance units (zero on unannotated
+    networks) — and {e every} scored candidate is checked equivalent to
     the source through one shared incremental {!Cec.session} — so a
     promoted champion is always SAT-verified, and a strategy that
     miscompiles is refuted with a counterexample instead of winning on a
@@ -36,8 +38,13 @@ val default_strategies :
     [dontcare-area], [dontcare-power] ({!Dontcare} policies; internal
     re-verification off — the tournament SAT-checks the result),
     [subject] and [subject-power] (NAND2/INV decomposition, plain and
-    activity-ordered).  [input_probs] (default all 0.5) feeds the
-    power-aware strategies and must match the source input count. *)
+    activity-ordered), and [dualvth] (power-objective technology mapping
+    followed by {!Dualvth.optimize_mapping} slack-driven sizing +
+    high-Vth assignment; the candidate {e fails} — and so can never be
+    promoted — if the sized netlist misses its timing constraint, and
+    its leakage is part of its score).  [input_probs] (default all 0.5)
+    feeds the power-aware strategies and must match the source input
+    count. *)
 
 type verdict =
   | Verified  (** SAT-proved equivalent to the source *)
@@ -47,7 +54,9 @@ type verdict =
 
 type candidate = {
   c_strategy : string;
-  score : float;  (** estimated switched capacitance; [infinity] on [Failed] *)
+  score : float;
+      (** estimated switched capacitance + leakage-equivalent units;
+          [infinity] on [Failed] *)
   literals : int;  (** {!Network.literal_count}; [0] on [Failed] *)
   c_verdict : verdict;
 }

@@ -155,8 +155,8 @@ let map_unchecked ?(cells = Techlib.default) subject objective =
       let j =
         Network.add_node
           ~name:(ch.cell.Techlib.cell_name ^ "_" ^ Network.name subject i)
-          ~delay:ch.cell.Techlib.delay ~cap:ch.cell.Techlib.out_cap net
-          ch.cell.Techlib.func fanins
+          ~delay:ch.cell.Techlib.delay ~cap:ch.cell.Techlib.out_cap
+          ~leak:ch.cell.Techlib.leak net ch.cell.Techlib.func fanins
       in
       Hashtbl.replace signal i j;
       Hashtbl.replace choice i ch;
@@ -214,6 +214,15 @@ let instances m =
 
 let total_area m =
   Hashtbl.fold (fun _ ch acc -> acc +. ch.cell.Techlib.area) m.choice 0.0
+
+let total_leakage m =
+  Hashtbl.fold (fun _ ch acc -> acc +. ch.cell.Techlib.leak) m.choice 0.0
+
+let choices m =
+  Hashtbl.fold
+    (fun si ch acc -> (Hashtbl.find m.signal si, ch.cell) :: acc)
+    m.choice []
+  |> List.sort (fun (a, _) (b, _) -> compare (a : Network.id) b)
 
 let critical_delay m = Network.critical_delay m.net
 

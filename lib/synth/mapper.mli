@@ -34,13 +34,20 @@ val map :
 
 val netlist : mapping -> Network.t
 (** The mapped network: one logic node per chosen cell instance, with
-    [delay] and [cap] annotations taken from the cell ([cap] = cell output
-    capacitance + fanout pin capacitances). *)
+    [delay], [cap] and [leak] annotations taken from the cell ([cap] =
+    cell output capacitance + fanout pin capacitances). *)
+
+val choices : mapping -> (Network.id * Techlib.cell) list
+(** The chosen cell per {!netlist} logic node, sorted by node id — the
+    gate list a sizing/Vth optimizer ([Circuit.Dualvth]) starts from. *)
 
 val instances : mapping -> (string * int) list
 (** Cell-name usage histogram. *)
 
 val total_area : mapping -> float
+val total_leakage : mapping -> float
+(** Sum of chosen cells' leakage currents, amperes. *)
+
 val critical_delay : mapping -> float
 (** Of the mapped netlist, using cell delays. *)
 

@@ -3,8 +3,11 @@ type pattern =
   | Inv of pattern
   | Nand of pattern * pattern
 
+type vth = Low | High
+
 type cell = {
   cell_name : string;
+  family : string;
   pattern : pattern;
   func : Expr.t;
   arity : int;
@@ -12,6 +15,9 @@ type cell = {
   delay : float;
   pin_cap : float;
   out_cap : float;
+  drive : float;
+  vth : vth;
+  leak : float;
 }
 
 let rec pattern_func = function
@@ -24,10 +30,34 @@ let rec pattern_leaves = function
   | Inv p -> pattern_leaves p
   | Nand (p, q) -> pattern_leaves p @ pattern_leaves q
 
-let make_cell ~name ~pattern ~area ~delay ~pin_cap ~out_cap =
+let vth_volts = function Low -> 0.45 | High -> 0.7
+
+(* Leakage of the drive-1 low-Vth variant, amperes per unit of cell
+   area: wider cells leak proportionally more (more/wider transistors
+   in parallel off-paths). *)
+let leak_per_area = 25.0e-9
+
+(* Raising Vth 0.45 -> 0.7 V cuts subthreshold leakage by
+   10^(0.25/0.1) ~ 316x — the exponential sensitivity documented at
+   [Power_model.vth_leakage_factor]. *)
+let hvt_leak_factor =
+  Lowpower.Power_model.vth_leakage_factor
+    ~delta_vth:(vth_volts High -. vth_volts Low) ()
+
+let make_cell ?family ?(drive = 1.0) ?(vth = Low) ?leak ~name ~pattern
+    ~area ~delay ~pin_cap ~out_cap () =
   let func = pattern_func pattern in
   let arity = Expr.max_var func + 1 in
-  { cell_name = name; pattern; func; arity; area; delay; pin_cap; out_cap }
+  let family = match family with Some f -> f | None -> name in
+  let leak =
+    match leak with
+    | Some l -> l
+    | None ->
+      leak_per_area *. area
+      *. (match vth with Low -> 1.0 | High -> hvt_leak_factor)
+  in
+  { cell_name = name; family; pattern; func; arity; area; delay;
+    pin_cap; out_cap; drive; vth; leak }
 
 let default =
   let a = L 0 and b = L 1 and c = L 2 and d = L 3 in
@@ -35,40 +65,91 @@ let default =
   let or2 x y = Nand (Inv x, Inv y) in
   [
     make_cell ~name:"INV" ~pattern:(Inv a)
-      ~area:1.0 ~delay:1.0 ~pin_cap:1.0 ~out_cap:1.0;
+      ~area:1.0 ~delay:1.0 ~pin_cap:1.0 ~out_cap:1.0 ();
     make_cell ~name:"NAND2" ~pattern:(Nand (a, b))
-      ~area:2.0 ~delay:1.4 ~pin_cap:1.0 ~out_cap:1.4;
+      ~area:2.0 ~delay:1.4 ~pin_cap:1.0 ~out_cap:1.4 ();
     make_cell ~name:"NAND3" ~pattern:(Nand (and2 a b, c))
-      ~area:3.0 ~delay:1.8 ~pin_cap:1.0 ~out_cap:1.8;
+      ~area:3.0 ~delay:1.8 ~pin_cap:1.0 ~out_cap:1.8 ();
     make_cell ~name:"NAND4" ~pattern:(Nand (and2 a b, and2 c d))
-      ~area:4.0 ~delay:2.2 ~pin_cap:1.0 ~out_cap:2.2;
+      ~area:4.0 ~delay:2.2 ~pin_cap:1.0 ~out_cap:2.2 ();
     make_cell ~name:"NOR2" ~pattern:(Inv (or2 a b))
-      ~area:2.0 ~delay:1.6 ~pin_cap:1.0 ~out_cap:1.4;
+      ~area:2.0 ~delay:1.6 ~pin_cap:1.0 ~out_cap:1.4 ();
     make_cell ~name:"NOR3" ~pattern:(Inv (or2 (or2 a b) c))
-      ~area:3.0 ~delay:2.2 ~pin_cap:1.0 ~out_cap:1.8;
+      ~area:3.0 ~delay:2.2 ~pin_cap:1.0 ~out_cap:1.8 ();
     make_cell ~name:"AND2" ~pattern:(and2 a b)
-      ~area:2.5 ~delay:1.8 ~pin_cap:1.0 ~out_cap:1.2;
+      ~area:2.5 ~delay:1.8 ~pin_cap:1.0 ~out_cap:1.2 ();
     make_cell ~name:"OR2" ~pattern:(or2 a b)
-      ~area:2.5 ~delay:1.8 ~pin_cap:1.0 ~out_cap:1.2;
+      ~area:2.5 ~delay:1.8 ~pin_cap:1.0 ~out_cap:1.2 ();
     make_cell ~name:"AOI21" ~pattern:(Inv (Nand (Nand (a, b), Inv c)))
-      ~area:3.0 ~delay:2.0 ~pin_cap:1.0 ~out_cap:1.6;
+      ~area:3.0 ~delay:2.0 ~pin_cap:1.0 ~out_cap:1.6 ();
     make_cell ~name:"AOI22"
       ~pattern:(Inv (Nand (Nand (a, b), Nand (c, d))))
-      ~area:4.0 ~delay:2.4 ~pin_cap:1.0 ~out_cap:2.0;
+      ~area:4.0 ~delay:2.4 ~pin_cap:1.0 ~out_cap:2.0 ();
     make_cell ~name:"OAI21" ~pattern:(Nand (or2 a b, c))
-      ~area:3.0 ~delay:2.0 ~pin_cap:1.0 ~out_cap:1.6;
+      ~area:3.0 ~delay:2.0 ~pin_cap:1.0 ~out_cap:1.6 ();
     make_cell ~name:"OAI22" ~pattern:(Nand (or2 a b, or2 c d))
-      ~area:4.0 ~delay:2.4 ~pin_cap:1.0 ~out_cap:2.0;
+      ~area:4.0 ~delay:2.4 ~pin_cap:1.0 ~out_cap:2.0 ();
     make_cell ~name:"XOR2"
       ~pattern:(Nand (Nand (a, Inv b), Nand (Inv a, b)))
-      ~area:4.5 ~delay:2.6 ~pin_cap:1.1 ~out_cap:1.8;
+      ~area:4.5 ~delay:2.6 ~pin_cap:1.1 ~out_cap:1.8 ();
     make_cell ~name:"XNOR2"
       ~pattern:(Nand (Nand (a, b), Nand (Inv a, Inv b)))
-      ~area:4.5 ~delay:2.6 ~pin_cap:1.1 ~out_cap:1.8;
+      ~area:4.5 ~delay:2.6 ~pin_cap:1.1 ~out_cap:1.8 ();
   ]
+
+let variant_name family drive vth =
+  let base =
+    if drive = 1.0 then family else Printf.sprintf "%s_X%g" family drive
+  in
+  match vth with Low -> base | High -> base ^ "_HVT"
+
+(* Derive a sized/Vth-flavored variant.  Area and both capacitances
+   scale with the drive ratio (wider transistors are bigger, present
+   bigger pins and a bigger drain); the intrinsic [delay] is left alone
+   — the load-dependent delay a stronger drive actually wins on is
+   modeled downstream ([Power_model.gate_delay] inside
+   [Circuit.Dualvth]).  Leakage scales with drive and with the Vth
+   flavor's exponential factor. *)
+let variant c ~drive ~vth =
+  if drive <= 0.0 then invalid_arg "Techlib.variant: drive must be positive";
+  let s = drive /. c.drive in
+  let vf =
+    match (c.vth, vth) with
+    | Low, Low | High, High -> 1.0
+    | Low, High -> hvt_leak_factor
+    | High, Low -> 1.0 /. hvt_leak_factor
+  in
+  { c with
+    cell_name = variant_name c.family drive vth;
+    area = c.area *. s;
+    pin_cap = c.pin_cap *. s;
+    out_cap = c.out_cap *. s;
+    drive; vth;
+    leak = c.leak *. s *. vf }
+
+let default_drives = [ 0.5; 1.0; 2.0; 4.0 ]
+
+let expand ?(drives = default_drives) ?(vths = [ Low; High ]) cells =
+  List.concat_map
+    (fun c ->
+      List.concat_map
+        (fun d -> List.map (fun v -> variant c ~drive:d ~vth:v) vths)
+        drives)
+    cells
+
+let default_variants = expand default
 
 let find cells name =
   match List.find_opt (fun c -> c.cell_name = name) cells with
+  | Some c -> c
+  | None -> raise Not_found
+
+let find_variant cells ~family ~drive ~vth =
+  match
+    List.find_opt
+      (fun c -> c.family = family && c.drive = drive && c.vth = vth)
+      cells
+  with
   | Some c -> c
   | None -> raise Not_found
 

@@ -7,22 +7,42 @@
     pin capacitance and output capacitance; the power cost of instantiating
     a cell is the activity of its output net times its output capacitance
     plus the activity of each leaf net times the pin capacitance ([43],
-    [48]). *)
+    [48]).
+
+    Each logical cell comes in {e variants}: drive strengths (multiples
+    of the unit drive, scaling area, pin and output capacitance, and
+    leakage) and threshold flavors ({!vth}; the high-Vth variant trades
+    the exponential leakage reduction of
+    {!Lowpower.Power_model.vth_leakage_factor} for reduced overdrive).
+    Variants of one logical cell share a {!field-family} name; the
+    {!default} library is the 14 unit-drive low-Vth base cells, and
+    {!default_variants} the full 112-cell expansion the
+    [Circuit.Dualvth] sizing/Vth optimizer picks from. *)
 
 type pattern =
   | L of int                    (** leaf; the int is a binding slot *)
   | Inv of pattern
   | Nand of pattern * pattern
 
+(** Threshold-voltage flavor: [Low] is the fast, leaky default; [High]
+    ({e HVT}) cuts subthreshold leakage ~300x at the cost of reduced
+    gate overdrive (see {!vth_volts}). *)
+type vth = Low | High
+
 type cell = {
-  cell_name : string;
+  cell_name : string;   (** unique per variant, e.g. ["NAND2_X2_HVT"] *)
+  family : string;      (** logical cell, shared by all its variants *)
   pattern : pattern;
   func : Expr.t;        (** over leaf slots, must equal the pattern's function *)
   arity : int;          (** number of distinct leaf slots *)
   area : float;
-  delay : float;
+  delay : float;        (** intrinsic delay; load-dependent part is modeled
+                            by [Power_model.gate_delay] downstream *)
   pin_cap : float;      (** per input pin *)
   out_cap : float;
+  drive : float;        (** drive strength, multiples of unit drive *)
+  vth : vth;
+  leak : float;         (** subthreshold leakage current, amperes *)
 }
 
 val pattern_func : pattern -> Expr.t
@@ -31,19 +51,46 @@ val pattern_func : pattern -> Expr.t
 val pattern_leaves : pattern -> int list
 (** Leaf slots in left-to-right order (duplicates preserved). *)
 
+val vth_volts : vth -> float
+(** Threshold voltage of each flavor: 0.45 V ([Low]) / 0.7 V ([High]). *)
+
 val make_cell :
-  name:string -> pattern:pattern -> area:float -> delay:float
-  -> pin_cap:float -> out_cap:float -> cell
-(** Builds a cell, deriving [func] and [arity] from the pattern. *)
+  ?family:string -> ?drive:float -> ?vth:vth -> ?leak:float ->
+  name:string -> pattern:pattern -> area:float -> delay:float ->
+  pin_cap:float -> out_cap:float -> unit -> cell
+(** Builds a cell, deriving [func] and [arity] from the pattern.
+    [family] defaults to [name], [drive] to 1.0, [vth] to [Low], and
+    [leak] to area-proportional leakage at the requested flavor. *)
+
+val variant : cell -> drive:float -> vth:vth -> cell
+(** Resize/reflavor a cell: area, pin and output capacitance and leakage
+    scale with the drive ratio, leakage additionally by the exponential
+    Vth factor; the logic function, pattern and intrinsic delay are
+    unchanged.  The name becomes [<family>_X<drive>[_HVT]] (unit drive
+    omits the [_X] suffix).  Raises [Invalid_argument] on a
+    non-positive drive. *)
+
+val default_drives : float list
+(** [[0.5; 1.0; 2.0; 4.0]]. *)
+
+val expand : ?drives:float list -> ?vths:vth list -> cell list -> cell list
+(** All requested variants of every cell, via {!variant}. *)
 
 val default : cell list
 (** A 14-cell static CMOS library: INV, NAND2-4, NOR2-3, AND2, OR2, AOI21,
-    AOI22, OAI21, OAI22, XOR2, XNOR2.  Areas and delays grow with
-    complexity; complex cells hide internal nets, which is where their
-    power advantage comes from. *)
+    AOI22, OAI21, OAI22, XOR2, XNOR2 — unit drive, low Vth.  Areas and
+    delays grow with complexity; complex cells hide internal nets, which
+    is where their power advantage comes from. *)
+
+val default_variants : cell list
+(** {!default} expanded over {!default_drives} x both Vth flavors:
+    8 variants per family, 112 cells. *)
 
 val find : cell list -> string -> cell
-(** Lookup by name.  Raises [Not_found]. *)
+(** Lookup by (variant) name.  Raises [Not_found]. *)
+
+val find_variant : cell list -> family:string -> drive:float -> vth:vth -> cell
+(** Lookup a specific variant of a family.  Raises [Not_found]. *)
 
 val check : cell -> bool
 (** Verifies [func] matches the pattern function (used in tests). *)

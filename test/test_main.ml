@@ -11,6 +11,7 @@ let () =
       ("bitsim", Test_bitsim.suite);
       ("sat", Test_sat.suite);
       ("compiled", Test_compiled.suite);
+      ("sta", Test_sta.suite);
       ("circuit", Test_circuit.suite);
       ("synth", Test_synth.suite);
       ("seq", Test_seq.suite);

@@ -179,6 +179,65 @@ let test_tournament_champion_verified () =
     (p.Tournament.sat.Solver.decisions >= 0
     && p.Tournament.sat.Solver.vars > 0)
 
+let test_tournament_dualvth_candidate () =
+  let net = mk_net 33 in
+  let p = Tournament.run ~name:"t33" net in
+  let c =
+    List.find
+      (fun c -> c.Tournament.c_strategy = "dualvth")
+      p.Tournament.candidates
+  in
+  (* The sized candidate must be SAT-equivalent (sizing only rewrites
+     delay/cap/leak annotations) and carry a finite score that includes
+     its leakage — i.e. it competed, it didn't fail the timing gate. *)
+  Alcotest.(check bool) "dualvth candidate verified" true
+    (c.Tournament.c_verdict = Tournament.Verified);
+  Alcotest.(check bool) "dualvth score finite" true
+    (Float.is_finite c.Tournament.score)
+
+let test_memo_dualvth () =
+  let memo = Memo.create () in
+  (* A miss annotates its mapping's netlist in place (changing its
+     content hash), so the repeat that must hit is a {e fresh} mapping
+     of the same circuit — exactly what a batch workload produces. *)
+  let remap () =
+    let subj = Subject.decompose (mk_net 47) in
+    let probs = Array.make (List.length (Network.inputs subj)) 0.5 in
+    let act = Activity.zero_delay subj ~input_probs:probs in
+    (Mapper.map ~verify:`Off subj (Mapper.Power act), probs)
+  in
+  let m, probs = remap () in
+  let m2, _ = remap () in
+  let before = Memo.stats memo in
+  let r1 = Memo.dualvth memo m ~input_probs:probs in
+  let r2 = Memo.dualvth memo m2 ~input_probs:probs in
+  let after = Memo.stats memo in
+  Alcotest.(check int) "one dualvth miss" (before.Memo.misses + 1)
+    after.Memo.misses;
+  Alcotest.(check int) "one dualvth hit" (before.Memo.hits + 1)
+    after.Memo.hits;
+  (* Each caller gets a private network, but the same optimization. *)
+  Alcotest.(check bool) "hit returns a fresh copy" true
+    (not (r1.Dualvth.net == r2.Dualvth.net));
+  Alcotest.(check bool) "same annotated structure" true
+    (Network.structural_hash r1.Dualvth.net
+    = Network.structural_hash r2.Dualvth.net);
+  Alcotest.(check int) "same move count" r1.Dualvth.moves r2.Dualvth.moves;
+  Alcotest.(check (list string)) "same assignment"
+    (List.map
+       (fun (_, (c : Techlib.cell)) -> c.Techlib.cell_name)
+       r1.Dualvth.assignment)
+    (List.map
+       (fun (_, (c : Techlib.cell)) -> c.Techlib.cell_name)
+       r2.Dualvth.assignment);
+  (* A different constraint fingerprint must miss, not alias ([m2]'s
+     netlist is untouched after its hit, so only the constraint
+     differs). *)
+  ignore (Memo.dualvth memo ~slack_factor:1.5 m2 ~input_probs:probs);
+  let s = Memo.stats memo in
+  Alcotest.(check int) "constraint change misses" (after.Memo.misses + 1)
+    s.Memo.misses
+
 let test_tournament_rejects_broken_strategy () =
   let net = mk_net 22 in
   let break_one n =
@@ -354,6 +413,8 @@ let suite =
     quick "memo cec verdicts" test_memo_cec;
     quick "memo lru eviction" test_memo_eviction;
     quick "tournament champion verified" test_tournament_champion_verified;
+    quick "tournament dualvth candidate" test_tournament_dualvth_candidate;
+    quick "memo dualvth artifacts" test_memo_dualvth;
     quick "tournament rejects broken strategy"
       test_tournament_rejects_broken_strategy;
     quick "tournament trace scoring" test_tournament_trace_scoring;
