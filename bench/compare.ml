@@ -94,7 +94,8 @@ let () =
      demonstrate.  Report it instead of printing the entry contextless. *)
   let sibling_of name =
     let suffixes =
-      [ "_reference"; "_incremental"; "_bitsim"; "_portfolio"; "_serial" ]
+      [ "_reference"; "_incremental"; "_bitsim"; "_portfolio"; "_serial";
+        "_greedy"; "_beam" ]
     in
     let strip s suf =
       let ls = String.length s and lf = String.length suf in
@@ -119,7 +120,8 @@ let () =
       @ List.map (fun suf -> name ^ suf) suffixes
       @ List.filter_map
           (fun (a, b) -> swap_infix name a b)
-          [ ("_incremental", "_full"); ("_full", "_incremental") ]
+          [ ("_incremental", "_full"); ("_full", "_incremental");
+            ("_greedy", "_beam"); ("_beam", "_greedy") ]
     in
     List.find_map
       (fun c -> Option.map (fun v -> (c, v)) (List.assoc_opt c fresh))

@@ -349,6 +349,41 @@ let batch_entries () =
   describe "batch_1000_mixed_serial" ns1 r1;
   [ ("batch_1000_mixed", ns4); ("batch_1000_mixed_serial", ns1) ]
 
+(* The rewrite search is likewise one-shot: a full run over the
+   dense-coefficient FIR-8 spends seconds in dozens of SAT-swept
+   equivalence proofs — whole-search wall clock is the number of
+   interest — and the _greedy/_beam pair prices what beam width buys on
+   the same graph under the same correlated trace.  Fresh memo per run,
+   fixed search seed, so both entries are deterministic. *)
+let rewrite_entries () =
+  let dfg =
+    Gen_dfg.fir ~taps:8 ~coeffs:[ 127; 63; 119; 123; 125; 111; 95; 87 ]
+      ~width:8 ()
+  in
+  let trace =
+    Gen_dfg.random_samples (Lowpower.Rng.create 42) dfg ~n:64 ~correlated:true
+      ()
+  in
+  let timed beam =
+    let t0 = Unix.gettimeofday () in
+    let res =
+      Search.run ~beam ~max_steps:10 ~samples:32 ~memo:(Memo.create ())
+        ~model:Cost.Toggles ~rng:(Lowpower.Rng.create 7) dfg ~trace
+    in
+    ((Unix.gettimeofday () -. t0) *. 1e9, res)
+  in
+  let ns1, r1 = timed 1 in
+  let ns4, r4 = timed 4 in
+  let describe name ns (res : Search.result) =
+    Printf.printf "  %-32s %14.1f ns/run (%.1f%% toggle cut, %d proofs)\n"
+      name ns
+      (100. *. (1. -. (res.Search.final_cost /. res.Search.initial_cost)))
+      res.Search.proofs
+  in
+  describe "rewrite_fir8_greedy" ns1 r1;
+  describe "rewrite_fir8_beam" ns4 r4;
+  [ ("rewrite_fir8_greedy", ns1); ("rewrite_fir8_beam", ns4) ]
+
 (* Machine-readable mirror of the stdout table: name -> ns/run, one JSON
    object, so the perf trajectory is diffable across commits. *)
 let write_json path results =
@@ -388,6 +423,6 @@ let run () =
           results [])
       tests
   in
-  let estimates = estimates @ batch_entries () in
+  let estimates = estimates @ batch_entries () @ rewrite_entries () in
   write_json "BENCH.json" estimates;
   print_endline "  (written to BENCH.json)"

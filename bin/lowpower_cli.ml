@@ -467,6 +467,115 @@ let size_cmd =
     Term.(const size_run $ circuit_arg $ width_arg 4 $ seed_arg $ slack_factor
           $ leak_budget)
 
+(* --- rewrite --- *)
+
+let rewrite_run workload taps width beam samples trace_len seed model coeffs =
+  let r = Lowpower.Rng.create seed in
+  let coeffs =
+    match coeffs with
+    | "" -> None
+    | s -> Some (List.map int_of_string (String.split_on_char ',' s))
+  in
+  let dfg =
+    match workload with
+    | "fir" -> Gen_dfg.fir ~taps ?coeffs ~width ()
+    | "mac" -> Gen_dfg.mac_chain ~taps ?coeffs ~width ()
+    | "biquad" -> Gen_dfg.biquad ()
+    | other -> failwith ("unknown workload " ^ other)
+  in
+  let trace = Gen_dfg.random_samples r dfg ~n:trace_len ~correlated:true () in
+  let model =
+    match model with
+    | "auto" -> Cost.default_model ()
+    | "toggles" -> Cost.Toggles
+    | "independence" -> Cost.Independence
+    | "area" -> Cost.Area
+    | other -> failwith ("unknown cost model " ^ other)
+  in
+  let memo = Memo.create () in
+  let res = Search.run ~beam ~samples ~memo ~model ~rng:r dfg ~trace in
+  let model_name =
+    match res.Search.model with
+    | Cost.Toggles -> "toggles"
+    | Cost.Independence -> "independence"
+    | Cost.Area -> "area"
+  in
+  Printf.printf
+    "rewrite %s (taps %d, width %d): %s cost over %d correlated vectors, \
+     beam %d\n"
+    workload taps (Dfg.width dfg) model_name trace_len res.Search.beam;
+  Printf.printf "  ops %d -> %d\n" (Dfg.num_ops dfg)
+    (Dfg.num_ops res.Search.final);
+  List.iter
+    (fun (s : Search.step) ->
+      Printf.printf "  %-12s @%-3d  %10.1f -> %10.1f\n" s.Search.rule
+        s.Search.site s.Search.cost_before s.Search.cost_after)
+    res.Search.steps;
+  Printf.printf
+    "activity %.1f -> %.1f (%.1f%% reduction); %d candidates, %d accepted \
+     (all SAT-proved: %d proofs), %d refuted, %d undecided\n"
+    res.Search.initial_cost res.Search.final_cost
+    (100.0
+    *. (1.0 -. (res.Search.final_cost /. Float.max res.Search.initial_cost 1e-9)
+       ))
+    res.Search.candidates
+    (List.length res.Search.steps)
+    res.Search.proofs
+    (List.length res.Search.refuted)
+    res.Search.undecided;
+  List.iter
+    (fun (rf : Search.refutation) ->
+      Printf.printf "  refuted: %s @%d (%s)\n" rf.Search.rule rf.Search.site
+        (match rf.Search.stage with
+        | `Random_exec -> "random execution"
+        | `Sat -> "SAT counterexample"))
+    res.Search.refuted;
+  print_solver_stats res.Search.sat
+
+let rewrite_cmd =
+  let workload =
+    Arg.(value & opt string "fir"
+         & info [ "workload" ] ~docv:"NAME"
+             ~doc:"Datapath to rewrite: fir, mac, biquad.")
+  in
+  let taps =
+    Arg.(value & opt int 8 & info [ "taps" ] ~docv:"N" ~doc:"Filter taps.")
+  in
+  let beam =
+    Arg.(value & opt int (Search.default_beam ())
+         & info [ "beam" ] ~docv:"N"
+             ~doc:"Beam width (1 = greedy; default \
+                   LOWPOWER_REWRITE_BEAM, else 4).")
+  in
+  let samples =
+    Arg.(value & opt int 64
+         & info [ "samples" ] ~docv:"N"
+             ~doc:"Random-execution vectors per equivalence check (the \
+                   cheap gate before the SAT proof).")
+  in
+  let trace_len =
+    Arg.(value & opt int 64
+         & info [ "trace-length" ] ~docv:"N"
+             ~doc:"Correlated input vectors the activity cost is measured \
+                   over.")
+  in
+  let model =
+    Arg.(value & opt string "auto"
+         & info [ "model" ] ~docv:"M"
+             ~doc:"Cost model: auto, toggles, independence, area.")
+  in
+  let coeffs =
+    Arg.(value & opt string ""
+         & info [ "coeffs" ] ~docv:"C1,C2,..."
+             ~doc:"Comma-separated filter coefficients (default: small odd \
+                   constants).")
+  in
+  Cmd.v
+    (Cmd.info "rewrite"
+       ~doc:"Activity-costed datapath rewriting with SAT-verified search")
+    Term.(const rewrite_run $ workload $ taps $ width_arg 8 $ beam $ samples
+          $ trace_len $ seed_arg $ model $ coeffs)
+
 (* --- batch --- *)
 
 (* Job-list lines: "<kind> <int>" with kind one of estimate / tournament /
@@ -597,4 +706,4 @@ let () =
           (Cmd.info "lowpower_cli" ~doc)
           [ analyze_cmd; map_cmd; encode_cmd; precompute_cmd; businvert_cmd;
             compile_cmd; guard_cmd; check_cmd; seqestimate_cmd; tournament_cmd;
-            size_cmd; batch_cmd ]))
+            size_cmd; rewrite_cmd; batch_cmd ]))

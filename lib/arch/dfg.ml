@@ -138,6 +138,116 @@ let value_trace t samples =
   Hashtbl.iter (fun i tr -> Hashtbl.replace traces i (List.rev tr)) traces;
   traces
 
+(* --- Canonical structural identity ----------------------------------- *)
+
+(* Same 63-bit SplitMix-style mixer as [Network.structural_hash]: identity
+   must depend only on structure reachable from the outputs — operators,
+   wiring, input/output names, word width — never on node ids or on the
+   order commutative operands were listed in. *)
+let h_mix z =
+  let z = (z * 0x1E3779B97F4A7C15) + 0x165667B19E3779F9 in
+  let z = (z lxor (z lsr 29)) * 0x2545F4914F6CDD1D in
+  let z = (z lxor (z lsr 31)) * 0x27D4EB2F165667C5 in
+  (z lxor (z lsr 30)) land max_int
+
+let h_combine h x = h_mix ((h * 0x100000001B3) lxor x)
+
+let h_string s =
+  let h = ref (h_mix (String.length s)) in
+  String.iter (fun c -> h := h_combine !h (Char.code c)) s;
+  !h
+
+let node_hashes t =
+  let hs = Array.make (max t.count 1) 0 in
+  for i = 0 to t.count - 1 do
+    let n = t.node_tbl.(i) in
+    let ah = List.map (fun a -> hs.(a)) n.nargs in
+    hs.(i) <-
+      (match n.nop, ah with
+      | Input nm, [] -> h_combine 3 (h_string nm)
+      | Const c, [] -> h_combine 5 (h_mix c)
+      (* Add and Mul fold operand hashes commutatively (sum mod 2^62), so
+         swapping their operands leaves every downstream hash unchanged. *)
+      | Add, [ x; y ] -> h_combine 7 ((x + y) land max_int)
+      | Mul, [ x; y ] -> h_combine 11 ((x + y) land max_int)
+      | Sub, [ x; y ] -> h_combine (h_combine 13 x) y
+      | Shift_left k, [ x ] -> h_combine (h_combine 17 (h_mix k)) x
+      | Output nm, [ x ] -> h_combine (h_combine 19 (h_string nm)) x
+      | (Input _ | Const _ | Add | Sub | Mul | Shift_left _ | Output _), _ ->
+        invalid_arg "Dfg.node_hashes: corrupt arity")
+  done;
+  hs
+
+let node_hash t i =
+  ignore (get t i);
+  (node_hashes t).(i)
+
+let reachable t =
+  let live = Array.make (max t.count 1) false in
+  let rec mark i =
+    if not live.(i) then begin
+      live.(i) <- true;
+      List.iter mark t.node_tbl.(i).nargs
+    end
+  in
+  List.iter (fun (_, i) -> mark i) (outputs t);
+  live
+
+let structural_hash t =
+  let hs = node_hashes t in
+  let live = reachable t in
+  (* Reachable nodes fold in commutatively (sum mod 2^62): insensitive to
+     id numbering, but a shared subexpression and a duplicated one still
+     hash apart (multiplicity counts, as in [Network.structural_hash]).
+     Dead nodes are ignored — they have no effect on semantics, cost or
+     elaboration. *)
+  let all =
+    List.fold_left
+      (fun acc i -> if live.(i) then (acc + hs.(i)) land max_int else acc)
+      0 (nodes t)
+  in
+  let outs =
+    List.fold_left
+      (fun acc (nm, i) -> (acc + h_combine (h_string nm) hs.(i)) land max_int)
+      0 (outputs t)
+  in
+  h_combine (h_combine (h_mix t.word_width) all) outs
+
+let equal a b =
+  (* Tree-unfolded comparison modulo commutative operand order, memoized on
+     node pairs; the [structural_hash] guard additionally separates graphs
+     that differ only in sharing multiplicity (the unfolding cannot). *)
+  width a = width b
+  && List.sort compare (List.map fst (outputs a))
+     = List.sort compare (List.map fst (outputs b))
+  && structural_hash a = structural_hash b
+  &&
+  let memo = Hashtbl.create 64 in
+  let rec teq i j =
+    match Hashtbl.find_opt memo (i, j) with
+    | Some r -> r
+    | None ->
+      let r =
+        match (op a i, args a i, op b j, args b j) with
+        | Input n1, [], Input n2, [] -> n1 = n2
+        | Const c1, [], Const c2, [] -> c1 = c2
+        | Add, [ x; y ], Add, [ u; v ] | Mul, [ x; y ], Mul, [ u; v ] ->
+          (teq x u && teq y v) || (teq x v && teq y u)
+        | Sub, [ x; y ], Sub, [ u; v ] -> teq x u && teq y v
+        | Shift_left k1, [ x ], Shift_left k2, [ u ] -> k1 = k2 && teq x u
+        | Output n1, [ x ], Output n2, [ u ] -> n1 = n2 && teq x u
+        | _ -> false
+      in
+      Hashtbl.replace memo (i, j) r;
+      r
+  in
+  List.for_all
+    (fun (nm, i) ->
+      match List.assoc_opt nm (outputs b) with
+      | Some j -> teq i j
+      | None -> false)
+    (outputs a)
+
 let pp ppf t =
   Format.pp_open_vbox ppf 0;
   List.iter

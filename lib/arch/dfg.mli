@@ -56,4 +56,24 @@ val value_trace :
 
 val num_ops : t -> int
 
+val node_hash : t -> id -> int
+(** Canonical hash of the expression rooted at a node: operators, wiring,
+    input names and shift/const values of its cone — insensitive to node
+    ids and to the operand order of the commutative Add/Mul (the basis the
+    rewrite engine's common-subexpression rule matches on). *)
+
+val structural_hash : t -> int
+(** Canonical 63-bit hash of the graph as observed from its outputs: word
+    width, output names, and the multiset of reachable node hashes folded
+    in commutatively.  Insensitive to node numbering and Add/Mul operand
+    order; sensitive to sharing (a duplicated subexpression hashes apart
+    from a shared one, since each instance counts).  Dead nodes are
+    ignored.  Equal graphs ({!equal}) always collide. *)
+
+val equal : t -> t -> bool
+(** Structural equality up to node numbering and commutative operand
+    order: same width, same output names, same unfolded expression per
+    output, same {!structural_hash} (which separates graphs differing
+    only in subexpression sharing). *)
+
 val pp : Format.formatter -> t -> unit

@@ -85,7 +85,7 @@ let strength_reduce dfg =
   List.iter (fun (_, i) -> ignore (build i)) (Dfg.outputs dfg);
   out
 
-let equivalent a b ~rng ~samples =
+let equivalent ?(samples = 64) a b ~rng =
   (* Transforms may drop inputs the outputs never depended on, so compare
      over the union of input names (each eval reads only what it needs). *)
   let names =

@@ -20,9 +20,13 @@ val strength_reduce : Dfg.t -> Dfg.t
     [Shift_left k x]. *)
 
 val equivalent :
-  Dfg.t -> Dfg.t -> rng:Lowpower.Rng.t -> samples:int -> bool
+  ?samples:int -> Dfg.t -> Dfg.t -> rng:Lowpower.Rng.t -> bool
 (** Random-input equivalence check over the union of both graphs' named
-    inputs (transforms may drop inputs that no output depends on). *)
+    inputs (transforms may drop inputs that no output depends on; a
+    transform that wrongly drops a {e used} input is caught because the
+    surviving graph's outputs still vary with it).  [samples] defaults
+    to 64 and is caller-configurable — the rewrite search threads its
+    [--samples] knob through here. *)
 
 val critical_steps : Dfg.t -> ?mul_steps:int -> unit -> int
 (** ASAP makespan under {!Schedule.uniform_delays} — the quantity

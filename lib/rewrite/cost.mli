@@ -1,0 +1,44 @@
+(** Activity cost of a datapath candidate (the search's objective).
+
+    The candidate is elaborated ({!Elaborate.to_network}) and costed
+    under one of three models:
+    - {!Toggles} (the default while [Bitsim] is enabled): settled
+      gate-level transitions over the supplied word trace, measured by
+      [Bitsim.count_transitions] and weighted by node capacitance — the
+      "measured activity" signal of Simopt-Power;
+    - {!Independence}: the model-based fallback CI forces with
+      [LOWPOWER_BITSIM=off] — empirical per-bit input probabilities
+      propagated by the independence estimate
+      ([Activity.zero_delay ~exact:false]), capacitance-weighted;
+    - {!Area}: literal count, trace-blind — the baseline E23 compares
+      activity-driven search against. *)
+
+type model = Toggles | Independence | Area
+
+val default_model : unit -> model
+(** {!Toggles}, or {!Independence} when [LOWPOWER_BITSIM=off]. *)
+
+val fingerprint :
+  ?inputs:string list -> model -> (string * int) list list -> int
+(** Content hash of everything besides the graph that determines the
+    cost: model tag, forced input set, and the full word trace — the
+    second half of the [Memo.dfg_activity] key. *)
+
+val of_network :
+  ?model:model -> Network.t -> trace:(string * int) list list -> float
+(** Cost an already-elaborated netlist.  Raises [Invalid_argument] on an
+    empty trace (except under {!Area}, which ignores it). *)
+
+val of_dfg :
+  ?memo:Memo.t ->
+  ?model:model ->
+  ?inputs:string list ->
+  Dfg.t ->
+  trace:(string * int) list list ->
+  float
+(** Elaborate and cost a DFG; with [memo], the scalar is cached under
+    [Dfg.structural_hash] + {!fingerprint} ([Memo.dfg_activity]), so
+    re-costing a duplicate candidate is a table lookup.  [inputs] is
+    passed through to {!Elaborate.to_network} — the search pins it to
+    the original graph's input set so every candidate is costed over
+    identical input positions. *)

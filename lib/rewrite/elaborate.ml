@@ -1,0 +1,409 @@
+(* The arch -> logic bridge: lower a word-level DFG onto gate primitives
+   so rewrite candidates can be activity-costed ([Bitsim]) and proven
+   ([Sat.Cec]) at the level power actually lives.
+
+   Conventions the whole rewrite subsystem relies on:
+   - input words are elaborated in {e sorted name order}, bit [k] of word
+     [nm] as input ["nm.k"]; output bits likewise ["nm.k"].  Two
+     elaborations over the same [?inputs] therefore agree on input count
+     and positions, which is what [Cec.session_check] matches on.
+   - commutative operands are ordered canonically (constants second,
+     otherwise by {!Dfg.node_hash}), so graphs equal modulo commutation
+     — which also collide on [Dfg.structural_hash] — elaborate to the
+     same netlist, keeping the hash-keyed activity cache sound.
+   - constant bits fold through every gate builder and a structural gate
+     cache dedups identical (op, fanins) gates, so a constant-coefficient
+     array multiplier collapses to its live shift-add rows.  [extend]
+     seeds that cache from an existing elaboration, so a rewrite
+     candidate rebuilt into a copy of its base shares every untouched
+     cone and the equivalence miter collapses to the rewritten logic. *)
+
+type bit = Zero | One | N of Network.id
+
+let xor2 = Expr.Xor (Expr.var 0, Expr.var 1)
+let and2 = Expr.And [ Expr.var 0; Expr.var 1 ]
+let or2 = Expr.Or [ Expr.var 0; Expr.var 1 ]
+let not1 = Expr.not_ (Expr.var 0)
+let buf1 = Expr.var 0
+
+(* The bit-level builders over one target network and structural gate
+   cache — shared by [to_network] (fresh net) and [extend] (copy of a
+   previous elaboration, cache pre-seeded with its gates). *)
+type builder = {
+  net : Network.t;
+  w : int;
+  band : bit -> bit -> bit;
+  bor : bit -> bit -> bit;
+  bxor : bit -> bit -> bit;
+  anchor : bit -> Network.id;
+}
+
+let make_builder net w cache =
+  let gate tag expr fanins =
+    let key = (tag, fanins) in
+    match Hashtbl.find_opt cache key with
+    | Some id -> id
+    | None ->
+      let id = Network.add_node net expr fanins in
+      Hashtbl.replace cache key id;
+      id
+  in
+  let sort2 i j = if i <= j then [ i; j ] else [ j; i ] in
+  let bnot = function
+    | Zero -> One
+    | One -> Zero
+    | N i -> N (gate 1 not1 [ i ])
+  in
+  let band a b =
+    match (a, b) with
+    | Zero, _ | _, Zero -> Zero
+    | One, x | x, One -> x
+    | N i, N j -> if i = j then a else N (gate 2 and2 (sort2 i j))
+  in
+  let bor a b =
+    match (a, b) with
+    | One, _ | _, One -> One
+    | Zero, x | x, Zero -> x
+    | N i, N j -> if i = j then a else N (gate 3 or2 (sort2 i j))
+  in
+  let bxor a b =
+    match (a, b) with
+    | Zero, x | x, Zero -> x
+    | One, x | x, One -> bnot x
+    | N i, N j -> if i = j then Zero else N (gate 4 xor2 (sort2 i j))
+  in
+  let anchor b =
+    (* Outputs must name proper logic nodes — constant and pass-through
+       bits get a (cached) const or buffer gate. *)
+    match b with
+    | Zero -> gate 5 (Expr.Const false) []
+    | One -> gate 6 (Expr.Const true) []
+    | N i -> if Network.is_input net i then gate 7 buf1 [ i ] else i
+  in
+  { net; w; band; bor; bxor; anchor }
+
+(* Recover the (tag, fanins) cache of an elaboration-produced network, so
+   rebuilding a structurally-overlapping DFG into a copy reuses its node
+   ids.  Gates we did not emit (there are none in our own output, but be
+   permissive) simply are not shared. *)
+let seed_cache net cache =
+  List.iter
+    (fun i ->
+      if not (Network.is_input net i) then begin
+        let f = Network.func net i in
+        let tag =
+          if f = not1 then Some 1
+          else if f = and2 then Some 2
+          else if f = or2 then Some 3
+          else if f = xor2 then Some 4
+          else if f = Expr.Const false then Some 5
+          else if f = Expr.Const true then Some 6
+          else if f = buf1 then Some 7
+          else None
+        in
+        match tag with
+        | Some t -> Hashtbl.replace cache (t, Network.fanins net i) i
+        | None -> ()
+      end)
+    (Network.node_ids net)
+
+(* Word-level lowering of [dfg] through [b], reading input words from
+   [in_bits].  Returns the {e lazy} per-node evaluator: only the cones
+   actually demanded create gates, so a sweeping obligation that stops at
+   a cut-point never builds the logic above it.  [subst] overrides the
+   lowering of individual nodes — how proven-equal cut-points redirect a
+   candidate's downstream onto the base's gates. *)
+let lower ?(subst = fun _ -> None) b in_bits dfg =
+  let w = b.w in
+  let ripple a v ~carry =
+    let out = Array.make w Zero in
+    let c = ref carry in
+    for k = 0 to w - 1 do
+      let axb = b.bxor a.(k) v.(k) in
+      out.(k) <- b.bxor axb !c;
+      if k < w - 1 then c := b.bor (b.band a.(k) v.(k)) (b.band !c axb)
+    done;
+    out
+  in
+  let bnot x = b.bxor One x in
+  let add_bits a v = ripple a v ~carry:Zero in
+  let sub_bits a v = ripple a (Array.map bnot v) ~carry:One in
+  let shift_bits k a =
+    Array.init w (fun j -> if j < k then Zero else a.(j - k))
+  in
+  (* Truncated array multiplier: row [i] is [a << i] gated by [b_i],
+     rows accumulated by ripple adders; statically-zero rows vanish. *)
+  let mul_bits a v =
+    let row i =
+      Array.init w (fun j -> if j < i then Zero else b.band a.(j - i) v.(i))
+    in
+    let acc = ref (row 0) in
+    for i = 1 to w - 1 do
+      if v.(i) <> Zero then acc := add_bits !acc (row i)
+    done;
+    !acc
+  in
+  let const_bits c =
+    Array.init w (fun k -> if (c lsr k) land 1 = 1 then One else Zero)
+  in
+  let is_const i = match Dfg.op dfg i with Dfg.Const _ -> true | _ -> false in
+  let bits = Hashtbl.create 32 in
+  let rec eval i =
+    match Hashtbl.find_opt bits i with
+    | Some bs -> bs
+    | None ->
+      let bs =
+        match subst i with
+        | Some bs -> bs
+        | None -> (
+          match (Dfg.op dfg i, Dfg.args dfg i) with
+        | Dfg.Input nm, [] -> Hashtbl.find in_bits nm
+        | Dfg.Const c, [] -> const_bits c
+        | Dfg.Add, [ x; y ] -> add_bits (eval x) (eval y)
+        | Dfg.Sub, [ x; y ] -> sub_bits (eval x) (eval y)
+        | Dfg.Mul, [ x; y ] ->
+          (* Canonical operand order: a constant multiplicand always
+             selects the rows; otherwise the larger node hash does. *)
+          let x, y =
+            if is_const x then (y, x)
+            else if is_const y then (x, y)
+            else if Dfg.node_hash dfg x <= Dfg.node_hash dfg y then (y, x)
+            else (x, y)
+          in
+          mul_bits (eval x) (eval y)
+          | Dfg.Shift_left k, [ x ] -> shift_bits k (eval x)
+          | Dfg.Output _, [ x ] -> eval x
+          | (Dfg.Input _ | Dfg.Const _ | Dfg.Add | Dfg.Sub | Dfg.Mul
+            | Dfg.Shift_left _ | Dfg.Output _), _ ->
+            invalid_arg "Elaborate: corrupt arity")
+      in
+      Hashtbl.replace bits i bs;
+      bs
+  in
+  eval
+
+(* Anchored output bit-vectors of a lowering. *)
+let outputs_of b eval dfg =
+  List.map
+    (fun (nm, i) -> (nm, Array.map b.anchor (eval i)))
+    (Dfg.outputs dfg)
+
+let to_network ?inputs dfg =
+  let w = Dfg.width dfg in
+  let own = List.sort compare (List.map fst (Dfg.inputs dfg)) in
+  let names =
+    match inputs with
+    | None -> own
+    | Some ns ->
+      let ns = List.sort_uniq compare ns in
+      List.iter
+        (fun nm ->
+          if not (List.mem nm ns) then
+            invalid_arg
+              ("Elaborate.to_network: forced input set misses " ^ nm))
+        own;
+      ns
+  in
+  let net = Network.create () in
+  let in_bits = Hashtbl.create 8 in
+  List.iter
+    (fun nm ->
+      let bits =
+        Array.init w (fun k ->
+            N (Network.add_input ~name:(Printf.sprintf "%s.%d" nm k) net))
+      in
+      Hashtbl.replace in_bits nm bits)
+    names;
+  let b = make_builder net w (Hashtbl.create 256) in
+  List.iter
+    (fun (nm, ids) ->
+      Array.iteri
+        (fun k id -> Network.set_output net (Printf.sprintf "%s.%d" nm k) id)
+        ids)
+    (outputs_of b (lower b in_bits dfg) dfg);
+  net
+
+let split_bit_name (name : string) =
+  match String.rindex_opt name '.' with
+  | None -> None
+  | Some d -> (
+    let nm = String.sub name 0 d in
+    match
+      int_of_string_opt (String.sub name (d + 1) (String.length name - d - 1))
+    with
+    | Some k -> Some (nm, k)
+    | None -> None)
+
+(* Copy the base elaboration, recover its input words ("nm.k" naming)
+   and pre-seed a builder with its gates — the shared setup of [extend]
+   and [sweep]. *)
+let reopen ~base dfg =
+  let w = Dfg.width dfg in
+  let net = Network.copy base in
+  let in_bits = Hashtbl.create 8 in
+  List.iter
+    (fun i ->
+      match split_bit_name (Network.name net i) with
+      | Some (nm, k) when k >= 0 && k < w ->
+        let arr =
+          match Hashtbl.find_opt in_bits nm with
+          | Some arr -> arr
+          | None ->
+            let arr = Array.make w Zero in
+            Hashtbl.replace in_bits nm arr;
+            arr
+        in
+        arr.(k) <- N i
+      | _ -> invalid_arg "Elaborate.extend: base is not a width-w elaboration")
+    (Network.inputs net);
+  List.iter
+    (fun (nm, _) ->
+      if not (Hashtbl.mem in_bits nm) then
+        invalid_arg ("Elaborate.extend: base lacks input word " ^ nm))
+    (Dfg.inputs dfg);
+  let cache = Hashtbl.create 256 in
+  seed_cache net cache;
+  let base_outs = Network.outputs base in
+  if List.length base_outs <> w * List.length (Dfg.outputs dfg) then
+    invalid_arg "Elaborate.extend: output words differ from base";
+  let base_bit nm k =
+    match List.assoc_opt (Printf.sprintf "%s.%d" nm k) base_outs with
+    | Some id -> id
+    | None -> invalid_arg ("Elaborate.extend: base lacks output word " ^ nm)
+  in
+  (net, in_bits, make_builder net w cache, base_bit)
+
+(* OR over all output bits of [base XOR candidate]. *)
+let output_miter b base_bit outs =
+  List.fold_left
+    (fun acc (nm, ids) ->
+      let acc = ref acc in
+      Array.iteri
+        (fun k id -> acc := b.bor !acc (b.bxor (N (base_bit nm k)) (N id)))
+        ids;
+      !acc)
+    Zero outs
+
+let extend ~base dfg =
+  let net, in_bits, b, base_bit = reopen ~base dfg in
+  (* Rebuild the candidate through the seeded cache: untouched cones
+     resolve to the base's own nodes, so each per-bit XOR collapses to
+     [Zero] wherever the logic is structurally identical and the OR-tree
+     keeps only the genuinely rewritten bits. *)
+  let eval = lower b in_bits dfg in
+  let miter = output_miter b base_bit (outputs_of b eval dfg) in
+  Network.set_output net "miter" (b.anchor miter);
+  net
+
+type outcome = Equivalent | Counterexample of bool array | Undecided
+
+let sweep ~base ~ref_dfg dfg ~pairs ~prove =
+  if Dfg.width ref_dfg <> Dfg.width dfg then
+    invalid_arg "Elaborate.sweep: reference and candidate widths differ";
+  (* Each suspected-equal (candidate, reference) word pair gets its own
+     obligation network: a fresh copy of [base] plus {e only} the two
+     cones up to the cut-point (lowering is lazy) and a local word miter.
+     A discharged proof merges the cut-point — the candidate node
+     thereafter lowers to the reference node's bits, so downstream logic
+     re-lowers onto the reference's own gates and the final output miter
+     usually folds to constant false with no whole-datapath SAT call at
+     all.  A failed local proof is not a refutation (intermediate words
+     may differ while outputs agree); it just leaves the cut-point
+     unmerged.  Merges are recorded as a candidate-node → reference-node
+     map rather than as bit vectors: the reference is re-lowered in each
+     obligation network, so its bits are always ids of {e that} network
+     — gate construction is deterministic over the shared seeded cache,
+     and reference cones shared with [base] cost nothing. *)
+  let merged : (Dfg.id, Dfg.id) Hashtbl.t = Hashtbl.create 8 in
+  let lower_both b in_bits =
+    let ref_word = lower b in_bits ref_dfg in
+    let subst i = Option.map ref_word (Hashtbl.find_opt merged i) in
+    (ref_word, lower ~subst b in_bits dfg)
+  in
+  (* Several reference nodes can share one signature (partial sums that
+     alias on the trace); the first that proves wins, and candidates are
+     ordered best-guess-first by the caller, so the structural
+     counterpart normally discharges before an aliased class-mate drags
+     the solver into an accidental deep theorem. *)
+  List.iter
+    (fun (ci, ris) ->
+      List.iter
+        (fun ri ->
+          if not (Hashtbl.mem merged ci) then begin
+            let net, in_bits, b, _ = reopen ~base dfg in
+            let ref_word, cand_word = lower_both b in_bits in
+            let cb = cand_word ci and rb = ref_word ri in
+            if cb = rb then Hashtbl.replace merged ci ri
+            else begin
+              let m = ref Zero in
+              Array.iteri (fun k x -> m := b.bor !m (b.bxor x rb.(k))) cb;
+              match !m with
+              | Zero -> Hashtbl.replace merged ci ri
+              | One -> ()
+              | N _ ->
+                Network.set_output net "sweep" (b.anchor !m);
+                if prove net "sweep" = `Never_true then
+                  Hashtbl.replace merged ci ri
+            end
+          end)
+        ris)
+    pairs;
+  let net, in_bits, b, _ = reopen ~base dfg in
+  let ref_word, cand_word = lower_both b in_bits in
+  let ref_outs =
+    List.map (fun (nm, i) -> (nm, ref_word i)) (Dfg.outputs ref_dfg)
+  in
+  let m = ref Zero in
+  List.iter
+    (fun (nm, i) ->
+      let rb =
+        match List.assoc_opt nm ref_outs with
+        | Some rb -> rb
+        | None -> invalid_arg ("Elaborate.sweep: reference lacks output " ^ nm)
+      in
+      Array.iteri (fun k x -> m := b.bor !m (b.bxor x rb.(k))) (cand_word i))
+    (Dfg.outputs dfg);
+  match !m with
+  | Zero -> Equivalent
+  | m -> (
+    Network.set_output net "miter" (b.anchor m);
+    match prove net "miter" with
+    | `Never_true -> Equivalent
+    | `Witness vec -> Counterexample vec
+    | `Undecided -> Undecided)
+
+let input_vector net env =
+  let bit_of (name : string) =
+    match split_bit_name name with
+    | None -> invalid_arg ("Elaborate.input_vector: unexpected input " ^ name)
+    | Some (nm, k) -> (
+      match List.assoc_opt nm env with
+      | None -> invalid_arg ("Elaborate.input_vector: missing word " ^ nm)
+      | Some v -> (v lsr k) land 1 = 1)
+  in
+  Array.of_list
+    (List.map (fun i -> bit_of (Network.name net i)) (Network.inputs net))
+
+let output_words ~width outs =
+  let words = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun ((name : string), b) ->
+      match split_bit_name name with
+      | None -> invalid_arg ("Elaborate.output_words: unexpected output " ^ name)
+      | Some (nm, k) ->
+        if k < 0 || k >= width then
+          invalid_arg "Elaborate.output_words: bit index out of range";
+        let v =
+          match Hashtbl.find_opt words nm with
+          | Some v -> v
+          | None ->
+            order := nm :: !order;
+            0
+        in
+        Hashtbl.replace words nm (if b then v lor (1 lsl k) else v))
+    outs;
+  List.rev_map (fun nm -> (nm, Hashtbl.find words nm)) !order
+
+let eval net ~width env =
+  output_words ~width (Network.eval_outputs net (input_vector net env))

@@ -1,0 +1,388 @@
+(* Every rule is a pure rebuild: the input graph is never mutated, the
+   output graph is constructed from the outputs down, so nodes that lose
+   their last consumer simply never reappear (no separate dead-code
+   pass).  Shared subexpressions stay shared — [build] is memoized on the
+   source id, the same idiom as [Transform.strength_reduce]. *)
+
+type rule = {
+  name : string;
+  sites : Dfg.t -> Dfg.id list;
+  apply_at : Dfg.t -> Dfg.id -> Dfg.t option;
+}
+
+(* Rebuild [dfg] from its outputs; [subst out build i] may supply a
+   replacement for node [i] (constructed in [out], translating old ids
+   through [build]), or [None] to copy the node verbatim. *)
+let rebuild dfg subst =
+  let out = Dfg.create ~width:(Dfg.width dfg) () in
+  let memo = Hashtbl.create 32 in
+  let rec build i =
+    match Hashtbl.find_opt memo i with
+    | Some j -> j
+    | None ->
+      let j =
+        match subst out build i with
+        | Some j -> j
+        | None -> Dfg.add out (Dfg.op dfg i) (List.map build (Dfg.args dfg i))
+      in
+      Hashtbl.replace memo i j;
+      j
+  in
+  List.iter (fun (_, i) -> ignore (build i)) (Dfg.outputs dfg);
+  out
+
+let const_value dfg i =
+  match Dfg.op dfg i with Dfg.Const c -> Some c | _ -> None
+
+(* --- commute: swap the operands of one Add/Mul ------------------------ *)
+
+(* Cost-neutral by construction ([Elaborate] orders commutative operands
+   canonically, [Dfg.structural_hash] ignores their order), but part of
+   the rule algebra: composed with [reassociate] it reaches every pairing
+   of an associative chain. *)
+let commute =
+  let matches dfg i =
+    match Dfg.op dfg i, Dfg.args dfg i with
+    | (Dfg.Add | Dfg.Mul), [ a; b ] -> a <> b
+    | _ -> false
+  in
+  {
+    name = "commute";
+    sites = (fun dfg -> List.filter (matches dfg) (Dfg.nodes dfg));
+    apply_at =
+      (fun dfg site ->
+        if not (matches dfg site) then None
+        else
+          let o = Dfg.op dfg site in
+          let a, b =
+            match Dfg.args dfg site with [ a; b ] -> (a, b) | _ -> assert false
+          in
+          Some
+            (rebuild dfg (fun out build i ->
+                 if i = site then Some (Dfg.add out o [ build b; build a ])
+                 else None)));
+  }
+
+(* --- reassociate: (a op b) op c -> (a op c) op b ---------------------- *)
+
+(* The operand-{e reordering} move: changes which values meet first in an
+   associative chain, which changes the intermediate words and therefore
+   the measured switching — same operator count, different activity. *)
+let reassociate =
+  let decompose dfg i =
+    match Dfg.op dfg i, Dfg.args dfg i with
+    | (Dfg.Add | Dfg.Mul), [ p; c ] ->
+      let o = Dfg.op dfg i in
+      let inner j = Dfg.op dfg j = o in
+      if inner p then Some (o, p, c, false)
+      else if inner c then Some (o, c, p, true)
+      else None
+    | _ -> None
+  in
+  {
+    name = "reassociate";
+    sites =
+      (fun dfg ->
+        List.filter (fun i -> decompose dfg i <> None) (Dfg.nodes dfg));
+    apply_at =
+      (fun dfg site ->
+        match decompose dfg site with
+        | None -> None
+        | Some (o, p, c, _) ->
+          let a, b =
+            match Dfg.args dfg p with [ a; b ] -> (a, b) | _ -> assert false
+          in
+          Some
+            (rebuild dfg (fun out build i ->
+                 if i = site then begin
+                   let inner = Dfg.add out o [ build a; build c ] in
+                   Some (Dfg.add out o [ inner; build b ])
+                 end
+                 else None)));
+  }
+
+(* --- csd-mul: multiply-by-constant -> CSD shift-add/sub --------------- *)
+
+(* Canonical-signed-digit recoding of the coefficient: digits in
+   {-1, 0, +1} with no two adjacent nonzeros — the minimal-term shift-add
+   form, the generalization of [Transform.strength_reduce] beyond powers
+   of two.  The coefficient is read modulo 2^w (signed interpretation, so
+   [2^w - 1] becomes the single digit chain [x<<w] - x = -x mod 2^w),
+   and the identity holds bit-exactly under wrap-around. *)
+let csd_digits ~width c =
+  let m = (1 lsl width) - 1 in
+  let c = c land m in
+  let signed = if c >= 1 lsl (width - 1) then c - (1 lsl width) else c in
+  let digits = ref [] in
+  let v = ref signed in
+  let k = ref 0 in
+  while !v <> 0 do
+    if !v land 1 = 1 then begin
+      (* Remainder is odd: emit ±1 so the new remainder is divisible by 4
+         (the non-adjacency invariant). *)
+      let d = if !v land 3 = 3 then -1 else 1 in
+      digits := (d, !k) :: !digits;
+      v := !v - d
+    end;
+    v := !v asr 1;
+    incr k
+  done;
+  List.rev !digits
+
+let csd_mul =
+  let site_operands dfg i =
+    match Dfg.op dfg i, Dfg.args dfg i with
+    | Dfg.Mul, [ a; b ] -> (
+      match const_value dfg b, const_value dfg a with
+      | Some c, _ -> Some (a, c)
+      | None, Some c -> Some (b, c)
+      | None, None -> None)
+    | _ -> None
+  in
+  {
+    name = "csd-mul";
+    sites =
+      (fun dfg ->
+        List.filter (fun i -> site_operands dfg i <> None) (Dfg.nodes dfg));
+    apply_at =
+      (fun dfg site ->
+        match site_operands dfg site with
+        | None -> None
+        | Some (x, c) ->
+          let digits = csd_digits ~width:(Dfg.width dfg) c in
+          Some
+            (rebuild dfg (fun out build i ->
+                 if i <> site then None
+                 else begin
+                   let term k =
+                     if k = 0 then build x
+                     else Dfg.add out (Dfg.Shift_left k) [ build x ]
+                   in
+                   let seed, rest =
+                     (* Seed with the first positive digit so the chain
+                        needs no leading 0; an all-negative recoding
+                        starts from Const 0. *)
+                     let rec pick acc = function
+                       | (1, k) :: rest -> Some (k, List.rev_append acc rest)
+                       | d :: rest -> pick (d :: acc) rest
+                       | [] -> None
+                     in
+                     match pick [] digits with
+                     | Some (k, rest) -> (term k, rest)
+                     | None -> (Dfg.add out (Dfg.Const 0) [], digits)
+                   in
+                   Some
+                     (List.fold_left
+                        (fun acc (d, k) ->
+                          let o = if d > 0 then Dfg.Add else Dfg.Sub in
+                          Dfg.add out o [ acc; term k ])
+                        seed rest)
+                 end)));
+  }
+
+(* --- factor: a*b + a*c -> a*(b + c) ----------------------------------- *)
+
+let factor =
+  let common dfg i =
+    match Dfg.op dfg i, Dfg.args dfg i with
+    | Dfg.Add, [ p; q ] -> (
+      match (Dfg.op dfg p, Dfg.args dfg p, Dfg.op dfg q, Dfg.args dfg q) with
+      | Dfg.Mul, [ a; b ], Dfg.Mul, [ c; d ] ->
+        (* Shared operand = shared node (modulo commutation); first match
+           in a fixed order keeps the rule deterministic. *)
+        if a = c then Some (a, b, d)
+        else if a = d then Some (a, b, c)
+        else if b = c then Some (b, a, d)
+        else if b = d then Some (b, a, c)
+        else None
+      | _ -> None)
+    | _ -> None
+  in
+  {
+    name = "factor";
+    sites =
+      (fun dfg -> List.filter (fun i -> common dfg i <> None) (Dfg.nodes dfg));
+    apply_at =
+      (fun dfg site ->
+        match common dfg site with
+        | None -> None
+        | Some (shared, u, v) ->
+          Some
+            (rebuild dfg (fun out build i ->
+                 if i = site then begin
+                   let s = Dfg.add out Dfg.Add [ build u; build v ] in
+                   Some (Dfg.add out Dfg.Mul [ build shared; s ])
+                 end
+                 else None)));
+  }
+
+(* --- distribute: a * (b + c) -> a*b + a*c ------------------------------ *)
+
+let distribute =
+  let decompose dfg i =
+    match Dfg.op dfg i, Dfg.args dfg i with
+    | Dfg.Mul, [ a; s ] ->
+      let is_add j = Dfg.op dfg j = Dfg.Add in
+      if is_add s then Some (a, s)
+      else if is_add a then Some (s, a)
+      else None
+    | _ -> None
+  in
+  {
+    name = "distribute";
+    sites =
+      (fun dfg ->
+        List.filter (fun i -> decompose dfg i <> None) (Dfg.nodes dfg));
+    apply_at =
+      (fun dfg site ->
+        match decompose dfg site with
+        | None -> None
+        | Some (a, s) ->
+          let b, c =
+            match Dfg.args dfg s with [ b; c ] -> (b, c) | _ -> assert false
+          in
+          Some
+            (rebuild dfg (fun out build i ->
+                 if i = site then begin
+                   let ab = Dfg.add out Dfg.Mul [ build a; build b ] in
+                   let ac = Dfg.add out Dfg.Mul [ build a; build c ] in
+                   Some (Dfg.add out Dfg.Add [ ab; ac ])
+                 end
+                 else None)));
+  }
+
+(* --- share: common-subexpression elimination --------------------------- *)
+
+(* A site is a node [j] with an earlier node [i] computing the same
+   expression (canonical hash guarded by a commutative-aware structural
+   compare); the rewrite redirects [j]'s consumers to [i], so the
+   duplicate drops out of the rebuilt graph. *)
+let duplicate_of dfg =
+  let hs = Array.of_list (List.map (Dfg.node_hash dfg) (Dfg.nodes dfg)) in
+  let memo = Hashtbl.create 64 in
+  let rec same i j =
+    i = j
+    ||
+    match Hashtbl.find_opt memo (i, j) with
+    | Some r -> r
+    | None ->
+      let r =
+        hs.(i) = hs.(j)
+        &&
+        match (Dfg.op dfg i, Dfg.args dfg i, Dfg.op dfg j, Dfg.args dfg j) with
+        | Dfg.Input n1, [], Dfg.Input n2, [] -> n1 = n2
+        | Dfg.Const c1, [], Dfg.Const c2, [] -> c1 = c2
+        | Dfg.Add, [ x; y ], Dfg.Add, [ u; v ]
+        | Dfg.Mul, [ x; y ], Dfg.Mul, [ u; v ] ->
+          (same x u && same y v) || (same x v && same y u)
+        | Dfg.Sub, [ x; y ], Dfg.Sub, [ u; v ] -> same x u && same y v
+        | Dfg.Shift_left k1, [ x ], Dfg.Shift_left k2, [ u ] ->
+          k1 = k2 && same x u
+        | _ -> false
+      in
+      Hashtbl.replace memo (i, j) r;
+      r
+  in
+  fun j ->
+    (match Dfg.op dfg j with
+    | Dfg.Add | Dfg.Sub | Dfg.Mul | Dfg.Shift_left _ -> ()
+    | Dfg.Input _ | Dfg.Const _ | Dfg.Output _ -> raise Exit);
+    let rec first i =
+      if i >= j then None
+      else if hs.(i) = hs.(j) && same i j then Some i
+      else first (i + 1)
+    in
+    first 0
+
+let share =
+  {
+    name = "share";
+    sites =
+      (fun dfg ->
+        let dup = duplicate_of dfg in
+        List.filter
+          (fun j -> (try dup j with Exit -> None) <> None)
+          (Dfg.nodes dfg));
+    apply_at =
+      (fun dfg site ->
+        match (try duplicate_of dfg site with Exit -> None) with
+        | None -> None
+        | Some keep ->
+          Some
+            (rebuild dfg (fun _out build i ->
+                 if i = site then Some (build keep) else None)));
+  }
+
+(* --- fold-const: constant folding and arithmetic identities ------------ *)
+
+let fold_const =
+  let folded dfg i =
+    let m = (1 lsl Dfg.width dfg) - 1 in
+    let cv = const_value dfg in
+    match Dfg.op dfg i, Dfg.args dfg i with
+    | Dfg.Add, [ a; b ] -> (
+      match cv a, cv b with
+      | Some x, Some y -> Some (`Const ((x + y) land m))
+      | Some 0, None -> Some (`Copy b)
+      | None, Some 0 -> Some (`Copy a)
+      | _ -> None)
+    | Dfg.Sub, [ a; b ] -> (
+      match cv a, cv b with
+      | Some x, Some y -> Some (`Const ((x - y) land m))
+      | None, Some 0 -> Some (`Copy a)
+      | _ -> if a = b then Some (`Const 0) else None)
+    | Dfg.Mul, [ a; b ] -> (
+      match cv a, cv b with
+      | Some x, Some y -> Some (`Const (x * y land m))
+      | Some 0, None | None, Some 0 -> Some (`Const 0)
+      | Some 1, None -> Some (`Copy b)
+      | None, Some 1 -> Some (`Copy a)
+      | _ -> None)
+    | Dfg.Shift_left k, [ a ] -> (
+      match cv a with
+      | Some x -> Some (`Const ((x lsl k) land m))
+      | None -> if k = 0 then Some (`Copy a) else None)
+    | _ -> None
+  in
+  {
+    name = "fold-const";
+    sites =
+      (fun dfg -> List.filter (fun i -> folded dfg i <> None) (Dfg.nodes dfg));
+    apply_at =
+      (fun dfg site ->
+        match folded dfg site with
+        | None -> None
+        | Some action ->
+          Some
+            (rebuild dfg (fun out build i ->
+                 if i <> site then None
+                 else
+                   match action with
+                   | `Const c -> Some (Dfg.add out (Dfg.Const c) [])
+                   | `Copy a -> Some (build a))));
+  }
+
+(* --- rebalance: tree-height reduction as a whole-graph rule ------------ *)
+
+(* [Transform.tree_height_reduce] rebalances every maximal single-use
+   Add/Mul chain at once; exposed here as a rule with one synthetic site
+   (id 0) so the search can weigh it like any other move. *)
+let rebalance =
+  let changed dfg =
+    let r = Transform.tree_height_reduce dfg in
+    if Dfg.equal r dfg then None else Some r
+  in
+  {
+    name = "rebalance";
+    sites = (fun dfg -> if changed dfg <> None then [ 0 ] else []);
+    apply_at = (fun dfg site -> if site = 0 then changed dfg else None);
+  }
+
+let all =
+  [ fold_const; csd_mul; share; factor; distribute; reassociate; commute;
+    rebalance ]
+
+let apply r dfg =
+  match r.sites dfg with
+  | [] -> None
+  | site :: _ -> r.apply_at dfg site

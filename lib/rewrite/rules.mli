@@ -1,0 +1,78 @@
+(** Rewrite-rule library over word-level datapaths (§IV.B; Coward et al.,
+    "Combining Power and Arithmetic Optimization via Datapath Rewriting").
+
+    Every rule is semantics-preserving under the wrap-around integer
+    semantics of {!Dfg.eval} (property-tested on random DFGs, bit-exact),
+    pure (the input graph is never mutated), and deterministic.  Rules
+    rebuild the graph from its outputs, so a node whose last consumer is
+    rewritten away disappears — no separate dead-code pass. *)
+
+type rule = {
+  name : string;
+  sites : Dfg.t -> Dfg.id list;
+      (** Match sites, in ascending node order — where {!field-apply_at}
+          can fire.  Empty when the rule does not apply. *)
+  apply_at : Dfg.t -> Dfg.id -> Dfg.t option;
+      (** Apply the rule at one site; [None] if the site does not match
+          (sites from a {e different} graph are meaningless here). *)
+}
+
+val commute : rule
+(** Swap the operands of one Add/Mul.  Cost-neutral on its own (both
+    {!Dfg.structural_hash} and [Elaborate] canonicalize commutative
+    operand order) but, composed with {!reassociate}, reaches every
+    pairing of an associative chain. *)
+
+val reassociate : rule
+(** [(a ⊕ b) ⊕ c -> (a ⊕ c) ⊕ b] for ⊕ ∈ {{!Dfg.Add}, {!Dfg.Mul}} — the
+    operand-reordering move: same operation count, different intermediate
+    words, different switching. *)
+
+val csd_mul : rule
+(** Multiply-by-constant → canonical-signed-digit shift-add/sub chain
+    (digits in [{-1,0,+1}], no adjacent nonzeros), generalizing
+    [Transform.strength_reduce] beyond powers of two; the coefficient is
+    recoded modulo [2^width] with a signed reading, so e.g. [2^w - 1]
+    becomes a single subtraction. *)
+
+val factor : rule
+(** [a*b + a*c -> a*(b + c)] (shared operand matched modulo
+    commutation): one multiplier instead of two. *)
+
+val distribute : rule
+(** [a*(b + c) -> a*b + a*c] — {!factor}'s inverse, kept so the search
+    can escape a factored local optimum. *)
+
+val share : rule
+(** Common-subexpression sharing: redirect a node that duplicates an
+    earlier node's expression (canonical hash + commutative-aware
+    structural compare) to the original. *)
+
+val fold_const : rule
+(** Constant folding ([c1 op c2], shifts of constants) and the unit/zero
+    identities [x+0], [x-0], [x-x], [x*1], [x*0], [x<<0]. *)
+
+val rebalance : rule
+(** [Transform.tree_height_reduce] as a whole-graph rule with one
+    synthetic site (id 0), offered only when it changes the graph. *)
+
+val all : rule list
+(** Every rule above, in the deterministic order the search enumerates. *)
+
+val apply : rule -> Dfg.t -> Dfg.t option
+(** Apply at the first match site, if any — the [Dfg.t -> Dfg.t option]
+    view of a rule. *)
+
+val csd_digits : width:int -> int -> (int * int) list
+(** The recoding {!csd_mul} uses: [(digit, shift)] pairs, ascending
+    shift, digit ∈ [{-1, +1}] — exposed for tests. *)
+
+val rebuild :
+  Dfg.t ->
+  (Dfg.t -> (Dfg.id -> Dfg.id) -> Dfg.id -> Dfg.id option) ->
+  Dfg.t
+(** The shared rebuild-with-substitution core: [rebuild dfg subst] copies
+    [dfg] output-down into a fresh graph, letting [subst out build i]
+    replace the translation of node [i] (old ids translate through
+    [build]).  Exposed so tests can build deliberately broken
+    "transforms" (e.g. one that drops an input). *)

@@ -347,6 +347,34 @@ let session_never_true sess ob out =
   retire sess act;
   r
 
+let session_never_true_within sess ~conflicts ob out =
+  let o =
+    match List.assoc_opt out (Network.outputs ob) with
+    | Some o -> o
+    | None -> invalid_arg "Cec.session_never_true_within: unknown output"
+  in
+  let act = fresh_activation sess in
+  let lit_of = extend_base sess ob act in
+  let l = lit_of o in
+  let c0 = (Solver.stats sess.s).Solver.conflicts in
+  Solver.set_interrupt sess.s (fun () ->
+      (Solver.stats sess.s).Solver.conflicts - c0 > conflicts);
+  let r =
+    match Solver.solve ~assumptions:[ act; l ] sess.s with
+    | Solver.Unsat -> `Never_true
+    | Solver.Sat ->
+      let vec =
+        Array.map (fun l -> Solver.lit_true sess.s l) sess.env.Cnf.inputs
+      in
+      if List.assoc out (Network.eval_outputs ob vec) then `Witness vec
+      else
+        failwith "Cec.session_never_true_within: witness failed network replay"
+    | exception Solver.Interrupted -> `Undecided
+  in
+  Solver.set_interrupt sess.s (fun () -> false);
+  retire sess act;
+  r
+
 type handle = {
   h_net : Network.t;
   h_act : Solver.lit;

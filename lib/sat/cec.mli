@@ -102,6 +102,20 @@ val session_never_true : session -> Network.t -> string -> bool array option
     functions and fanins), and [Failure] if a SAT witness fails replay
     through {!Network.eval_outputs}. *)
 
+val session_never_true_within :
+  session ->
+  conflicts:int ->
+  Network.t ->
+  string ->
+  [ `Never_true | `Witness of bool array | `Undecided ]
+(** {!session_never_true} under a deterministic effort bound: the solver
+    gives up with [`Undecided] once the call has spent more than
+    [conflicts] conflicts (checked at the solver's interrupt-poll
+    granularity, so slightly more may elapse).  The obligation's
+    activation literal is retired either way, and clauses learned before
+    the bound are kept — a later retry resumes from stronger state.
+    Exceptions as {!session_never_true}. *)
+
 val session_check : session -> Network.t -> outcome
 (** [session_check sess other]: per-output miter check of [other] against
     the session's base over shared input literals, one assumption-guarded

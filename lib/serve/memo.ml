@@ -23,6 +23,7 @@ type artifact =
   | A_cover of Cover.t
   | A_cec of Cec.outcome
   | A_dualvth of Dualvth.result
+  | A_activity of float
 
 type entry = { value : artifact; mutable last_use : int }
 
@@ -121,6 +122,7 @@ and k_cone = 3
 and k_cover = 4
 and k_cec = 5
 and k_dualvth = 6
+and k_activity = 7
 
 let compiled t net =
   let key = combine k_compiled (Network.structural_hash net) in
@@ -234,6 +236,14 @@ let dualvth t ?config ?required ?slack_factor ?leakage_budget ?cells m
        callers; hand each one its own copy (ids are preserved, so the
        assignment list stays valid). *)
     { r with Dualvth.net = Network.copy r.Dualvth.net }
+  | _ -> assert false
+
+let dfg_activity t dfg ~fingerprint compute =
+  let key =
+    combine (combine k_activity (Dfg.structural_hash dfg)) fingerprint
+  in
+  match memoize t key (fun () -> A_activity (compute ())) with
+  | A_activity a -> a
   | _ -> assert false
 
 let cec_key a b =

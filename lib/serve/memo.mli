@@ -77,6 +77,17 @@ val check_with :
     batch repeats a circuit.  The prover must decide the same question as
     [Cec.check a b]. *)
 
+val dfg_activity :
+  t -> Dfg.t -> fingerprint:int -> (unit -> float) -> float
+(** Cached switching-activity cost of a word-level datapath, keyed by
+    [Dfg.structural_hash] plus a caller-supplied fingerprint (the trace
+    content and cost-model tag — see [Cost.fingerprint] in [lib/rewrite]).
+    A miss runs the supplied estimator outside the lock, following the
+    {!check_with} pattern: the cost computation itself lives above this
+    library (it elaborates the DFG to gates), so the cache stores only
+    the resulting scalar.  The estimator must be deterministic for the
+    key. *)
+
 val dualvth :
   t ->
   ?config:Dualvth.config ->

@@ -1,4 +1,4 @@
-let fir ~taps ?coeffs () =
+let fir ~taps ?coeffs ?(width = 16) () =
   if taps < 1 || taps > 64 then invalid_arg "Gen_dfg.fir: taps in [1,64]";
   let coeffs =
     match coeffs with
@@ -8,7 +8,7 @@ let fir ~taps ?coeffs () =
       cs
     | None -> List.init taps (fun k -> (2 * k) + 1)
   in
-  let dfg = Dfg.create () in
+  let dfg = Dfg.create ~width () in
   let xs =
     List.init taps (fun k -> Dfg.add dfg (Dfg.Input (Printf.sprintf "x%d" k)) [])
   in
@@ -20,6 +20,34 @@ let fir ~taps ?coeffs () =
     | p :: rest -> List.fold_left (fun acc q -> Dfg.add dfg Dfg.Add [ acc; q ]) p rest
   in
   ignore (Dfg.add dfg (Dfg.Output "y") [ sum ]);
+  dfg
+
+let mac_chain ~taps ?coeffs ?(width = 16) () =
+  if taps < 1 || taps > 64 then invalid_arg "Gen_dfg.mac_chain: taps in [1,64]";
+  let coeffs =
+    match coeffs with
+    | Some cs ->
+      if List.length cs <> taps then
+        invalid_arg "Gen_dfg.mac_chain: coefficient count mismatch";
+      cs
+    | None -> List.init taps (fun k -> (2 * k) + 1)
+  in
+  let dfg = Dfg.create ~width () in
+  let acc0 = Dfg.add dfg (Dfg.Input "acc") [] in
+  let xs =
+    List.init taps (fun k -> Dfg.add dfg (Dfg.Input (Printf.sprintf "x%d" k)) [])
+  in
+  (* Serial multiply-accumulate, the dependence chain a MAC unit executes:
+     acc := acc + x_k * c_k, one product folded in per step. *)
+  let acc =
+    List.fold_left2
+      (fun acc x c ->
+        let cn = Dfg.add dfg (Dfg.Const c) [] in
+        let p = Dfg.add dfg Dfg.Mul [ x; cn ] in
+        Dfg.add dfg Dfg.Add [ acc; p ])
+      acc0 xs coeffs
+  in
+  ignore (Dfg.add dfg (Dfg.Output "y") [ acc ]);
   dfg
 
 let biquad () =
@@ -66,6 +94,44 @@ let ewf_like rng ~ops =
   done;
   (match !pool with
   | last :: _ -> ignore (Dfg.add dfg (Dfg.Output "out") [ last ])
+  | [] -> assert false);
+  dfg
+
+let random_dfg rng ~ops ?(width = 16) () =
+  if ops < 1 || ops > 400 then invalid_arg "Gen_dfg.random_dfg: ops in [1,400]";
+  let dfg = Dfg.create ~width () in
+  let m = (1 lsl width) - 1 in
+  let pool = ref [] in
+  let n_inputs = 2 + Lowpower.Rng.int rng 5 in
+  for k = 0 to n_inputs - 1 do
+    pool := Dfg.add dfg (Dfg.Input (Printf.sprintf "in%d" k)) [] :: !pool
+  done;
+  for _ = 1 to 1 + Lowpower.Rng.int rng 3 do
+    pool := Dfg.add dfg (Dfg.Const (Lowpower.Rng.int rng (m + 1))) [] :: !pool
+  done;
+  let pick () =
+    let arr = Array.of_list !pool in
+    arr.(Lowpower.Rng.int rng (Array.length arr))
+  in
+  for _ = 1 to ops do
+    let node =
+      match Lowpower.Rng.int rng 10 with
+      | 0 | 1 -> Dfg.add dfg Dfg.Mul [ pick (); pick () ]
+      | 2 | 3 -> Dfg.add dfg Dfg.Sub [ pick (); pick () ]
+      | 4 -> Dfg.add dfg (Dfg.Shift_left (Lowpower.Rng.int rng 4)) [ pick () ]
+      | 5 ->
+        (* A fresh constant product: what the CSD rule rewrites. *)
+        let c = Dfg.add dfg (Dfg.Const (Lowpower.Rng.int rng (m + 1))) [] in
+        Dfg.add dfg Dfg.Mul [ pick (); c ]
+      | _ -> Dfg.add dfg Dfg.Add [ pick (); pick () ]
+    in
+    pool := node :: !pool
+  done;
+  (match !pool with
+  | last :: next :: _ ->
+    ignore (Dfg.add dfg (Dfg.Output "out0") [ last ]);
+    ignore (Dfg.add dfg (Dfg.Output "out1") [ next ])
+  | [ last ] -> ignore (Dfg.add dfg (Dfg.Output "out0") [ last ])
   | [] -> assert false);
   dfg
 

@@ -1,10 +1,16 @@
 (** Classic behavioral-synthesis benchmark DFGs (§IV.B workloads). *)
 
-val fir : taps:int -> ?coeffs:int list -> unit -> Dfg.t
+val fir : taps:int -> ?coeffs:int list -> ?width:int -> unit -> Dfg.t
 (** Direct-form FIR filter: inputs [x0..x{taps-1}] (the delay line) and
     constant coefficients; output "y" = sum of products.  Default
-    coefficients are small odd constants.  The dot-product shape is also
-    the software kernel of E17. *)
+    coefficients are small odd constants, default [width] 16.  The
+    dot-product shape is also the software kernel of E17. *)
+
+val mac_chain : taps:int -> ?coeffs:int list -> ?width:int -> unit -> Dfg.t
+(** Serial multiply-accumulate chain, the dependence structure
+    [Soft.Kernels.fir_layout] executes on a single MAC unit: input "acc"
+    seeds the accumulator, then [acc := acc + x_k * c_k] per tap;
+    output "y".  Same default coefficients as {!fir}. *)
 
 val biquad : unit -> Dfg.t
 (** Second-order IIR section (Direct Form I): 5 multiplies, 4 adds, inputs
@@ -14,6 +20,13 @@ val ewf_like : Lowpower.Rng.t -> ops:int -> Dfg.t
 (** A random arithmetic DAG in the style of the elliptic-wave-filter
     benchmark: a mix of adds and multiplies (~3:1), depth-biased wiring,
     single output.  Seeded and reproducible. *)
+
+val random_dfg : Lowpower.Rng.t -> ops:int -> ?width:int -> unit -> Dfg.t
+(** A random DFG exercising {e every} operator kind — Add/Sub/Mul (with
+    both variable and constant operands), shifts, free-standing constants —
+    with 2–6 named inputs and one or two outputs.  Seeded and reproducible
+    (same rng state, same graph): the fuzzing substrate of the rewrite-rule
+    soundness properties. *)
 
 val poly_naive : degree:int -> ?coeffs:int list -> unit -> Dfg.t
 (** Polynomial evaluation the wasteful way: every power of x recomputed

@@ -47,6 +47,142 @@ let test_operand_traces () =
     traces;
   Alcotest.(check int) "all ops traced" 7 (Hashtbl.length traces)
 
+(* --- structural hash and equality --- *)
+
+(* Two insertion orders of the same dot-product; [swap] commutes the
+   multiplier operands. *)
+let dot2 ~reversed ~swap () =
+  let d = Dfg.create ~width:8 () in
+  let inp nm = Dfg.add d (Dfg.Input nm) [] in
+  let a, b, c, e =
+    if reversed then
+      let e = inp "e" and c = inp "c" and b = inp "b" and a = inp "a" in
+      (a, b, c, e)
+    else
+      let a = inp "a" and b = inp "b" and c = inp "c" and e = inp "e" in
+      (a, b, c, e)
+  in
+  let p0 =
+    Dfg.add d Dfg.Mul (if swap then [ b; a ] else [ a; b ])
+  in
+  let p1 = Dfg.add d Dfg.Mul [ c; e ] in
+  let s =
+    Dfg.add d Dfg.Add (if swap then [ p1; p0 ] else [ p0; p1 ])
+  in
+  ignore (Dfg.add d (Dfg.Output "y") [ s ]);
+  d
+
+let test_dfg_hash_invariance () =
+  let base = dot2 ~reversed:false ~swap:false () in
+  let h = Dfg.structural_hash base in
+  Alcotest.(check int) "insertion order irrelevant" h
+    (Dfg.structural_hash (dot2 ~reversed:true ~swap:false ()));
+  Alcotest.(check int) "commutative operand order irrelevant" h
+    (Dfg.structural_hash (dot2 ~reversed:false ~swap:true ()));
+  Alcotest.(check bool) "equal graphs" true
+    (Dfg.equal base (dot2 ~reversed:true ~swap:true ()));
+  (* dead nodes are invisible *)
+  let dead = dot2 ~reversed:false ~swap:false () in
+  ignore (Dfg.add dead Dfg.Add [ 0; 1 ]);
+  Alcotest.(check int) "dead node ignored" h (Dfg.structural_hash dead);
+  Alcotest.(check bool) "still equal" true (Dfg.equal base dead)
+
+let test_dfg_hash_sensitivity () =
+  let base = dot2 ~reversed:false ~swap:false () in
+  let h = Dfg.structural_hash base in
+  (* Sub is not commutative: swapping its operands must change the hash. *)
+  let sub ~swap =
+    let d = Dfg.create ~width:8 () in
+    let a = Dfg.add d (Dfg.Input "a") [] in
+    let b = Dfg.add d (Dfg.Input "b") [] in
+    let s = Dfg.add d Dfg.Sub (if swap then [ b; a ] else [ a; b ]) in
+    ignore (Dfg.add d (Dfg.Output "y") [ s ]);
+    d
+  in
+  Alcotest.(check bool) "sub operand order matters" true
+    (Dfg.structural_hash (sub ~swap:false)
+    <> Dfg.structural_hash (sub ~swap:true));
+  Alcotest.(check bool) "sub graphs not equal" false
+    (Dfg.equal (sub ~swap:false) (sub ~swap:true));
+  (* output naming matters *)
+  let renamed = Dfg.create ~width:8 () in
+  let a = Dfg.add renamed (Dfg.Input "a") [] in
+  let b = Dfg.add renamed (Dfg.Input "b") [] in
+  let c = Dfg.add renamed (Dfg.Input "c") [] in
+  let e = Dfg.add renamed (Dfg.Input "e") [] in
+  let s =
+    Dfg.add renamed Dfg.Add
+      [ Dfg.add renamed Dfg.Mul [ a; b ]; Dfg.add renamed Dfg.Mul [ c; e ] ]
+  in
+  ignore (Dfg.add renamed (Dfg.Output "z") [ s ]);
+  Alcotest.(check bool) "output name hashes" true
+    (h <> Dfg.structural_hash renamed);
+  Alcotest.(check bool) "output name breaks equality" false
+    (Dfg.equal base renamed)
+
+(* A duplicated subexpression hashes (and compares) apart from a shared
+   one — the property that makes the rewrite engine's share rule visible
+   to the search and its cost cache. *)
+let test_dfg_hash_sharing () =
+  let shared =
+    let d = Dfg.create ~width:8 () in
+    let a = Dfg.add d (Dfg.Input "a") [] in
+    let b = Dfg.add d (Dfg.Input "b") [] in
+    let m = Dfg.add d Dfg.Mul [ a; b ] in
+    ignore (Dfg.add d (Dfg.Output "y") [ Dfg.add d Dfg.Add [ m; m ] ]);
+    d
+  in
+  let duplicated =
+    let d = Dfg.create ~width:8 () in
+    let a = Dfg.add d (Dfg.Input "a") [] in
+    let b = Dfg.add d (Dfg.Input "b") [] in
+    let m0 = Dfg.add d Dfg.Mul [ a; b ] in
+    let m1 = Dfg.add d Dfg.Mul [ a; b ] in
+    ignore (Dfg.add d (Dfg.Output "y") [ Dfg.add d Dfg.Add [ m0; m1 ] ]);
+    d
+  in
+  Alcotest.(check bool) "sharing changes the hash" true
+    (Dfg.structural_hash shared <> Dfg.structural_hash duplicated);
+  Alcotest.(check bool) "sharing breaks equality" false
+    (Dfg.equal shared duplicated);
+  (* ... but both compute the same function *)
+  Alcotest.(check bool) "same function" true
+    (Transform.equivalent shared duplicated ~rng:(rng ()))
+
+let test_dfg_hash_collisions () =
+  let r = rng () in
+  let seen = Hashtbl.create 256 in
+  for _ = 1 to 200 do
+    let g = Gen_dfg.random_dfg r ~ops:(6 + Lowpower.Rng.int r 10) () in
+    Hashtbl.replace seen (Dfg.structural_hash g) ()
+  done;
+  Alcotest.(check bool) "near-distinct hashes over random graphs" true
+    (Hashtbl.length seen >= 190)
+
+(* --- Transform.equivalent sampling --- *)
+
+let test_equivalent_dropped_input () =
+  let with_extra used =
+    let d = Dfg.create ~width:8 () in
+    let x = Dfg.add d (Dfg.Input "x") [] in
+    let y = Dfg.add d (Dfg.Input "y") [] in
+    ignore
+      (Dfg.add d (Dfg.Output "o")
+         [ (if used then Dfg.add d Dfg.Add [ x; y ] else x) ]);
+    d
+  in
+  let just_x =
+    let d = Dfg.create ~width:8 () in
+    let x = Dfg.add d (Dfg.Input "x") [] in
+    ignore (Dfg.add d (Dfg.Output "o") [ x ]);
+    d
+  in
+  (* default sample count applies when the label is omitted *)
+  Alcotest.(check bool) "dropping an unused input is fine" true
+    (Transform.equivalent (with_extra false) just_x ~rng:(rng ()));
+  Alcotest.(check bool) "dropping a used input is caught" false
+    (Transform.equivalent (with_extra true) just_x ~rng:(rng ()))
+
 (* --- Schedule --- *)
 
 let delays dfg = Schedule.uniform_delays dfg
@@ -510,6 +646,11 @@ let suite =
     quick "dfg arity checks" test_dfg_arity_checks;
     quick "dfg structure" test_dfg_structure;
     quick "operand traces" test_operand_traces;
+    quick "dfg hash invariance" test_dfg_hash_invariance;
+    quick "dfg hash sensitivity" test_dfg_hash_sensitivity;
+    quick "dfg hash sees sharing" test_dfg_hash_sharing;
+    quick "dfg hash collision-free in practice" test_dfg_hash_collisions;
+    quick "equivalent catches dropped inputs" test_equivalent_dropped_input;
     quick "asap and alap" test_asap_alap;
     quick "mobility nonnegative" test_mobility_nonnegative;
     quick "list scheduling respects resources" test_list_schedule_resources;

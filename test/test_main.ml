@@ -22,6 +22,7 @@ let () =
       ("soft", Test_soft.suite);
       ("workloads", Test_workloads.suite);
       ("serve", Test_serve.suite);
+      ("rewrite", Test_rewrite.suite);
       ("integration", Test_integration.suite);
       ("surface", Test_surface.suite);
     ]

@@ -135,6 +135,33 @@ let test_fir_semantics () =
     [ ("y", 31) ]
     (Dfg.eval dfg [ ("x0", 2); ("x1", 5) ])
 
+let test_mac_chain_semantics () =
+  let dfg = Gen_dfg.mac_chain ~taps:2 ~coeffs:[ 3; 5 ] ~width:8 () in
+  Alcotest.(check (list (pair string int))) "y = acc + 3 x0 + 5 x1"
+    [ ("y", (10 + (3 * 2) + (5 * 5)) land 255) ]
+    (Dfg.eval dfg [ ("acc", 10); ("x0", 2); ("x1", 5) ]);
+  Alcotest.(check int) "serial chain: 2 muls + 2 adds" 4 (Dfg.num_ops dfg)
+
+(* Seeded generators are reproducible: the same rng state yields the
+   identical graph (the property the rewrite fuzz tests lean on). *)
+let test_gen_dfg_deterministic () =
+  let pair f = (f (rng ()), f (rng ())) in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool) "same seed, equal graph" true (Dfg.equal a b);
+      Alcotest.(check int) "same hash" (Dfg.structural_hash a)
+        (Dfg.structural_hash b))
+    [
+      pair (fun r -> Gen_dfg.random_dfg r ~ops:12 ~width:6 ());
+      pair (fun r -> Gen_dfg.ewf_like r ~ops:16);
+      pair (fun _ -> Gen_dfg.mac_chain ~taps:3 ());
+    ];
+  (* consuming the stream moves it: back-to-back draws differ *)
+  let r = rng () in
+  let g1 = Gen_dfg.random_dfg r ~ops:12 ~width:6 () in
+  let g2 = Gen_dfg.random_dfg r ~ops:12 ~width:6 () in
+  Alcotest.(check bool) "stream advances" false (Dfg.equal g1 g2)
+
 let test_traces_bounded () =
   let r = rng () in
   List.iter
@@ -193,6 +220,8 @@ let suite =
     quick "detector no false positives" test_detector_no_false_positives;
     quick "dfg generators evaluable" test_dfg_generators_evaluable;
     quick "fir semantics" test_fir_semantics;
+    quick "mac chain semantics" test_mac_chain_semantics;
+    quick "dfg generators deterministic" test_gen_dfg_deterministic;
     quick "traces bounded" test_traces_bounded;
     quick "random walk smoother than noise" test_walk_smoother_than_noise;
     quick "sparse events mostly idle" test_sparse_mostly_idle;
