@@ -49,6 +49,18 @@ let parse path =
    with End_of_file -> close_in ic);
   List.rev !entries
 
+(* Mid-name variants pair by swapping the marker in place:
+   sta_incremental_1k <-> sta_full_1k. *)
+let swap_infix s a b =
+  let ls = String.length s and la = String.length a in
+  let rec find i =
+    if i + la > ls then None
+    else if String.sub s i la = a then
+      Some (String.sub s 0 i ^ b ^ String.sub s (i + la) (ls - i - la))
+    else find (i + 1)
+  in
+  find 0
+
 let () =
   let fresh_path, base_path =
     match Sys.argv with
@@ -103,18 +115,6 @@ let () =
         Some (String.sub s 0 (ls - lf))
       else None
     in
-    (* Mid-name variants pair by swapping the marker in place:
-       sta_incremental_1k <-> sta_full_1k. *)
-    let swap_infix s a b =
-      let ls = String.length s and la = String.length a in
-      let rec find i =
-        if i + la > ls then None
-        else if String.sub s i la = a then
-          Some (String.sub s 0 i ^ b ^ String.sub s (i + la) (ls - i - la))
-        else find (i + 1)
-      in
-      find 0
-    in
     let candidates =
       List.filter_map (fun suf -> strip name suf) suffixes
       @ List.map (fun suf -> name ^ suf) suffixes
@@ -159,11 +159,32 @@ let () =
       (List.length removed)
       (if List.length removed = 1 then "y" else "ies")
   end;
+  (* Every _incremental entry with a _full sibling in the fresh run is a
+     designed pair (incremental STA, incremental activity, ...): the
+     speedup between them is the number the pair exists to demonstrate,
+     so it rides on the summary line of both outcomes. *)
+  let pair_summary =
+    fresh
+    |> List.filter_map (fun (name, f) ->
+           match swap_infix name "_incremental" "_full" with
+           | Some full_name when f > 0.0 ->
+             Option.map
+               (fun fv ->
+                 Printf.sprintf "%s %.1fx faster than %s" name (fv /. f)
+                   full_name)
+               (List.assoc_opt full_name fresh)
+           | _ -> None)
+    |> function
+    | [] -> ""
+    | notes -> "  [" ^ String.concat "; " notes ^ "]"
+  in
   if !failures > 0 then begin
     Printf.printf
       "\n%d benchmark(s) regressed beyond %.0f%% of baseline or went \
-       missing.\n"
-      !failures ((threshold -. 1.0) *. 100.0);
+       missing.%s\n"
+      !failures
+      ((threshold -. 1.0) *. 100.0)
+      pair_summary;
     exit 1
   end
-  else print_endline "\nAll benchmarks within threshold."
+  else Printf.printf "\nAll benchmarks within threshold.%s\n" pair_summary

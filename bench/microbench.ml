@@ -124,6 +124,61 @@ let sta_incremental_1k =
 let sta_full_1k =
   Test.make ~name:"sta_full_1k" (Staged.stage (sta_1k_workload Sta.Full))
 
+(* Incremental measured-activity maintenance vs full replay on the same
+   1k-gate network as the STA pair, over a 256-cycle correlated trace.
+   Each run re-expresses the same 32 mid-topological gates (function
+   inverted, then restored on the next run) through replace_func +
+   Actsim.update; the _full sibling replays the whole network per edit,
+   so the pair's ratio is the dirty-cone-vs-network factor.  The two
+   alternating functions are compiled into arrays outside the timed
+   region, so the loop measures the engine, not expression building. *)
+let actsim_1k_workload mode =
+  let net =
+    Gen_comb.random (Lowpower.Rng.create 7)
+      { Gen_comb.num_inputs = 24; num_gates = 1000; max_fanin = 3;
+        output_fraction = 0.1 }
+  in
+  let trace =
+    Traces.correlated_walk (Lowpower.Rng.create 11) ~bits:24 ~n:256 ()
+  in
+  let sim = Actsim.create ~mode net ~trace in
+  (* Edit sites from the top of the topological order: a local edit there
+     has a shallow output cone, which is the locality the incremental
+     engine exploits (a full replay prices every edit at the whole
+     network regardless).  Inverting a node's function forces its entire
+     cone to genuinely change values, so the changed-cone cutoff never
+     fires early — the speedup measured is cone size, not luck. *)
+  let topo = Array.of_list (Network.topo_order net) in
+  let sites =
+    let picked = ref [] and p = ref (Array.length topo - 1) in
+    while List.length !picked < 32 do
+      if not (Network.is_input net topo.(!p)) then
+        picked := topo.(!p) :: !picked;
+      decr p
+    done;
+    Array.of_list (List.rev !picked)
+  in
+  let f0 = Array.map (Network.func net) sites in
+  let f1 = Array.map Expr.not_ f0 in
+  let flip = ref false in
+  fun () ->
+    flip := not !flip;
+    Array.iteri
+      (fun i x ->
+        Network.replace_func net x
+          (if !flip then f1.(i) else f0.(i))
+          (Network.fanins net x);
+        Actsim.update sim x)
+      sites
+
+let actsim_incremental_1k =
+  Test.make ~name:"actsim_incremental_1k"
+    (Staged.stage (actsim_1k_workload Actsim.Incremental))
+
+let actsim_full_1k =
+  Test.make ~name:"actsim_full_1k"
+    (Staged.stage (actsim_1k_workload Actsim.Full))
+
 (* The whole sizing + dual-Vth loop on the premapped 4-bit multiplier
    (mapping and activity computed outside the timed region): hundreds
    of trial moves per run, every one timed through the incremental
@@ -314,6 +369,7 @@ let sat_portfolio_pigeon_9 =
 let tests =
   [ bdd_build; cover_minimize; cover_complement; fsm_synth; event_sim;
     event_sim_reference; required_times_1k; sta_full_1k; sta_incremental_1k;
+    actsim_full_1k; actsim_incremental_1k;
     dualvth_opt_mult4; list_scheduling; iss_run;
     encoding_search; odc_guard; seq_chain; streaming_kernel;
     prob_sim_scalar; prob_sim_bitsim; seq_sim_scalar; seq_sim_bitsim;

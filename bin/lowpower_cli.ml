@@ -348,15 +348,101 @@ let seqestimate_cmd =
        ~doc:"Exact sequential power estimation vs the white-noise assumption")
     Term.(const seqestimate_run $ bits $ duty)
 
+(* --- annotate --- *)
+
+let annotate_run circuit width seed trace_length white_noise top =
+  let net = build_circuit circuit width seed in
+  let nins = List.length (Network.inputs net) in
+  let trace =
+    if white_noise then
+      Stimulus.random (Lowpower.Rng.create seed) ~width:nins
+        ~length:trace_length ()
+    else
+      Traces.correlated_walk (Lowpower.Rng.create seed) ~bits:nins
+        ~n:trace_length ()
+  in
+  let sim = Actsim.create net ~trace in
+  let a = Annotation.of_actsim sim in
+  Printf.printf "annotate %s (width %d): %d nodes, %d-cycle %s trace\n" circuit
+    width (Actsim.size sim) (Annotation.cycles a)
+    (if white_noise then "white-noise" else "correlated random-walk");
+  Printf.printf "hottest nodes (measured):\n";
+  List.iteri
+    (fun k (id, t) ->
+      if k < top then
+        Printf.printf "  %-12s %6d toggles  %.3f/cycle  cap %.1f\n"
+          (Network.name net id) t (Annotation.rate a id) (Network.cap net id))
+    (Annotation.ranked a);
+  let measured = Annotation.switched_capacitance a in
+  let model probs =
+    Activity.switched_capacitance net (Activity.zero_delay net ~input_probs:probs)
+  in
+  let pct m =
+    if measured = 0.0 then 0.0 else 100.0 *. ((m -. measured) /. measured)
+  in
+  let m_uniform = model (Array.make nins 0.5) in
+  let m_probs = model (Annotation.input_probs a) in
+  Printf.printf
+    "switched capacitance/cycle: measured %.2f; independence model %.2f \
+     (%+.1f%%); model with measured input probs %.2f (%+.1f%%)\n"
+    measured m_uniform (pct m_uniform) m_probs (pct m_probs);
+  let bdd_size order =
+    let man =
+      match order with None -> Bdd.manager () | Some o -> Bdd.manager ~order:o ()
+    in
+    let roots =
+      List.map (fun (name, _) -> Network.output_bdd net man name)
+        (Network.outputs net)
+    in
+    ignore (Bdd.reorder man roots);
+    Bdd.node_count man
+  in
+  Printf.printf
+    "BDD nodes after sifting: declared order %d, measured toggle order %d\n"
+    (bdd_size None)
+    (bdd_size (Some (Annotation.bdd_input_order a)));
+  let st = Actsim.stats sim in
+  Printf.printf "engine: %d full passes, %d word evaluations\n"
+    st.Actsim.full_passes st.Actsim.word_evals
+
+let annotate_cmd =
+  let trace_length =
+    Arg.(value & opt int 256
+         & info [ "trace-length" ] ~docv:"N" ~doc:"Trace length in cycles.")
+  in
+  let white_noise =
+    Arg.(value & flag
+         & info [ "white-noise" ]
+             ~doc:"Use an uncorrelated random trace instead of the default \
+                   correlated random walk.")
+  in
+  let top =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"K" ~doc:"Hottest nodes to list.")
+  in
+  Cmd.v
+    (Cmd.info "annotate"
+       ~doc:"Measured-activity annotation: per-node toggle report over a \
+             trace")
+    Term.(const annotate_run $ circuit_arg $ width_arg 6 $ seed_arg
+          $ trace_length $ white_noise $ top)
+
 (* --- tournament --- *)
 
-let tournament_run circuit width seed trace_length =
+let tournament_run circuit width seed trace_length measured =
   let net = build_circuit circuit width seed in
+  let nins = List.length (Network.inputs net) in
   let trace =
-    if trace_length > 0 then
+    if measured then
+      (* Correlated workload: the regime where the measured strategy has
+         information the probability models lack. *)
       Some
-        (Stimulus.random (Lowpower.Rng.create seed)
-           ~width:(List.length (Network.inputs net))
+        (Traces.correlated_walk (Lowpower.Rng.create seed) ~bits:nins
+           ~n:(if trace_length > 0 then trace_length else 256)
+           ())
+    else if trace_length > 0 then
+      Some
+        (Stimulus.random (Lowpower.Rng.create seed) ~width:nins
            ~length:trace_length ())
     else None
   in
@@ -386,11 +472,18 @@ let tournament_cmd =
              ~doc:"Score by measured toggles over an $(docv)-cycle random \
                    trace instead of estimated activity.")
   in
+  let measured =
+    Arg.(value & flag
+         & info [ "measured" ]
+             ~doc:"Score over a correlated random-walk trace (default 256 \
+                   cycles, or --trace-length) and add the measured \
+                   resynthesis strategy to the roster.")
+  in
   Cmd.v
     (Cmd.info "tournament"
        ~doc:"Race synthesis strategies; promote a SAT-verified champion")
     Term.(const tournament_run $ circuit_arg $ width_arg 5 $ seed_arg
-          $ trace_length)
+          $ trace_length $ measured)
 
 (* --- size --- *)
 
@@ -469,7 +562,8 @@ let size_cmd =
 
 (* --- rewrite --- *)
 
-let rewrite_run workload taps width beam samples trace_len seed model coeffs =
+let rewrite_run workload taps width beam samples trace_len seed model coeffs
+    measured =
   let r = Lowpower.Rng.create seed in
   let coeffs =
     match coeffs with
@@ -485,12 +579,14 @@ let rewrite_run workload taps width beam samples trace_len seed model coeffs =
   in
   let trace = Gen_dfg.random_samples r dfg ~n:trace_len ~correlated:true () in
   let model =
-    match model with
-    | "auto" -> Cost.default_model ()
-    | "toggles" -> Cost.Toggles
-    | "independence" -> Cost.Independence
-    | "area" -> Cost.Area
-    | other -> failwith ("unknown cost model " ^ other)
+    if measured then Cost.Toggles
+    else
+      match model with
+      | "auto" -> Cost.default_model ()
+      | "toggles" -> Cost.Toggles
+      | "independence" -> Cost.Independence
+      | "area" -> Cost.Area
+      | other -> failwith ("unknown cost model " ^ other)
   in
   let memo = Memo.create () in
   let res = Search.run ~beam ~samples ~memo ~model ~rng:r dfg ~trace in
@@ -570,11 +666,18 @@ let rewrite_cmd =
              ~doc:"Comma-separated filter coefficients (default: small odd \
                    constants).")
   in
+  let measured =
+    Arg.(value & flag
+         & info [ "measured" ]
+             ~doc:"Force the measured toggle-count cost model (overrides \
+                   --model), keeping the search trace-driven even where \
+                   the heuristic would fall back to a cheaper model.")
+  in
   Cmd.v
     (Cmd.info "rewrite"
        ~doc:"Activity-costed datapath rewriting with SAT-verified search")
     Term.(const rewrite_run $ workload $ taps $ width_arg 8 $ beam $ samples
-          $ trace_len $ seed_arg $ model $ coeffs)
+          $ trace_len $ seed_arg $ model $ coeffs $ measured)
 
 (* --- batch --- *)
 
@@ -705,5 +808,5 @@ let () =
        (Cmd.group
           (Cmd.info "lowpower_cli" ~doc)
           [ analyze_cmd; map_cmd; encode_cmd; precompute_cmd; businvert_cmd;
-            compile_cmd; guard_cmd; check_cmd; seqestimate_cmd; tournament_cmd;
-            size_cmd; rewrite_cmd; batch_cmd ]))
+            compile_cmd; guard_cmd; check_cmd; seqestimate_cmd; annotate_cmd;
+            tournament_cmd; size_cmd; rewrite_cmd; batch_cmd ]))

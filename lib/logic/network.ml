@@ -481,19 +481,35 @@ let replace_func t i f fanins =
   List.iter (fun j -> ignore (get t j)) fanins;
   check_func_arity f fanins;
   let old_f = n.nfunc and old_fanins = n.nfanins in
+  (* A cycle needs a new edge: when every new fanin was already a fanin
+     (the common optimizer-inner-loop case — reimplement a node over the
+     same support), the edge set cannot grow and the O(n) topological
+     cycle check is skipped entirely. *)
+  let adds_edge =
+    List.exists (fun j -> not (List.mem j old_fanins)) fanins
+  in
   n.nfunc <- f;
   n.nfanins <- fanins;
-  rev_remove t old_fanins i;
-  rev_add t fanins i;
-  invalidate t;
-  try ignore (topo_order t)
-  with Cycle _ ->
-    n.nfunc <- old_f;
-    n.nfanins <- old_fanins;
-    rev_remove t fanins i;
-    rev_add t old_fanins i;
+  if adds_edge then begin
+    rev_remove t old_fanins i;
+    rev_add t fanins i;
     invalidate t;
-    invalid_arg "Network.replace_func: change would create a cycle"
+    try ignore (topo_order t)
+    with Cycle _ ->
+      n.nfunc <- old_f;
+      n.nfanins <- old_fanins;
+      rev_remove t fanins i;
+      rev_add t old_fanins i;
+      invalidate t;
+      invalid_arg "Network.replace_func: change would create a cycle"
+  end
+  else if fanins != old_fanins && fanins <> old_fanins then begin
+    (* Fanins dropped (strict subset / reorder): rewire the reverse index
+       and drop structural caches, but no cycle is possible. *)
+    rev_remove t old_fanins i;
+    rev_add t fanins i;
+    invalidate t
+  end
 
 let sweep t =
   let reachable = Hashtbl.create (Hashtbl.length t.nodes) in

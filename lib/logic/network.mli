@@ -179,7 +179,10 @@ val slacks : t -> ?required:float -> unit -> (id, float) Hashtbl.t
 
 val replace_func : t -> id -> Expr.t -> id list -> unit
 (** Swap a logic node's function and fanins.  Raises [Invalid_argument] on
-    an input node, unknown fanins, or if the change creates a cycle. *)
+    an input node, unknown fanins, or if the change creates a cycle.  When
+    no {e new} fanin edge is added (the optimizer-inner-loop case:
+    reimplement a node over the same or shrinking support) the O(n)
+    cycle check is skipped — the call is O(fanin). *)
 
 val sweep : t -> int
 (** Remove logic nodes not reachable from any output; returns the number

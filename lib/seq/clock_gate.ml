@@ -54,6 +54,13 @@ let evaluate bank trace =
       | _ -> float_of_int !idle /. float_of_int (List.length trace));
   }
 
+let rank banks =
+  banks
+  |> List.map (fun (name, bank, trace) ->
+         let r = evaluate bank trace in
+         (name, r, r.ungated_energy -. r.gated_energy))
+  |> List.stable_sort (fun (_, _, s1) (_, _, s2) -> compare s2 s1)
+
 let fsm_gating_fraction = Markov.self_loop_probability
 
 let gate_fsm synth _stg =

@@ -33,6 +33,15 @@ val evaluate : bank -> (bool * int) list -> report
     cost, but the clock still burns).  Gated: clock and data cost only on
     enabled cycles, plus [gating_overhead] every cycle. *)
 
+val rank :
+  (string * bank * (bool * int) list) list
+  -> (string * report * float) list
+(** Evaluate several named banks against their measured enable traces and
+    order them by absolute energy saved ([ungated - gated], the third
+    component), biggest win first (stable for ties) — which banks to gate
+    first when the gating logic budget is limited, decided by measured
+    workload traces rather than duty-cycle assumptions. *)
+
 val fsm_gating_fraction : Stg.t -> Markov.input_dist -> float
 (** The [4] opportunity on an FSM: steady-state fraction of cycles on
     self-loop edges, where next-state computation and the state register

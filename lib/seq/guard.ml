@@ -179,6 +179,20 @@ let apply ?verify ?session net0 ~root ~guard =
     guard_literals = Expr.literal_count guard;
   }
 
+let rank_roots net ~score =
+  Network.node_ids net
+  |> List.filter_map (fun i ->
+         if Network.is_input net i then None
+         else begin
+           let mass = ref 0.0 in
+           Hashtbl.iter
+             (fun j () -> mass := !mass +. score j)
+             (mffc net i);
+           Some (i, !mass)
+         end)
+  |> List.sort (fun (i1, m1) (i2, m2) ->
+         if m1 <> m2 then compare m2 m1 else compare i1 i2)
+
 let auto ?verify ?session net ~root =
   let odc = observability_condition net root in
   match odc with

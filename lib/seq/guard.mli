@@ -58,6 +58,16 @@ val apply :
     one incremental solver instead of re-encoding the network per
     obligation. *)
 
+val rank_roots :
+  Network.t -> score:(Network.id -> float) -> (Network.id * float) list
+(** Candidate guard roots ordered by how much switching their cone could
+    silence: every logic node, scored by the [score]-mass of its maximum
+    fanout-free cone (the subcircuit {!apply} would freeze), heaviest
+    first (ties by ascending id).  With [score] = measured toggle rate ×
+    capacitance from an [Annotation], this ranks roots by {e observed}
+    workload activity instead of model probabilities — the annotate step
+    of the measured feedback loop applied to guard selection. *)
+
 val auto :
   ?verify:Verify.mode -> ?session:Verify.session -> Network.t
   -> root:Network.id -> guarded option

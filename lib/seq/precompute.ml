@@ -31,6 +31,30 @@ let shutdown_probability net ~output ~keep ~input_probs =
   let p b = Bdd.probability man (fun v -> input_probs.(v)) b in
   p g1 +. p g0
 
+let measured_shutdown net ~output ~keep ~trace =
+  (* The predictor BDDs are over primary-input positions, so each trace
+     vector evaluates them directly — counting the cycles the workload
+     actually lets R2 freeze, instead of integrating a probability model. *)
+  let _man, g1, g0, _ = predictor_bdds net ~output ~keep in
+  let nins = List.length (Network.inputs net) in
+  let hit = ref 0 and total = ref 0 in
+  List.iter
+    (fun vec ->
+      if Array.length vec <> nins then
+        invalid_arg "Precompute.measured_shutdown: input arity mismatch";
+      let read v = vec.(v) in
+      if Bdd.eval g1 read || Bdd.eval g0 read then incr hit;
+      incr total)
+    trace;
+  if !total = 0 then invalid_arg "Precompute.measured_shutdown: empty trace";
+  float_of_int !hit /. float_of_int !total
+
+let rank_keep net ~output ~candidates ~trace =
+  candidates
+  |> List.map (fun i -> (i, measured_shutdown net ~output ~keep:[ i ] ~trace))
+  |> List.sort (fun (i1, f1) (i2, f2) ->
+         if f1 <> f2 then compare f2 f1 else compare i1 i2)
+
 type architecture = {
   plain : Seq_circuit.t;
   precomputed : Seq_circuit.t;

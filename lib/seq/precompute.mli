@@ -25,6 +25,23 @@ val shutdown_probability :
 (** [P(g1) + P(g0)] — expected fraction of cycles in which R2 can be shut
     off. *)
 
+val measured_shutdown :
+  Network.t -> output:string -> keep:Network.id list
+  -> trace:Stimulus.t -> float
+(** The same fraction {e measured}: evaluate the predictors on every trace
+    vector and count the cycles where [g1 OR g0] holds.  Under correlated
+    workloads this is the number the architecture will actually see, and
+    it can differ sharply from {!shutdown_probability} under the
+    independence model.  Raises [Invalid_argument] on an empty trace,
+    arity mismatch, or non-input [keep]. *)
+
+val rank_keep :
+  Network.t -> output:string -> candidates:Network.id list
+  -> trace:Stimulus.t -> (Network.id * float) list
+(** Singleton-R1 candidates ordered by {!measured_shutdown}, best first
+    (ties by ascending id) — which input to examine one cycle early, as
+    the measured trace decides it. *)
+
 type architecture = {
   plain : Seq_circuit.t;       (** all inputs registered, always clocked *)
   precomputed : Seq_circuit.t; (** R2 registers gated by [g1 OR g0]'s complement *)

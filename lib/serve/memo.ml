@@ -24,6 +24,7 @@ type artifact =
   | A_cec of Cec.outcome
   | A_dualvth of Dualvth.result
   | A_activity of float
+  | A_annotation of Annotation.t
 
 type entry = { value : artifact; mutable last_use : int }
 
@@ -123,6 +124,7 @@ and k_cover = 4
 and k_cec = 5
 and k_dualvth = 6
 and k_activity = 7
+and k_annotation = 8
 
 let compiled t net =
   let key = combine k_compiled (Network.structural_hash net) in
@@ -244,6 +246,18 @@ let dfg_activity t dfg ~fingerprint compute =
   in
   match memoize t key (fun () -> A_activity (compute ())) with
   | A_activity a -> a
+  | _ -> assert false
+
+let activity t net ~trace =
+  let key =
+    combine
+      (combine k_annotation (Network.structural_hash net))
+      (Annotation.trace_fingerprint trace)
+  in
+  (* Annotations are immutable snapshots (caps included), so a hit is
+     shared, not copied. *)
+  match memoize t key (fun () -> A_annotation (Annotation.measure net ~trace)) with
+  | A_annotation a -> a
   | _ -> assert false
 
 let cec_key a b =

@@ -88,6 +88,15 @@ val dfg_activity :
     the resulting scalar.  The estimator must be deterministic for the
     key. *)
 
+val activity : t -> Network.t -> trace:Stimulus.t -> Annotation.t
+(** Measured-activity annotation ({!Annotation.measure}), keyed by
+    [Network.structural_hash] plus {!Annotation.trace_fingerprint} — the
+    same network under a different trace occupies a distinct entry.
+    Annotations are immutable snapshots, so a hit shares the stored value
+    directly; [Annotation.switched_capacitance] of a hit is bit-identical
+    to a cold measurement ([Tournament.measured_score] relies on this to
+    make memoized and fresh scores interchangeable). *)
+
 val dualvth :
   t ->
   ?config:Dualvth.config ->

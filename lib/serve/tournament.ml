@@ -43,11 +43,29 @@ let espresso_local ?memo net =
   ignore (Cleanup.run net);
   net
 
-let default_strategies ?memo ?input_probs net =
+let default_strategies ?memo ?input_probs ?trace net =
   let probs =
     match input_probs with
     | Some p -> p
     | None -> Array.make (List.length (Network.inputs net)) 0.5
+  in
+  (* The measured strategy only exists when there is a trace to measure
+     against; it re-synthesizes don't-care flexibility by installed-and-
+     measured toggle counts instead of model probabilities. *)
+  let measured =
+    match trace with
+    | None -> []
+    | Some tr ->
+      [
+        {
+          s_name = "measured";
+          transform =
+            (fun n ->
+              ignore (Resynth.measured ~verify:`Off n ~trace:tr);
+              ignore (Cleanup.run n);
+              n);
+        };
+      ]
   in
   [
     { s_name = "source"; transform = (fun n -> n) };
@@ -106,6 +124,7 @@ let default_strategies ?memo ?input_probs net =
           r.Dualvth.net);
     };
   ]
+  @ measured
 
 (* Leakage enters every score as equivalent switched capacitance: a
    score of S units means switching power 0.5 * unit_cap * S * V^2 * f
@@ -128,16 +147,21 @@ let measured_score ?memo net trace =
   let cycles = List.length trace in
   let denom = float_of_int (max 1 (cycles - 1)) in
   if Bitsim.enabled () then begin
-    let bs =
-      match memo with Some m -> Memo.bitsim m net | None -> Bitsim.of_network net
-    in
-    let counts = Bitsim.count_transitions bs trace in
-    let c = Bitsim.compiled bs in
-    let acc = ref 0.0 in
-    Array.iteri
-      (fun i k -> acc := !acc +. (Compiled.cap c i *. float_of_int k))
-      counts;
-    (!acc /. denom) +. leak
+    match memo with
+    | Some m ->
+      (* Annotation.switched_capacitance sums cap * count in the same
+         ascending-id order over the same measured counts, so a cache hit
+         scores bit-identically to the direct path below. *)
+      Annotation.switched_capacitance (Memo.activity m net ~trace) +. leak
+    | None ->
+      let bs = Bitsim.of_network net in
+      let counts = Bitsim.count_transitions bs trace in
+      let c = Bitsim.compiled bs in
+      let acc = ref 0.0 in
+      Array.iteri
+        (fun i k -> acc := !acc +. (Compiled.cap c i *. float_of_int k))
+        counts;
+      (!acc /. denom) +. leak
   end
   else begin
     let c =
@@ -176,7 +200,7 @@ let run ?(name = "circuit") ?strategies ?input_probs ?trace ?memo net =
   let roster =
     match strategies with
     | Some s -> s
-    | None -> default_strategies ?memo ~input_probs:probs net
+    | None -> default_strategies ?memo ~input_probs:probs ?trace net
   in
   let score n =
     match trace with

@@ -30,7 +30,8 @@ type strategy = {
 }
 
 val default_strategies :
-  ?memo:Memo.t -> ?input_probs:float array -> Network.t -> strategy list
+  ?memo:Memo.t -> ?input_probs:float array -> ?trace:Stimulus.t ->
+  Network.t -> strategy list
 (** The stock roster for a given source network: [source] (identity —
     guarantees a verified candidate always exists), [cleanup],
     [espresso] (per-node two-level re-minimization of every local
@@ -42,9 +43,13 @@ val default_strategies :
     followed by {!Dualvth.optimize_mapping} slack-driven sizing +
     high-Vth assignment; the candidate {e fails} — and so can never be
     promoted — if the sized netlist misses its timing constraint, and
-    its leakage is part of its score).  [input_probs] (default all 0.5)
-    feeds the power-aware strategies and must match the source input
-    count. *)
+    its leakage is part of its score).  With [trace], a ninth strategy
+    [measured] joins: {!Resynth.measured} don't-care resynthesis scored
+    by toggles measured over that trace through the incremental
+    {!Actsim} engine — the simulate → annotate → re-synthesize loop as a
+    tournament entrant, SAT-verified like every other candidate.
+    [input_probs] (default all 0.5) feeds the power-aware strategies and
+    must match the source input count. *)
 
 type verdict =
   | Verified  (** SAT-proved equivalent to the source *)
@@ -86,10 +91,12 @@ val run :
 (** Race the roster (default {!default_strategies}) on [net].  [name]
     labels the promotion record (default ["circuit"]).  With [trace],
     candidates are scored by capacitance-weighted toggle counts measured
-    over the vector stream (per cycle); otherwise by exact zero-delay
-    activity under [input_probs].  With [memo], bitsim engines, espresso
-    covers and CEC verdicts are served from / inserted into the shared
-    cache (a cached verdict skips the session query entirely).  The
+    over the vector stream (per cycle) and the default roster gains the
+    [measured] strategy; otherwise by exact zero-delay activity under
+    [input_probs].  With [memo], measured annotations, espresso covers
+    and CEC verdicts are served from / inserted into the shared cache (a
+    cached verdict skips the session query entirely; a cached annotation
+    scores bit-identically to a fresh measurement).  The
     source is never mutated.  Raises [Invalid_argument] if no strategy
     produces a verified candidate (an all-refuted roster — impossible
     with the default roster's [source] entry). *)

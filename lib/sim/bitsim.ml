@@ -60,6 +60,8 @@ let rec compile_expr fanin_idx = function
     let fa = compile_expr fanin_idx a and fb = compile_expr fanin_idx b in
     fun plane -> fa plane lxor fb plane
 
+let compile_word = compile_expr
+
 let of_compiled c =
   let eval_fn =
     Array.init (Compiled.size c) (fun x ->

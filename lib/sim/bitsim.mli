@@ -56,6 +56,14 @@ val count_transitions : t -> Stimulus.t -> int array
     first vector is uncharged; primary-input toggles are counted).  Raises
     [Invalid_argument] on an empty stream or arity mismatch. *)
 
+val compile_word : int array -> Expr.t -> int array -> int
+(** [compile_word fanin_idx f] specializes a local function into the word
+    closure {!of_compiled} builds internally: variable [v] of [f] reads
+    plane index [fanin_idx.(v)], and one call evaluates all 63 lanes with
+    one boolean word op per connective.  Exposed for engines that maintain
+    their own value planes over a mutating network ({!Actsim}), so the
+    lane semantics stay defined in exactly one place. *)
+
 val popcount : int -> int
 (** Number of set bits among all 63 bits of a native int (SWAR, no
     branches); [popcount (-1) = 63]. *)

@@ -25,6 +25,14 @@ val compute : Network.t -> Network.id -> dc
 (** Exact local don't-cares of one node.  Raises [Invalid_argument] on an
     input node or a node with more than 16 fanins. *)
 
+val minimized_candidates : dc -> Cover.t list
+(** Two-level-minimized re-implementations of the node, one per don't-care
+    assignment: free (the minimizer chooses), all-to-0, all-to-1.  Every
+    cover agrees with [local_onset] on the care set, so installing any of
+    them preserves all primary outputs.  Exposed for measurement-driven
+    resynthesis ({!Resynth}), which scores these same candidates by
+    measured toggles instead of model probabilities. *)
+
 type policy =
   | For_area    (** minimize cube/literal count only *)
   | For_power of float array

@@ -37,3 +37,32 @@ let enable_trace rng ~n ~duty ~data =
     invalid_arg "Traces.enable_trace: duty in [0,1]";
   List.filteri (fun i _ -> i < n) data
   |> List.map (fun w -> (Lowpower.Rng.bernoulli rng duty, w))
+
+let correlated_walk rng ~bits ~n ?(step = 3) () =
+  if bits < 1 then invalid_arg "Traces.correlated_walk: bits >= 1";
+  if n < 1 then invalid_arg "Traces.correlated_walk: n >= 1";
+  if step < 1 then invalid_arg "Traces.correlated_walk: step >= 1";
+  (* Chunks of at most 16 keep every chunk inside random_walk's width
+     range while spreading wide inputs over several independent walks. *)
+  let widths =
+    let rec go acc rem =
+      if rem <= 0 then List.rev acc
+      else go (min 16 rem :: acc) (rem - min 16 rem)
+    in
+    go [] bits
+  in
+  let walks =
+    List.map (fun w -> Array.of_list (random_walk rng ~width:w ~n ~step)) widths
+  in
+  List.init n (fun i ->
+      let vec = Array.make bits false in
+      let base = ref 0 in
+      List.iter2
+        (fun w walk ->
+          let word = walk.(i) in
+          for b = 0 to w - 1 do
+            vec.(!base + b) <- (word lsr b) land 1 = 1
+          done;
+          base := !base + w)
+        widths walks;
+      vec)

@@ -21,3 +21,15 @@ val enable_trace :
 (** Pair a data trace with a write-enable that is high with probability
     [duty] — the clock-gating workload.  Raises [Invalid_argument] if the
     data trace is shorter than [n]. *)
+
+val correlated_walk :
+  Lowpower.Rng.t -> bits:int -> n:int -> ?step:int -> unit -> bool array list
+(** Correlated multi-input bit-level stimulus for measured-activity work:
+    the [bits] lines are carved into chunks of at most 16, each chunk an
+    independent {!random_walk} (default [step] 3) unpacked LSB-first.  The
+    result is both temporally correlated (small steps: low lines toggle,
+    high lines mostly hold) and spatially correlated (carry-chain coupling
+    inside a chunk) — exactly the structure that breaks the
+    independence-model activity estimates (E24).  Seeded and deterministic
+    for a given [rng] state.  Raises [Invalid_argument] when [bits < 1],
+    [n < 1], or [step < 1]. *)

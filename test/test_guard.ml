@@ -105,6 +105,36 @@ let test_guard_input_validation () =
   expect_invalid_arg "guard escapes inputs" (fun () ->
       ignore (Guard.apply net ~root:eq_root ~guard:(Expr.var 40)))
 
+let test_rank_roots_measured () =
+  let net, _ = mux_net () in
+  let trace =
+    Traces.correlated_walk (Lowpower.Rng.create 17) ~bits:9 ~n:200 ()
+  in
+  let a = Annotation.measure net ~trace in
+  let score i = Annotation.rate a i *. Network.cap net i in
+  let ranked = Guard.rank_roots net ~score in
+  (* Every logic node appears exactly once. *)
+  let logic =
+    List.filter
+      (fun i -> not (List.mem i (Network.inputs net)))
+      (Network.node_ids net)
+  in
+  Alcotest.(check (list int))
+    "all logic nodes ranked" (List.sort compare logic)
+    (List.sort compare (List.map fst ranked));
+  (* Descending by silenced score mass, and a cone's mass dominates any of
+     its single members. *)
+  let rec desc = function
+    | (_, a) :: ((_, b) :: _ as tl) -> a >= b && desc tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "heaviest first" true (desc ranked);
+  List.iter
+    (fun (i, m) ->
+      if m < score i -. 1e-12 then
+        Alcotest.failf "cone mass of %d below its own score" i)
+    ranked
+
 let suite =
   [
     quick "ODC of the mux blocks is the select line" test_odc_of_mux_blocks;
@@ -115,4 +145,5 @@ let suite =
     quick "guard freezes the whole cone" test_guard_freezes_whole_cone;
     quick "non-ODC guard detected by equivalence check" test_wrong_guard_breaks_equivalence;
     quick "guard input validation" test_guard_input_validation;
+    quick "rank_roots orders by measured cone mass" test_rank_roots_measured;
   ]

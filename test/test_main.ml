@@ -9,6 +9,7 @@ let () =
       ("estimate", Test_estimate.suite);
       ("sim", Test_sim.suite);
       ("bitsim", Test_bitsim.suite);
+      ("actsim", Test_actsim.suite);
       ("sat", Test_sat.suite);
       ("compiled", Test_compiled.suite);
       ("sta", Test_sta.suite);

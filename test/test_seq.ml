@@ -489,6 +489,99 @@ let test_ff_filtering_observation () =
   Alcotest.(check bool) "FF filters spurious transitions" true
     (at_ff_inputs > at_ff_outputs)
 
+let test_measured_shutdown () =
+  let n = 5 in
+  let dp = Circuits.comparator n in
+  let keep =
+    [ List.nth dp.Circuits.a_bits (n - 1); List.nth dp.Circuits.b_bits (n - 1) ]
+  in
+  (* Under white noise the measured fraction converges on the
+     independence-model prediction (1/2 for the MSB comparison). *)
+  let stim = Stimulus.random (rng ()) ~width:(2 * n) ~length:600 () in
+  let f =
+    Precompute.measured_shutdown dp.Circuits.net ~output:"out0" ~keep
+      ~trace:stim
+  in
+  Alcotest.(check bool) "a fraction" true (0.0 <= f && f <= 1.0);
+  check_close_rel ~eps:0.15 "white noise matches the model"
+    (Precompute.shutdown_probability dp.Circuits.net ~output:"out0" ~keep
+       ~input_probs:(Array.make (2 * n) 0.5))
+    f;
+  expect_invalid_arg "empty trace" (fun () ->
+      Precompute.measured_shutdown dp.Circuits.net ~output:"out0" ~keep
+        ~trace:[]);
+  expect_invalid_arg "non-input keep" (fun () ->
+      let z = List.assoc "out0" (Network.outputs dp.Circuits.net) in
+      Precompute.measured_shutdown dp.Circuits.net ~output:"out0"
+        ~keep:[ z ] ~trace:stim)
+
+let test_rank_keep_measured () =
+  (* out = a & b & c: any input at 0 forces the output, so a singleton R1
+     shuts down exactly on that line's 0-cycles — the measured ranking
+     must follow the per-line biases of the trace. *)
+  let net = Network.create () in
+  let a = Network.add_input net in
+  let b = Network.add_input net in
+  let c = Network.add_input net in
+  let g =
+    Network.add_node net
+      (Expr.and_list [ Expr.var 0; Expr.var 1; Expr.var 2 ])
+      [ a; b; c ]
+  in
+  Network.set_output net "z" g;
+  let stim =
+    Stimulus.per_line_probs (rng ()) ~length:400
+      ~probs:[| 0.05; 0.5; 0.95 |]
+  in
+  let ranked =
+    Precompute.rank_keep net ~output:"z" ~candidates:[ a; b; c ] ~trace:stim
+  in
+  Alcotest.(check int) "all candidates ranked" 3 (List.length ranked);
+  let rec desc = function
+    | (_, x) :: ((_, y) :: _ as tl) -> x >= y && desc tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "best first" true (desc ranked);
+  Alcotest.(check (list int))
+    "mostly-zero line wins, mostly-one line loses"
+    [ a; b; c ]
+    (List.map fst ranked);
+  (* The fractions are exactly the measured zero-fractions of each line. *)
+  let zeros i =
+    float_of_int (List.length (List.filter (fun v -> not v.(i)) stim))
+    /. float_of_int (List.length stim)
+  in
+  List.iteri
+    (fun pos (_, f) -> check_close "fraction = measured zeros" (zeros pos) f)
+    ranked
+
+let test_clock_gate_rank () =
+  let r = rng () in
+  let mk duty =
+    let data = Traces.random_words r ~width:8 ~n:800 in
+    Traces.enable_trace r ~n:800 ~duty ~data
+  in
+  let banks =
+    [ ("busy", Clock_gate.default_bank 8, mk 0.9);
+      ("idle", Clock_gate.default_bank 8, mk 0.05);
+      ("half", Clock_gate.default_bank 8, mk 0.5) ]
+  in
+  let ranked = Clock_gate.rank banks in
+  Alcotest.(check (list string))
+    "biggest absolute saving first"
+    [ "idle"; "half"; "busy" ]
+    (List.map (fun (nm, _, _) -> nm) ranked);
+  List.iter
+    (fun (nm, report, saved) ->
+      let _, bank, trace = List.find (fun (n, _, _) -> n = nm) banks in
+      let again = Clock_gate.evaluate bank trace in
+      check_close (nm ^ ": report matches evaluate")
+        (again.Clock_gate.ungated_energy -. again.Clock_gate.gated_energy)
+        saved;
+      check_close (nm ^ ": idle fraction consistent")
+        again.Clock_gate.idle_fraction report.Clock_gate.idle_fraction)
+    ranked
+
 let suite =
   [
     quick "stg tabulation" test_stg_tabulation;
@@ -530,4 +623,7 @@ let suite =
     quick "min-register retiming shares fanout registers" test_min_register_beats_feas_on_fanout;
     quick "retiming graph from a measured circuit" test_retime_of_network;
     quick "registers filter glitches (paper observation)" test_ff_filtering_observation;
+    quick "measured shutdown fraction" test_measured_shutdown;
+    quick "rank_keep follows the trace" test_rank_keep_measured;
+    quick "clock-gate rank by measured savings" test_clock_gate_rank;
   ]

@@ -300,6 +300,58 @@ let test_tournament_trace_scoring () =
   Alcotest.(check bool) "measured scores finite" true
     (Float.is_finite p.Tournament.champion_score)
 
+let test_tournament_measured_strategy () =
+  (* With a trace the default roster gains the measured resynthesis
+     strategy; it must be raced, verified, and never beat the champion. *)
+  let net = mk_net 29 in
+  let trace =
+    Traces.correlated_walk (Lowpower.Rng.create 31)
+      ~bits:(List.length (Network.inputs net))
+      ~n:189 ()
+  in
+  let p = Tournament.run ~trace net in
+  let measured =
+    List.find_opt
+      (fun c -> c.Tournament.c_strategy = "measured")
+      p.Tournament.candidates
+  in
+  (match measured with
+  | None -> Alcotest.fail "measured strategy missing from trace roster"
+  | Some c ->
+    Alcotest.(check bool) "measured candidate verified" true
+      (c.Tournament.c_verdict = Tournament.Verified);
+    Alcotest.(check bool) "champion at least as good" true
+      (p.Tournament.champion_score <= c.Tournament.score));
+  (* Without a trace the strategy must not appear. *)
+  let q = Tournament.run net in
+  Alcotest.(check bool) "no measured strategy without a trace" true
+    (List.for_all
+       (fun c -> c.Tournament.c_strategy <> "measured")
+       q.Tournament.candidates)
+
+let test_memo_activity () =
+  let m = Memo.create () in
+  let net = mk_net 28 in
+  let w = List.length (Network.inputs net) in
+  let trace = Stimulus.random (Lowpower.Rng.create 3) ~width:w ~length:100 () in
+  let a1 = Memo.activity m net ~trace in
+  let a2 = Memo.activity m (Network.copy net) ~trace in
+  Alcotest.(check bool) "hit shares the annotation" true (a1 == a2);
+  let s = Memo.stats m in
+  Alcotest.(check int) "one miss" 1 s.Memo.misses;
+  Alcotest.(check int) "one hit" 1 s.Memo.hits;
+  (* A cache hit must score bit-identically to a fresh measurement. *)
+  check_close "hit scores like a fresh measurement"
+    (Annotation.switched_capacitance (Annotation.measure net ~trace))
+    (Annotation.switched_capacitance a1) ~eps:0.0;
+  (* A different trace is a different key, not a stale hit. *)
+  let trace2 =
+    Stimulus.random (Lowpower.Rng.create 4) ~width:w ~length:100 ()
+  in
+  let a3 = Memo.activity m net ~trace:trace2 in
+  Alcotest.(check bool) "different trace misses" true (not (a1 == a3));
+  Alcotest.(check int) "second miss" 2 (Memo.stats m).Memo.misses
+
 let test_tournament_memo_transparent () =
   (* Same tournament with and without a shared cache: identical verdicts
      and scores (cache hits must be invisible). *)
@@ -418,6 +470,8 @@ let suite =
     quick "tournament rejects broken strategy"
       test_tournament_rejects_broken_strategy;
     quick "tournament trace scoring" test_tournament_trace_scoring;
+    quick "tournament measured strategy" test_tournament_measured_strategy;
+    quick "memo measured annotations" test_memo_activity;
     quick "tournament memo transparency" test_tournament_memo_transparent;
     quick "fsm encoding tournament" test_fsm_tournament;
     quick "batch determinism across domains" test_batch_determinism;

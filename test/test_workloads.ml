@@ -207,6 +207,29 @@ let test_enable_trace_duty () =
   expect_invalid_arg "short data" (fun () ->
       ignore (Traces.enable_trace r ~n:10 ~duty:0.5 ~data:[ 1; 2 ]))
 
+let test_correlated_walk () =
+  let rng_seed = Lowpower.Rng.create in
+  let mk seed = Traces.correlated_walk (rng_seed seed) ~bits:20 ~n:200 () in
+  let t = mk 5 in
+  Alcotest.(check int) "length" 200 (List.length t);
+  List.iter
+    (fun v -> Alcotest.(check int) "width" 20 (Array.length v))
+    t;
+  (* Seeded and deterministic. *)
+  Alcotest.(check bool) "deterministic" true (mk 5 = mk 5);
+  Alcotest.(check bool) "seed-sensitive" true (mk 5 <> mk 6);
+  (* The walk is temporally correlated: far fewer bit flips than white
+     noise of the same shape. *)
+  let white = Stimulus.random (rng_seed 7) ~width:20 ~length:200 () in
+  Alcotest.(check bool) "smoother than white noise" true
+    (Stimulus.transitions t < Stimulus.transitions white);
+  expect_invalid_arg "bits < 1" (fun () ->
+      Traces.correlated_walk (rng_seed 1) ~bits:0 ~n:10 ());
+  expect_invalid_arg "n < 1" (fun () ->
+      Traces.correlated_walk (rng_seed 1) ~bits:4 ~n:0 ());
+  expect_invalid_arg "step < 1" (fun () ->
+      Traces.correlated_walk (rng_seed 1) ~bits:4 ~n:10 ~step:0 ())
+
 let suite =
   [
     quick "random networks well-formed" test_random_network_well_formed;
@@ -226,4 +249,5 @@ let suite =
     quick "random walk smoother than noise" test_walk_smoother_than_noise;
     quick "sparse events mostly idle" test_sparse_mostly_idle;
     quick "enable trace duty" test_enable_trace_duty;
+    quick "correlated walk deterministic and smooth" test_correlated_walk;
   ]
